@@ -1,0 +1,116 @@
+// Ablation study of HYMV's design choices (DESIGN.md §5):
+//   1. communication/computation overlap (Algorithm 2) ON vs OFF,
+//   2. EMV kernel flavor: scalar row-scan vs column-major omp-simd vs
+//      explicit AVX (the §IV-E vectorization claim),
+//   3. element-matrix store padding: the padded leading dimension's memory
+//      cost vs the aligned-load benefit (reported as store bytes),
+//   4. adaptive update (update_elements) vs full re-setup as the fraction
+//      of "cracked" elements grows (the §III XFEM/AMR claim).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+  const int napplies = 10;
+
+  driver::ProblemSpec spec;
+  spec.pde = driver::Pde::kElasticity;
+  spec.element = mesh::ElementType::kHex20;
+  spec.box = {.nx = scaled(7), .ny = scaled(7), .nz = scaled(14), .lx = 1.0,
+              .ly = 1.0, .lz = 1.0, .origin = {-0.5, -0.5, 0.0}};
+  spec.partitioner = mesh::Partitioner::kSlab;
+
+  std::printf("=== Ablation 1: overlap of communication and computation "
+              "(4 ranks) ===\n");
+  {
+    const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, 4);
+    for (const bool overlap : {true, false}) {
+      const AggResult r = run_backend(
+          setup,
+          {.backend = driver::Backend::kHymv, .hymv = {.overlap = overlap}},
+          napplies);
+      std::printf("  overlap=%-5s spmv=%.4f s (modeled)\n",
+                  overlap ? "on" : "off", r.spmv_modeled_s);
+    }
+    std::printf("  (gains grow with the comm/compute ratio; identical "
+                "results verified by tests)\n\n");
+  }
+
+  std::printf("=== Ablation 2: EMV kernel flavor (1 rank, raw wall) ===\n");
+  {
+    const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, 1);
+    const struct {
+      core::EmvKernel kernel;
+      const char* name;
+    } kernels[] = {
+        {core::EmvKernel::kScalar, "scalar-rows"},
+        {core::EmvKernel::kSimd, "colmajor-simd"},
+        {core::EmvKernel::kAvx, "colmajor-avx"},
+    };
+    for (const auto& k : kernels) {
+      const AggResult r = run_backend(
+          setup,
+          {.backend = driver::Backend::kHymv, .hymv = {.kernel = k.kernel}},
+          napplies);
+      std::printf("  %-14s spmv=%.4f s  (%.2f GFLOP/s)\n", k.name,
+                  r.spmv_wall_s,
+                  static_cast<double>(r.flops) / r.spmv_wall_s / 1e9);
+    }
+    std::printf("  (paper §IV-E: column-major storage + SIMD is the point "
+                "of storing Ke densely)\n\n");
+  }
+
+  std::printf("=== Ablation 3: store footprint (padding cost) ===\n");
+  {
+    const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, 1);
+    simmpi::run(1, [&](simmpi::Comm& comm) {
+      driver::RankContext ctx(comm, setup);
+      core::HymvOperator op(comm, ctx.part(), ctx.element_op());
+      const auto& store = op.store();
+      const double padded_mb = static_cast<double>(store.bytes()) / 1e6;
+      const double tight_mb =
+          static_cast<double>(store.num_elements()) * store.ndofs() *
+          store.ndofs() * 8.0 / 1e6;
+      std::printf("  ndofs=%d ld=%d: store=%.2f MB vs unpadded %.2f MB "
+                  "(+%.1f%% for aligned columns)\n\n",
+                  store.ndofs(), store.leading_dim(), padded_mb, tight_mb,
+                  100.0 * (padded_mb / tight_mb - 1.0));
+    });
+  }
+
+  std::printf("=== Ablation 4: adaptive update vs full re-setup (1 rank) "
+              "===\n");
+  {
+    const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, 1);
+    simmpi::run(1, [&](simmpi::Comm& comm) {
+      driver::RankContext ctx(comm, setup);
+      core::HymvOperator op(comm, ctx.part(), ctx.element_op());
+      fem::ElasticityOperator softened(spec.element, spec.young,
+                                       spec.poisson_ratio);
+      softened.set_stiffness_scale(0.5);
+      const std::int64_t ne = ctx.part().num_local_elements();
+      std::printf("  %-12s %-14s %-16s %-10s\n", "updated", "update (s)",
+                  "full setup (s)", "speedup");
+      for (const double frac : {0.01, 0.05, 0.25, 1.0}) {
+        std::vector<std::int64_t> targets;
+        const auto count = static_cast<std::int64_t>(
+            std::max(1.0, frac * static_cast<double>(ne)));
+        for (std::int64_t e = 0; e < count; ++e) {
+          targets.push_back(e);
+        }
+        hymv::Timer t_update;
+        op.update_elements(targets, softened);
+        const double update_s = t_update.elapsed_s();
+        hymv::Timer t_full;
+        core::HymvOperator rebuilt(comm, ctx.part(), ctx.element_op());
+        const double full_s = t_full.elapsed_s();
+        std::printf("  %5.0f%%       %-14.5f %-16.5f %-10.1f\n",
+                    100.0 * frac, update_s, full_s,
+                    update_s > 0 ? full_s / update_s : 0.0);
+      }
+      std::printf("  (update cost is proportional to the touched elements "
+                  "only — the adaptive-matrix property)\n");
+    });
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces paper Fig. 3: the profiling snapshot showing data transfers
+// overlapping kernel execution when using eight streams for the elasticity
+// example. Prints the simulated device timeline of one HYMV-GPU SPMV as an
+// ASCII Gantt chart (H2D / compute / D2H engines, one row per stream).
+
+#include <algorithm>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace bench;
+
+const char* engine_name(gpu::Engine e) {
+  switch (e) {
+    case gpu::Engine::kH2D:
+      return "h2d ";
+    case gpu::Engine::kD2H:
+      return "d2h ";
+    case gpu::Engine::kCompute:
+      return "emv ";
+  }
+  return "?   ";
+}
+
+}  // namespace
+
+int main() {
+  driver::ProblemSpec spec;
+  spec.pde = driver::Pde::kElasticity;
+  spec.element = mesh::ElementType::kHex20;
+  spec.box = {.nx = scaled(8), .ny = scaled(8), .nz = scaled(8), .lx = 1.0,
+              .ly = 1.0, .lz = 1.0, .origin = {-0.5, -0.5, 0.0}};
+  const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, 1);
+
+  std::printf("=== Fig. 3: HYMV-GPU stream overlap (8 streams, elasticity "
+              "hex20) ===\n");
+  simmpi::run(1, [&](simmpi::Comm& comm) {
+    driver::RankContext ctx(comm, setup);
+    gpu::Device device(calibrated_device_spec());
+    core::HymvGpuOperator op(comm, ctx.part(), ctx.element_op(), device,
+                             {.num_streams = 8});
+    pla::DistVector x(op.layout()), y(op.layout());
+    x.set_all(1.0);
+    device.clear_timeline();  // drop the setup upload; show one SPMV
+    op.apply(comm, x, y);
+
+    const auto& timeline = device.timeline();
+    // The virtual clock is monotonic across the setup upload; normalize the
+    // chart to this SPMV's own [t0, t_end] window.
+    double t0 = timeline.empty() ? 0.0 : timeline.front().start_s;
+    double t_end = 0.0;
+    for (const auto& entry : timeline) {
+      t0 = std::min(t0, entry.start_s);
+      t_end = std::max(t_end, entry.end_s);
+    }
+    const double span = t_end - t0;
+    std::printf("one SPMV, %zu device commands, virtual makespan %.1f us\n\n",
+                timeline.size(), span * 1e6);
+
+    // Gantt: one row per (stream, engine) pair, 100 columns.
+    constexpr int kCols = 100;
+    for (int s = 0; s < 8; ++s) {
+      for (const auto engine :
+           {gpu::Engine::kH2D, gpu::Engine::kCompute, gpu::Engine::kD2H}) {
+        std::string row(kCols, '.');
+        bool any = false;
+        for (const auto& entry : timeline) {
+          if (entry.stream != s || entry.engine != engine) {
+            continue;
+          }
+          any = true;
+          const int c0 =
+              static_cast<int>((entry.start_s - t0) / span * kCols);
+          const int c1 = std::max(
+              c0 + 1, static_cast<int>((entry.end_s - t0) / span * kCols));
+          for (int c = c0; c < std::min(c1, kCols); ++c) {
+            row[static_cast<std::size_t>(c)] =
+                engine == gpu::Engine::kCompute ? '#' : '=';
+          }
+        }
+        if (any) {
+          std::printf("s%-2d %s |%s|\n", s, engine_name(engine), row.c_str());
+        }
+      }
+    }
+    std::printf("\nlegend: '=' transfer, '#' batched EMV kernel; chunks on\n"
+                "different streams pipeline across the H2D/compute/D2H\n"
+                "engines exactly as the paper's Fig. 3 profile shows.\n");
+
+    // Quantify the overlap the figure demonstrates: serial sum of command
+    // durations vs. pipelined makespan.
+    double busy = 0.0;
+    for (const auto& entry : timeline) {
+      busy += entry.end_s - entry.start_s;
+    }
+    std::printf("engine-busy total %.1f us vs makespan %.1f us -> overlap "
+                "factor %.2fx\n",
+                busy * 1e6, span * 1e6, busy / span);
+  });
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 5: weak and strong scalability for the elasticity
+// problem (structured hex8, 3 DoF/node) with the setup-cost breakdown the
+// paper plots as stacked bars: element-matrix computation vs. the
+// assembly/copy overhead.
+//
+// Paper: 33.5K DoFs/process weak scaling to 918M DoFs; HYMV setup 5× faster
+// than assembled setup; matrix-free SPMV far more expensive due to element
+// matrix recomputation (elasticity Ke is ~6× the Poisson work).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace bench;
+
+driver::ProblemSpec elasticity_spec(std::int64_t nx, std::int64_t ny,
+                                    std::int64_t nz) {
+  driver::ProblemSpec spec;
+  spec.pde = driver::Pde::kElasticity;
+  spec.element = mesh::ElementType::kHex8;
+  spec.box = {.nx = nx, .ny = ny, .nz = nz, .lx = 1.0, .ly = 1.0,
+              .lz = 1.0, .origin = {-0.5, -0.5, 0.0}};
+  spec.partitioner = mesh::Partitioner::kSlab;
+  return spec;
+}
+
+void run_row(const driver::ProblemSpec& spec, int ranks, int napplies) {
+  const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, ranks);
+  const AggResult asm_r =
+      run_backend(setup, {.backend = driver::Backend::kAssembled}, napplies);
+  const AggResult hymv_r =
+      run_backend(setup, {.backend = driver::Backend::kHymv}, napplies);
+  const AggResult mf_r =
+      run_backend(setup, {.backend = driver::Backend::kMatrixFree}, napplies);
+  std::printf(
+      "%-6d %-10lld | %8.4f /%8.4f /%8.4f | %8.4f /%8.4f /%8.4f | %-12.4f "
+      "%-12.4f %-12.4f\n",
+      ranks, static_cast<long long>(setup.total_dofs()), asm_r.setup_emat_s,
+      asm_r.setup_insert_s, asm_r.setup_comm_s, hymv_r.setup_emat_s,
+      hymv_r.setup_insert_s, hymv_r.setup_comm_s, asm_r.spmv_modeled_s,
+      hymv_r.spmv_modeled_s, mf_r.spmv_modeled_s);
+}
+
+}  // namespace
+
+int main() {
+  const int napplies = 10;
+
+  std::printf("=== Fig. 5a: Elasticity hex8 WEAK scaling (modeled, s) ===\n");
+  std::printf("~3.6K DoFs/rank; setup bars: EMat compute / insert|copy / "
+              "migration comm\n");
+  print_scaling_header(true);
+  for (const int p : {1, 2, 4, 8}) {
+    run_row(elasticity_spec(scaled(9), scaled(9), scaled(11) * p), p,
+            napplies);
+  }
+  std::printf("\n");
+
+  std::printf("=== Fig. 5b: Elasticity hex8 STRONG scaling (modeled, s) "
+              "===\n");
+  print_scaling_header(true);
+  for (const int p : {1, 2, 4, 8}) {
+    run_row(elasticity_spec(scaled(9), scaled(9), scaled(44)), p, napplies);
+  }
+  std::printf(
+      "\npaper shape: HYMV setup ~5x faster than assembled; EMat compute is\n"
+      "a larger share than in the Poisson case; matrix-free SPMV is the\n"
+      "most expensive by a wide margin.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 7: strong scalability on an UNSTRUCTURED mesh with
+// quadratic tetrahedral (tet10) elements for the Poisson problem — the case
+// where irregular sparsity makes the assembled approach expensive.
+//
+// Paper: 8.5M DoFs / 6.3M elements, Gmsh mesh partitioned with METIS;
+// HYMV setup 11× faster than assembled setup, HYMV SPMV 3.6× faster than
+// assembled SPMV.
+// Here: the Gmsh/METIS substitution is a jittered Kuhn-subdivided tet10
+// mesh with randomized node numbering, partitioned with the greedy
+// graph-growing partitioner (DESIGN.md §2).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace bench;
+
+}  // namespace
+
+int main() {
+  const int napplies = 10;
+
+  driver::ProblemSpec spec;
+  spec.pde = driver::Pde::kPoisson;
+  spec.element = mesh::ElementType::kTet10;
+  spec.unstructured = true;
+  spec.jitter = 0.25;
+  spec.box = {.nx = scaled(9), .ny = scaled(9), .nz = scaled(9)};
+  spec.partitioner = mesh::Partitioner::kGreedy;  // METIS substitute
+
+  std::printf("=== Fig. 7: Poisson tet10 UNSTRUCTURED strong scaling "
+              "(modeled, s) ===\n");
+  print_scaling_header(true);
+  for (const int p : {1, 2, 4, 8}) {
+    const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, p);
+    const AggResult asm_r = run_backend(
+        setup, {.backend = driver::Backend::kAssembled}, napplies);
+    const AggResult hymv_r =
+        run_backend(setup, {.backend = driver::Backend::kHymv}, napplies);
+    const AggResult mf_r = run_backend(
+        setup, {.backend = driver::Backend::kMatrixFree}, napplies);
+    std::printf(
+        "%-6d %-10lld | %8.4f /%8.4f /%8.4f | %8.4f /%8.4f /%8.4f | %-12.4f "
+        "%-12.4f %-12.4f\n",
+        p, static_cast<long long>(setup.total_dofs()), asm_r.setup_emat_s,
+        asm_r.setup_insert_s, asm_r.setup_comm_s, hymv_r.setup_emat_s,
+        hymv_r.setup_insert_s, hymv_r.setup_comm_s, asm_r.spmv_modeled_s,
+        hymv_r.spmv_modeled_s, mf_r.spmv_modeled_s);
+  }
+  std::printf(
+      "\npaper shape: on unstructured meshes the assembled setup overhead\n"
+      "(insert + migration) dwarfs HYMV's local copy (paper: 11x), and the\n"
+      "irregular CSR SpMV loses to HYMV's dense EMV (paper: 3.6x).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig. 9: HYMV-GPU vs PETSc-GPU (cuSPARSE) for the
+// elasticity problem with 27-node quadratic hexes — setup time and
+// 10×SPMV, weak and strong scaling.
+//
+// Paper: HYMV-GPU 3.0× faster setup and 1.5× faster SPMV (weak), 2.9× and
+// 1.4× (strong). The paper's meshes are unstructured 27-node hexes from
+// Gmsh; our generator covers unstructured tets and structured hexes, so we
+// use structured hex27 partitioned with RCB — the element type (81×81
+// blocks) and the dense-vs-CSR contrast are what drive this figure
+// (substitution documented in DESIGN.md).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace bench;
+
+driver::ProblemSpec spec_for(std::int64_t n, std::int64_t nz) {
+  driver::ProblemSpec spec;
+  spec.pde = driver::Pde::kElasticity;
+  spec.element = mesh::ElementType::kHex27;
+  spec.box = {.nx = n, .ny = n, .nz = nz, .lx = 1.0, .ly = 1.0, .lz = 1.0,
+              .origin = {-0.5, -0.5, 0.0}};
+  spec.partitioner = mesh::Partitioner::kRcb;
+  return spec;
+}
+
+void run_row(const driver::ProblemSetup& setup, int napplies) {
+  const AggResult petsc = run_backend(
+      setup,
+      {.backend = driver::Backend::kAssembledGpu, .use_device = true},
+      napplies);
+  const AggResult hymv = run_backend(
+      setup,
+      {.backend = driver::Backend::kHymvGpu,
+       .gpu = {.num_streams = 8, .mode = core::GpuOverlapMode::kGpuGpu},
+       .use_device = true},
+      napplies);
+  std::printf("%-6d %-10lld %-14.4f %-14.4f %-9.2f | %-14.5f %-14.5f "
+              "%-9.2f\n",
+              setup.nranks, static_cast<long long>(setup.total_dofs()),
+              petsc.setup_total_s(), hymv.setup_total_s(),
+              petsc.setup_total_s() / hymv.setup_total_s(),
+              petsc.spmv_modeled_s, hymv.spmv_modeled_s,
+              petsc.spmv_modeled_s / hymv.spmv_modeled_s);
+}
+
+void header() {
+  std::printf("%-6s %-10s %-14s %-14s %-9s | %-14s %-14s %-9s\n", "ranks",
+              "DoFs", "petsc-gpu su", "hymv-gpu su", "ratio",
+              "petsc-gpu mv", "hymv-gpu mv", "ratio");
+}
+
+}  // namespace
+
+int main() {
+  const int napplies = 10;
+
+  std::printf("=== Fig. 9a: hex27 elasticity, HYMV-GPU vs PETSc-GPU, WEAK "
+              "scaling ===\n");
+  header();
+  for (const int p : {1, 2, 4}) {
+    run_row(driver::ProblemSetup::build(spec_for(scaled(6), scaled(6) * p), p),
+            napplies);
+  }
+  std::printf("\n=== Fig. 9b: strong scaling ===\n");
+  header();
+  for (const int p : {1, 2, 4, 8}) {
+    run_row(driver::ProblemSetup::build(spec_for(scaled(6), scaled(16)), p),
+            napplies);
+  }
+  std::printf("\npaper shape: HYMV-GPU faster in BOTH setup (3.0x/2.9x — no\n"
+              "global assembly before upload) and SPMV (1.5x/1.4x — batched\n"
+              "dense EMV beats cuSPARSE CSR on 81-dof blocks).\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Google-benchmark microbenchmarks of the performance-critical kernels:
+// the EMV flavors (paper §IV-E), CSR SpMV row traversal, ILU(0) triangular
+// solves, and the ghost-exchange pack loop. These isolate the node-local
+// claims (dense column-major EMV vs irregular CSR) from the distributed
+// machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "hymv/common/aligned.hpp"
+#include "hymv/common/rng.hpp"
+#include "hymv/core/dense_kernels.hpp"
+#include "hymv/pla/csr.hpp"
+
+namespace {
+
+using hymv::aligned_vector;
+
+/// Batch of dense element matrices + vectors for EMV benchmarks.
+struct EmvFixture {
+  std::size_t n;
+  std::size_t ld;
+  std::size_t nbatch;
+  aligned_vector<double> ke;
+  aligned_vector<double> u;
+  aligned_vector<double> v;
+
+  explicit EmvFixture(std::size_t n_, std::size_t nbatch_ = 512)
+      : n(n_), ld(hymv::round_up_to(n_, 8)), nbatch(nbatch_),
+        ke(nbatch * ld * n), u(nbatch * n), v(nbatch * n) {
+    hymv::Xoshiro256 rng(7);
+    for (double& x : ke) {
+      x = rng.uniform(-1.0, 1.0);
+    }
+    for (double& x : u) {
+      x = rng.uniform(-1.0, 1.0);
+    }
+  }
+};
+
+void bench_emv(benchmark::State& state, hymv::core::EmvKernel kernel) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  EmvFixture fx(n);
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < fx.nbatch; ++b) {
+      hymv::core::emv(kernel, fx.ke.data() + b * fx.ld * fx.n, fx.ld, fx.n,
+                      fx.u.data() + b * fx.n, fx.v.data() + b * fx.n);
+    }
+    benchmark::DoNotOptimize(fx.v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.nbatch));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(fx.nbatch) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void BM_EmvScalar(benchmark::State& state) {
+  bench_emv(state, hymv::core::EmvKernel::kScalar);
+}
+void BM_EmvSimd(benchmark::State& state) {
+  bench_emv(state, hymv::core::EmvKernel::kSimd);
+}
+void BM_EmvAvx(benchmark::State& state) {
+  bench_emv(state, hymv::core::EmvKernel::kAvx);
+}
+
+// Element sizes: hex8 Poisson (8), hex8 elasticity (24), hex20 elasticity
+// (60), hex27 elasticity (81).
+BENCHMARK(BM_EmvScalar)->Arg(8)->Arg(24)->Arg(60)->Arg(81);
+BENCHMARK(BM_EmvSimd)->Arg(8)->Arg(24)->Arg(60)->Arg(81);
+BENCHMARK(BM_EmvAvx)->Arg(8)->Arg(24)->Arg(60)->Arg(81);
+
+/// CSR SpMV with FEM-like sparsity (27 nonzeros/row) and either local or
+/// shuffled (irregular) column indices — the access-pattern contrast that
+/// drives the paper's unstructured results.
+void bench_csr(benchmark::State& state, bool shuffled) {
+  const std::int64_t n = state.range(0);
+  const int nnz_per_row = 27;
+  hymv::Xoshiro256 rng(11);
+  std::vector<hymv::pla::Triplet> trip;
+  trip.reserve(static_cast<std::size_t>(n * nnz_per_row));
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (int k = 0; k < nnz_per_row; ++k) {
+      std::int64_t c;
+      if (shuffled) {
+        c = static_cast<std::int64_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(n)));
+      } else {
+        c = std::clamp<std::int64_t>(r + k - nnz_per_row / 2, 0, n - 1);
+      }
+      trip.push_back({r, c, 1.0});
+    }
+  }
+  const auto m = hymv::pla::CsrMatrix::from_triplets(n, n, std::move(trip));
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    m.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(m.num_nonzeros()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void BM_CsrSpmvBanded(benchmark::State& state) { bench_csr(state, false); }
+void BM_CsrSpmvShuffled(benchmark::State& state) { bench_csr(state, true); }
+BENCHMARK(BM_CsrSpmvBanded)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_CsrSpmvShuffled)->Arg(1 << 14)->Arg(1 << 17);
+
+/// ILU(0) triangular solve (the block-Jacobi sub-solve cost).
+void BM_IluSolve(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<hymv::pla::Triplet> trip;
+  for (std::int64_t i = 0; i < n; ++i) {
+    trip.push_back({i, i, 4.0});
+    if (i > 0) trip.push_back({i, i - 1, -1.0});
+    if (i < n - 1) trip.push_back({i, i + 1, -1.0});
+    if (i >= 32) trip.push_back({i, i - 32, -0.5});
+    if (i + 32 < n) trip.push_back({i, i + 32, -0.5});
+  }
+  const auto m = hymv::pla::CsrMatrix::from_triplets(n, n, std::move(trip));
+  const hymv::pla::Ilu0 ilu(m);
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    ilu.solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_IluSolve)->Arg(1 << 12)->Arg(1 << 15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Correctness verification for the Poisson problem (paper §V-B).
+//
+// Solves  ∇²u + sin(2πx) sin(2πy) sin(2πz) = 0  on Ω = [0,1]³, u = 0 on ∂Ω,
+// on a sequence of structured hex8 meshes partitioned into 4 z-slabs, with
+// all three SPMV backends, and reports ‖u − u_exact‖∞ per mesh. The paper
+// reports errors from 23.4e-5 (10³ elements) down to 0.1e-5 (160³); we run
+// the same doubling sequence scaled to this machine and additionally verify
+// the O(h²) convergence rate (error ratio ≈ 4 per refinement).
+//
+// Run:  ./examples/poisson_convergence [max_n]   (default max_n = 40)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "hymv/driver/driver.hpp"
+#include "hymv/simmpi/simmpi.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hymv;
+  const long max_n = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 40;
+
+  std::printf("Poisson verification (paper §V-B): hex8, 4 z-slab ranks\n");
+  std::printf("%-8s %-12s %-14s %-14s %-14s %-8s\n", "mesh", "DoFs",
+              "err(assembled)", "err(hymv)", "err(mat-free)", "rate");
+
+  double prev_err = 0.0;
+  for (long n = 10; n <= max_n; n *= 2) {
+    driver::ProblemSpec spec;
+    spec.pde = driver::Pde::kPoisson;
+    spec.element = mesh::ElementType::kHex8;
+    spec.box = {.nx = n, .ny = n, .nz = n};
+    spec.partitioner = mesh::Partitioner::kSlab;  // partitioned in z (§V-B)
+    const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, 4);
+
+    std::vector<double> errors(3, 0.0);
+    simmpi::run(4, [&](simmpi::Comm& comm) {
+      driver::RankContext ctx(comm, setup);
+      const driver::Backend backends[] = {driver::Backend::kAssembled,
+                                          driver::Backend::kHymv,
+                                          driver::Backend::kMatrixFree};
+      for (int b = 0; b < 3; ++b) {
+        const driver::SolveReport report = driver::solve_problem(
+            comm, ctx,
+            {.backend = backends[b], .precond = driver::Precond::kJacobi,
+             .rtol = 1e-10});
+        if (comm.rank() == 0) {
+          errors[static_cast<std::size_t>(b)] = report.err_inf;
+        }
+      }
+    });
+
+    const double rate = prev_err > 0.0 ? prev_err / errors[1] : 0.0;
+    std::printf("%-8ld %-12lld %-14.4e %-14.4e %-14.4e %-8.2f\n", n,
+                static_cast<long long>(setup.total_dofs()), errors[0],
+                errors[1], errors[2], rate);
+    prev_err = errors[1];
+  }
+  std::printf("\nExpected: all backends agree; error = O(h^2) (rate ~ 4).\n");
+  return 0;
+}

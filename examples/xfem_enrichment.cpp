@@ -1,0 +1,119 @@
+// The adaptive-matrix property (paper §I/§III): XFEM-style local
+// enrichment.
+//
+// When a crack grows, only the stiffness of the cracked elements changes;
+// HYMV recomputes just those stored element matrices in place
+// (update_elements) with ZERO communication, while a matrix-assembled code
+// must re-run the whole global assembly. This example models a crack
+// sweeping through an elastic bar: a band of elements is softened step by
+// step, and after each step the system is re-solved. It reports the update
+// cost of the HYMV path vs. full re-assembly of the global CSR matrix.
+//
+// Run:  ./examples/xfem_enrichment [n]   (default n = 10)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "hymv/common/timer.hpp"
+#include "hymv/driver/driver.hpp"
+#include "hymv/simmpi/simmpi.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hymv;
+  const long n = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 10;
+  const int nranks = 4;
+
+  driver::ProblemSpec spec;
+  spec.pde = driver::Pde::kElasticity;
+  spec.element = mesh::ElementType::kHex8;
+  spec.box = {.nx = n, .ny = n, .nz = n, .lx = 1.0, .ly = 1.0, .lz = 1.0,
+              .origin = {-0.5, -0.5, 0.0}};
+  spec.partitioner = mesh::Partitioner::kSlab;
+  const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, nranks);
+
+  std::printf("XFEM-style enrichment: %lld elements, %d ranks\n",
+              static_cast<long long>(setup.total_elements), nranks);
+  std::printf("%-6s %-10s %-16s %-16s %-12s %-10s\n", "step", "cracked",
+              "hymv_update(s)", "full_reassemble(s)", "speedup", "tip_uz");
+
+  simmpi::run(nranks, [&](simmpi::Comm& comm) {
+    driver::RankContext ctx(comm, setup);
+    core::HymvOperator k(comm, ctx.part(), ctx.element_op());
+
+    // The softened ("cracked") element operator: 1% residual stiffness.
+    fem::ElasticityOperator cracked_op(spec.element, spec.young,
+                                       spec.poisson_ratio);
+    cracked_op.set_stiffness_scale(0.01);
+
+    // Crack plane: elements whose centroid is near z = 0.5 and x < front.
+    const auto& part = ctx.part();
+    const auto centroid_of = [&](std::int64_t e) {
+      mesh::Point c{0, 0, 0};
+      const auto coords = part.element_coords(e);
+      for (const auto& p : coords) {
+        for (int d = 0; d < 3; ++d) {
+          c[static_cast<std::size_t>(d)] += p[static_cast<std::size_t>(d)];
+        }
+      }
+      for (double& v : c) {
+        v /= static_cast<double>(coords.size());
+      }
+      return c;
+    };
+
+    const int steps = 4;
+    for (int step = 1; step <= steps; ++step) {
+      // The crack front advances in x.
+      const double front =
+          -0.5 + static_cast<double>(step) / steps;
+      std::vector<std::int64_t> cracked;
+      for (std::int64_t e = 0; e < part.num_local_elements(); ++e) {
+        const mesh::Point c = centroid_of(e);
+        if (std::abs(c[2] - 0.5) < 0.6 / static_cast<double>(n) &&
+            c[0] < front) {
+          cracked.push_back(e);
+        }
+      }
+
+      // HYMV path: recompute only the cracked elements' stored matrices.
+      hymv::Timer update_timer;
+      k.update_elements(cracked, cracked_op);
+      const double update_s = update_timer.elapsed_s();
+
+      // Baseline: a matrix-assembled code must redo the global assembly.
+      hymv::Timer reassemble_timer;
+      auto assembled =
+          core::build_assembled_matrix(comm, part, ctx.element_op());
+      const double reassemble_s = reassemble_timer.elapsed_s();
+
+      // Re-solve with the updated operator.
+      pla::ConstrainedOperator ak(k, ctx.constraints());
+      pla::DistVector b = ctx.assemble_rhs(comm);
+      pla::apply_constraints_to_rhs(comm, k, ctx.constraints(), b);
+      pla::JacobiPreconditioner m(comm, ak);
+      pla::DistVector u(k.layout());
+      pla::cg_solve(comm, ak, m, b, u, {.rtol = 1e-8, .max_iters = 20000});
+
+      // Track the z-displacement magnitude: softening increases sag.
+      const double sag = pla::norm_inf(comm, u);
+
+      const std::int64_t total_cracked = comm.allreduce<std::int64_t>(
+          static_cast<std::int64_t>(cracked.size()), simmpi::ReduceOp::kSum);
+      const double max_update =
+          comm.allreduce(update_s, simmpi::ReduceOp::kMax);
+      const double max_reassemble =
+          comm.allreduce(reassemble_s, simmpi::ReduceOp::kMax);
+      if (comm.rank() == 0) {
+        std::printf("%-6d %-10lld %-16.5f %-16.5f %-12.1f %-10.4e\n", step,
+                    static_cast<long long>(total_cracked), max_update,
+                    max_reassemble,
+                    max_update > 0 ? max_reassemble / max_update : 0.0, sag);
+      }
+    }
+  });
+  std::printf("\nExpected: hymv_update cost scales with the cracked-element "
+              "count only,\nwhile full re-assembly pays the entire mesh every "
+              "step.\n");
+  return 0;
+}

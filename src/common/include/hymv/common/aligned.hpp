@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file aligned.hpp
+/// Cache-line / SIMD-width aligned storage for the dense element-matrix
+/// kernels. Element matrices are stored column-major in 64-byte aligned
+/// buffers so the AVX kernels can use aligned loads on every column.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace hymv {
+
+/// Alignment (bytes) used for all dense kernel storage: one full cache line,
+/// which also satisfies AVX-512 (64 B) and AVX2 (32 B) aligned access.
+inline constexpr std::size_t kSimdAlign = 64;
+
+/// Minimal C++17 aligned allocator for std::vector.
+template <typename T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator {
+  using value_type = T;
+
+  /// Explicit rebind: allocator_traits cannot synthesize it because of the
+  /// non-type Align template parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) {
+      return nullptr;
+    }
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (p == nullptr) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+
+ private:
+  /// std::aligned_alloc requires the size to be a multiple of the alignment.
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+/// Vector of T whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// Round `n` up to the next multiple of `multiple` (used to pad element
+/// matrix leading dimensions to the SIMD width).
+constexpr std::size_t round_up_to(std::size_t n, std::size_t multiple) {
+  return (n + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace hymv

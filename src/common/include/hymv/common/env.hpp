@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file env.hpp
+/// Environment-variable helpers used by benchmarks and examples to scale
+/// problem sizes (e.g. HYMV_BENCH_SCALE) without recompiling.
+
+#include <cstdint>
+#include <string>
+
+namespace hymv {
+
+/// Read an integer environment variable; returns `fallback` when unset or
+/// unparsable.
+[[nodiscard]] std::int64_t env_int(const std::string& name,
+                                   std::int64_t fallback);
+
+/// Read a floating-point environment variable; returns `fallback` when unset
+/// or unparsable.
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+
+}  // namespace hymv

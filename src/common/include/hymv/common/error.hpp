@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives shared by every HYMV module.
+///
+/// The library reports programming and input errors by throwing
+/// hymv::Error (a std::runtime_error) carrying file/line context.
+/// HYMV_CHECK is always-on (release builds included): the checks guard
+/// distributed-consistency invariants whose violation would otherwise
+/// surface as a hang or silent corruption in the message-passing layer.
+
+#include <stdexcept>
+#include <string>
+
+namespace hymv {
+
+/// Exception type thrown by all HYMV_CHECK / HYMV_THROW failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Builds the exception message and throws hymv::Error. Out-of-line so the
+/// check macro expands to a single cheap branch at each call site.
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace hymv
+
+/// Verify a runtime invariant; throws hymv::Error with context on failure.
+#define HYMV_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hymv::detail::throw_error(__FILE__, __LINE__, #expr, "");          \
+    }                                                                      \
+  } while (false)
+
+/// Verify a runtime invariant with an explanatory message (streamed into a
+/// std::string via operator+ friendly expression).
+#define HYMV_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hymv::detail::throw_error(__FILE__, __LINE__, #expr, (msg));       \
+    }                                                                      \
+  } while (false)
+
+/// Unconditionally throw an hymv::Error with context.
+#define HYMV_THROW(msg)                                                    \
+  ::hymv::detail::throw_error(__FILE__, __LINE__, "HYMV_THROW", (msg))

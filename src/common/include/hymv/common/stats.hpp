@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file stats.hpp
+/// Summary statistics for benchmark reporting (min/median/mean over repeated
+/// SPMV timings, as the paper reports "time for ten SPMV operations").
+
+#include <cstddef>
+#include <span>
+
+namespace hymv {
+
+/// Summary of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double sum = 0.0;
+};
+
+/// Compute summary statistics over a sample. Empty samples yield a
+/// zero-initialized Summary.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Relative difference |a - b| / max(|a|, |b|, eps); used by tests comparing
+/// SPMV results across backends.
+[[nodiscard]] double rel_diff(double a, double b, double eps = 1e-300);
+
+}  // namespace hymv

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing utilities used by the benchmark harnesses and by the
+/// performance-model instrumentation (per-rank compute time accounting).
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hymv {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// The timer starts running on construction. `elapsed_s()` may be called
+/// repeatedly; `restart()` resets the origin.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  /// Reset the timing origin to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last restart().
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// Under simmpi every rank is a thread of ONE machine, so wall clock mixes
+/// all ranks' work. This timer reports the CPU seconds consumed by the
+/// calling thread only — the per-rank *work* the performance model needs.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { restart(); }
+  /// Reset the origin to the thread's current CPU time.
+  void restart();
+  /// CPU seconds this thread consumed since construction/restart.
+  [[nodiscard]] double elapsed_s() const;
+
+ private:
+  double start_s_ = 0.0;
+};
+
+/// Accumulates exclusive time across multiple start/stop intervals.
+///
+/// Used to attribute time to phases (element-matrix compute, communication,
+/// local copy, ...) the way the paper's setup-breakdown bars do (Fig. 5/7).
+class CumulativeTimer {
+ public:
+  /// Begin an interval. Nested starts are an error.
+  void start();
+  /// End the current interval, adding its duration to the total.
+  void stop();
+  /// Total accumulated seconds over all completed intervals.
+  [[nodiscard]] double total_s() const { return total_s_; }
+  /// Number of completed start/stop intervals.
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  /// Reset the accumulated total and interval count.
+  void reset();
+  /// True while inside a start()/stop() interval.
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  Timer timer_;
+  double total_s_ = 0.0;
+  std::int64_t count_ = 0;
+  bool running_ = false;
+};
+
+/// RAII guard: starts a CumulativeTimer on construction, stops on scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(CumulativeTimer& timer) : timer_(timer) {
+    timer_.start();
+  }
+  ~ScopedTimer() { timer_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  CumulativeTimer& timer_;
+};
+
+/// Named collection of phase timers, e.g. {"emat_compute", "local_copy",
+/// "communication"}. Phases are created on first use.
+class PhaseTimers {
+ public:
+  /// Access (creating if absent) the timer for a named phase.
+  CumulativeTimer& phase(const std::string& name) { return phases_[name]; }
+  /// Total seconds recorded for a phase; 0 if the phase never ran.
+  [[nodiscard]] double total_s(const std::string& name) const;
+  /// All phases, for reporting.
+  [[nodiscard]] const std::map<std::string, CumulativeTimer>& phases() const {
+    return phases_;
+  }
+  /// Reset every phase.
+  void reset();
+
+ private:
+  std::map<std::string, CumulativeTimer> phases_;
+};
+
+}  // namespace hymv

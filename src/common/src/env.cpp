@@ -1,0 +1,27 @@
+#include "hymv/common/env.hpp"
+
+#include <cstdlib>
+
+namespace hymv {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return (end == value) ? fallback : static_cast<std::int64_t>(parsed);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end == value) ? fallback : parsed;
+}
+
+}  // namespace hymv

@@ -1,0 +1,18 @@
+#include "hymv/common/error.hpp"
+
+#include <sstream>
+
+namespace hymv::detail {
+
+void throw_error(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "HYMV error at " << file << ":" << line << ": check `" << expr
+     << "` failed";
+  if (!message.empty()) {
+    os << ": " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace hymv::detail

@@ -1,0 +1,40 @@
+#include "hymv/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hymv {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  for (const double x : sorted) {
+    s.sum += x;
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  const std::size_t mid = s.count / 2;
+  s.median = (s.count % 2 == 1) ? sorted[mid]
+                                : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  double var = 0.0;
+  for (const double x : sorted) {
+    var += (x - s.mean) * (x - s.mean);
+  }
+  s.stddev = s.count > 1 ? std::sqrt(var / static_cast<double>(s.count - 1))
+                         : 0.0;
+  return s;
+}
+
+double rel_diff(double a, double b, double eps) {
+  const double scale = std::max({std::abs(a), std::abs(b), eps});
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace hymv

@@ -1,0 +1,55 @@
+#include "hymv/common/timer.hpp"
+
+#include <ctime>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv {
+
+namespace {
+double thread_cpu_now_s() {
+  timespec ts{};
+  HYMV_CHECK(clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+}  // namespace
+
+void ThreadCpuTimer::restart() { start_s_ = thread_cpu_now_s(); }
+
+double ThreadCpuTimer::elapsed_s() const {
+  return thread_cpu_now_s() - start_s_;
+}
+
+void CumulativeTimer::start() {
+  HYMV_CHECK_MSG(!running_, "CumulativeTimer::start while already running");
+  running_ = true;
+  timer_.restart();
+}
+
+void CumulativeTimer::stop() {
+  HYMV_CHECK_MSG(running_, "CumulativeTimer::stop while not running");
+  total_s_ += timer_.elapsed_s();
+  ++count_;
+  running_ = false;
+}
+
+void CumulativeTimer::reset() {
+  HYMV_CHECK_MSG(!running_, "CumulativeTimer::reset while running");
+  total_s_ = 0.0;
+  count_ = 0;
+}
+
+double PhaseTimers::total_s(const std::string& name) const {
+  const auto it = phases_.find(name);
+  return it == phases_.end() ? 0.0 : it->second.total_s();
+}
+
+void PhaseTimers::reset() {
+  for (auto& [name, timer] : phases_) {
+    (void)name;
+    timer.reset();
+  }
+}
+
+}  // namespace hymv

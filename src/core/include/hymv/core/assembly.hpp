@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file assembly.hpp
+/// Problem-assembly helpers shared by examples, tests, and benches:
+///   * the matrix-assembled baseline (element matrices → DistCsrMatrix with
+///     PETSc-style migration), with the paper's setup-phase breakdown,
+///   * distributed right-hand-side assembly (element load vectors with
+///     GNGM accumulation),
+///   * geometric Dirichlet boundary-condition builders.
+
+#include <functional>
+#include <memory>
+
+#include "hymv/core/maps.hpp"
+#include "hymv/fem/operators.hpp"
+#include "hymv/fem/surface.hpp"
+#include "hymv/mesh/distributed.hpp"
+#include "hymv/mesh/surface_mesh.hpp"
+#include "hymv/pla/constraints.hpp"
+#include "hymv/pla/dist_csr.hpp"
+
+namespace hymv::core {
+
+/// The matrix-assembled baseline with its setup cost split the way the
+/// paper's stacked bars report it (Fig. 5/7): element-matrix computation
+/// vs. assembly (insertion + migration communication).
+struct AssembledSetup {
+  std::unique_ptr<pla::DistCsrMatrix> matrix;
+  double emat_compute_s = 0.0;
+  double assembly_s = 0.0;  ///< add_element_matrix + assemble() (migration)
+  [[nodiscard]] double total_s() const { return emat_compute_s + assembly_s; }
+};
+
+/// Build and assemble the global sparse matrix for `part` under `op`.
+/// Collective.
+AssembledSetup build_assembled_matrix(simmpi::Comm& comm,
+                                      const mesh::MeshPartition& part,
+                                      const fem::ElementOperator& op);
+
+/// Assemble the distributed load vector: element_rhs contributions
+/// accumulated over the partition with ghost contributions shipped to
+/// owners. Collective; uses (and requires) an existing DofMaps.
+pla::DistVector assemble_rhs(simmpi::Comm& comm, DofMaps& maps,
+                             const mesh::MeshPartition& part,
+                             const fem::ElementOperator& op);
+
+/// Build Dirichlet constraints from owned node coordinates: every owned
+/// node with on_boundary(x) true contributes ndof constraints with values
+/// value(x) (one per DoF component).
+pla::DirichletConstraints make_dirichlet(
+    const mesh::MeshPartition& part, int ndof_per_node,
+    const std::function<bool(const mesh::Point&)>& on_boundary,
+    const std::function<std::vector<double>(const mesh::Point&)>& value);
+
+/// Convenience: true when x lies on the boundary of the axis-aligned box
+/// [lo, hi] (within tol).
+[[nodiscard]] bool on_box_boundary(const mesh::Point& x,
+                                   const mesh::Point& lo,
+                                   const mesh::Point& hi, double tol = 1e-9);
+
+/// A boundary face expressed in a rank's local element numbering.
+struct LocalFace {
+  std::int64_t local_element = 0;
+  int face = 0;
+};
+
+/// Split globally-extracted boundary faces by owning rank, translating each
+/// face's element id into the owner's local element index.
+[[nodiscard]] std::vector<std::vector<LocalFace>> distribute_faces(
+    std::span<const mesh::BoundaryFace> faces,
+    std::span<const int> elem_part, const mesh::DistributedMesh& dist);
+
+/// Accumulate surface traction loads  f_a += ∫ t(x) N_a dA  over this
+/// rank's boundary faces into the distributed load vector `f` (ghost
+/// contributions are shipped to their owners). Collective.
+void add_traction_to_rhs(
+    simmpi::Comm& comm, DofMaps& maps, const mesh::MeshPartition& part,
+    std::span<const LocalFace> faces,
+    const std::function<std::array<double, 3>(const mesh::Point&)>& traction,
+    pla::DistVector& f);
+
+}  // namespace hymv::core

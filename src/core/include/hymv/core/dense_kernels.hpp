@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file dense_kernels.hpp
+/// Vectorized elemental matrix-vector (EMV) kernels — the paper's §IV-E:
+/// the element matrix is stored column-major with a SIMD-padded leading
+/// dimension, and v_e = K_e u_e is computed as a sum of column·scalar
+/// updates (eq. 4), which streams each column once and vectorizes cleanly.
+///
+/// Three implementations are provided so the ablation bench can isolate
+/// the vectorization claim:
+///   * kScalar — plain row-scan reference
+///   * kSimd   — column-major accumulation with `omp simd` (compiler vec.)
+///   * kAvx    — explicit AVX-512/AVX2 intrinsics when available
+///
+/// All kernels require: ld >= n, ke 64-byte aligned, columns padded with
+/// zeros from n to ld.
+
+#include <cstddef>
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace hymv::core {
+
+/// Kernel flavor selection for the EMV inner loop.
+enum class EmvKernel : int {
+  kScalar,
+  kSimd,
+  kAvx,
+};
+
+/// True when the kAvx flavor is backed by real intrinsics in this build.
+constexpr bool avx_kernel_available() {
+#if defined(__AVX512F__) || defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Reference kernel: v = K u, K column-major n×n with leading dimension ld.
+/// Row-major style traversal (per-row dot products) — the access pattern a
+/// naive implementation produces; kept as the ablation baseline.
+inline void emv_scalar(const double* ke, std::size_t ld, std::size_t n,
+                       const double* u, double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      sum += ke[c * ld + r] * u[c];
+    }
+    v[r] = sum;
+  }
+}
+
+/// Column-major accumulation (paper eq. 4), compiler-vectorized.
+inline void emv_simd(const double* ke, std::size_t ld, std::size_t n,
+                     const double* u, double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    v[r] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double uc = u[c];
+    const double* col = ke + c * ld;
+#pragma omp simd
+    for (std::size_t r = 0; r < n; ++r) {
+      v[r] += col[r] * uc;
+    }
+  }
+}
+
+/// Explicit AVX column accumulation. Processes full SIMD lanes over the
+/// padded leading dimension (padding columns are zero, so running to ld is
+/// safe and branch-free). Falls back to emv_simd without AVX support.
+inline void emv_avx(const double* ke, std::size_t ld, std::size_t n,
+                    const double* u, double* v) {
+#if defined(__AVX512F__)
+  constexpr std::size_t kLanes = 8;
+  // v is caller storage of n doubles; accumulate into a padded register tile
+  // via masked tail handling on the final store.
+  for (std::size_t r = 0; r < n; r += kLanes) {
+    const std::size_t rem = n - r;
+    const __mmask8 mask =
+        rem >= kLanes ? 0xFF : static_cast<__mmask8>((1u << rem) - 1u);
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const __m512d col = _mm512_load_pd(ke + c * ld + r);
+      acc = _mm512_fmadd_pd(col, _mm512_set1_pd(u[c]), acc);
+    }
+    _mm512_mask_storeu_pd(v + r, mask, acc);
+  }
+#elif defined(__AVX2__)
+  constexpr std::size_t kLanes = 4;
+  const std::size_t full = n / kLanes * kLanes;
+  for (std::size_t r = 0; r < full; r += kLanes) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const __m256d col = _mm256_load_pd(ke + c * ld + r);
+      acc = _mm256_fmadd_pd(col, _mm256_set1_pd(u[c]), acc);
+    }
+    _mm256_storeu_pd(v + r, acc);
+  }
+  for (std::size_t r = full; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      sum += ke[c * ld + r] * u[c];
+    }
+    v[r] = sum;
+  }
+#else
+  emv_simd(ke, ld, n, u, v);
+#endif
+}
+
+/// Dispatch on kernel flavor.
+inline void emv(EmvKernel kernel, const double* ke, std::size_t ld,
+                std::size_t n, const double* u, double* v) {
+  switch (kernel) {
+    case EmvKernel::kScalar:
+      emv_scalar(ke, ld, n, u, v);
+      return;
+    case EmvKernel::kSimd:
+      emv_simd(ke, ld, n, u, v);
+      return;
+    case EmvKernel::kAvx:
+      emv_avx(ke, ld, n, u, v);
+      return;
+  }
+}
+
+}  // namespace hymv::core

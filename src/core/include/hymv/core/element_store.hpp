@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file element_store.hpp
+/// Per-partition storage of dense element matrices — the "adaptive matrix"
+/// at the heart of HYMV (paper §III). Matrices are stored column-major with
+/// the leading dimension padded to the SIMD width so every column starts on
+/// a 64-byte boundary, enabling aligned vector loads in the EMV kernels.
+/// Individual elements can be recomputed in place (update()), which is the
+/// XFEM-enrichment / AMR fast path the paper motivates.
+
+#include <cstdint>
+#include <span>
+
+#include "hymv/common/aligned.hpp"
+
+namespace hymv::core {
+
+class ElementMatrixStore {
+ public:
+  ElementMatrixStore() = default;
+
+  /// Allocate storage for `num_elements` matrices of size ndofs × ndofs.
+  ElementMatrixStore(std::int64_t num_elements, int ndofs);
+
+  [[nodiscard]] std::int64_t num_elements() const { return num_elements_; }
+  /// Matrix dimension (rows == cols).
+  [[nodiscard]] int ndofs() const { return ndofs_; }
+  /// Padded leading dimension (multiple of 8 doubles = 64 bytes).
+  [[nodiscard]] int leading_dim() const { return ld_; }
+  /// Doubles per stored element matrix (ld × ndofs).
+  [[nodiscard]] std::int64_t stride() const { return stride_; }
+  /// Total storage in bytes (the memory-footprint cost the paper discusses).
+  [[nodiscard]] std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data_.size()) * 8;
+  }
+
+  /// Write element e's matrix from an unpadded column-major ke
+  /// (ndofs² entries). Padding rows are zeroed.
+  void set(std::int64_t e, std::span<const double> ke);
+
+  /// Aligned, padded, column-major storage of element e.
+  [[nodiscard]] const double* data(std::int64_t e) const {
+    return data_.data() + static_cast<std::size_t>(e * stride_);
+  }
+
+  /// Whole padded payload (for serialization).
+  [[nodiscard]] std::span<const double> raw() const { return data_; }
+  [[nodiscard]] std::span<double> raw() { return data_; }
+
+  /// Entry (row, col) of element e (for tests).
+  [[nodiscard]] double at(std::int64_t e, int row, int col) const {
+    return data_[static_cast<std::size_t>(e * stride_ + col * ld_ + row)];
+  }
+
+ private:
+  std::int64_t num_elements_ = 0;
+  int ndofs_ = 0;
+  int ld_ = 0;
+  std::int64_t stride_ = 0;
+  hymv::aligned_vector<double> data_;
+};
+
+}  // namespace hymv::core

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file matrix_free_operator.hpp
+/// The matrix-free baseline (paper Algorithm 4): identical distributed
+/// structure to HYMV (same maps, same LNSM/GNGM exchanges, same
+/// independent/dependent overlap) but element matrices are *recomputed*
+/// from nodal coordinates on every SPMV instead of loaded from memory.
+/// This is the approach whose per-apply cost the paper shows dominating
+/// once elemental operators get expensive (Fig. 4/5, Table I).
+
+#include <cstdint>
+#include <vector>
+
+#include "hymv/core/dense_kernels.hpp"
+#include "hymv/core/maps.hpp"
+#include "hymv/fem/operators.hpp"
+#include "hymv/pla/operator.hpp"
+
+namespace hymv::core {
+
+class MatrixFreeOperator final : public pla::LinearOperator {
+ public:
+  /// Collective: builds the maps; stores only coordinates (`op` must
+  /// outlive the operator — it is invoked on every apply).
+  MatrixFreeOperator(simmpi::Comm& comm, const mesh::MeshPartition& part,
+                     const fem::ElementOperator& op, bool overlap = true);
+
+  [[nodiscard]] const pla::Layout& layout() const override {
+    return maps_.layout();
+  }
+  void apply(simmpi::Comm& comm, const pla::DistVector& x,
+             pla::DistVector& y) override;
+  std::vector<double> diagonal(simmpi::Comm& comm) override;
+
+  [[nodiscard]] const DofMaps& maps() const { return maps_; }
+
+  /// EMV flops plus the per-apply element-matrix recomputation.
+  [[nodiscard]] std::int64_t apply_flops() const override;
+  /// Coordinates + element vectors stream; no stored matrix traffic.
+  [[nodiscard]] std::int64_t apply_bytes() const override;
+
+ private:
+  void emv_loop(std::span<const std::int64_t> elements);
+
+  const fem::ElementOperator* op_;
+  bool overlap_;
+  DofMaps maps_;
+  std::vector<mesh::Point> elem_coords_;
+  DistributedArray u_da_;
+  DistributedArray v_da_;
+  std::vector<double> ghost_buf_;
+};
+
+}  // namespace hymv::core

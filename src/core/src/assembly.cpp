@@ -1,0 +1,167 @@
+#include "hymv/core/assembly.hpp"
+
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+#include "hymv/common/timer.hpp"
+#include "hymv/core/hymv_operator.hpp"
+
+namespace hymv::core {
+
+AssembledSetup build_assembled_matrix(simmpi::Comm& comm,
+                                      const mesh::MeshPartition& part,
+                                      const fem::ElementOperator& op) {
+  const int ndof = op.ndof_per_node();
+  const pla::Layout layout = pla::Layout::from_owned_count(
+      comm, part.num_owned_nodes() * static_cast<std::int64_t>(ndof));
+
+  AssembledSetup result;
+  result.matrix = std::make_unique<pla::DistCsrMatrix>(layout);
+
+  const auto n = static_cast<std::size_t>(op.num_dofs());
+  const auto nper = static_cast<std::size_t>(op.num_nodes());
+  std::vector<double> ke(n * n);
+  std::vector<std::int64_t> dofs(n);
+  // Thread-CPU time: each rank's own work, not its neighbors' (simmpi
+  // ranks time-share the machine).
+  hymv::ThreadCpuTimer timer;
+  for (std::int64_t e = 0; e < part.num_local_elements(); ++e) {
+    timer.restart();
+    op.element_matrix(part.element_coords(e), ke);
+    result.emat_compute_s += timer.elapsed_s();
+
+    timer.restart();
+    const auto nodes = part.element_nodes(e);
+    for (std::size_t a = 0; a < nper; ++a) {
+      for (int c = 0; c < ndof; ++c) {
+        dofs[a * static_cast<std::size_t>(ndof) +
+             static_cast<std::size_t>(c)] = nodes[a] * ndof + c;
+      }
+    }
+    result.matrix->add_element_matrix(dofs, ke);
+    result.assembly_s += timer.elapsed_s();
+  }
+  timer.restart();
+  result.matrix->assemble(comm);
+  result.assembly_s += timer.elapsed_s();
+  return result;
+}
+
+pla::DistVector assemble_rhs(simmpi::Comm& comm, DofMaps& maps,
+                             const mesh::MeshPartition& part,
+                             const fem::ElementOperator& op) {
+  HYMV_CHECK_MSG(maps.ndofs_per_elem() == op.num_dofs(),
+                 "assemble_rhs: maps/operator mismatch");
+  const auto n = static_cast<std::size_t>(op.num_dofs());
+  DistributedArray f_da(maps);
+  std::vector<double> fe(n);
+  const std::span<double> f = f_da.all();
+  for (std::int64_t e = 0; e < maps.num_elements(); ++e) {
+    op.element_rhs(part.element_coords(e), fe);
+    const auto e2l = maps.e2l(e);
+    for (std::size_t a = 0; a < n; ++a) {
+      f[static_cast<std::size_t>(e2l[a])] += fe[a];
+    }
+  }
+  pla::DistVector rhs(maps.layout());
+  std::vector<double> ghost_scratch(
+      static_cast<std::size_t>(maps.n_pre() + maps.n_post()));
+  reduce_da_to_owned(comm, maps, f_da, ghost_scratch, rhs.values());
+  return rhs;
+}
+
+pla::DirichletConstraints make_dirichlet(
+    const mesh::MeshPartition& part, int ndof_per_node,
+    const std::function<bool(const mesh::Point&)>& on_boundary,
+    const std::function<std::vector<double>(const mesh::Point&)>& value) {
+  pla::DirichletConstraints constraints;
+  for (std::int64_t i = 0; i < part.num_owned_nodes(); ++i) {
+    const mesh::Point& x = part.owned_coords[static_cast<std::size_t>(i)];
+    if (!on_boundary(x)) {
+      continue;
+    }
+    const std::vector<double> values = value(x);
+    HYMV_CHECK_MSG(static_cast<int>(values.size()) == ndof_per_node,
+                   "make_dirichlet: value() must return ndof components");
+    for (int c = 0; c < ndof_per_node; ++c) {
+      constraints.add(i * ndof_per_node + c,
+                      values[static_cast<std::size_t>(c)]);
+    }
+  }
+  constraints.finalize();
+  return constraints;
+}
+
+std::vector<std::vector<LocalFace>> distribute_faces(
+    std::span<const mesh::BoundaryFace> faces,
+    std::span<const int> elem_part, const mesh::DistributedMesh& dist) {
+  std::vector<std::vector<LocalFace>> out(dist.parts.size());
+  for (const mesh::BoundaryFace& face : faces) {
+    const int rank = elem_part[static_cast<std::size_t>(face.element)];
+    const auto& ids =
+        dist.parts[static_cast<std::size_t>(rank)].global_element_ids;
+    // global_element_ids is ascending by construction of distribute_mesh.
+    const auto it = std::lower_bound(ids.begin(), ids.end(), face.element);
+    HYMV_CHECK_MSG(it != ids.end() && *it == face.element,
+                   "distribute_faces: face element not found on its rank");
+    out[static_cast<std::size_t>(rank)].push_back(
+        LocalFace{it - ids.begin(), face.face});
+  }
+  return out;
+}
+
+void add_traction_to_rhs(
+    simmpi::Comm& comm, DofMaps& maps, const mesh::MeshPartition& part,
+    std::span<const LocalFace> faces,
+    const std::function<std::array<double, 3>(const mesh::Point&)>& traction,
+    pla::DistVector& f) {
+  const int ndof = maps.ndof_per_node();
+  const fem::FaceType ftype = fem::face_type(part.type);
+  const auto nface = static_cast<std::size_t>(fem::nodes_per_face(ftype));
+
+  DistributedArray f_da(maps);
+  std::vector<mesh::Point> coords(nface);
+  std::vector<double> fe(nface * static_cast<std::size_t>(ndof));
+  const std::span<double> da = f_da.all();
+  for (const LocalFace& lf : faces) {
+    const auto slots = mesh::face_nodes(part.type, lf.face);
+    const auto elem_coords = part.element_coords(lf.local_element);
+    const auto e2l = maps.e2l(lf.local_element);
+    for (std::size_t k = 0; k < nface; ++k) {
+      coords[k] = elem_coords[static_cast<std::size_t>(slots[k])];
+    }
+    std::fill(fe.begin(), fe.end(), 0.0);
+    fem::face_traction_rhs(ftype, coords, traction, ndof, fe);
+    for (std::size_t k = 0; k < nface; ++k) {
+      for (int c = 0; c < ndof; ++c) {
+        // DoF slot of face node k, component c, within the element's e2l.
+        const std::size_t dof_slot =
+            static_cast<std::size_t>(slots[k]) *
+                static_cast<std::size_t>(ndof) +
+            static_cast<std::size_t>(c);
+        da[static_cast<std::size_t>(e2l[dof_slot])] +=
+            fe[k * static_cast<std::size_t>(ndof) +
+               static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  std::vector<double> ghost_scratch(
+      static_cast<std::size_t>(maps.n_pre() + maps.n_post()));
+  std::vector<double> owned(static_cast<std::size_t>(maps.n_owned()), 0.0);
+  reduce_da_to_owned(comm, maps, f_da, ghost_scratch, owned);
+  for (std::int64_t i = 0; i < f.owned_size(); ++i) {
+    f[i] += owned[static_cast<std::size_t>(i)];
+  }
+}
+
+bool on_box_boundary(const mesh::Point& x, const mesh::Point& lo,
+                     const mesh::Point& hi, double tol) {
+  for (std::size_t d = 0; d < 3; ++d) {
+    if (std::abs(x[d] - lo[d]) < tol || std::abs(x[d] - hi[d]) < tol) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hymv::core

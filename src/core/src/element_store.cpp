@@ -1,0 +1,32 @@
+#include "hymv/core/element_store.hpp"
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::core {
+
+ElementMatrixStore::ElementMatrixStore(std::int64_t num_elements, int ndofs)
+    : num_elements_(num_elements),
+      ndofs_(ndofs),
+      ld_(static_cast<int>(
+          hymv::round_up_to(static_cast<std::size_t>(ndofs), 8))),
+      stride_(static_cast<std::int64_t>(ld_) * ndofs) {
+  HYMV_CHECK_MSG(num_elements >= 0 && ndofs > 0,
+                 "ElementMatrixStore: invalid dimensions");
+  data_.assign(static_cast<std::size_t>(num_elements_ * stride_), 0.0);
+}
+
+void ElementMatrixStore::set(std::int64_t e, std::span<const double> ke) {
+  HYMV_CHECK_MSG(e >= 0 && e < num_elements_,
+                 "ElementMatrixStore::set: element out of range");
+  const auto n = static_cast<std::size_t>(ndofs_);
+  HYMV_CHECK_MSG(ke.size() == n * n, "ElementMatrixStore::set: ke size");
+  double* dst = data_.data() + static_cast<std::size_t>(e * stride_);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      dst[c * static_cast<std::size_t>(ld_) + r] = ke[c * n + r];
+    }
+    // rows n..ld stay zero (zeroed at construction, set() never writes them)
+  }
+}
+
+}  // namespace hymv::core

@@ -1,0 +1,98 @@
+#include "hymv/core/maps.hpp"
+
+#include <algorithm>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::core {
+
+DofMaps::DofMaps(simmpi::Comm& comm, const mesh::MeshPartition& part,
+                 int ndof_per_node)
+    : ndof_(ndof_per_node) {
+  HYMV_CHECK_MSG(ndof_per_node >= 1, "DofMaps: ndof_per_node must be >= 1");
+  HYMV_CHECK_MSG(part.rank == comm.rank() && part.nranks == comm.size(),
+                 "DofMaps: partition does not match communicator");
+
+  ndofs_per_elem_ = part.nodes_per_elem * ndof_;
+  num_elements_ = part.num_local_elements();
+
+  // DoF layout from the node range: node n owns dofs [n*ndof, (n+1)*ndof).
+  layout_ = pla::Layout::from_owned_count(
+      comm, part.num_owned_nodes() * static_cast<std::int64_t>(ndof_));
+  HYMV_CHECK_MSG(layout_.begin == part.n_begin * ndof_,
+                 "DofMaps: node ranges must be rank-contiguous");
+
+  // Expand node E2G to DoF E2G.
+  e2g_.reserve(part.e2g.size() * static_cast<std::size_t>(ndof_));
+  for (const mesh::NodeId node : part.e2g) {
+    for (int c = 0; c < ndof_; ++c) {
+      e2g_.push_back(node * ndof_ + c);
+    }
+  }
+
+  // Ghost discovery: ids outside [begin, end) — Algorithm 1's ComputeGhost.
+  ghosts_.reserve(e2g_.size() / 4);
+  for (const std::int64_t g : e2g_) {
+    if (g < layout_.begin || g >= layout_.end_excl) {
+      ghosts_.push_back(g);
+    }
+  }
+  std::sort(ghosts_.begin(), ghosts_.end());
+  ghosts_.erase(std::unique(ghosts_.begin(), ghosts_.end()), ghosts_.end());
+  n_pre_ = std::lower_bound(ghosts_.begin(), ghosts_.end(), layout_.begin) -
+           ghosts_.begin();
+  n_post_ = static_cast<std::int64_t>(ghosts_.size()) - n_pre_;
+
+  // E2L (Algorithm 1): pre-ghosts map to [0, n_pre), owned to
+  // [n_pre, n_pre + n_owned), post-ghosts to the suffix.
+  e2l_.resize(e2g_.size());
+  for (std::size_t k = 0; k < e2g_.size(); ++k) {
+    const std::int64_t g = e2g_[k];
+    if (g >= layout_.begin && g < layout_.end_excl) {
+      e2l_[k] = n_pre_ + (g - layout_.begin);
+    } else {
+      const auto it = std::lower_bound(ghosts_.begin(), ghosts_.end(), g);
+      const auto ghost_idx = static_cast<std::int64_t>(it - ghosts_.begin());
+      e2l_[k] = g < layout_.begin
+                    ? ghost_idx                      // pre-ghost prefix
+                    : n_owned() + ghost_idx;         // post: pre+owned+(idx-n_pre)
+    }
+  }
+
+  // Independent/dependent split (Fig. 2).
+  for (std::int64_t e = 0; e < num_elements_; ++e) {
+    bool independent = true;
+    for (const std::int64_t g : e2g(e)) {
+      if (g < layout_.begin || g >= layout_.end_excl) {
+        independent = false;
+        break;
+      }
+    }
+    (independent ? independent_ : dependent_).push_back(e);
+  }
+
+  // LNSM/GNGM plan.
+  exchange_ = pla::GhostExchange(comm, layout_, ghosts_);
+}
+
+void DistributedArray::load_ghosts(std::span<const double> ghost_vals) {
+  const auto n_pre = static_cast<std::size_t>(maps_->n_pre());
+  const auto n_post = static_cast<std::size_t>(maps_->n_post());
+  HYMV_CHECK_MSG(ghost_vals.size() == n_pre + n_post,
+                 "DistributedArray::load_ghosts: size mismatch");
+  std::copy_n(ghost_vals.data(), n_pre, v_.data());
+  std::copy_n(ghost_vals.data() + n_pre, n_post,
+              v_.data() + maps_->n_pre() + maps_->n_owned());
+}
+
+void DistributedArray::store_ghosts(std::span<double> ghost_vals) const {
+  const auto n_pre = static_cast<std::size_t>(maps_->n_pre());
+  const auto n_post = static_cast<std::size_t>(maps_->n_post());
+  HYMV_CHECK_MSG(ghost_vals.size() == n_pre + n_post,
+                 "DistributedArray::store_ghosts: size mismatch");
+  std::copy_n(v_.data(), n_pre, ghost_vals.data());
+  std::copy_n(v_.data() + maps_->n_pre() + maps_->n_owned(), n_post,
+              ghost_vals.data() + n_pre);
+}
+
+}  // namespace hymv::core

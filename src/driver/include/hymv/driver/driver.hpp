@@ -1,0 +1,207 @@
+#pragma once
+
+/// \file driver.hpp
+/// Problem drivers: everything the examples and benchmark harnesses share.
+///
+/// A driver run has two halves, mirroring how an application would embed
+/// HYMV:
+///   1. rank-shared setup (ProblemSetup::build) — generate the mesh,
+///      partition it, compute node ownership; this is the "mesh
+///      infrastructure" a host code (Gmsh+METIS in the paper) provides;
+///   2. per-rank work inside simmpi::run — RankContext builds the element
+///      operator, Dirichlet constraints, and right-hand side; measure_spmv
+///      and solve_problem drive the five SPMV backends through identical
+///      code paths so method comparisons are apples-to-apples.
+///
+/// The two verification problems of paper §V-B (manufactured Poisson,
+/// Timoshenko elastic bar) are built in: each ProblemSpec knows its exact
+/// solution, so every run can report ‖u − u_exact‖∞.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "hymv/core/assembly.hpp"
+#include "hymv/core/gpu_operator.hpp"
+#include "hymv/core/hymv_operator.hpp"
+#include "hymv/core/matrix_free_operator.hpp"
+#include "hymv/fem/analytic.hpp"
+#include "hymv/fem/operators.hpp"
+#include "hymv/mesh/partition.hpp"
+#include "hymv/mesh/structured.hpp"
+#include "hymv/mesh/tet.hpp"
+#include "hymv/pla/cg.hpp"
+#include "hymv/pla/constraints.hpp"
+
+namespace hymv::driver {
+
+/// PDE of the experiment.
+enum class Pde : int { kPoisson, kElasticity };
+
+/// SPMV backend under test.
+enum class Backend : int {
+  kAssembled,     ///< matrix-assembled baseline (PETSc MatAIJ equivalent)
+  kHymv,          ///< the paper's contribution
+  kMatrixFree,    ///< Algorithm 4 baseline
+  kHymvGpu,       ///< Algorithm 3 on the simulated device
+  kAssembledGpu,  ///< PETSc-GPU (cuSPARSE) equivalent
+};
+
+/// Preconditioner for solve_problem.
+enum class Precond : int { kNone, kJacobi, kBlockJacobi };
+
+[[nodiscard]] const char* backend_name(Backend backend);
+
+/// Full description of one experiment's problem.
+struct ProblemSpec {
+  Pde pde = Pde::kPoisson;
+  mesh::ElementType element = mesh::ElementType::kHex8;
+  mesh::BoxSpec box{};               ///< domain + resolution
+  bool unstructured = false;         ///< tet mesh via jittered subdivision
+  double jitter = 0.25;              ///< unstructured node jitter
+  std::uint64_t seed = 77;           ///< mesh RNG seed
+  mesh::Partitioner partitioner = mesh::Partitioner::kSlab;
+
+  // Elasticity material / bar parameters (paper §V-B).
+  double young = 1000.0;
+  double poisson_ratio = 0.3;
+  double density = 1.0;
+  double gravity = 9.8;
+
+  [[nodiscard]] int ndof_per_node() const {
+    return pde == Pde::kPoisson ? 1 : 3;
+  }
+};
+
+/// Rank-shared problem data; build once, outside simmpi::run.
+struct ProblemSetup {
+  ProblemSpec spec;
+  int nranks = 1;
+  std::int64_t total_nodes = 0;
+  std::int64_t total_elements = 0;
+  mesh::DistributedMesh dist;
+
+  [[nodiscard]] std::int64_t total_dofs() const {
+    return total_nodes * spec.ndof_per_node();
+  }
+  [[nodiscard]] const mesh::MeshPartition& part(int rank) const {
+    return dist.parts[static_cast<std::size_t>(rank)];
+  }
+
+  static ProblemSetup build(const ProblemSpec& spec, int nranks);
+};
+
+/// Per-rank problem context: element operator + BCs + maps. Collective
+/// construction (inside simmpi::run).
+class RankContext {
+ public:
+  RankContext(simmpi::Comm& comm, const ProblemSetup& setup);
+
+  [[nodiscard]] const mesh::MeshPartition& part() const { return *part_; }
+  [[nodiscard]] const fem::ElementOperator& element_op() const { return *op_; }
+  [[nodiscard]] core::DofMaps& maps() { return maps_; }
+  [[nodiscard]] const pla::DirichletConstraints& constraints() const {
+    return constraints_;
+  }
+
+  /// Exact solution at owned local dof i (analytic field of the spec).
+  [[nodiscard]] double exact_dof(std::int64_t local_dof) const;
+
+  /// Assembled load vector (body force / manufactured forcing).
+  pla::DistVector assemble_rhs(simmpi::Comm& comm);
+
+  /// ‖u − u_exact‖∞ over all owned DoFs (collective).
+  [[nodiscard]] double error_inf(simmpi::Comm& comm,
+                                 const pla::DistVector& u) const;
+
+ private:
+  const ProblemSetup* setup_;
+  const mesh::MeshPartition* part_;
+  std::unique_ptr<fem::ElementOperator> op_;
+  fem::ElasticBar bar_;
+  core::DofMaps maps_;
+  pla::DirichletConstraints constraints_;
+};
+
+/// Build one of the five SPMV backends over a rank context. GPU backends
+/// require `device`.
+std::unique_ptr<pla::LinearOperator> make_backend(
+    simmpi::Comm& comm, const RankContext& ctx, Backend backend,
+    gpu::Device* device = nullptr,
+    const core::HymvGpuOptions& gpu_options = {},
+    const core::HymvOptions& hymv_options = {});
+
+// ---------------------------------------------------------------------------
+// SPMV measurement (Fig. 4-10, Table I)
+// ---------------------------------------------------------------------------
+
+/// Per-rank setup-phase breakdown, in the paper's vocabulary.
+struct SetupReport {
+  double emat_compute_s = 0.0;  ///< element-matrix computation
+  double assembly_s = 0.0;      ///< global assembly (assembled backend)
+  double local_copy_s = 0.0;    ///< HYMV store copy
+  double maps_s = 0.0;          ///< HYMV map construction
+  double gpu_upload_virtual_s = 0.0;  ///< device residency upload
+  std::int64_t comm_bytes = 0;        ///< setup communication (this rank)
+  std::int64_t comm_messages = 0;
+
+  [[nodiscard]] double total_s() const {
+    return emat_compute_s + assembly_s + local_copy_s + maps_s +
+           gpu_upload_virtual_s;
+  }
+};
+
+/// Per-rank SPMV measurement over `napplies` products.
+struct SpmvReport {
+  SetupReport setup;
+  int napplies = 0;
+  double spmv_wall_s = 0.0;     ///< wall time of the apply loop (this rank)
+  double spmv_cpu_s = 0.0;      ///< thread-CPU seconds (per-rank work)
+  double spmv_modeled_s = 0.0;  ///< GPU backends: overlap-aware modeled time
+  std::int64_t comm_bytes = 0;
+  std::int64_t comm_messages = 0;
+  std::int64_t flops = 0;       ///< analytic flops over all applies
+  std::int64_t bytes = 0;       ///< analytic bytes over all applies
+};
+
+struct MeasureOptions {
+  core::HymvOptions hymv{};
+  core::HymvGpuOptions gpu{};
+  gpu::Device* device = nullptr;
+  /// Timed rounds; the report keeps the fastest round (noise floor on a
+  /// shared machine).
+  int repeats = 3;
+};
+
+/// Build `backend` and run `napplies` SPMVs on a deterministic input,
+/// returning this rank's measurements. Collective.
+SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
+                        int napplies, const MeasureOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Total solve (Fig. 11, verification)
+// ---------------------------------------------------------------------------
+
+struct SolveOptions {
+  Backend backend = Backend::kHymv;
+  Precond precond = Precond::kJacobi;
+  double rtol = 1e-3;  ///< the paper's solve experiments use ε = 10⁻³
+  std::int64_t max_iters = 20000;
+  gpu::Device* device = nullptr;
+  core::HymvGpuOptions gpu{};
+};
+
+struct SolveReport {
+  pla::CgResult cg;
+  double err_inf = 0.0;       ///< vs the analytic solution
+  double setup_s = 0.0;       ///< backend setup (matrix/store build)
+  double solve_wall_s = 0.0;  ///< CG wall time (this rank's view)
+  double solve_cpu_s = 0.0;   ///< thread-CPU seconds in CG
+  double total_modeled_s = 0.0;  ///< setup + solve with GPU time modeled
+};
+
+/// Assemble, constrain, precondition, and CG-solve the problem. Collective.
+SolveReport solve_problem(simmpi::Comm& comm, RankContext& ctx,
+                          const SolveOptions& options = {});
+
+}  // namespace hymv::driver

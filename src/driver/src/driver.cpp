@@ -1,0 +1,389 @@
+#include "hymv/driver/driver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+#include "hymv/common/timer.hpp"
+
+namespace hymv::driver {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kAssembled:
+      return "assembled";
+    case Backend::kHymv:
+      return "hymv";
+    case Backend::kMatrixFree:
+      return "matrix-free";
+    case Backend::kHymvGpu:
+      return "hymv-gpu";
+    case Backend::kAssembledGpu:
+      return "assembled-gpu";
+  }
+  return "unknown";
+}
+
+ProblemSetup ProblemSetup::build(const ProblemSpec& spec, int nranks) {
+  ProblemSetup setup;
+  setup.spec = spec;
+  setup.nranks = nranks;
+
+  mesh::Mesh m = [&] {
+    if (spec.unstructured) {
+      HYMV_CHECK_MSG(mesh::is_tet(spec.element),
+                     "ProblemSetup: unstructured meshes are tetrahedral");
+      return mesh::build_unstructured_tet(
+          {.box = spec.box, .jitter = spec.jitter, .seed = spec.seed},
+          spec.element);
+    }
+    HYMV_CHECK_MSG(mesh::is_hex(spec.element),
+                   "ProblemSetup: structured meshes are hexahedral");
+    return mesh::build_structured_hex(spec.box, spec.element);
+  }();
+  setup.total_nodes = m.num_nodes();
+  setup.total_elements = m.num_elements();
+
+  const auto part_ids =
+      mesh::partition_elements(m, nranks, spec.partitioner);
+  setup.dist = mesh::distribute_mesh(m, part_ids, nranks);
+  return setup;
+}
+
+namespace {
+
+/// The element operator (with forcing) for a spec.
+std::unique_ptr<fem::ElementOperator> make_element_op(
+    const ProblemSpec& spec, const fem::ElasticBar& bar) {
+  if (spec.pde == Pde::kPoisson) {
+    return std::make_unique<fem::PoissonOperator>(
+        spec.element,
+        [](const mesh::Point& x) {
+          return fem::PoissonManufactured::forcing(x);
+        });
+  }
+  return std::make_unique<fem::ElasticityOperator>(
+      spec.element, spec.young, spec.poisson_ratio,
+      [bar](const mesh::Point& x) { return bar.body_force(x); });
+}
+
+}  // namespace
+
+RankContext::RankContext(simmpi::Comm& comm, const ProblemSetup& setup)
+    : setup_(&setup),
+      part_(&setup.part(comm.rank())),
+      bar_{.young = setup.spec.young,
+           .poisson = setup.spec.poisson_ratio,
+           .density = setup.spec.density,
+           .gravity = setup.spec.gravity,
+           .lz = setup.spec.box.lz},
+      maps_((op_ = make_element_op(setup.spec, bar_), comm), *part_,
+            setup.spec.ndof_per_node()) {
+  // Dirichlet boundary: the whole box surface carries the exact solution
+  // (zero for the manufactured Poisson problem, the Timoshenko field for
+  // the bar) — identical treatment for every backend.
+  const mesh::Point lo = setup.spec.box.origin;
+  const mesh::Point hi{lo[0] + setup.spec.box.lx, lo[1] + setup.spec.box.ly,
+                       lo[2] + setup.spec.box.lz};
+  const ProblemSpec& spec = setup.spec;
+  const fem::ElasticBar bar = bar_;
+  constraints_ = core::make_dirichlet(
+      *part_, spec.ndof_per_node(),
+      [lo, hi](const mesh::Point& x) {
+        return core::on_box_boundary(x, lo, hi);
+      },
+      [&spec, bar](const mesh::Point& x) -> std::vector<double> {
+        if (spec.pde == Pde::kPoisson) {
+          return {fem::PoissonManufactured::solution(x)};
+        }
+        const auto u = bar.displacement(x);
+        return {u[0], u[1], u[2]};
+      });
+}
+
+double RankContext::exact_dof(std::int64_t local_dof) const {
+  const int ndof = setup_->spec.ndof_per_node();
+  const auto node = static_cast<std::size_t>(local_dof / ndof);
+  const auto comp = static_cast<std::size_t>(local_dof % ndof);
+  const mesh::Point& x = part_->owned_coords[node];
+  if (setup_->spec.pde == Pde::kPoisson) {
+    return fem::PoissonManufactured::solution(x);
+  }
+  return bar_.displacement(x)[comp];
+}
+
+pla::DistVector RankContext::assemble_rhs(simmpi::Comm& comm) {
+  return core::assemble_rhs(comm, maps_, *part_, *op_);
+}
+
+double RankContext::error_inf(simmpi::Comm& comm,
+                              const pla::DistVector& u) const {
+  double local = 0.0;
+  for (std::int64_t i = 0; i < u.owned_size(); ++i) {
+    local = std::max(local, std::abs(u[i] - exact_dof(i)));
+  }
+  return comm.allreduce(local, simmpi::ReduceOp::kMax);
+}
+
+std::unique_ptr<pla::LinearOperator> make_backend(
+    simmpi::Comm& comm, const RankContext& ctx, Backend backend,
+    gpu::Device* device, const core::HymvGpuOptions& gpu_options,
+    const core::HymvOptions& hymv_options) {
+  const mesh::MeshPartition& part = ctx.part();
+  const fem::ElementOperator& op = ctx.element_op();
+  switch (backend) {
+    case Backend::kAssembled: {
+      auto setup = core::build_assembled_matrix(comm, part, op);
+      return std::move(setup.matrix);
+    }
+    case Backend::kHymv:
+      return std::make_unique<core::HymvOperator>(comm, part, op,
+                                                  hymv_options);
+    case Backend::kMatrixFree:
+      return std::make_unique<core::MatrixFreeOperator>(comm, part, op);
+    case Backend::kHymvGpu:
+      HYMV_CHECK_MSG(device != nullptr, "make_backend: GPU device required");
+      return std::make_unique<core::HymvGpuOperator>(comm, part, op, *device,
+                                                     gpu_options);
+    case Backend::kAssembledGpu: {
+      HYMV_CHECK_MSG(device != nullptr, "make_backend: GPU device required");
+      auto setup = core::build_assembled_matrix(comm, part, op);
+      // The wrapper needs the assembled matrix alive: bundle them.
+      struct Bundle : pla::LinearOperator {
+        std::unique_ptr<pla::DistCsrMatrix> matrix;
+        std::unique_ptr<core::GpuCsrOperator> gpu;
+        const pla::Layout& layout() const override { return gpu->layout(); }
+        void apply(simmpi::Comm& c, const pla::DistVector& x,
+                   pla::DistVector& y) override {
+          gpu->apply(c, x, y);
+        }
+        std::vector<double> diagonal(simmpi::Comm& c) override {
+          return gpu->diagonal(c);
+        }
+        pla::CsrMatrix owned_block(simmpi::Comm& c) override {
+          return gpu->owned_block(c);
+        }
+        std::int64_t apply_flops() const override {
+          return gpu->apply_flops();
+        }
+        std::int64_t apply_bytes() const override {
+          return gpu->apply_bytes();
+        }
+      };
+      auto bundle = std::make_unique<Bundle>();
+      bundle->matrix = std::move(setup.matrix);
+      bundle->gpu = std::make_unique<core::GpuCsrOperator>(
+          comm, *bundle->matrix, *device);
+      return bundle;
+    }
+  }
+  HYMV_THROW("make_backend: unknown backend");
+}
+
+SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
+                        int napplies, const MeasureOptions& options) {
+  SpmvReport report;
+  report.napplies = napplies;
+
+  const auto counters_setup0 = comm.counters();
+  std::unique_ptr<pla::LinearOperator> op;
+  core::HymvGpuOperator* hymv_gpu = nullptr;
+  core::GpuCsrOperator* csr_gpu = nullptr;
+
+  // Backend-specific setup with the paper's phase breakdown.
+  switch (backend) {
+    case Backend::kAssembled: {
+      auto setup = core::build_assembled_matrix(comm, ctx.part(),
+                                                ctx.element_op());
+      report.setup.emat_compute_s = setup.emat_compute_s;
+      report.setup.assembly_s = setup.assembly_s;
+      op = std::move(setup.matrix);
+      break;
+    }
+    case Backend::kHymv: {
+      auto hymv = std::make_unique<core::HymvOperator>(
+          comm, ctx.part(), ctx.element_op(), options.hymv);
+      report.setup.emat_compute_s = hymv->setup_breakdown().emat_compute_s;
+      report.setup.local_copy_s = hymv->setup_breakdown().local_copy_s;
+      report.setup.maps_s = hymv->setup_breakdown().maps_s;
+      op = std::move(hymv);
+      break;
+    }
+    case Backend::kMatrixFree: {
+      op = std::make_unique<core::MatrixFreeOperator>(comm, ctx.part(),
+                                                      ctx.element_op());
+      break;
+    }
+    case Backend::kHymvGpu: {
+      HYMV_CHECK_MSG(options.device != nullptr,
+                     "measure_spmv: GPU device required");
+      auto gpu_op = std::make_unique<core::HymvGpuOperator>(
+          comm, ctx.part(), ctx.element_op(), *options.device, options.gpu);
+      report.setup.emat_compute_s =
+          gpu_op->host_op().setup_breakdown().emat_compute_s;
+      report.setup.local_copy_s =
+          gpu_op->host_op().setup_breakdown().local_copy_s;
+      report.setup.maps_s = gpu_op->host_op().setup_breakdown().maps_s;
+      report.setup.gpu_upload_virtual_s = gpu_op->setup_upload_virtual_s();
+      hymv_gpu = gpu_op.get();
+      op = std::move(gpu_op);
+      break;
+    }
+    case Backend::kAssembledGpu: {
+      HYMV_CHECK_MSG(options.device != nullptr,
+                     "measure_spmv: GPU device required");
+      auto setup = core::build_assembled_matrix(comm, ctx.part(),
+                                                ctx.element_op());
+      report.setup.emat_compute_s = setup.emat_compute_s;
+      report.setup.assembly_s = setup.assembly_s;
+      auto gpu_op = std::make_unique<core::GpuCsrOperator>(
+          comm, *setup.matrix, *options.device);
+      report.setup.gpu_upload_virtual_s = gpu_op->setup_upload_virtual_s();
+      // Keep the CSR alive alongside the GPU wrapper.
+      struct Bundle : pla::LinearOperator {
+        std::unique_ptr<pla::DistCsrMatrix> matrix;
+        std::unique_ptr<core::GpuCsrOperator> gpu;
+        const pla::Layout& layout() const override { return gpu->layout(); }
+        void apply(simmpi::Comm& c, const pla::DistVector& x,
+                   pla::DistVector& y) override {
+          gpu->apply(c, x, y);
+        }
+        std::vector<double> diagonal(simmpi::Comm& c) override {
+          return gpu->diagonal(c);
+        }
+        std::int64_t apply_flops() const override {
+          return gpu->apply_flops();
+        }
+        std::int64_t apply_bytes() const override {
+          return gpu->apply_bytes();
+        }
+      };
+      auto bundle = std::make_unique<Bundle>();
+      bundle->matrix = std::move(setup.matrix);
+      bundle->gpu = std::move(gpu_op);
+      csr_gpu = bundle->gpu.get();
+      op = std::move(bundle);
+      break;
+    }
+  }
+  {
+    const auto counters_setup1 = comm.counters();
+    report.setup.comm_bytes =
+        counters_setup1.bytes_sent - counters_setup0.bytes_sent;
+    report.setup.comm_messages =
+        counters_setup1.messages_sent - counters_setup0.messages_sent;
+  }
+
+  // Deterministic input.
+  pla::DistVector x(op->layout()), y(op->layout());
+  for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+    x[i] = std::sin(0.01 * static_cast<double>(op->layout().begin + i));
+  }
+
+  // Warm-up apply (touches all maps/buffers, fills caches).
+  op->apply(comm, x, y);
+
+  // Reset GPU modeled timing after warm-up.
+  if (hymv_gpu != nullptr) {
+    hymv_gpu->reset_timings();
+  }
+  if (csr_gpu != nullptr) {
+    csr_gpu->reset_timings();
+  }
+
+  // Repeat the timed loop and keep the fastest round: simmpi ranks share
+  // the machine, so single rounds carry scheduler noise.
+  const int repeats = std::max(1, options.repeats);
+  report.spmv_wall_s = std::numeric_limits<double>::infinity();
+  report.spmv_cpu_s = std::numeric_limits<double>::infinity();
+  double gpu_modeled = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeats; ++rep) {
+    if (hymv_gpu != nullptr) {
+      hymv_gpu->reset_timings();
+    }
+    if (csr_gpu != nullptr) {
+      csr_gpu->reset_timings();
+    }
+    const auto counters0 = comm.counters();
+    hymv::Timer wall;
+    hymv::ThreadCpuTimer cpu;
+    for (int k = 0; k < napplies; ++k) {
+      op->apply(comm, x, y);
+    }
+    report.spmv_wall_s = std::min(report.spmv_wall_s, wall.elapsed_s());
+    report.spmv_cpu_s = std::min(report.spmv_cpu_s, cpu.elapsed_s());
+    if (rep == 0) {
+      const auto counters1 = comm.counters();
+      report.comm_bytes = counters1.bytes_sent - counters0.bytes_sent;
+      report.comm_messages =
+          counters1.messages_sent - counters0.messages_sent;
+    }
+    if (hymv_gpu != nullptr) {
+      gpu_modeled = std::min(gpu_modeled, hymv_gpu->timings().total_modeled_s);
+    } else if (csr_gpu != nullptr) {
+      gpu_modeled = std::min(gpu_modeled, csr_gpu->timings().total_modeled_s);
+    }
+  }
+  report.flops = op->apply_flops() * napplies;
+  report.bytes = op->apply_bytes() * napplies;
+  report.spmv_modeled_s = (hymv_gpu != nullptr || csr_gpu != nullptr)
+                              ? gpu_modeled
+                              : report.spmv_wall_s;
+  return report;
+}
+
+SolveReport solve_problem(simmpi::Comm& comm, RankContext& ctx,
+                          const SolveOptions& options) {
+  SolveReport report;
+
+  const double host_exec0 =
+      options.device != nullptr ? options.device->host_exec_seconds() : 0.0;
+  const double vt0 =
+      options.device != nullptr ? options.device->virtual_time() : 0.0;
+
+  hymv::Timer setup_timer;
+  std::unique_ptr<pla::LinearOperator> a =
+      make_backend(comm, ctx, options.backend, options.device, options.gpu);
+  report.setup_s = setup_timer.elapsed_s();
+
+  pla::ConstrainedOperator ac(*a, ctx.constraints());
+  pla::DistVector b = ctx.assemble_rhs(comm);
+  pla::apply_constraints_to_rhs(comm, *a, ctx.constraints(), b);
+
+  std::unique_ptr<pla::Preconditioner> m;
+  switch (options.precond) {
+    case Precond::kNone:
+      m = std::make_unique<pla::IdentityPreconditioner>();
+      break;
+    case Precond::kJacobi:
+      m = std::make_unique<pla::JacobiPreconditioner>(comm, ac);
+      break;
+    case Precond::kBlockJacobi:
+      m = std::make_unique<pla::BlockJacobiPreconditioner>(comm, ac);
+      break;
+  }
+
+  pla::DistVector u(a->layout());
+  hymv::Timer solve_timer;
+  hymv::ThreadCpuTimer cpu_timer;
+  report.cg = pla::cg_solve(comm, ac, *m, b, u,
+                            {.rtol = options.rtol,
+                             .max_iters = options.max_iters});
+  report.solve_wall_s = solve_timer.elapsed_s();
+  report.solve_cpu_s = cpu_timer.elapsed_s();
+
+  report.err_inf = ctx.error_inf(comm, u);
+
+  double modeled = report.setup_s + report.solve_wall_s;
+  if (options.device != nullptr) {
+    const double host_exec_delta =
+        options.device->host_exec_seconds() - host_exec0;
+    const double device_delta = options.device->virtual_time() - vt0;
+    modeled = modeled - host_exec_delta + device_delta;
+  }
+  report.total_modeled_s = modeled;
+  return report;
+}
+
+}  // namespace hymv::driver

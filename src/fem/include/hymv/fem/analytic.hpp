@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file analytic.hpp
+/// Analytic solutions used for correctness verification (paper §V-B):
+///   * the manufactured Poisson problem on the unit cube, and
+///   * Timoshenko & Goodier's prismatic bar stretched by its own weight.
+
+#include <array>
+
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::fem {
+
+using mesh::Point;
+
+/// Poisson verification problem (paper §V-B):
+///   ∇²u + sin(2πx) sin(2πy) sin(2πz) = 0 on Ω = [0,1]³, u = 0 on ∂Ω,
+/// with exact solution u = sin(2πx) sin(2πy) sin(2πz) / (12π²).
+struct PoissonManufactured {
+  /// Exact solution at x.
+  [[nodiscard]] static double solution(const Point& x);
+  /// Body force f in the weak form ∫∇u·∇v = ∫ f v.
+  [[nodiscard]] static double forcing(const Point& x);
+};
+
+/// Elastic prismatic bar of dimensions {lx, ly, lz}, hung from its top face
+/// and stretched by its own weight (Timoshenko & Goodier, 1951). Coordinate
+/// origin at the bottom-face center: x ∈ [-lx/2, lx/2], z ∈ [0, lz].
+/// The stress state is uniaxial, σ_zz = ρ g z, which satisfies equilibrium
+/// with body force (0, 0, -ρg). Exact displacements:
+///   u_x = -νρg/E · x z
+///   u_y = -νρg/E · y z
+///   u_z =  ρg/2E · (z² - lz²) + νρg/2E · (x² + y²)
+struct ElasticBar {
+  double young = 1000.0;   ///< E
+  double poisson = 0.3;    ///< ν
+  double density = 1.0;    ///< ρ
+  double gravity = 9.8;    ///< g
+  double lz = 1.0;         ///< bar length in z
+
+  /// Exact displacement at x.
+  [[nodiscard]] std::array<double, 3> displacement(const Point& x) const;
+  /// Body force entering the weak form (gravity).
+  [[nodiscard]] std::array<double, 3> body_force(const Point& x) const;
+};
+
+}  // namespace hymv::fem

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file mass.hpp
+/// Mass and Helmholtz element operators.
+///
+/// The paper's HYMV is operator-agnostic: it stores whatever element
+/// matrices the application provides (§III "the element matrices provided
+/// by users"). Beyond the Poisson/elasticity stiffness operators used in
+/// the evaluation, time-dependent and wave problems need the mass matrix
+/// M_ab = ∫ ρ N_a N_b and the (positive-definite) Helmholtz-type operator
+/// K + σ M — both are provided here so HYMV can drive implicit
+/// time-stepping (e.g. backward Euler: (M + Δt K) uⁿ⁺¹ = M uⁿ).
+
+#include "hymv/fem/operators.hpp"
+
+namespace hymv::fem {
+
+/// Consistent mass matrix: Me_ab = ∫ ρ N_a N_b (scaled identity blocks for
+/// ndof > 1). fe integrates the source s: fe_a = ∫ s N_a per component.
+class MassOperator final : public ElementOperator {
+ public:
+  /// `ndof_per_node` 1 (scalar) or 3 (vector fields).
+  MassOperator(ElementType type, double density = 1.0, int ndof_per_node = 1);
+
+  [[nodiscard]] int ndof_per_node() const override { return ndof_; }
+  void element_matrix(std::span<const Point> coords,
+                      std::span<double> ke) const override;
+  void element_rhs(std::span<const Point> coords,
+                   std::span<double> fe) const override;
+  [[nodiscard]] std::int64_t matrix_flops() const override;
+  [[nodiscard]] std::int64_t matrix_traffic_bytes() const override;
+
+  [[nodiscard]] double density() const { return density_; }
+
+ private:
+  double density_;
+  int ndof_;
+};
+
+/// Positive-definite Helmholtz-type operator  σ M + K  (σ > 0): the
+/// backward-Euler/implicit-wave building block, and a handy SPD test
+/// operator whose conditioning is tunable via σ.
+class HelmholtzOperator final : public ElementOperator {
+ public:
+  HelmholtzOperator(ElementType type, double sigma,
+                    PoissonOperator::Forcing forcing = {});
+
+  [[nodiscard]] int ndof_per_node() const override { return 1; }
+  void element_matrix(std::span<const Point> coords,
+                      std::span<double> ke) const override;
+  void element_rhs(std::span<const Point> coords,
+                   std::span<double> fe) const override;
+  [[nodiscard]] std::int64_t matrix_flops() const override;
+  [[nodiscard]] std::int64_t matrix_traffic_bytes() const override;
+
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+  PoissonOperator stiffness_;
+  MassOperator mass_;
+};
+
+}  // namespace hymv::fem

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file operators.hpp
+/// Element-level PDE operators: given an element's node coordinates, compute
+/// its dense stiffness matrix Ke and load vector fe. These are exactly the
+/// "user-provided element matrices" HYMV stores (paper §III) and the kernels
+/// the matrix-free baseline re-executes on every SPMV (paper Alg. 4).
+///
+/// Two operators cover the paper's entire evaluation:
+///   * PoissonOperator    — scalar Laplacian, 1 DoF/node (§V-B, Fig. 4, 7)
+///   * ElasticityOperator — isotropic linear elasticity, 3 DoF/node
+///                          (§V-B/C/D, Fig. 5, 6, 8-11, Table I)
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hymv/fem/quadrature.hpp"
+#include "hymv/fem/reference_element.hpp"
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::fem {
+
+using mesh::Point;
+
+/// Abstract element operator. Implementations precompute shape values and
+/// reference derivatives at the quadrature points once; per-element work is
+/// then geometry (Jacobians) plus the bilinear-form accumulation.
+class ElementOperator {
+ public:
+  ElementOperator(ElementType type, QuadratureRule rule);
+  virtual ~ElementOperator() = default;
+
+  [[nodiscard]] ElementType element_type() const { return type_; }
+  /// Nodes per element.
+  [[nodiscard]] int num_nodes() const { return nper_; }
+  /// Unknowns per node (1 for Poisson, 3 for elasticity).
+  [[nodiscard]] virtual int ndof_per_node() const = 0;
+  /// Rows (= columns) of the element matrix.
+  [[nodiscard]] int num_dofs() const { return nper_ * ndof_per_node(); }
+
+  /// Compute the element stiffness matrix, column-major:
+  /// ke[col * num_dofs() + row]. `coords` holds the element's node
+  /// coordinates in element order; `ke` must have num_dofs()² entries.
+  virtual void element_matrix(std::span<const Point> coords,
+                              std::span<double> ke) const = 0;
+
+  /// Compute the element load vector from the operator's body force;
+  /// `fe` must have num_dofs() entries.
+  virtual void element_rhs(std::span<const Point> coords,
+                           std::span<double> fe) const = 0;
+
+  /// Analytic estimate of the floating-point operations element_matrix
+  /// performs, used by the roofline/throughput reports (Fig. 10, Table I).
+  [[nodiscard]] virtual std::int64_t matrix_flops() const = 0;
+
+  /// Analytic estimate of the cache-level bytes element_matrix moves
+  /// (loads + stores of gradients and the Ke accumulation), the
+  /// Advisor-equivalent traffic for the matrix-free roofline placement.
+  [[nodiscard]] virtual std::int64_t matrix_traffic_bytes() const = 0;
+
+ protected:
+  /// Basis data at one quadrature point.
+  struct QpBasis {
+    std::vector<double> n;    ///< nper shape values
+    std::vector<double> dn;   ///< nper×3 reference derivatives
+    double weight = 0.0;
+  };
+
+  /// Geometry at one quadrature point of a concrete element.
+  struct QpGeometry {
+    double det_j_weight = 0.0;          ///< |J| · quadrature weight
+    std::vector<double>* grad = nullptr;  ///< nper×3 physical gradients
+  };
+
+  /// Evaluate Jacobian, det(J)·w and physical gradients at qp `q` for the
+  /// element with the given coordinates. `grad` is resized to nper×3.
+  /// Returns det(J)·w; throws on non-positive Jacobian.
+  double physical_gradients(std::size_t q, std::span<const Point> coords,
+                            std::vector<double>& grad) const;
+
+  /// Physical position of qp `q` (isoparametric map).
+  [[nodiscard]] Point physical_point(std::size_t q,
+                                     std::span<const Point> coords) const;
+
+  ElementType type_;
+  int nper_;
+  std::vector<QpBasis> qps_;
+};
+
+/// Scalar Poisson operator: Ke_ab = ∫ ∇N_a · ∇N_b, fe_a = ∫ f N_a.
+class PoissonOperator final : public ElementOperator {
+ public:
+  using Forcing = std::function<double(const Point&)>;
+
+  /// `forcing` may be empty, in which case element_rhs returns zeros.
+  explicit PoissonOperator(ElementType type, Forcing forcing = {});
+
+  [[nodiscard]] int ndof_per_node() const override { return 1; }
+  void element_matrix(std::span<const Point> coords,
+                      std::span<double> ke) const override;
+  void element_rhs(std::span<const Point> coords,
+                   std::span<double> fe) const override;
+  [[nodiscard]] std::int64_t matrix_flops() const override;
+  [[nodiscard]] std::int64_t matrix_traffic_bytes() const override;
+
+ private:
+  Forcing forcing_;
+};
+
+/// Isotropic linear elasticity: 3 DoF per node, Lamé parameters from
+/// (young, poisson). Element matrix blocks follow
+///   K[3a+i][3b+j] = ∫ λ ∂N_a/∂x_i ∂N_b/∂x_j + μ ∂N_a/∂x_j ∂N_b/∂x_i
+///                    + μ δ_ij ∇N_a·∇N_b.
+class ElasticityOperator final : public ElementOperator {
+ public:
+  using BodyForce = std::function<std::array<double, 3>(const Point&)>;
+
+  ElasticityOperator(ElementType type, double young, double poisson,
+                     BodyForce body_force = {});
+
+  [[nodiscard]] int ndof_per_node() const override { return 3; }
+  void element_matrix(std::span<const Point> coords,
+                      std::span<double> ke) const override;
+  void element_rhs(std::span<const Point> coords,
+                   std::span<double> fe) const override;
+  [[nodiscard]] std::int64_t matrix_flops() const override;
+  [[nodiscard]] std::int64_t matrix_traffic_bytes() const override;
+
+  [[nodiscard]] double young() const { return young_; }
+  [[nodiscard]] double poisson() const { return poisson_; }
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] double mu() const { return mu_; }
+
+  /// Uniform stiffness scale (default 1). The XFEM-enrichment example uses a
+  /// reduced scale to model the softened stiffness of cracked elements.
+  void set_stiffness_scale(double scale) { scale_ = scale; }
+
+ private:
+  double young_;
+  double poisson_;
+  double lambda_;
+  double mu_;
+  double scale_ = 1.0;
+  BodyForce body_force_;
+};
+
+}  // namespace hymv::fem

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file quadrature.hpp
+/// Numerical integration rules: tensor-product Gauss–Legendre for hexes and
+/// simplex (Keast-family) rules for tets.
+
+#include <array>
+#include <vector>
+
+#include "hymv/mesh/element_type.hpp"
+
+namespace hymv::fem {
+
+/// One integration point: reference coordinates + weight.
+struct QuadPoint {
+  double xi[3];
+  double weight;
+};
+
+/// A quadrature rule over a reference element.
+struct QuadratureRule {
+  std::vector<QuadPoint> points;
+  [[nodiscard]] std::size_t size() const { return points.size(); }
+};
+
+/// Tensor-product Gauss–Legendre rule on [-1,1]³ with n points per axis
+/// (n in [1, 4]); exact for polynomials of degree 2n-1 per axis.
+[[nodiscard]] QuadratureRule gauss_hex(int points_per_axis);
+
+/// Simplex rule on the unit tetrahedron exact to the given total degree
+/// (1, 2, or 3): 1, 4 and 5 points respectively. Weights sum to 1/6 (the
+/// reference tet volume).
+[[nodiscard]] QuadratureRule tet_rule(int degree);
+
+/// The rule used by default for stiffness matrices of the given element
+/// type: 2³ GL for hex8, 3³ GL for hex20/27, degree-2 for tet4 (constant
+/// gradients make even 1 point exact for affine tets; degree 2 also covers
+/// mass terms), degree-3 for tet10.
+[[nodiscard]] QuadratureRule default_quadrature(mesh::ElementType type);
+
+}  // namespace hymv::fem

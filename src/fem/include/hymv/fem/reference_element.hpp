@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file reference_element.hpp
+/// Reference-element shape functions and derivatives for every supported
+/// cell type. Node orderings match the mesh builders exactly (see
+/// mesh/structured.hpp and mesh/tet.hpp); a mismatch here would silently
+/// produce wrong element matrices, so the test suite cross-checks partition
+/// of unity, derivative consistency (finite differences), and the Kronecker
+/// property N_a(x_b) = δ_ab at the reference nodes.
+
+#include <span>
+
+#include "hymv/mesh/element_type.hpp"
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::fem {
+
+using mesh::ElementType;
+using mesh::Point;
+
+/// Evaluate the basis of `type` at reference point `xi` (ξ, η, ζ).
+///   N  — nper values
+///   dN — nper × 3 derivatives, row-major: dN[a*3 + d] = ∂N_a/∂ξ_d
+/// Hexes use the reference cube [-1,1]³; tets use the unit simplex
+/// (ξ,η,ζ ≥ 0, ξ+η+ζ ≤ 1).
+void shape_functions(ElementType type, const double xi[3], std::span<double> N,
+                     std::span<double> dN);
+
+/// Reference coordinates of each node of `type`, in element node order.
+[[nodiscard]] std::span<const Point> reference_nodes(ElementType type);
+
+}  // namespace hymv::fem

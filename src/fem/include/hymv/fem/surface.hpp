@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file surface.hpp
+/// Surface (boundary-face) machinery: face topology tables for every
+/// element type, 2D face shape functions, surface quadrature, and the
+/// traction load integral  fe_a += ∫_face t(x) N_a dA.
+///
+/// This provides the Neumann side of the paper's verification problem
+/// (§V-B): the elastic bar is hung from its top face with a uniform
+/// traction t_z = ρ g L_z applied there — the natural-BC formulation this
+/// module enables (the Dirichlet-only substitution remains the default in
+/// the driver; see DESIGN.md).
+///
+/// Face-local node orderings: quads are (c0, c1, c2, c3[, e01, e12, e23,
+/// e30][, center]) and triangles (c0, c1, c2[, e01, e12, e02]), consistent
+/// with the parent element orderings in mesh/structured.hpp and
+/// mesh/tet.hpp.
+
+#include <array>
+#include <functional>
+#include <span>
+
+#include "hymv/mesh/element_type.hpp"
+#include "hymv/mesh/face_topology.hpp"
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::fem {
+
+using mesh::ElementType;
+using mesh::Point;
+
+/// 2D face element families.
+enum class FaceType : std::uint8_t { kQuad4, kQuad8, kQuad9, kTri3, kTri6 };
+
+/// The face family of a volume element's boundary faces.
+[[nodiscard]] FaceType face_type(ElementType type);
+
+/// Nodes per face element.
+[[nodiscard]] int nodes_per_face(FaceType type);
+
+// Face topology (num_faces / face_nodes) lives in mesh/face_topology.hpp;
+// re-exported here for convenience.
+using mesh::face_nodes;
+using mesh::num_faces;
+
+/// Evaluate the 2D face basis at (ξ, η): N (nper values) and dN
+/// (nper × 2, row-major). Quads use [-1,1]²; triangles the unit simplex.
+void face_shape(FaceType type, const double xi[2], std::span<double> n,
+                std::span<double> dn);
+
+/// One surface quadrature point.
+struct FaceQuadPoint {
+  double xi[2];
+  double weight;
+};
+
+/// Surface quadrature exact for the face family's mass-type integrands
+/// (3×3 Gauss for quads, degree-4 rule for triangles).
+[[nodiscard]] std::vector<FaceQuadPoint> face_quadrature(FaceType type);
+
+/// Accumulate the traction load of one face:
+///   fe[a·ndof + c] += ∫ t_c(x) N_a dA,
+/// where `coords` are the face nodes' 3D coordinates (face-local order) and
+/// dA uses the surface Jacobian |∂x/∂ξ × ∂x/∂η|. `fe` has
+/// nodes_per_face × ndof entries and is accumulated into (not zeroed).
+void face_traction_rhs(
+    FaceType type, std::span<const Point> coords,
+    const std::function<std::array<double, 3>(const Point&)>& traction,
+    int ndof, std::span<double> fe);
+
+/// Area of a face from its node coordinates (∫ 1 dA).
+[[nodiscard]] double face_area(FaceType type, std::span<const Point> coords);
+
+}  // namespace hymv::fem

@@ -1,0 +1,37 @@
+#include "hymv/fem/analytic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hymv::fem {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+double PoissonManufactured::solution(const Point& x) {
+  return std::sin(kTwoPi * x[0]) * std::sin(kTwoPi * x[1]) *
+         std::sin(kTwoPi * x[2]) /
+         (12.0 * std::numbers::pi * std::numbers::pi);
+}
+
+double PoissonManufactured::forcing(const Point& x) {
+  return std::sin(kTwoPi * x[0]) * std::sin(kTwoPi * x[1]) *
+         std::sin(kTwoPi * x[2]);
+}
+
+std::array<double, 3> ElasticBar::displacement(const Point& x) const {
+  const double c = density * gravity / young;
+  return {
+      -poisson * c * x[0] * x[2],
+      -poisson * c * x[1] * x[2],
+      0.5 * c * (x[2] * x[2] - lz * lz) +
+          0.5 * poisson * c * (x[0] * x[0] + x[1] * x[1]),
+  };
+}
+
+std::array<double, 3> ElasticBar::body_force(const Point&) const {
+  return {0.0, 0.0, -density * gravity};
+}
+
+}  // namespace hymv::fem

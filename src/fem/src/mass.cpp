@@ -1,0 +1,98 @@
+#include "hymv/fem/mass.hpp"
+
+#include <algorithm>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::fem {
+
+MassOperator::MassOperator(ElementType type, double density,
+                           int ndof_per_node)
+    : ElementOperator(type, default_quadrature(type)),
+      density_(density),
+      ndof_(ndof_per_node) {
+  HYMV_CHECK_MSG(density > 0.0, "MassOperator: density must be positive");
+  HYMV_CHECK_MSG(ndof_per_node == 1 || ndof_per_node == 3,
+                 "MassOperator: ndof_per_node must be 1 or 3");
+}
+
+void MassOperator::element_matrix(std::span<const Point> coords,
+                                  std::span<double> ke) const {
+  const auto n = static_cast<std::size_t>(nper_);
+  const auto ndofs = n * static_cast<std::size_t>(ndof_);
+  HYMV_CHECK_MSG(ke.size() == ndofs * ndofs, "element_matrix: ke size");
+  std::fill(ke.begin(), ke.end(), 0.0);
+  std::vector<double> grad;  // only needed for det(J)·w
+  for (std::size_t q = 0; q < qps_.size(); ++q) {
+    const double dw = density_ * physical_gradients(q, coords, grad);
+    const auto& shape = qps_[q].n;
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t a = 0; a < n; ++a) {
+        const double m = dw * shape[a] * shape[b];
+        for (std::size_t c = 0; c < static_cast<std::size_t>(ndof_); ++c) {
+          const std::size_t row = a * static_cast<std::size_t>(ndof_) + c;
+          const std::size_t col = b * static_cast<std::size_t>(ndof_) + c;
+          ke[col * ndofs + row] += m;
+        }
+      }
+    }
+  }
+}
+
+void MassOperator::element_rhs(std::span<const Point> coords,
+                               std::span<double> fe) const {
+  HYMV_CHECK_MSG(fe.size() ==
+                     static_cast<std::size_t>(nper_ * ndof_),
+                 "element_rhs: fe size");
+  std::fill(fe.begin(), fe.end(), 0.0);
+  (void)coords;  // no built-in source term
+}
+
+std::int64_t MassOperator::matrix_flops() const {
+  const auto n = static_cast<std::int64_t>(nper_);
+  const auto nq = static_cast<std::int64_t>(qps_.size());
+  return nq * (18 * n + 50 + 4 * n * n * ndof_);
+}
+
+std::int64_t MassOperator::matrix_traffic_bytes() const {
+  const auto n = static_cast<std::int64_t>(nper_);
+  const auto nq = static_cast<std::int64_t>(qps_.size());
+  return nq * (24 * n * n * ndof_ + 16 * n);
+}
+
+HelmholtzOperator::HelmholtzOperator(ElementType type, double sigma,
+                                     PoissonOperator::Forcing forcing)
+    : ElementOperator(type, default_quadrature(type)),
+      sigma_(sigma),
+      stiffness_(type, std::move(forcing)),
+      mass_(type, 1.0, 1) {
+  HYMV_CHECK_MSG(sigma > 0.0, "HelmholtzOperator: sigma must be positive "
+                              "(the operator must stay SPD)");
+}
+
+void HelmholtzOperator::element_matrix(std::span<const Point> coords,
+                                       std::span<double> ke) const {
+  const auto n = static_cast<std::size_t>(nper_);
+  std::vector<double> me(n * n);
+  stiffness_.element_matrix(coords, ke);
+  mass_.element_matrix(coords, me);
+  for (std::size_t i = 0; i < ke.size(); ++i) {
+    ke[i] += sigma_ * me[i];
+  }
+}
+
+void HelmholtzOperator::element_rhs(std::span<const Point> coords,
+                                    std::span<double> fe) const {
+  stiffness_.element_rhs(coords, fe);
+}
+
+std::int64_t HelmholtzOperator::matrix_flops() const {
+  return stiffness_.matrix_flops() + mass_.matrix_flops() +
+         2 * static_cast<std::int64_t>(nper_) * nper_;
+}
+
+std::int64_t HelmholtzOperator::matrix_traffic_bytes() const {
+  return stiffness_.matrix_traffic_bytes() + mass_.matrix_traffic_bytes();
+}
+
+}  // namespace hymv::fem

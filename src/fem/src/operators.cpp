@@ -1,0 +1,235 @@
+#include "hymv/fem/operators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::fem {
+
+ElementOperator::ElementOperator(ElementType type, QuadratureRule rule)
+    : type_(type), nper_(mesh::nodes_per_element(type)) {
+  qps_.reserve(rule.size());
+  for (const QuadPoint& qp : rule.points) {
+    QpBasis basis;
+    basis.n.resize(static_cast<std::size_t>(nper_));
+    basis.dn.resize(static_cast<std::size_t>(nper_) * 3);
+    shape_functions(type_, qp.xi, basis.n, basis.dn);
+    basis.weight = qp.weight;
+    qps_.push_back(std::move(basis));
+  }
+}
+
+double ElementOperator::physical_gradients(std::size_t q,
+                                           std::span<const Point> coords,
+                                           std::vector<double>& grad) const {
+  const QpBasis& qp = qps_[q];
+  const auto n = static_cast<std::size_t>(nper_);
+  HYMV_CHECK_MSG(coords.size() == n, "physical_gradients: coords size");
+
+  // Jacobian J[d][k] = dx_d / dξ_k.
+  double j[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  for (std::size_t a = 0; a < n; ++a) {
+    const Point& x = coords[a];
+    const double* dn = &qp.dn[a * 3];
+    for (int d = 0; d < 3; ++d) {
+      j[d][0] += x[static_cast<std::size_t>(d)] * dn[0];
+      j[d][1] += x[static_cast<std::size_t>(d)] * dn[1];
+      j[d][2] += x[static_cast<std::size_t>(d)] * dn[2];
+    }
+  }
+  const double det = j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1]) -
+                     j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0]) +
+                     j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+  HYMV_CHECK_MSG(det > 0.0, "physical_gradients: non-positive Jacobian "
+                            "(inverted or degenerate element)");
+  const double inv_det = 1.0 / det;
+  // jinv[k][d] = dξ_k / dx_d (inverse transpose of the cofactor layout).
+  double jinv[3][3];
+  jinv[0][0] = (j[1][1] * j[2][2] - j[1][2] * j[2][1]) * inv_det;
+  jinv[0][1] = (j[0][2] * j[2][1] - j[0][1] * j[2][2]) * inv_det;
+  jinv[0][2] = (j[0][1] * j[1][2] - j[0][2] * j[1][1]) * inv_det;
+  jinv[1][0] = (j[1][2] * j[2][0] - j[1][0] * j[2][2]) * inv_det;
+  jinv[1][1] = (j[0][0] * j[2][2] - j[0][2] * j[2][0]) * inv_det;
+  jinv[1][2] = (j[0][2] * j[1][0] - j[0][0] * j[1][2]) * inv_det;
+  jinv[2][0] = (j[1][0] * j[2][1] - j[1][1] * j[2][0]) * inv_det;
+  jinv[2][1] = (j[0][1] * j[2][0] - j[0][0] * j[2][1]) * inv_det;
+  jinv[2][2] = (j[0][0] * j[1][1] - j[0][1] * j[1][0]) * inv_det;
+
+  grad.resize(n * 3);
+  for (std::size_t a = 0; a < n; ++a) {
+    const double* dn = &qp.dn[a * 3];
+    for (int d = 0; d < 3; ++d) {
+      grad[a * 3 + static_cast<std::size_t>(d)] =
+          dn[0] * jinv[0][d] + dn[1] * jinv[1][d] + dn[2] * jinv[2][d];
+    }
+  }
+  return det * qp.weight;
+}
+
+Point ElementOperator::physical_point(std::size_t q,
+                                      std::span<const Point> coords) const {
+  const QpBasis& qp = qps_[q];
+  Point x{0.0, 0.0, 0.0};
+  for (std::size_t a = 0; a < coords.size(); ++a) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      x[d] += qp.n[a] * coords[a][d];
+    }
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Poisson
+// ---------------------------------------------------------------------------
+
+PoissonOperator::PoissonOperator(ElementType type, Forcing forcing)
+    : ElementOperator(type, default_quadrature(type)),
+      forcing_(std::move(forcing)) {}
+
+void PoissonOperator::element_matrix(std::span<const Point> coords,
+                                     std::span<double> ke) const {
+  const auto n = static_cast<std::size_t>(nper_);
+  HYMV_CHECK_MSG(ke.size() == n * n, "element_matrix: ke size");
+  std::fill(ke.begin(), ke.end(), 0.0);
+  std::vector<double> grad;
+  for (std::size_t q = 0; q < qps_.size(); ++q) {
+    const double dw = physical_gradients(q, coords, grad);
+    for (std::size_t b = 0; b < n; ++b) {
+      const double gbx = grad[b * 3 + 0];
+      const double gby = grad[b * 3 + 1];
+      const double gbz = grad[b * 3 + 2];
+      double* col = &ke[b * n];
+      for (std::size_t a = 0; a < n; ++a) {
+        col[a] += dw * (grad[a * 3 + 0] * gbx + grad[a * 3 + 1] * gby +
+                        grad[a * 3 + 2] * gbz);
+      }
+    }
+  }
+}
+
+void PoissonOperator::element_rhs(std::span<const Point> coords,
+                                  std::span<double> fe) const {
+  const auto n = static_cast<std::size_t>(nper_);
+  HYMV_CHECK_MSG(fe.size() == n, "element_rhs: fe size");
+  std::fill(fe.begin(), fe.end(), 0.0);
+  if (!forcing_) {
+    return;
+  }
+  std::vector<double> grad;
+  for (std::size_t q = 0; q < qps_.size(); ++q) {
+    const double dw = physical_gradients(q, coords, grad);
+    const Point x = physical_point(q, coords);
+    const double f = forcing_(x);
+    for (std::size_t a = 0; a < n; ++a) {
+      fe[a] += dw * f * qps_[q].n[a];
+    }
+  }
+}
+
+std::int64_t PoissonOperator::matrix_traffic_bytes() const {
+  // Per quadrature point and (a, b) pair: the ke entry read-modify-write
+  // (16 B) plus the two gradient loads (48 B); per node the gradient
+  // write-back (24 B).
+  const auto n = static_cast<std::int64_t>(nper_);
+  const auto nq = static_cast<std::int64_t>(qps_.size());
+  return nq * (64 * n * n + 48 * n);
+}
+
+std::int64_t PoissonOperator::matrix_flops() const {
+  // Per quadrature point: Jacobian 18n, det+inverse ~50, physical gradients
+  // 15n, accumulation 8 per (a, b) pair.
+  const auto n = static_cast<std::int64_t>(nper_);
+  const auto nq = static_cast<std::int64_t>(qps_.size());
+  return nq * (18 * n + 50 + 15 * n + 8 * n * n);
+}
+
+// ---------------------------------------------------------------------------
+// Elasticity
+// ---------------------------------------------------------------------------
+
+ElasticityOperator::ElasticityOperator(ElementType type, double young,
+                                       double poisson, BodyForce body_force)
+    : ElementOperator(type, default_quadrature(type)),
+      young_(young),
+      poisson_(poisson),
+      lambda_(young * poisson / ((1.0 + poisson) * (1.0 - 2.0 * poisson))),
+      mu_(young / (2.0 * (1.0 + poisson))),
+      body_force_(std::move(body_force)) {
+  HYMV_CHECK_MSG(young > 0.0, "ElasticityOperator: Young's modulus <= 0");
+  HYMV_CHECK_MSG(poisson > -1.0 && poisson < 0.5,
+                 "ElasticityOperator: Poisson ratio outside (-1, 0.5)");
+}
+
+void ElasticityOperator::element_matrix(std::span<const Point> coords,
+                                        std::span<double> ke) const {
+  const auto n = static_cast<std::size_t>(nper_);
+  const std::size_t ndofs = 3 * n;
+  HYMV_CHECK_MSG(ke.size() == ndofs * ndofs, "element_matrix: ke size");
+  std::fill(ke.begin(), ke.end(), 0.0);
+  std::vector<double> grad;
+  const double lambda = scale_ * lambda_;
+  const double mu = scale_ * mu_;
+  for (std::size_t q = 0; q < qps_.size(); ++q) {
+    const double dw = physical_gradients(q, coords, grad);
+    const double lam_w = lambda * dw;
+    const double mu_w = mu * dw;
+    for (std::size_t b = 0; b < n; ++b) {
+      const double gb[3] = {grad[b * 3], grad[b * 3 + 1], grad[b * 3 + 2]};
+      for (std::size_t a = 0; a < n; ++a) {
+        const double ga[3] = {grad[a * 3], grad[a * 3 + 1], grad[a * 3 + 2]};
+        const double dot = ga[0] * gb[0] + ga[1] * gb[1] + ga[2] * gb[2];
+        for (std::size_t j = 0; j < 3; ++j) {
+          // Column-major: column index (3b + j), row index (3a + i).
+          double* col = &ke[(3 * b + j) * ndofs + 3 * a];
+          for (std::size_t i = 0; i < 3; ++i) {
+            double v = lam_w * ga[i] * gb[j] + mu_w * ga[j] * gb[i];
+            if (i == j) {
+              v += mu_w * dot;
+            }
+            col[i] += v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void ElasticityOperator::element_rhs(std::span<const Point> coords,
+                                     std::span<double> fe) const {
+  const auto n = static_cast<std::size_t>(nper_);
+  HYMV_CHECK_MSG(fe.size() == 3 * n, "element_rhs: fe size");
+  std::fill(fe.begin(), fe.end(), 0.0);
+  if (!body_force_) {
+    return;
+  }
+  std::vector<double> grad;
+  for (std::size_t q = 0; q < qps_.size(); ++q) {
+    const double dw = physical_gradients(q, coords, grad);
+    const Point x = physical_point(q, coords);
+    const std::array<double, 3> b = body_force_(x);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        fe[3 * a + i] += dw * b[i] * qps_[q].n[a];
+      }
+    }
+  }
+}
+
+std::int64_t ElasticityOperator::matrix_traffic_bytes() const {
+  // Per quadrature point and node pair: the 3x3 ke block read-modify-write
+  // (144 B) plus gradient loads (48 B).
+  const auto n = static_cast<std::int64_t>(nper_);
+  const auto nq = static_cast<std::int64_t>(qps_.size());
+  return nq * (200 * n * n + 48 * n);
+}
+
+std::int64_t ElasticityOperator::matrix_flops() const {
+  // Per quadrature point: geometry as in Poisson plus ~50 flops per (a, b)
+  // node pair for the 3×3 block accumulation.
+  const auto n = static_cast<std::int64_t>(nper_);
+  const auto nq = static_cast<std::int64_t>(qps_.size());
+  return nq * (18 * n + 50 + 15 * n + 50 * n * n);
+}
+
+}  // namespace hymv::fem

@@ -1,0 +1,119 @@
+#include "hymv/fem/quadrature.hpp"
+
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::fem {
+
+namespace {
+
+/// 1D Gauss–Legendre nodes/weights on [-1, 1].
+void gauss_1d(int n, std::vector<double>& x, std::vector<double>& w) {
+  switch (n) {
+    case 1:
+      x = {0.0};
+      w = {2.0};
+      return;
+    case 2: {
+      const double a = 1.0 / std::sqrt(3.0);
+      x = {-a, a};
+      w = {1.0, 1.0};
+      return;
+    }
+    case 3: {
+      const double a = std::sqrt(3.0 / 5.0);
+      x = {-a, 0.0, a};
+      w = {5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0};
+      return;
+    }
+    case 4: {
+      const double a = std::sqrt(3.0 / 7.0 - 2.0 / 7.0 * std::sqrt(6.0 / 5.0));
+      const double b = std::sqrt(3.0 / 7.0 + 2.0 / 7.0 * std::sqrt(6.0 / 5.0));
+      const double wa = (18.0 + std::sqrt(30.0)) / 36.0;
+      const double wb = (18.0 - std::sqrt(30.0)) / 36.0;
+      x = {-b, -a, a, b};
+      w = {wb, wa, wa, wb};
+      return;
+    }
+    default:
+      HYMV_THROW("gauss_1d: supported orders are 1..4");
+  }
+}
+
+}  // namespace
+
+QuadratureRule gauss_hex(int points_per_axis) {
+  std::vector<double> x, w;
+  gauss_1d(points_per_axis, x, w);
+  QuadratureRule rule;
+  rule.points.reserve(static_cast<std::size_t>(points_per_axis) *
+                      static_cast<std::size_t>(points_per_axis) *
+                      static_cast<std::size_t>(points_per_axis));
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        rule.points.push_back(
+            QuadPoint{{x[i], x[j], x[k]}, w[i] * w[j] * w[k]});
+      }
+    }
+  }
+  return rule;
+}
+
+QuadratureRule tet_rule(int degree) {
+  QuadratureRule rule;
+  switch (degree) {
+    case 1:
+      rule.points.push_back(QuadPoint{{0.25, 0.25, 0.25}, 1.0 / 6.0});
+      return rule;
+    case 2: {
+      // Four symmetric points, exact to degree 2.
+      const double a = (5.0 + 3.0 * std::sqrt(5.0)) / 20.0;  // 0.5854...
+      const double b = (5.0 - std::sqrt(5.0)) / 20.0;        // 0.1382...
+      const double w = 1.0 / 24.0;
+      rule.points = {
+          QuadPoint{{a, b, b}, w},
+          QuadPoint{{b, a, b}, w},
+          QuadPoint{{b, b, a}, w},
+          QuadPoint{{b, b, b}, w},
+      };
+      return rule;
+    }
+    case 3: {
+      // Five-point rule (centroid + 4 points), exact to degree 3.
+      rule.points.push_back(
+          QuadPoint{{0.25, 0.25, 0.25}, -4.0 / 30.0});
+      const double a = 0.5;
+      const double b = 1.0 / 6.0;
+      const double w = 9.0 / 120.0;
+      rule.points.insert(rule.points.end(), {
+          QuadPoint{{a, b, b}, w},
+          QuadPoint{{b, a, b}, w},
+          QuadPoint{{b, b, a}, w},
+          QuadPoint{{b, b, b}, w},
+      });
+      return rule;
+    }
+    default:
+      HYMV_THROW("tet_rule: supported degrees are 1..3");
+  }
+}
+
+QuadratureRule default_quadrature(mesh::ElementType type) {
+  using mesh::ElementType;
+  switch (type) {
+    case ElementType::kHex8:
+      return gauss_hex(2);
+    case ElementType::kHex20:
+    case ElementType::kHex27:
+      return gauss_hex(3);
+    case ElementType::kTet4:
+      return tet_rule(2);
+    case ElementType::kTet10:
+      return tet_rule(3);
+  }
+  HYMV_THROW("default_quadrature: unknown element type");
+}
+
+}  // namespace hymv::fem

@@ -1,0 +1,233 @@
+#include "hymv/fem/reference_element.hpp"
+
+#include <array>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::fem {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference node tables (must match the mesh builders' orderings).
+// ---------------------------------------------------------------------------
+
+constexpr std::array<Point, 8> kHex8Nodes{{
+    {-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+    {-1, -1, 1},  {1, -1, 1},  {1, 1, 1},  {-1, 1, 1},
+}};
+
+constexpr std::array<Point, 20> kHex20Nodes{{
+    // corners
+    {-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+    {-1, -1, 1},  {1, -1, 1},  {1, 1, 1},  {-1, 1, 1},
+    // bottom edges (0-1, 1-2, 2-3, 3-0)
+    {0, -1, -1},  {1, 0, -1},  {0, 1, -1}, {-1, 0, -1},
+    // top edges (4-5, 5-6, 6-7, 7-4)
+    {0, -1, 1},   {1, 0, 1},   {0, 1, 1},  {-1, 0, 1},
+    // vertical edges (0-4, 1-5, 2-6, 3-7)
+    {-1, -1, 0},  {1, -1, 0},  {1, 1, 0},  {-1, 1, 0},
+}};
+
+constexpr std::array<Point, 27> kHex27Nodes{{
+    {-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+    {-1, -1, 1},  {1, -1, 1},  {1, 1, 1},  {-1, 1, 1},
+    {0, -1, -1},  {1, 0, -1},  {0, 1, -1}, {-1, 0, -1},
+    {0, -1, 1},   {1, 0, 1},   {0, 1, 1},  {-1, 0, 1},
+    {-1, -1, 0},  {1, -1, 0},  {1, 1, 0},  {-1, 1, 0},
+    // face centers: ζ-, ζ+, η-, ξ+, η+, ξ-
+    {0, 0, -1},   {0, 0, 1},   {0, -1, 0}, {1, 0, 0},  {0, 1, 0}, {-1, 0, 0},
+    // body center
+    {0, 0, 0},
+}};
+
+constexpr std::array<Point, 4> kTet4Nodes{{
+    {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+}};
+
+constexpr std::array<Point, 10> kTet10Nodes{{
+    {0, 0, 0},     {1, 0, 0},     {0, 1, 0},     {0, 0, 1},
+    {0.5, 0, 0},   {0.5, 0.5, 0}, {0, 0.5, 0},   {0, 0, 0.5},
+    {0.5, 0, 0.5}, {0, 0.5, 0.5},
+}};
+
+// ---------------------------------------------------------------------------
+// Hex bases
+// ---------------------------------------------------------------------------
+
+void hex8_shape(const double xi[3], std::span<double> N, std::span<double> dN) {
+  for (int a = 0; a < 8; ++a) {
+    const Point& p = kHex8Nodes[static_cast<std::size_t>(a)];
+    const double fx = 1.0 + xi[0] * p[0];
+    const double fy = 1.0 + xi[1] * p[1];
+    const double fz = 1.0 + xi[2] * p[2];
+    N[static_cast<std::size_t>(a)] = 0.125 * fx * fy * fz;
+    dN[static_cast<std::size_t>(a * 3 + 0)] = 0.125 * p[0] * fy * fz;
+    dN[static_cast<std::size_t>(a * 3 + 1)] = 0.125 * fx * p[1] * fz;
+    dN[static_cast<std::size_t>(a * 3 + 2)] = 0.125 * fx * fy * p[2];
+  }
+}
+
+void hex20_shape(const double xi[3], std::span<double> N,
+                 std::span<double> dN) {
+  for (int a = 0; a < 20; ++a) {
+    const Point& p = kHex20Nodes[static_cast<std::size_t>(a)];
+    const double x = xi[0], y = xi[1], z = xi[2];
+    const double xa = p[0], ya = p[1], za = p[2];
+    if (a < 8) {
+      // Corner: 1/8 (1+ξξa)(1+ηηa)(1+ζζa)(ξξa+ηηa+ζζa-2)
+      const double fx = 1.0 + x * xa;
+      const double fy = 1.0 + y * ya;
+      const double fz = 1.0 + z * za;
+      const double g = x * xa + y * ya + z * za - 2.0;
+      N[static_cast<std::size_t>(a)] = 0.125 * fx * fy * fz * g;
+      dN[static_cast<std::size_t>(a * 3 + 0)] =
+          0.125 * xa * fy * fz * g + 0.125 * fx * fy * fz * xa;
+      dN[static_cast<std::size_t>(a * 3 + 1)] =
+          0.125 * fx * ya * fz * g + 0.125 * fx * fy * fz * ya;
+      dN[static_cast<std::size_t>(a * 3 + 2)] =
+          0.125 * fx * fy * za * g + 0.125 * fx * fy * fz * za;
+    } else if (xa == 0.0) {
+      // Edge node with ξa = 0: 1/4 (1-ξ²)(1+ηηa)(1+ζζa)
+      const double fy = 1.0 + y * ya;
+      const double fz = 1.0 + z * za;
+      N[static_cast<std::size_t>(a)] = 0.25 * (1.0 - x * x) * fy * fz;
+      dN[static_cast<std::size_t>(a * 3 + 0)] = -0.5 * x * fy * fz;
+      dN[static_cast<std::size_t>(a * 3 + 1)] = 0.25 * (1.0 - x * x) * ya * fz;
+      dN[static_cast<std::size_t>(a * 3 + 2)] = 0.25 * (1.0 - x * x) * fy * za;
+    } else if (ya == 0.0) {
+      const double fx = 1.0 + x * xa;
+      const double fz = 1.0 + z * za;
+      N[static_cast<std::size_t>(a)] = 0.25 * fx * (1.0 - y * y) * fz;
+      dN[static_cast<std::size_t>(a * 3 + 0)] = 0.25 * xa * (1.0 - y * y) * fz;
+      dN[static_cast<std::size_t>(a * 3 + 1)] = -0.5 * fx * y * fz;
+      dN[static_cast<std::size_t>(a * 3 + 2)] = 0.25 * fx * (1.0 - y * y) * za;
+    } else {
+      // ζa = 0
+      const double fx = 1.0 + x * xa;
+      const double fy = 1.0 + y * ya;
+      N[static_cast<std::size_t>(a)] = 0.25 * fx * fy * (1.0 - z * z);
+      dN[static_cast<std::size_t>(a * 3 + 0)] = 0.25 * xa * fy * (1.0 - z * z);
+      dN[static_cast<std::size_t>(a * 3 + 1)] = 0.25 * fx * ya * (1.0 - z * z);
+      dN[static_cast<std::size_t>(a * 3 + 2)] = -0.5 * fx * fy * z;
+    }
+  }
+}
+
+/// 1D quadratic Lagrange on {-1, 0, +1} and its derivative.
+inline void lagrange3(double x, double node, double& l, double& dl) {
+  if (node < -0.5) {
+    l = 0.5 * x * (x - 1.0);
+    dl = x - 0.5;
+  } else if (node > 0.5) {
+    l = 0.5 * x * (x + 1.0);
+    dl = x + 0.5;
+  } else {
+    l = 1.0 - x * x;
+    dl = -2.0 * x;
+  }
+}
+
+void hex27_shape(const double xi[3], std::span<double> N,
+                 std::span<double> dN) {
+  for (int a = 0; a < 27; ++a) {
+    const Point& p = kHex27Nodes[static_cast<std::size_t>(a)];
+    double lx, ly, lz, dlx, dly, dlz;
+    lagrange3(xi[0], p[0], lx, dlx);
+    lagrange3(xi[1], p[1], ly, dly);
+    lagrange3(xi[2], p[2], lz, dlz);
+    N[static_cast<std::size_t>(a)] = lx * ly * lz;
+    dN[static_cast<std::size_t>(a * 3 + 0)] = dlx * ly * lz;
+    dN[static_cast<std::size_t>(a * 3 + 1)] = lx * dly * lz;
+    dN[static_cast<std::size_t>(a * 3 + 2)] = lx * ly * dlz;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tet bases (barycentric L0 = 1-ξ-η-ζ, L1 = ξ, L2 = η, L3 = ζ)
+// ---------------------------------------------------------------------------
+
+void tet4_shape(const double xi[3], std::span<double> N, std::span<double> dN) {
+  N[0] = 1.0 - xi[0] - xi[1] - xi[2];
+  N[1] = xi[0];
+  N[2] = xi[1];
+  N[3] = xi[2];
+  constexpr double kGrad[4][3] = {
+      {-1, -1, -1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  for (int a = 0; a < 4; ++a) {
+    for (int d = 0; d < 3; ++d) {
+      dN[static_cast<std::size_t>(a * 3 + d)] = kGrad[a][d];
+    }
+  }
+}
+
+void tet10_shape(const double xi[3], std::span<double> N,
+                 std::span<double> dN) {
+  const double L[4] = {1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]};
+  constexpr double kGradL[4][3] = {
+      {-1, -1, -1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  // Corners: La (2La - 1)
+  for (int a = 0; a < 4; ++a) {
+    N[static_cast<std::size_t>(a)] = L[a] * (2.0 * L[a] - 1.0);
+    for (int d = 0; d < 3; ++d) {
+      dN[static_cast<std::size_t>(a * 3 + d)] =
+          (4.0 * L[a] - 1.0) * kGradL[a][d];
+    }
+  }
+  // Edges: 4 La Lb, order (0-1),(1-2),(0-2),(0-3),(1-3),(2-3)
+  constexpr int kEdges[6][2] = {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}};
+  for (int e = 0; e < 6; ++e) {
+    const int a = kEdges[e][0];
+    const int b = kEdges[e][1];
+    N[static_cast<std::size_t>(4 + e)] = 4.0 * L[a] * L[b];
+    for (int d = 0; d < 3; ++d) {
+      dN[static_cast<std::size_t>((4 + e) * 3 + d)] =
+          4.0 * (kGradL[a][d] * L[b] + L[a] * kGradL[b][d]);
+    }
+  }
+}
+
+}  // namespace
+
+void shape_functions(ElementType type, const double xi[3], std::span<double> N,
+                     std::span<double> dN) {
+  const auto nper = static_cast<std::size_t>(mesh::nodes_per_element(type));
+  HYMV_CHECK_MSG(N.size() >= nper && dN.size() >= 3 * nper,
+                 "shape_functions: output spans too small");
+  switch (type) {
+    case ElementType::kHex8:
+      hex8_shape(xi, N, dN);
+      return;
+    case ElementType::kHex20:
+      hex20_shape(xi, N, dN);
+      return;
+    case ElementType::kHex27:
+      hex27_shape(xi, N, dN);
+      return;
+    case ElementType::kTet4:
+      tet4_shape(xi, N, dN);
+      return;
+    case ElementType::kTet10:
+      tet10_shape(xi, N, dN);
+      return;
+  }
+  HYMV_THROW("shape_functions: unknown element type");
+}
+
+std::span<const Point> reference_nodes(ElementType type) {
+  switch (type) {
+    case ElementType::kHex8:
+      return kHex8Nodes;
+    case ElementType::kHex20:
+      return kHex20Nodes;
+    case ElementType::kHex27:
+      return kHex27Nodes;
+    case ElementType::kTet4:
+      return kTet4Nodes;
+    case ElementType::kTet10:
+      return kTet10Nodes;
+  }
+  HYMV_THROW("reference_nodes: unknown element type");
+}
+
+}  // namespace hymv::fem

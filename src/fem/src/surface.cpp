@@ -1,0 +1,267 @@
+#include "hymv/fem/surface.hpp"
+
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::fem {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// 2D bases
+// ---------------------------------------------------------------------------
+
+void quad4_shape(const double xi[2], std::span<double> n,
+                 std::span<double> dn) {
+  constexpr double c[4][2] = {{-1, -1}, {1, -1}, {1, 1}, {-1, 1}};
+  for (int a = 0; a < 4; ++a) {
+    const double fx = 1.0 + xi[0] * c[a][0];
+    const double fy = 1.0 + xi[1] * c[a][1];
+    n[static_cast<std::size_t>(a)] = 0.25 * fx * fy;
+    dn[static_cast<std::size_t>(a * 2 + 0)] = 0.25 * c[a][0] * fy;
+    dn[static_cast<std::size_t>(a * 2 + 1)] = 0.25 * fx * c[a][1];
+  }
+}
+
+void quad8_shape(const double xi[2], std::span<double> n,
+                 std::span<double> dn) {
+  // Serendipity: corners then edge midpoints (01, 12, 23, 30).
+  constexpr double c[8][2] = {{-1, -1}, {1, -1}, {1, 1}, {-1, 1},
+                              {0, -1},  {1, 0},  {0, 1}, {-1, 0}};
+  const double x = xi[0], y = xi[1];
+  for (int a = 0; a < 8; ++a) {
+    const double xa = c[a][0], ya = c[a][1];
+    if (a < 4) {
+      const double fx = 1.0 + x * xa;
+      const double fy = 1.0 + y * ya;
+      const double g = x * xa + y * ya - 1.0;
+      n[static_cast<std::size_t>(a)] = 0.25 * fx * fy * g;
+      dn[static_cast<std::size_t>(a * 2 + 0)] =
+          0.25 * xa * fy * g + 0.25 * fx * fy * xa;
+      dn[static_cast<std::size_t>(a * 2 + 1)] =
+          0.25 * fx * ya * g + 0.25 * fx * fy * ya;
+    } else if (xa == 0.0) {
+      const double fy = 1.0 + y * ya;
+      n[static_cast<std::size_t>(a)] = 0.5 * (1.0 - x * x) * fy;
+      dn[static_cast<std::size_t>(a * 2 + 0)] = -x * fy;
+      dn[static_cast<std::size_t>(a * 2 + 1)] = 0.5 * (1.0 - x * x) * ya;
+    } else {
+      const double fx = 1.0 + x * xa;
+      n[static_cast<std::size_t>(a)] = 0.5 * fx * (1.0 - y * y);
+      dn[static_cast<std::size_t>(a * 2 + 0)] = 0.5 * xa * (1.0 - y * y);
+      dn[static_cast<std::size_t>(a * 2 + 1)] = -fx * y;
+    }
+  }
+}
+
+/// 1D quadratic Lagrange on {-1, 0, 1}.
+void lagrange3_1d(double x, double node, double& l, double& dl) {
+  if (node < -0.5) {
+    l = 0.5 * x * (x - 1.0);
+    dl = x - 0.5;
+  } else if (node > 0.5) {
+    l = 0.5 * x * (x + 1.0);
+    dl = x + 0.5;
+  } else {
+    l = 1.0 - x * x;
+    dl = -2.0 * x;
+  }
+}
+
+void quad9_shape(const double xi[2], std::span<double> n,
+                 std::span<double> dn) {
+  // Corners, edge midpoints (01, 12, 23, 30), center.
+  constexpr double c[9][2] = {{-1, -1}, {1, -1}, {1, 1}, {-1, 1}, {0, -1},
+                              {1, 0},   {0, 1},  {-1, 0}, {0, 0}};
+  for (int a = 0; a < 9; ++a) {
+    double lx, ly, dlx, dly;
+    lagrange3_1d(xi[0], c[a][0], lx, dlx);
+    lagrange3_1d(xi[1], c[a][1], ly, dly);
+    n[static_cast<std::size_t>(a)] = lx * ly;
+    dn[static_cast<std::size_t>(a * 2 + 0)] = dlx * ly;
+    dn[static_cast<std::size_t>(a * 2 + 1)] = lx * dly;
+  }
+}
+
+void tri3_shape(const double xi[2], std::span<double> n,
+                std::span<double> dn) {
+  n[0] = 1.0 - xi[0] - xi[1];
+  n[1] = xi[0];
+  n[2] = xi[1];
+  constexpr double g[3][2] = {{-1, -1}, {1, 0}, {0, 1}};
+  for (int a = 0; a < 3; ++a) {
+    dn[static_cast<std::size_t>(a * 2)] = g[a][0];
+    dn[static_cast<std::size_t>(a * 2 + 1)] = g[a][1];
+  }
+}
+
+void tri6_shape(const double xi[2], std::span<double> n,
+                std::span<double> dn) {
+  const double l[3] = {1.0 - xi[0] - xi[1], xi[0], xi[1]};
+  constexpr double g[3][2] = {{-1, -1}, {1, 0}, {0, 1}};
+  for (int a = 0; a < 3; ++a) {
+    n[static_cast<std::size_t>(a)] = l[a] * (2.0 * l[a] - 1.0);
+    for (int d = 0; d < 2; ++d) {
+      dn[static_cast<std::size_t>(a * 2 + d)] = (4.0 * l[a] - 1.0) * g[a][d];
+    }
+  }
+  constexpr int e[3][2] = {{0, 1}, {1, 2}, {0, 2}};  // matches tet10 faces
+  for (int k = 0; k < 3; ++k) {
+    const int a = e[k][0], b = e[k][1];
+    n[static_cast<std::size_t>(3 + k)] = 4.0 * l[a] * l[b];
+    for (int d = 0; d < 2; ++d) {
+      dn[static_cast<std::size_t>((3 + k) * 2 + d)] =
+          4.0 * (g[a][d] * l[b] + l[a] * g[b][d]);
+    }
+  }
+}
+
+}  // namespace
+
+FaceType face_type(ElementType type) {
+  switch (type) {
+    case ElementType::kHex8:
+      return FaceType::kQuad4;
+    case ElementType::kHex20:
+      return FaceType::kQuad8;
+    case ElementType::kHex27:
+      return FaceType::kQuad9;
+    case ElementType::kTet4:
+      return FaceType::kTri3;
+    case ElementType::kTet10:
+      return FaceType::kTri6;
+  }
+  HYMV_THROW("face_type: unknown element type");
+}
+
+int nodes_per_face(FaceType type) {
+  switch (type) {
+    case FaceType::kQuad4:
+      return 4;
+    case FaceType::kQuad8:
+      return 8;
+    case FaceType::kQuad9:
+      return 9;
+    case FaceType::kTri3:
+      return 3;
+    case FaceType::kTri6:
+      return 6;
+  }
+  return 0;
+}
+
+void face_shape(FaceType type, const double xi[2], std::span<double> n,
+                std::span<double> dn) {
+  const auto nper = static_cast<std::size_t>(nodes_per_face(type));
+  HYMV_CHECK_MSG(n.size() >= nper && dn.size() >= 2 * nper,
+                 "face_shape: output spans too small");
+  switch (type) {
+    case FaceType::kQuad4:
+      quad4_shape(xi, n, dn);
+      return;
+    case FaceType::kQuad8:
+      quad8_shape(xi, n, dn);
+      return;
+    case FaceType::kQuad9:
+      quad9_shape(xi, n, dn);
+      return;
+    case FaceType::kTri3:
+      tri3_shape(xi, n, dn);
+      return;
+    case FaceType::kTri6:
+      tri6_shape(xi, n, dn);
+      return;
+  }
+}
+
+std::vector<FaceQuadPoint> face_quadrature(FaceType type) {
+  std::vector<FaceQuadPoint> points;
+  if (type == FaceType::kTri3 || type == FaceType::kTri6) {
+    // Degree-4, 6-point symmetric triangle rule (weights sum to 1/2).
+    const double a1 = 0.445948490915965, w1 = 0.223381589678011 / 2.0 * 1.0;
+    const double a2 = 0.091576213509771, w2 = 0.109951743655322 / 2.0 * 1.0;
+    // Standard weights already normalized to triangle area 1/2 when halved.
+    const double b1 = 1.0 - 2.0 * a1;
+    const double b2 = 1.0 - 2.0 * a2;
+    points = {
+        {{a1, a1}, w1}, {{a1, b1}, w1}, {{b1, a1}, w1},
+        {{a2, a2}, w2}, {{a2, b2}, w2}, {{b2, a2}, w2},
+    };
+    return points;
+  }
+  // 3×3 Gauss-Legendre on [-1,1]².
+  const double p = std::sqrt(3.0 / 5.0);
+  const double x[3] = {-p, 0.0, p};
+  const double w[3] = {5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0};
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      points.push_back(FaceQuadPoint{{x[i], x[j]}, w[i] * w[j]});
+    }
+  }
+  return points;
+}
+
+namespace {
+
+/// Surface differential |∂x/∂ξ × ∂x/∂η| and interpolated position at one
+/// quadrature point.
+double surface_jacobian(std::span<const Point> coords,
+                        std::span<const double> n,
+                        std::span<const double> dn, Point& x) {
+  double t1[3] = {0, 0, 0};
+  double t2[3] = {0, 0, 0};
+  x = {0, 0, 0};
+  for (std::size_t a = 0; a < coords.size(); ++a) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      x[d] += n[a] * coords[a][d];
+      t1[d] += dn[a * 2 + 0] * coords[a][d];
+      t2[d] += dn[a * 2 + 1] * coords[a][d];
+    }
+  }
+  const double cx = t1[1] * t2[2] - t1[2] * t2[1];
+  const double cy = t1[2] * t2[0] - t1[0] * t2[2];
+  const double cz = t1[0] * t2[1] - t1[1] * t2[0];
+  return std::sqrt(cx * cx + cy * cy + cz * cz);
+}
+
+}  // namespace
+
+void face_traction_rhs(
+    FaceType type, std::span<const Point> coords,
+    const std::function<std::array<double, 3>(const Point&)>& traction,
+    int ndof, std::span<double> fe) {
+  const auto nper = static_cast<std::size_t>(nodes_per_face(type));
+  HYMV_CHECK_MSG(coords.size() == nper, "face_traction_rhs: coords size");
+  HYMV_CHECK_MSG(fe.size() == nper * static_cast<std::size_t>(ndof),
+                 "face_traction_rhs: fe size");
+  HYMV_CHECK_MSG(ndof >= 1 && ndof <= 3, "face_traction_rhs: ndof in [1,3]");
+  std::vector<double> n(nper), dn(nper * 2);
+  Point x;
+  for (const FaceQuadPoint& qp : face_quadrature(type)) {
+    face_shape(type, qp.xi, n, dn);
+    const double da = surface_jacobian(coords, n, dn, x) * qp.weight;
+    const std::array<double, 3> t = traction(x);
+    for (std::size_t a = 0; a < nper; ++a) {
+      for (int c = 0; c < ndof; ++c) {
+        fe[a * static_cast<std::size_t>(ndof) + static_cast<std::size_t>(c)] +=
+            da * t[static_cast<std::size_t>(c)] * n[a];
+      }
+    }
+  }
+}
+
+double face_area(FaceType type, std::span<const Point> coords) {
+  const auto nper = static_cast<std::size_t>(nodes_per_face(type));
+  HYMV_CHECK_MSG(coords.size() == nper, "face_area: coords size");
+  std::vector<double> n(nper), dn(nper * 2);
+  Point x;
+  double area = 0.0;
+  for (const FaceQuadPoint& qp : face_quadrature(type)) {
+    face_shape(type, qp.xi, n, dn);
+    area += surface_jacobian(coords, n, dn, x) * qp.weight;
+  }
+  return area;
+}
+
+}  // namespace hymv::fem

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file store_io.hpp
+/// Binary checkpointing of the per-partition element-matrix store.
+///
+/// HYMV's setup (computing all element matrices) is its one significant
+/// up-front cost; for production runs that restart — or applications that
+/// re-run many load cases on a fixed mesh — persisting the store lets a
+/// rank resume SPMV-ready without recomputing a single quadrature point.
+/// Format: little-endian header {magic, version, num_elements, ndofs}
+/// followed by the raw padded column-major payload.
+
+#include <string>
+
+#include "hymv/core/element_store.hpp"
+
+namespace hymv::io {
+
+/// Write `store` to `path`. Throws hymv::Error on I/O failure.
+void save_store(const std::string& path, const core::ElementMatrixStore& store);
+
+/// Read a store previously written by save_store. Throws on I/O failure,
+/// bad magic, or version mismatch.
+[[nodiscard]] core::ElementMatrixStore load_store(const std::string& path);
+
+}  // namespace hymv::io

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file vtk.hpp
+/// Legacy-VTK (ASCII, UNSTRUCTURED_GRID) export of meshes and nodal
+/// solution fields, so downstream users can inspect results in
+/// ParaView/VisIt. Supports every element type in the library (hex8/20/27,
+/// tet4/10 map to VTK cell types 12/25/29/10/24).
+
+#include <string>
+
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::io {
+
+/// VTK cell-type id for an element type.
+[[nodiscard]] int vtk_cell_type(mesh::ElementType type);
+
+/// VTK's node ordering differs from ours only for hex27 (VTK 29 permutes
+/// face/center nodes); this returns the our-slot → VTK-slot permutation.
+[[nodiscard]] std::vector<int> vtk_node_permutation(mesh::ElementType type);
+
+/// Write `mesh` with optional point data to a legacy .vtk file.
+/// `fields` are (name, values) pairs; each field must have
+/// num_nodes() * components values, node-major.
+struct VtkField {
+  std::string name;
+  int components = 1;  ///< 1 (SCALARS) or 3 (VECTORS)
+  std::vector<double> values;
+};
+
+void write_vtk(const std::string& path, const mesh::Mesh& mesh,
+               const std::vector<VtkField>& fields = {},
+               const std::string& title = "hymv output");
+
+/// Render the VTK file content to a string (used by tests and write_vtk).
+[[nodiscard]] std::string render_vtk(const mesh::Mesh& mesh,
+                                     const std::vector<VtkField>& fields = {},
+                                     const std::string& title = "hymv output");
+
+}  // namespace hymv::io

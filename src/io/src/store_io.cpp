@@ -1,0 +1,58 @@
+#include "hymv/io/store_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::io {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x48594d5653544f52ULL;  // "HYMVSTOR"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t ndofs = 0;
+  std::int64_t num_elements = 0;
+};
+
+}  // namespace
+
+void save_store(const std::string& path,
+                const core::ElementMatrixStore& store) {
+  std::ofstream out(path, std::ios::binary);
+  HYMV_CHECK_MSG(out.good(), "save_store: cannot open " + path);
+  Header header;
+  header.ndofs = static_cast<std::uint32_t>(store.ndofs());
+  header.num_elements = store.num_elements();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  const auto payload = store.raw();
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size_bytes()));
+  HYMV_CHECK_MSG(out.good(), "save_store: write failed for " + path);
+}
+
+core::ElementMatrixStore load_store(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HYMV_CHECK_MSG(in.good(), "load_store: cannot open " + path);
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  HYMV_CHECK_MSG(in.good(), "load_store: truncated header in " + path);
+  HYMV_CHECK_MSG(header.magic == kMagic,
+                 "load_store: not a HYMV store file: " + path);
+  HYMV_CHECK_MSG(header.version == kVersion,
+                 "load_store: unsupported store version in " + path);
+  core::ElementMatrixStore store(header.num_elements,
+                                 static_cast<int>(header.ndofs));
+  const auto payload = store.raw();
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size_bytes()));
+  HYMV_CHECK_MSG(in.good(), "load_store: truncated payload in " + path);
+  return store;
+}
+
+}  // namespace hymv::io

@@ -1,0 +1,120 @@
+#include "hymv/io/vtk.hpp"
+
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::io {
+
+int vtk_cell_type(mesh::ElementType type) {
+  using mesh::ElementType;
+  switch (type) {
+    case ElementType::kHex8:
+      return 12;  // VTK_HEXAHEDRON
+    case ElementType::kHex20:
+      return 25;  // VTK_QUADRATIC_HEXAHEDRON
+    case ElementType::kHex27:
+      return 29;  // VTK_TRIQUADRATIC_HEXAHEDRON
+    case ElementType::kTet4:
+      return 10;  // VTK_TETRA
+    case ElementType::kTet10:
+      return 24;  // VTK_QUADRATIC_TETRA
+  }
+  HYMV_THROW("vtk_cell_type: unknown element type");
+}
+
+std::vector<int> vtk_node_permutation(mesh::ElementType type) {
+  using mesh::ElementType;
+  const int nper = mesh::nodes_per_element(type);
+  std::vector<int> perm(static_cast<std::size_t>(nper));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (type == ElementType::kHex27) {
+    // Our face-center order is (ζ-, ζ+, η-, ξ+, η+, ξ-) at slots 20..25;
+    // VTK_TRIQUADRATIC_HEXAHEDRON wants (ξ-, ξ+, η-, η+, ζ-, ζ+) at
+    // 20..25 (then the body center last). perm[our_slot] = vtk_slot.
+    perm[20] = 24;  // ζ- face
+    perm[21] = 25;  // ζ+ face
+    perm[22] = 22;  // η- face
+    perm[23] = 21;  // ξ+ face
+    perm[24] = 23;  // η+ face
+    perm[25] = 20;  // ξ- face
+  }
+  // Our tet10 edge order (01,12,02,03,13,23) matches VTK's
+  // (01,12,20,03,13,23) except edge 2: VTK's "20" midpoint is the same
+  // node as our "02" midpoint, so the identity works.
+  return perm;
+}
+
+std::string render_vtk(const mesh::Mesh& mesh,
+                       const std::vector<VtkField>& fields,
+                       const std::string& title) {
+  std::ostringstream os;
+  os << "# vtk DataFile Version 3.0\n" << title << "\nASCII\n";
+  os << "DATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << mesh.num_nodes() << " double\n";
+  for (mesh::NodeId n = 0; n < mesh.num_nodes(); ++n) {
+    const auto& p = mesh.coord(n);
+    os << p[0] << " " << p[1] << " " << p[2] << "\n";
+  }
+
+  const int nper = mesh.nodes_per_elem();
+  const auto perm = vtk_node_permutation(mesh.type());
+  os << "CELLS " << mesh.num_elements() << " "
+     << mesh.num_elements() * (nper + 1) << "\n";
+  std::vector<mesh::NodeId> vtk_nodes(static_cast<std::size_t>(nper));
+  for (std::int64_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto nodes = mesh.element(e);
+    for (int a = 0; a < nper; ++a) {
+      vtk_nodes[static_cast<std::size_t>(perm[static_cast<std::size_t>(a)])] =
+          nodes[static_cast<std::size_t>(a)];
+    }
+    os << nper;
+    for (const mesh::NodeId n : vtk_nodes) {
+      os << " " << n;
+    }
+    os << "\n";
+  }
+  os << "CELL_TYPES " << mesh.num_elements() << "\n";
+  const int cell_type = vtk_cell_type(mesh.type());
+  for (std::int64_t e = 0; e < mesh.num_elements(); ++e) {
+    os << cell_type << "\n";
+  }
+
+  if (!fields.empty()) {
+    os << "POINT_DATA " << mesh.num_nodes() << "\n";
+    for (const VtkField& field : fields) {
+      HYMV_CHECK_MSG(field.components == 1 || field.components == 3,
+                     "render_vtk: fields must have 1 or 3 components");
+      HYMV_CHECK_MSG(
+          static_cast<std::int64_t>(field.values.size()) ==
+              mesh.num_nodes() * field.components,
+          "render_vtk: field size must be num_nodes * components");
+      if (field.components == 1) {
+        os << "SCALARS " << field.name << " double 1\nLOOKUP_TABLE default\n";
+        for (const double v : field.values) {
+          os << v << "\n";
+        }
+      } else {
+        os << "VECTORS " << field.name << " double\n";
+        for (std::size_t i = 0; i < field.values.size(); i += 3) {
+          os << field.values[i] << " " << field.values[i + 1] << " "
+             << field.values[i + 2] << "\n";
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+void write_vtk(const std::string& path, const mesh::Mesh& mesh,
+               const std::vector<VtkField>& fields,
+               const std::string& title) {
+  std::ofstream out(path);
+  HYMV_CHECK_MSG(out.good(), "write_vtk: cannot open " + path);
+  out << render_vtk(mesh, fields, title);
+  HYMV_CHECK_MSG(out.good(), "write_vtk: write failed for " + path);
+}
+
+}  // namespace hymv::io

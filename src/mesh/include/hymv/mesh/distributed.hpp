@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file distributed.hpp
+/// Node ownership, owner-contiguous global renumbering, and the per-rank
+/// mesh views consumed by HYMV.
+///
+/// The paper (§IV-A) specifies that HYMV is mesh-agnostic: each partition i
+/// provides only (1) its element count |ωi|, (2) the E2G map from element-
+/// local node slots to global node indices, and (3) its owned global-index
+/// range [Nbegin, Nend]. MeshPartition is exactly that contract, plus the
+/// node coordinates the FEM layer needs to evaluate element matrices.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::mesh {
+
+/// Everything rank `rank` knows about its piece of the mesh. Global node ids
+/// here are already renumbered owner-contiguously: rank r owns exactly
+/// [n_begin, n_end] (inclusive), ranks ordered by id.
+struct MeshPartition {
+  int rank = 0;
+  int nranks = 1;
+  ElementType type = ElementType::kHex8;
+  int nodes_per_elem = 0;
+
+  /// Flattened E2G: global node id of slot a of local element e is
+  /// e2g[e * nodes_per_elem + a].
+  std::vector<NodeId> e2g;
+
+  /// Owned global node range, inclusive: [n_begin, n_end]. Empty partitions
+  /// have n_end = n_begin - 1.
+  NodeId n_begin = 0;
+  NodeId n_end = -1;
+
+  /// Coordinates of every node slot of every local element, flattened as
+  /// elem_coords[(e * nodes_per_elem + a)] — the layout the element-matrix
+  /// kernels consume directly.
+  std::vector<Point> elem_coords;
+
+  /// Coordinates of owned nodes: owned_coords[g - n_begin] for owned id g.
+  /// Used for boundary-condition detection and solution verification.
+  std::vector<Point> owned_coords;
+
+  /// Original (pre-renumbering) global element ids, for debugging/reports.
+  std::vector<std::int64_t> global_element_ids;
+
+  [[nodiscard]] std::int64_t num_local_elements() const {
+    return nodes_per_elem == 0
+               ? 0
+               : static_cast<std::int64_t>(e2g.size()) / nodes_per_elem;
+  }
+  [[nodiscard]] std::int64_t num_owned_nodes() const {
+    return n_end - n_begin + 1;
+  }
+  /// E2G row of local element e.
+  [[nodiscard]] std::span<const NodeId> element_nodes(std::int64_t e) const {
+    return {e2g.data() + static_cast<std::size_t>(e * nodes_per_elem),
+            static_cast<std::size_t>(nodes_per_elem)};
+  }
+  /// Coordinates of local element e's nodes.
+  [[nodiscard]] std::span<const Point> element_coords(std::int64_t e) const {
+    return {elem_coords.data() + static_cast<std::size_t>(e * nodes_per_elem),
+            static_cast<std::size_t>(nodes_per_elem)};
+  }
+};
+
+/// Result of distributing a mesh: one MeshPartition per rank plus the
+/// old-to-new node renumbering (new = node_perm[old]) so callers can map
+/// analytic data onto the new ids.
+struct DistributedMesh {
+  std::vector<MeshPartition> parts;
+  std::vector<NodeId> node_perm;   ///< new id of each original node
+  std::int64_t total_nodes = 0;
+};
+
+/// Assign node ownership (lowest touching part wins), renumber nodes
+/// owner-contiguously, and build each rank's MeshPartition.
+/// `elem_part[e]` must be in [0, nranks).
+[[nodiscard]] DistributedMesh distribute_mesh(const Mesh& mesh,
+                                              std::span<const int> elem_part,
+                                              int nranks);
+
+}  // namespace hymv::mesh

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file element_type.hpp
+/// Finite element cell types supported by the mesh and FEM layers. The paper
+/// evaluates 8-node linear hexes, 20-node serendipity hexes, 27-node
+/// triquadratic hexes (Fig. 9/11c), and quadratic tetrahedra (Fig. 7); we add
+/// linear tets as the base for the quadratic tet generator.
+
+#include <cstdint>
+#include <string_view>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::mesh {
+
+/// Cell types. Node orderings are defined in the corresponding builders and
+/// mirrored by the shape-function tables in hymv::fem (see reference_element.hpp).
+enum class ElementType : std::uint8_t {
+  kHex8,    ///< trilinear hexahedron (corners)
+  kHex20,   ///< quadratic serendipity hexahedron (corners + edge midpoints)
+  kHex27,   ///< triquadratic hexahedron (corners + edges + faces + center)
+  kTet4,    ///< linear tetrahedron
+  kTet10,   ///< quadratic tetrahedron (corners + edge midpoints)
+};
+
+/// Number of nodes per element of the given type.
+constexpr int nodes_per_element(ElementType type) {
+  switch (type) {
+    case ElementType::kHex8:
+      return 8;
+    case ElementType::kHex20:
+      return 20;
+    case ElementType::kHex27:
+      return 27;
+    case ElementType::kTet4:
+      return 4;
+    case ElementType::kTet10:
+      return 10;
+  }
+  return 0;  // unreachable
+}
+
+/// True for the hexahedral family.
+constexpr bool is_hex(ElementType type) {
+  return type == ElementType::kHex8 || type == ElementType::kHex20 ||
+         type == ElementType::kHex27;
+}
+
+/// True for the tetrahedral family.
+constexpr bool is_tet(ElementType type) {
+  return type == ElementType::kTet4 || type == ElementType::kTet10;
+}
+
+/// Polynomial order of the element's basis (1 or 2).
+constexpr int element_order(ElementType type) {
+  switch (type) {
+    case ElementType::kHex8:
+    case ElementType::kTet4:
+      return 1;
+    case ElementType::kHex20:
+    case ElementType::kHex27:
+    case ElementType::kTet10:
+      return 2;
+  }
+  return 0;  // unreachable
+}
+
+/// Human-readable name for reports.
+constexpr std::string_view element_name(ElementType type) {
+  switch (type) {
+    case ElementType::kHex8:
+      return "hex8";
+    case ElementType::kHex20:
+      return "hex20";
+    case ElementType::kHex27:
+      return "hex27";
+    case ElementType::kTet4:
+      return "tet4";
+    case ElementType::kTet10:
+      return "tet10";
+  }
+  return "unknown";
+}
+
+}  // namespace hymv::mesh

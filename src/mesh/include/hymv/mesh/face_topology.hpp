@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file face_topology.hpp
+/// Element face topology: which element-local node slots make up each
+/// boundary face, for every element type. Pure connectivity — the 2D face
+/// bases and surface quadrature that *integrate* over these faces live in
+/// fem/surface.hpp.
+///
+/// Hex faces are ordered (ζ-, ζ+, η-, ξ+, η+, ξ-) — matching the hex27
+/// face-center slot order 20..25 — and tet faces (012, 013, 023, 123).
+/// Face-local node order is corners, then edge midpoints (c0c1, c1c2, ...,
+/// closing edge), then the face center where present.
+
+#include <span>
+
+#include "hymv/mesh/element_type.hpp"
+
+namespace hymv::mesh {
+
+/// Number of boundary faces (6 for hexes, 4 for tets).
+[[nodiscard]] int num_faces(ElementType type);
+
+/// Corner nodes per face (4 for hexes, 3 for tets) — the prefix of
+/// face_nodes that identifies the face topologically.
+[[nodiscard]] int corners_per_face(ElementType type);
+
+/// Element-local node slots of face `face`, in face-local order.
+[[nodiscard]] std::span<const int> face_nodes(ElementType type, int face);
+
+}  // namespace hymv::mesh

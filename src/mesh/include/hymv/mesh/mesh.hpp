@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file mesh.hpp
+/// Serial (rank-replicated) mesh container. The distributed layer
+/// (distributed.hpp) carves per-rank partitions out of a Mesh; the HYMV core
+/// itself never sees this type — it only consumes the per-partition E2G maps
+/// and owned node ranges, exactly as described in the paper (§IV-A).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hymv/mesh/element_type.hpp"
+
+namespace hymv::mesh {
+
+/// Global node index type. Signed 64-bit so subtraction is safe.
+using NodeId = std::int64_t;
+
+/// 3D point.
+using Point = std::array<double, 3>;
+
+/// A single-element-type unstructured mesh: node coordinates plus
+/// element-to-node connectivity in a flat array.
+class Mesh {
+ public:
+  Mesh() = default;
+  Mesh(ElementType type, std::vector<Point> coords,
+       std::vector<NodeId> connectivity);
+
+  [[nodiscard]] ElementType type() const { return type_; }
+  [[nodiscard]] std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(coords_.size());
+  }
+  [[nodiscard]] std::int64_t num_elements() const {
+    return nodes_per_elem_ == 0
+               ? 0
+               : static_cast<std::int64_t>(connectivity_.size()) /
+                     nodes_per_elem_;
+  }
+  [[nodiscard]] int nodes_per_elem() const { return nodes_per_elem_; }
+
+  /// Coordinates of node `n`.
+  [[nodiscard]] const Point& coord(NodeId n) const {
+    return coords_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] const std::vector<Point>& coords() const { return coords_; }
+
+  /// Node ids of element `e` (length nodes_per_elem()).
+  [[nodiscard]] std::span<const NodeId> element(std::int64_t e) const {
+    return {connectivity_.data() +
+                static_cast<std::size_t>(e) *
+                    static_cast<std::size_t>(nodes_per_elem_),
+            static_cast<std::size_t>(nodes_per_elem_)};
+  }
+  [[nodiscard]] const std::vector<NodeId>& connectivity() const {
+    return connectivity_;
+  }
+
+  /// Geometric centroid of element `e` (mean of its node coordinates).
+  [[nodiscard]] Point centroid(std::int64_t e) const;
+
+  /// Apply a permutation to node numbering: node `old` becomes
+  /// `perm[old]`. Re-orders the coordinate array and rewrites connectivity.
+  /// Used to emulate the non-lexicographic numbering of mesh generators like
+  /// Gmsh, which is what makes assembled-SPMV access irregular.
+  void renumber_nodes(std::span<const NodeId> perm);
+
+  /// Throws hymv::Error if connectivity references out-of-range nodes or if
+  /// any node is unused.
+  void validate() const;
+
+ private:
+  ElementType type_ = ElementType::kHex8;
+  int nodes_per_elem_ = 0;
+  std::vector<Point> coords_;
+  std::vector<NodeId> connectivity_;
+};
+
+/// Axis-aligned bounding box of a set of points.
+struct BoundingBox {
+  Point lo{0.0, 0.0, 0.0};
+  Point hi{0.0, 0.0, 0.0};
+};
+
+/// Bounding box over all mesh nodes. Mesh must be non-empty.
+[[nodiscard]] BoundingBox bounding_box(const Mesh& mesh);
+
+}  // namespace hymv::mesh

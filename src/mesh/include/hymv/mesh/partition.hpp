@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file partition.hpp
+/// Element partitioners (METIS substitute).
+///
+/// The paper partitions structured meshes into z-slabs (§V-B) and
+/// unstructured meshes with METIS (§V-C3). We provide three partitioners
+/// with the same roles: kSlab (z-direction slabs), kRcb (recursive
+/// coordinate bisection) and kGreedy (graph-growing over the element dual
+/// graph, the classic Farhat heuristic — our METIS stand-in).
+
+#include <cstdint>
+#include <vector>
+
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::mesh {
+
+/// Partitioning strategies.
+enum class Partitioner : std::uint8_t {
+  kSlab,    ///< equal chunks after sorting elements by centroid z
+  kRcb,     ///< recursive coordinate bisection of element centroids
+  kGreedy,  ///< BFS graph growing over the node-sharing dual graph
+};
+
+/// Compute an element → part assignment (values in [0, nparts)).
+/// Every part is non-empty provided nparts <= num_elements.
+[[nodiscard]] std::vector<int> partition_elements(const Mesh& mesh, int nparts,
+                                                  Partitioner method);
+
+/// Element dual graph in CSR form: elements are adjacent when they share at
+/// least `min_shared_nodes` mesh nodes.
+struct DualGraph {
+  std::vector<std::int64_t> xadj;    ///< size num_elements + 1
+  std::vector<std::int64_t> adjncy;  ///< concatenated neighbor lists
+};
+
+/// Build the element dual graph (node-sharing adjacency).
+[[nodiscard]] DualGraph build_dual_graph(const Mesh& mesh,
+                                         int min_shared_nodes = 1);
+
+/// Quality metrics of a partition, for tests and reports.
+struct PartitionStats {
+  std::int64_t min_elems = 0;   ///< smallest part size
+  std::int64_t max_elems = 0;   ///< largest part size
+  double imbalance = 0.0;        ///< max/avg - 1
+  std::int64_t cut_edges = 0;   ///< dual-graph edges crossing parts
+};
+
+/// Evaluate a partition against the mesh dual graph.
+[[nodiscard]] PartitionStats evaluate_partition(const Mesh& mesh,
+                                                std::span<const int> part,
+                                                int nparts);
+
+}  // namespace hymv::mesh

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file structured.hpp
+/// Structured hexahedral mesh builders for the box domains used throughout
+/// the paper's evaluation: the unit cube for Poisson (§V-B) and the
+/// {Lx, Ly, Lz} elastic bar (§V-B, Fig. 11b).
+///
+/// Node ordering conventions (mirrored by hymv::fem reference elements):
+///
+/// Hex8 corners in reference coords (ξ,η,ζ) ∈ [-1,1]³:
+///   0:(-1,-1,-1) 1:(+1,-1,-1) 2:(+1,+1,-1) 3:(-1,+1,-1)
+///   4:(-1,-1,+1) 5:(+1,-1,+1) 6:(+1,+1,+1) 7:(-1,+1,+1)
+///
+/// Hex20 = hex8 corners + 12 edge midpoints:
+///   8..11  : bottom edges (0-1, 1-2, 2-3, 3-0)
+///   12..15 : top edges    (4-5, 5-6, 6-7, 7-4)
+///   16..19 : vertical edges (0-4, 1-5, 2-6, 3-7)
+///
+/// Hex27 = hex20 + 6 face centers + body center:
+///   20: ζ=-1 face   21: ζ=+1 face   22: η=-1 face
+///   23: ξ=+1 face   24: η=+1 face   25: ξ=-1 face
+///   26: body center
+
+#include <cstdint>
+
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::mesh {
+
+/// Parameters for a structured box mesh.
+struct BoxSpec {
+  std::int64_t nx = 1;  ///< elements in x
+  std::int64_t ny = 1;  ///< elements in y
+  std::int64_t nz = 1;  ///< elements in z
+  double lx = 1.0;      ///< domain extent in x
+  double ly = 1.0;      ///< domain extent in y
+  double lz = 1.0;      ///< domain extent in z
+  /// Domain origin (lower corner). The elastic-bar verification problem puts
+  /// the origin at the bottom-face center, so builders accept an offset.
+  Point origin{0.0, 0.0, 0.0};
+};
+
+/// Build a structured mesh of the box with the requested hex element type.
+/// Node numbering is lexicographic in (x, y, z) over the fine node grid —
+/// the "friendly" numbering a structured code produces.
+[[nodiscard]] Mesh build_structured_hex(const BoxSpec& spec, ElementType type);
+
+/// Number of nodes build_structured_hex will create (useful for sizing
+/// experiments before building).
+[[nodiscard]] std::int64_t structured_hex_num_nodes(const BoxSpec& spec,
+                                                    ElementType type);
+
+}  // namespace hymv::mesh

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file surface_mesh.hpp
+/// Boundary-face extraction: every element face that is not shared with a
+/// neighboring element lies on the domain boundary. Used to apply surface
+/// (Neumann/traction) loads — see fem/surface.hpp.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hymv/mesh/mesh.hpp"
+
+namespace hymv::mesh {
+
+/// One boundary face, identified by its element and local face index
+/// (fem::face_nodes(type, face) gives the element-local node slots).
+struct BoundaryFace {
+  std::int64_t element = 0;
+  int face = 0;
+};
+
+/// All boundary faces of the mesh (faces incident to exactly one element).
+[[nodiscard]] std::vector<BoundaryFace> extract_boundary_faces(
+    const Mesh& mesh);
+
+/// Subset of `faces` whose centroid satisfies `predicate` — e.g. "on the
+/// top of the bar": [](const Point& c) { return std::abs(c[2] - lz) < tol; }.
+[[nodiscard]] std::vector<BoundaryFace> filter_faces(
+    const Mesh& mesh, std::span<const BoundaryFace> faces,
+    const std::function<bool(const Point&)>& predicate);
+
+/// Centroid of a boundary face (mean of its node coordinates).
+[[nodiscard]] Point face_centroid(const Mesh& mesh, const BoundaryFace& face);
+
+}  // namespace hymv::mesh

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file tet.hpp
+/// Unstructured tetrahedral mesh generation (Gmsh substitute).
+///
+/// The paper's unstructured experiments (Fig. 7, 9, 11a/c) use Gmsh meshes.
+/// Offline, we synthesize comparable meshes by Kuhn-subdividing a structured
+/// hex grid into 6 tets per hex (always face-conforming), jittering interior
+/// nodes to make the geometry irregular, promoting to quadratic tet10 by
+/// edge-midpoint insertion, and finally applying a random node renumbering —
+/// which is what actually destroys the memory locality of assembled SPMV,
+/// the behaviour the unstructured experiments probe.
+///
+/// Tet node ordering (mirrored by hymv::fem):
+///   Tet4:  0,1,2,3 with reference coords 0:(0,0,0) 1:(1,0,0) 2:(0,1,0)
+///          3:(0,0,1); orientation is fixed positive (det J > 0).
+///   Tet10: corners 0..3 then edge midpoints 4:(0-1) 5:(1-2) 6:(0-2)
+///          7:(0-3) 8:(1-3) 9:(2-3).
+
+#include <cstdint>
+#include <vector>
+
+#include "hymv/mesh/mesh.hpp"
+#include "hymv/mesh/structured.hpp"
+
+namespace hymv::mesh {
+
+/// Parameters for the synthetic unstructured tet mesh.
+struct TetMeshSpec {
+  BoxSpec box;                    ///< underlying hex grid to subdivide
+  double jitter = 0.25;           ///< interior node jitter, fraction of local h
+  std::uint64_t seed = 0x5eed;    ///< RNG seed (jitter + renumbering)
+  bool shuffle_nodes = true;      ///< random node renumbering (Gmsh-like ids)
+};
+
+/// Build a conforming unstructured tetrahedral mesh (kTet4 or kTet10).
+[[nodiscard]] Mesh build_unstructured_tet(const TetMeshSpec& spec,
+                                          ElementType type);
+
+/// Promote a linear tet mesh to quadratic tet10 by inserting one midpoint
+/// node per unique edge. Corner node ids are preserved.
+[[nodiscard]] Mesh promote_tet4_to_tet10(const Mesh& tet4);
+
+/// Fisher–Yates permutation of [0, n); perm[old_id] = new_id.
+[[nodiscard]] std::vector<NodeId> random_node_permutation(std::int64_t n,
+                                                          std::uint64_t seed);
+
+/// Signed volume of the tet (a, b, c, d); positive for correctly oriented
+/// connectivity.
+[[nodiscard]] double tet_signed_volume(const Point& a, const Point& b,
+                                       const Point& c, const Point& d);
+
+}  // namespace hymv::mesh

@@ -1,0 +1,89 @@
+#include "hymv/mesh/distributed.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::mesh {
+
+DistributedMesh distribute_mesh(const Mesh& mesh,
+                                std::span<const int> elem_part, int nranks) {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(elem_part.size()) ==
+                     mesh.num_elements(),
+                 "distribute_mesh: one part id per element required");
+  HYMV_CHECK_MSG(nranks > 0, "distribute_mesh: nranks must be positive");
+
+  const std::int64_t nn = mesh.num_nodes();
+  const std::int64_t ne = mesh.num_elements();
+  const int nper = mesh.nodes_per_elem();
+
+  // 1. Ownership: lowest part among elements touching the node.
+  std::vector<int> owner(static_cast<std::size_t>(nn), nranks);
+  for (std::int64_t e = 0; e < ne; ++e) {
+    const int p = elem_part[static_cast<std::size_t>(e)];
+    HYMV_CHECK_MSG(p >= 0 && p < nranks,
+                   "distribute_mesh: part id out of range");
+    for (const NodeId n : mesh.element(e)) {
+      owner[static_cast<std::size_t>(n)] =
+          std::min(owner[static_cast<std::size_t>(n)], p);
+    }
+  }
+  for (const int o : owner) {
+    HYMV_CHECK_MSG(o < nranks, "distribute_mesh: orphan node has no owner");
+  }
+
+  // 2. Owner-contiguous renumbering, stable within each owner by old id.
+  std::vector<std::int64_t> owned_count(static_cast<std::size_t>(nranks), 0);
+  for (const int o : owner) {
+    ++owned_count[static_cast<std::size_t>(o)];
+  }
+  std::vector<std::int64_t> rank_offset(static_cast<std::size_t>(nranks) + 1,
+                                        0);
+  std::partial_sum(owned_count.begin(), owned_count.end(),
+                   rank_offset.begin() + 1);
+  std::vector<NodeId> node_perm(static_cast<std::size_t>(nn));
+  {
+    std::vector<std::int64_t> next(rank_offset.begin(), rank_offset.end() - 1);
+    for (std::int64_t n = 0; n < nn; ++n) {
+      node_perm[static_cast<std::size_t>(n)] =
+          next[static_cast<std::size_t>(owner[static_cast<std::size_t>(n)])]++;
+    }
+  }
+
+  // 3. Per-rank partitions.
+  DistributedMesh out;
+  out.node_perm = node_perm;
+  out.total_nodes = nn;
+  out.parts.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    MeshPartition& part = out.parts[static_cast<std::size_t>(r)];
+    part.rank = r;
+    part.nranks = nranks;
+    part.type = mesh.type();
+    part.nodes_per_elem = nper;
+    part.n_begin = rank_offset[static_cast<std::size_t>(r)];
+    part.n_end = rank_offset[static_cast<std::size_t>(r) + 1] - 1;
+    part.owned_coords.resize(
+        static_cast<std::size_t>(part.n_end - part.n_begin + 1));
+  }
+  for (std::int64_t n = 0; n < nn; ++n) {
+    const int o = owner[static_cast<std::size_t>(n)];
+    MeshPartition& part = out.parts[static_cast<std::size_t>(o)];
+    part.owned_coords[static_cast<std::size_t>(
+        node_perm[static_cast<std::size_t>(n)] - part.n_begin)] =
+        mesh.coord(n);
+  }
+  for (std::int64_t e = 0; e < ne; ++e) {
+    MeshPartition& part =
+        out.parts[static_cast<std::size_t>(elem_part[static_cast<std::size_t>(e)])];
+    part.global_element_ids.push_back(e);
+    for (const NodeId n : mesh.element(e)) {
+      part.e2g.push_back(node_perm[static_cast<std::size_t>(n)]);
+      part.elem_coords.push_back(mesh.coord(n));
+    }
+  }
+  return out;
+}
+
+}  // namespace hymv::mesh

@@ -1,0 +1,67 @@
+#include "hymv/mesh/face_topology.hpp"
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::mesh {
+
+namespace {
+
+constexpr int kHex8Faces[6][4] = {
+    {0, 1, 2, 3}, {4, 5, 6, 7}, {0, 1, 5, 4},
+    {1, 2, 6, 5}, {2, 3, 7, 6}, {3, 0, 4, 7},
+};
+
+constexpr int kHex20Faces[6][8] = {
+    {0, 1, 2, 3, 8, 9, 10, 11},     // ζ-
+    {4, 5, 6, 7, 12, 13, 14, 15},   // ζ+
+    {0, 1, 5, 4, 8, 17, 12, 16},    // η-
+    {1, 2, 6, 5, 9, 18, 13, 17},    // ξ+
+    {2, 3, 7, 6, 10, 19, 14, 18},   // η+
+    {3, 0, 4, 7, 11, 16, 15, 19},   // ξ-
+};
+
+constexpr int kHex27Faces[6][9] = {
+    {0, 1, 2, 3, 8, 9, 10, 11, 20},
+    {4, 5, 6, 7, 12, 13, 14, 15, 21},
+    {0, 1, 5, 4, 8, 17, 12, 16, 22},
+    {1, 2, 6, 5, 9, 18, 13, 17, 23},
+    {2, 3, 7, 6, 10, 19, 14, 18, 24},
+    {3, 0, 4, 7, 11, 16, 15, 19, 25},
+};
+
+constexpr int kTet4Faces[4][3] = {
+    {0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}};
+
+constexpr int kTet10Faces[4][6] = {
+    {0, 1, 2, 4, 5, 6},  // edges 01, 12, 02
+    {0, 1, 3, 4, 8, 7},  // edges 01, 13, 03
+    {0, 2, 3, 6, 9, 7},  // edges 02, 23, 03
+    {1, 2, 3, 5, 9, 8},  // edges 12, 23, 13
+};
+
+}  // namespace
+
+int num_faces(ElementType type) { return is_hex(type) ? 6 : 4; }
+
+int corners_per_face(ElementType type) { return is_hex(type) ? 4 : 3; }
+
+std::span<const int> face_nodes(ElementType type, int face) {
+  HYMV_CHECK_MSG(face >= 0 && face < num_faces(type),
+                 "face_nodes: face index out of range");
+  const auto f = static_cast<std::size_t>(face);
+  switch (type) {
+    case ElementType::kHex8:
+      return {kHex8Faces[f], 4};
+    case ElementType::kHex20:
+      return {kHex20Faces[f], 8};
+    case ElementType::kHex27:
+      return {kHex27Faces[f], 9};
+    case ElementType::kTet4:
+      return {kTet4Faces[f], 3};
+    case ElementType::kTet10:
+      return {kTet10Faces[f], 6};
+  }
+  HYMV_THROW("face_nodes: unknown element type");
+}
+
+}  // namespace hymv::mesh

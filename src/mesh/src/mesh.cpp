@@ -1,0 +1,79 @@
+#include "hymv/mesh/mesh.hpp"
+
+#include <algorithm>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::mesh {
+
+Mesh::Mesh(ElementType type, std::vector<Point> coords,
+           std::vector<NodeId> connectivity)
+    : type_(type),
+      nodes_per_elem_(nodes_per_element(type)),
+      coords_(std::move(coords)),
+      connectivity_(std::move(connectivity)) {
+  HYMV_CHECK_MSG(connectivity_.size() %
+                         static_cast<std::size_t>(nodes_per_elem_) ==
+                     0,
+                 "Mesh: connectivity size not a multiple of nodes/elem");
+}
+
+Point Mesh::centroid(std::int64_t e) const {
+  Point c{0.0, 0.0, 0.0};
+  const auto nodes = element(e);
+  for (const NodeId n : nodes) {
+    const Point& p = coord(n);
+    for (int d = 0; d < 3; ++d) {
+      c[static_cast<std::size_t>(d)] += p[static_cast<std::size_t>(d)];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(nodes.size());
+  for (double& x : c) {
+    x *= inv;
+  }
+  return c;
+}
+
+void Mesh::renumber_nodes(std::span<const NodeId> perm) {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(perm.size()) == num_nodes(),
+                 "renumber_nodes: permutation size mismatch");
+  std::vector<Point> new_coords(coords_.size());
+  for (std::size_t old = 0; old < coords_.size(); ++old) {
+    const NodeId now = perm[old];
+    HYMV_CHECK_MSG(now >= 0 && now < num_nodes(),
+                   "renumber_nodes: permutation value out of range");
+    new_coords[static_cast<std::size_t>(now)] = coords_[old];
+  }
+  coords_ = std::move(new_coords);
+  for (NodeId& n : connectivity_) {
+    n = perm[static_cast<std::size_t>(n)];
+  }
+}
+
+void Mesh::validate() const {
+  std::vector<bool> used(coords_.size(), false);
+  for (const NodeId n : connectivity_) {
+    HYMV_CHECK_MSG(n >= 0 && n < num_nodes(),
+                   "Mesh::validate: connectivity references invalid node");
+    used[static_cast<std::size_t>(n)] = true;
+  }
+  const bool all_used = std::all_of(used.begin(), used.end(),
+                                    [](bool u) { return u; });
+  HYMV_CHECK_MSG(all_used, "Mesh::validate: mesh has orphan nodes");
+}
+
+BoundingBox bounding_box(const Mesh& mesh) {
+  HYMV_CHECK_MSG(mesh.num_nodes() > 0, "bounding_box: empty mesh");
+  BoundingBox box;
+  box.lo = box.hi = mesh.coord(0);
+  for (NodeId n = 1; n < mesh.num_nodes(); ++n) {
+    const Point& p = mesh.coord(n);
+    for (std::size_t d = 0; d < 3; ++d) {
+      box.lo[d] = std::min(box.lo[d], p[d]);
+      box.hi[d] = std::max(box.hi[d], p[d]);
+    }
+  }
+  return box;
+}
+
+}  // namespace hymv::mesh

@@ -1,0 +1,234 @@
+#include "hymv/mesh/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::mesh {
+
+namespace {
+
+/// Split `ids` (element indices) into `nparts` contiguous chunks of
+/// near-equal size, assigning chunk c to part c.
+void assign_chunks(const std::vector<std::int64_t>& ids, int nparts,
+                   std::vector<int>& part) {
+  const std::int64_t n = static_cast<std::int64_t>(ids.size());
+  for (int p = 0; p < nparts; ++p) {
+    const std::int64_t lo = n * p / nparts;
+    const std::int64_t hi = n * (p + 1) / nparts;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      part[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] = p;
+    }
+  }
+}
+
+std::vector<int> partition_slab(const Mesh& mesh, int nparts) {
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(mesh.num_elements()));
+  std::iota(ids.begin(), ids.end(), std::int64_t{0});
+  std::vector<double> z(ids.size());
+  for (std::size_t e = 0; e < ids.size(); ++e) {
+    z[e] = mesh.centroid(static_cast<std::int64_t>(e))[2];
+  }
+  std::stable_sort(ids.begin(), ids.end(), [&](std::int64_t a, std::int64_t b) {
+    return z[static_cast<std::size_t>(a)] < z[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> part(ids.size(), 0);
+  assign_chunks(ids, nparts, part);
+  return part;
+}
+
+/// Recursive coordinate bisection: split the id range along the longest
+/// centroid-extent axis, with part counts proportional to subrange sizes.
+void rcb_recurse(const Mesh& mesh, std::vector<std::int64_t>& ids,
+                 std::int64_t lo, std::int64_t hi, int part_lo, int part_hi,
+                 std::vector<int>& part) {
+  if (part_hi - part_lo == 1) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      part[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] =
+          part_lo;
+    }
+    return;
+  }
+  // Longest axis of the centroid bounding box in this range.
+  Point bb_lo = mesh.centroid(ids[static_cast<std::size_t>(lo)]);
+  Point bb_hi = bb_lo;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const Point c = mesh.centroid(ids[static_cast<std::size_t>(i)]);
+    for (std::size_t d = 0; d < 3; ++d) {
+      bb_lo[d] = std::min(bb_lo[d], c[d]);
+      bb_hi[d] = std::max(bb_hi[d], c[d]);
+    }
+  }
+  std::size_t axis = 0;
+  for (std::size_t d = 1; d < 3; ++d) {
+    if (bb_hi[d] - bb_lo[d] > bb_hi[axis] - bb_lo[axis]) {
+      axis = d;
+    }
+  }
+  const int parts_left = (part_hi - part_lo) / 2;
+  const std::int64_t mid =
+      lo + (hi - lo) * parts_left / (part_hi - part_lo);
+  std::nth_element(
+      ids.begin() + lo, ids.begin() + mid, ids.begin() + hi,
+      [&](std::int64_t a, std::int64_t b) {
+        return mesh.centroid(a)[axis] < mesh.centroid(b)[axis];
+      });
+  rcb_recurse(mesh, ids, lo, mid, part_lo, part_lo + parts_left, part);
+  rcb_recurse(mesh, ids, mid, hi, part_lo + parts_left, part_hi, part);
+}
+
+std::vector<int> partition_rcb(const Mesh& mesh, int nparts) {
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(mesh.num_elements()));
+  std::iota(ids.begin(), ids.end(), std::int64_t{0});
+  std::vector<int> part(ids.size(), 0);
+  rcb_recurse(mesh, ids, 0, static_cast<std::int64_t>(ids.size()), 0, nparts,
+              part);
+  return part;
+}
+
+std::vector<int> partition_greedy(const Mesh& mesh, int nparts) {
+  const DualGraph graph = build_dual_graph(mesh);
+  const std::int64_t ne = mesh.num_elements();
+  std::vector<int> part(static_cast<std::size_t>(ne), -1);
+  std::int64_t assigned = 0;
+  std::int64_t seed = 0;  // next unassigned element when the frontier dries up
+
+  for (int p = 0; p < nparts; ++p) {
+    const std::int64_t target = ne * (p + 1) / nparts - ne * p / nparts;
+    std::int64_t claimed = 0;
+    std::queue<std::int64_t> frontier;
+
+    while (claimed < target && assigned < ne) {
+      if (frontier.empty()) {
+        while (seed < ne && part[static_cast<std::size_t>(seed)] >= 0) {
+          ++seed;
+        }
+        HYMV_CHECK(seed < ne);
+        frontier.push(seed);
+      }
+      const std::int64_t e = frontier.front();
+      frontier.pop();
+      if (part[static_cast<std::size_t>(e)] >= 0) {
+        continue;
+      }
+      part[static_cast<std::size_t>(e)] = p;
+      ++claimed;
+      ++assigned;
+      for (std::int64_t k = graph.xadj[static_cast<std::size_t>(e)];
+           k < graph.xadj[static_cast<std::size_t>(e) + 1]; ++k) {
+        const std::int64_t nbr = graph.adjncy[static_cast<std::size_t>(k)];
+        if (part[static_cast<std::size_t>(nbr)] < 0) {
+          frontier.push(nbr);
+        }
+      }
+    }
+  }
+  HYMV_CHECK(assigned == ne);
+  return part;
+}
+
+}  // namespace
+
+std::vector<int> partition_elements(const Mesh& mesh, int nparts,
+                                    Partitioner method) {
+  HYMV_CHECK_MSG(nparts > 0, "partition_elements: nparts must be positive");
+  HYMV_CHECK_MSG(nparts <= mesh.num_elements(),
+                 "partition_elements: more parts than elements");
+  switch (method) {
+    case Partitioner::kSlab:
+      return partition_slab(mesh, nparts);
+    case Partitioner::kRcb:
+      return partition_rcb(mesh, nparts);
+    case Partitioner::kGreedy:
+      return partition_greedy(mesh, nparts);
+  }
+  HYMV_THROW("partition_elements: unknown method");
+}
+
+DualGraph build_dual_graph(const Mesh& mesh, int min_shared_nodes) {
+  const std::int64_t ne = mesh.num_elements();
+  // Node → incident elements (CSR).
+  std::vector<std::int64_t> node_count(
+      static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (const NodeId n : mesh.connectivity()) {
+    ++node_count[static_cast<std::size_t>(n)];
+  }
+  std::vector<std::int64_t> node_xadj(node_count.size() + 1, 0);
+  std::partial_sum(node_count.begin(), node_count.end(), node_xadj.begin() + 1);
+  std::vector<std::int64_t> node_elems(
+      static_cast<std::size_t>(node_xadj.back()));
+  std::vector<std::int64_t> fill(node_xadj.begin(), node_xadj.end() - 1);
+  for (std::int64_t e = 0; e < ne; ++e) {
+    for (const NodeId n : mesh.element(e)) {
+      node_elems[static_cast<std::size_t>(fill[static_cast<std::size_t>(n)]++)] =
+          e;
+    }
+  }
+
+  DualGraph graph;
+  graph.xadj.assign(static_cast<std::size_t>(ne) + 1, 0);
+  // Count shared nodes with each neighboring element of e via a scatter map.
+  std::vector<std::int64_t> shared(static_cast<std::size_t>(ne), 0);
+  std::vector<std::int64_t> touched;
+  for (std::int64_t e = 0; e < ne; ++e) {
+    touched.clear();
+    for (const NodeId n : mesh.element(e)) {
+      for (std::int64_t k = node_xadj[static_cast<std::size_t>(n)];
+           k < node_xadj[static_cast<std::size_t>(n) + 1]; ++k) {
+        const std::int64_t other = node_elems[static_cast<std::size_t>(k)];
+        if (other == e) {
+          continue;
+        }
+        if (shared[static_cast<std::size_t>(other)] == 0) {
+          touched.push_back(other);
+        }
+        ++shared[static_cast<std::size_t>(other)];
+      }
+    }
+    for (const std::int64_t other : touched) {
+      if (shared[static_cast<std::size_t>(other)] >=
+          static_cast<std::int64_t>(min_shared_nodes)) {
+        graph.adjncy.push_back(other);
+        ++graph.xadj[static_cast<std::size_t>(e) + 1];
+      }
+      shared[static_cast<std::size_t>(other)] = 0;
+    }
+  }
+  std::partial_sum(graph.xadj.begin(), graph.xadj.end(), graph.xadj.begin());
+  return graph;
+}
+
+PartitionStats evaluate_partition(const Mesh& mesh, std::span<const int> part,
+                                  int nparts) {
+  HYMV_CHECK(static_cast<std::int64_t>(part.size()) == mesh.num_elements());
+  PartitionStats stats;
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(nparts), 0);
+  for (const int p : part) {
+    HYMV_CHECK(p >= 0 && p < nparts);
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  stats.min_elems = *std::min_element(sizes.begin(), sizes.end());
+  stats.max_elems = *std::max_element(sizes.begin(), sizes.end());
+  const double avg = static_cast<double>(mesh.num_elements()) /
+                     static_cast<double>(nparts);
+  stats.imbalance = static_cast<double>(stats.max_elems) / avg - 1.0;
+
+  const DualGraph graph = build_dual_graph(mesh);
+  std::int64_t cut = 0;
+  for (std::int64_t e = 0; e < mesh.num_elements(); ++e) {
+    for (std::int64_t k = graph.xadj[static_cast<std::size_t>(e)];
+         k < graph.xadj[static_cast<std::size_t>(e) + 1]; ++k) {
+      if (part[static_cast<std::size_t>(e)] !=
+          part[static_cast<std::size_t>(
+              graph.adjncy[static_cast<std::size_t>(k)])]) {
+        ++cut;
+      }
+    }
+  }
+  stats.cut_edges = cut / 2;  // each crossing edge counted from both sides
+  return stats;
+}
+
+}  // namespace hymv::mesh

@@ -1,0 +1,127 @@
+#include "hymv/mesh/structured.hpp"
+
+#include <array>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::mesh {
+
+namespace {
+
+/// Element-local node offsets on the fine (half-step) grid, in the ordering
+/// documented in structured.hpp. Offsets are in {0, 1, 2} per axis where 0/2
+/// are element corners and 1 is a midpoint.
+constexpr std::array<std::array<int, 3>, 27> kHexOffsets{{
+    // corners 0..7
+    {0, 0, 0}, {2, 0, 0}, {2, 2, 0}, {0, 2, 0},
+    {0, 0, 2}, {2, 0, 2}, {2, 2, 2}, {0, 2, 2},
+    // bottom edges 8..11 (0-1, 1-2, 2-3, 3-0)
+    {1, 0, 0}, {2, 1, 0}, {1, 2, 0}, {0, 1, 0},
+    // top edges 12..15 (4-5, 5-6, 6-7, 7-4)
+    {1, 0, 2}, {2, 1, 2}, {1, 2, 2}, {0, 1, 2},
+    // vertical edges 16..19 (0-4, 1-5, 2-6, 3-7)
+    {0, 0, 1}, {2, 0, 1}, {2, 2, 1}, {0, 2, 1},
+    // face centers 20..25 (ζ-, ζ+, η-, ξ+, η+, ξ-)
+    {1, 1, 0}, {1, 1, 2}, {1, 0, 1}, {2, 1, 1}, {1, 2, 1}, {0, 1, 1},
+    // body center 26
+    {1, 1, 1},
+}};
+
+/// Does this fine-grid parity pattern host a node for the element type?
+bool fine_node_used(ElementType type, std::int64_t i, std::int64_t j,
+                    std::int64_t k) {
+  const int odd = static_cast<int>(i % 2 != 0) + static_cast<int>(j % 2 != 0) +
+                  static_cast<int>(k % 2 != 0);
+  switch (type) {
+    case ElementType::kHex8:
+      return odd == 0;
+    case ElementType::kHex20:
+      return odd <= 1;
+    case ElementType::kHex27:
+      return true;
+    default:
+      HYMV_THROW("fine_node_used: not a hex element type");
+  }
+}
+
+}  // namespace
+
+std::int64_t structured_hex_num_nodes(const BoxSpec& spec, ElementType type) {
+  const std::int64_t mx = 2 * spec.nx + 1;
+  const std::int64_t my = 2 * spec.ny + 1;
+  const std::int64_t mz = 2 * spec.nz + 1;
+  switch (type) {
+    case ElementType::kHex8:
+      return (spec.nx + 1) * (spec.ny + 1) * (spec.nz + 1);
+    case ElementType::kHex27:
+      return mx * my * mz;
+    case ElementType::kHex20: {
+      // Count fine-grid points with at most one odd coordinate.
+      const std::int64_t ex = spec.nx + 1, ox = spec.nx;  // even/odd counts
+      const std::int64_t ey = spec.ny + 1, oy = spec.ny;
+      const std::int64_t ez = spec.nz + 1, oz = spec.nz;
+      return ex * ey * ez + ox * ey * ez + ex * oy * ez + ex * ey * oz;
+    }
+    default:
+      HYMV_THROW("structured_hex_num_nodes: not a hex element type");
+  }
+}
+
+Mesh build_structured_hex(const BoxSpec& spec, ElementType type) {
+  HYMV_CHECK_MSG(is_hex(type), "build_structured_hex: hex types only");
+  HYMV_CHECK_MSG(spec.nx > 0 && spec.ny > 0 && spec.nz > 0,
+                 "build_structured_hex: element counts must be positive");
+
+  const std::int64_t mx = 2 * spec.nx + 1;
+  const std::int64_t my = 2 * spec.ny + 1;
+  const std::int64_t mz = 2 * spec.nz + 1;
+  const double hx = spec.lx / static_cast<double>(2 * spec.nx);
+  const double hy = spec.ly / static_cast<double>(2 * spec.ny);
+  const double hz = spec.lz / static_cast<double>(2 * spec.nz);
+
+  // Assign node ids lexicographically over used fine-grid points (x fastest).
+  std::vector<NodeId> fine_to_node(
+      static_cast<std::size_t>(mx * my * mz), NodeId{-1});
+  const auto fine_index = [&](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return static_cast<std::size_t>((k * my + j) * mx + i);
+  };
+
+  std::vector<Point> coords;
+  coords.reserve(static_cast<std::size_t>(structured_hex_num_nodes(spec, type)));
+  NodeId next = 0;
+  for (std::int64_t k = 0; k < mz; ++k) {
+    for (std::int64_t j = 0; j < my; ++j) {
+      for (std::int64_t i = 0; i < mx; ++i) {
+        if (fine_node_used(type, i, j, k)) {
+          fine_to_node[fine_index(i, j, k)] = next++;
+          coords.push_back(Point{
+              spec.origin[0] + hx * static_cast<double>(i),
+              spec.origin[1] + hy * static_cast<double>(j),
+              spec.origin[2] + hz * static_cast<double>(k)});
+        }
+      }
+    }
+  }
+
+  const int nper = nodes_per_element(type);
+  std::vector<NodeId> connectivity;
+  connectivity.reserve(static_cast<std::size_t>(
+      spec.nx * spec.ny * spec.nz * nper));
+  for (std::int64_t ek = 0; ek < spec.nz; ++ek) {
+    for (std::int64_t ej = 0; ej < spec.ny; ++ej) {
+      for (std::int64_t ei = 0; ei < spec.nx; ++ei) {
+        for (int a = 0; a < nper; ++a) {
+          const auto& off = kHexOffsets[static_cast<std::size_t>(a)];
+          const NodeId node = fine_to_node[fine_index(
+              2 * ei + off[0], 2 * ej + off[1], 2 * ek + off[2])];
+          HYMV_CHECK(node >= 0);
+          connectivity.push_back(node);
+        }
+      }
+    }
+  }
+
+  return Mesh(type, std::move(coords), std::move(connectivity));
+}
+
+}  // namespace hymv::mesh

@@ -1,0 +1,80 @@
+#include "hymv/mesh/surface_mesh.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hymv/common/error.hpp"
+#include "hymv/mesh/face_topology.hpp"
+
+namespace hymv::mesh {
+
+namespace {
+
+/// Canonical key for a face: its sorted corner node ids (corners suffice to
+/// identify a face; higher-order nodes follow the corners).
+std::vector<NodeId> face_key(const Mesh& mesh, std::int64_t e, int face) {
+  const auto slots = face_nodes(mesh.type(), face);
+  const auto nodes = mesh.element(e);
+  const int corners = corners_per_face(mesh.type());
+  std::vector<NodeId> key;
+  key.reserve(static_cast<std::size_t>(corners));
+  for (int k = 0; k < corners; ++k) {
+    key.push_back(nodes[static_cast<std::size_t>(slots[static_cast<std::size_t>(k)])]);
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+}  // namespace
+
+std::vector<BoundaryFace> extract_boundary_faces(const Mesh& mesh) {
+  std::map<std::vector<NodeId>, std::pair<BoundaryFace, int>> incidence;
+  const int nfaces = num_faces(mesh.type());
+  for (std::int64_t e = 0; e < mesh.num_elements(); ++e) {
+    for (int f = 0; f < nfaces; ++f) {
+      auto [it, inserted] = incidence.try_emplace(
+          face_key(mesh, e, f), std::pair<BoundaryFace, int>{{e, f}, 0});
+      ++it->second.second;
+    }
+  }
+  std::vector<BoundaryFace> boundary;
+  for (const auto& [key, entry] : incidence) {
+    HYMV_CHECK_MSG(entry.second <= 2,
+                   "extract_boundary_faces: non-manifold mesh (face shared "
+                   "by more than two elements)");
+    if (entry.second == 1) {
+      boundary.push_back(entry.first);
+    }
+  }
+  return boundary;
+}
+
+std::vector<BoundaryFace> filter_faces(
+    const Mesh& mesh, std::span<const BoundaryFace> faces,
+    const std::function<bool(const Point&)>& predicate) {
+  std::vector<BoundaryFace> out;
+  for (const BoundaryFace& face : faces) {
+    if (predicate(face_centroid(mesh, face))) {
+      out.push_back(face);
+    }
+  }
+  return out;
+}
+
+Point face_centroid(const Mesh& mesh, const BoundaryFace& face) {
+  const auto slots = face_nodes(mesh.type(), face.face);
+  const auto nodes = mesh.element(face.element);
+  Point c{0, 0, 0};
+  for (const int slot : slots) {
+    const Point& p = mesh.coord(nodes[static_cast<std::size_t>(slot)]);
+    for (std::size_t d = 0; d < 3; ++d) {
+      c[d] += p[d];
+    }
+  }
+  for (double& v : c) {
+    v /= static_cast<double>(slots.size());
+  }
+  return c;
+}
+
+}  // namespace hymv::mesh

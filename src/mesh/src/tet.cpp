@@ -1,0 +1,161 @@
+#include "hymv/mesh/tet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "hymv/common/error.hpp"
+#include "hymv/common/rng.hpp"
+
+namespace hymv::mesh {
+
+namespace {
+
+/// The six Kuhn tetrahedra of a hex, as indices into the hex8 corner
+/// ordering. Every tet contains the main diagonal corner0→corner6, so the
+/// subdivision is conforming across neighboring hexes.
+constexpr int kKuhnTets[6][4] = {
+    {0, 1, 2, 6},  // x, y, z
+    {0, 1, 5, 6},  // x, z, y
+    {0, 3, 2, 6},  // y, x, z
+    {0, 3, 7, 6},  // y, z, x
+    {0, 4, 5, 6},  // z, x, y
+    {0, 4, 7, 6},  // z, y, x
+};
+
+}  // namespace
+
+double tet_signed_volume(const Point& a, const Point& b, const Point& c,
+                         const Point& d) {
+  const double ab[3] = {b[0] - a[0], b[1] - a[1], b[2] - a[2]};
+  const double ac[3] = {c[0] - a[0], c[1] - a[1], c[2] - a[2]};
+  const double ad[3] = {d[0] - a[0], d[1] - a[1], d[2] - a[2]};
+  const double det = ab[0] * (ac[1] * ad[2] - ac[2] * ad[1]) -
+                     ab[1] * (ac[0] * ad[2] - ac[2] * ad[0]) +
+                     ab[2] * (ac[0] * ad[1] - ac[1] * ad[0]);
+  return det / 6.0;
+}
+
+std::vector<NodeId> random_node_permutation(std::int64_t n,
+                                            std::uint64_t seed) {
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    perm[static_cast<std::size_t>(i)] = i;
+  }
+  hymv::Xoshiro256 rng(seed);
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+Mesh promote_tet4_to_tet10(const Mesh& tet4) {
+  HYMV_CHECK_MSG(tet4.type() == ElementType::kTet4,
+                 "promote_tet4_to_tet10: input must be tet4");
+  // Local edge table matching the tet10 ordering documented in tet.hpp.
+  constexpr int kEdges[6][2] = {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}};
+
+  std::vector<Point> coords = tet4.coords();
+  std::map<std::pair<NodeId, NodeId>, NodeId> edge_nodes;
+  std::vector<NodeId> connectivity;
+  connectivity.reserve(static_cast<std::size_t>(tet4.num_elements()) * 10);
+
+  for (std::int64_t e = 0; e < tet4.num_elements(); ++e) {
+    const auto corners = tet4.element(e);
+    for (const NodeId n : corners) {
+      connectivity.push_back(n);
+    }
+    for (const auto& edge : kEdges) {
+      NodeId lo = corners[static_cast<std::size_t>(edge[0])];
+      NodeId hi = corners[static_cast<std::size_t>(edge[1])];
+      if (lo > hi) {
+        std::swap(lo, hi);
+      }
+      auto [it, inserted] = edge_nodes.try_emplace(
+          {lo, hi}, static_cast<NodeId>(coords.size()));
+      if (inserted) {
+        const Point& a = tet4.coord(lo);
+        const Point& b = tet4.coord(hi);
+        coords.push_back(Point{0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1]),
+                               0.5 * (a[2] + b[2])});
+      }
+      connectivity.push_back(it->second);
+    }
+  }
+  return Mesh(ElementType::kTet10, std::move(coords), std::move(connectivity));
+}
+
+Mesh build_unstructured_tet(const TetMeshSpec& spec, ElementType type) {
+  HYMV_CHECK_MSG(type == ElementType::kTet4 || type == ElementType::kTet10,
+                 "build_unstructured_tet: tet types only");
+  Mesh hex = build_structured_hex(spec.box, ElementType::kHex8);
+
+  // Jitter interior nodes. Done on the hex corner grid so tet10 midpoints
+  // (inserted later) stay at edge centers and elements remain affine.
+  if (spec.jitter > 0.0) {
+    const BoundingBox box = bounding_box(hex);
+    const double hx = spec.box.lx / static_cast<double>(spec.box.nx);
+    const double hy = spec.box.ly / static_cast<double>(spec.box.ny);
+    const double hz = spec.box.lz / static_cast<double>(spec.box.nz);
+    const double amp[3] = {spec.jitter * hx, spec.jitter * hy,
+                           spec.jitter * hz};
+    const double tol = 1e-12 * std::max({spec.box.lx, spec.box.ly, spec.box.lz});
+    std::vector<Point> coords = hex.coords();
+    hymv::Xoshiro256 rng(spec.seed);
+    for (Point& p : coords) {
+      bool boundary = false;
+      for (std::size_t d = 0; d < 3; ++d) {
+        boundary = boundary || std::abs(p[d] - box.lo[d]) < tol ||
+                   std::abs(p[d] - box.hi[d]) < tol;
+      }
+      if (!boundary) {
+        // Cap jitter at 0.45h/2 so the Kuhn tets cannot invert. With corner
+        // displacements below a quarter of the edge length every subdivided
+        // tet keeps a positive Jacobian.
+        for (std::size_t d = 0; d < 3; ++d) {
+          p[d] += 0.5 * amp[d] * rng.uniform(-0.9, 0.9);
+        }
+      }
+    }
+    hex = Mesh(ElementType::kHex8, std::move(coords),
+               std::vector<NodeId>(hex.connectivity()));
+  }
+
+  // Kuhn 6-tet subdivision.
+  std::vector<NodeId> connectivity;
+  connectivity.reserve(static_cast<std::size_t>(hex.num_elements()) * 6 * 4);
+  for (std::int64_t e = 0; e < hex.num_elements(); ++e) {
+    const auto corners = hex.element(e);
+    for (const auto& tet : kKuhnTets) {
+      NodeId n[4];
+      for (int a = 0; a < 4; ++a) {
+        n[a] = corners[static_cast<std::size_t>(tet[a])];
+      }
+      // Fix orientation: swap the last two nodes if the volume is negative.
+      if (tet_signed_volume(hex.coord(n[0]), hex.coord(n[1]), hex.coord(n[2]),
+                            hex.coord(n[3])) < 0.0) {
+        std::swap(n[2], n[3]);
+      }
+      connectivity.insert(connectivity.end(), {n[0], n[1], n[2], n[3]});
+    }
+  }
+  Mesh tets(ElementType::kTet4, std::vector<Point>(hex.coords()),
+            std::move(connectivity));
+
+  if (type == ElementType::kTet10) {
+    tets = promote_tet4_to_tet10(tets);
+  }
+
+  if (spec.shuffle_nodes) {
+    const std::vector<NodeId> perm =
+        random_node_permutation(tets.num_nodes(), spec.seed ^ 0x9e3779b9ULL);
+    tets.renumber_nodes(perm);
+  }
+  return tets;
+}
+
+}  // namespace hymv::mesh

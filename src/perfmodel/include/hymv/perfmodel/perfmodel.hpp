@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file perfmodel.hpp
+/// Performance modeling for the scaling experiments.
+///
+/// This environment runs every "rank" as a thread on ONE core, so raw wall
+/// clock cannot show parallel scaling. What the execution does produce
+/// faithfully is (a) each rank's *work* (its measured compute seconds when
+/// run alone, or its share of single-core time) and (b) each rank's real
+/// communication volume (simmpi traffic counters). The α-β cluster model
+/// turns those into a modeled parallel time,
+///
+///   T = max_r (compute_r) + max_r (α · messages_r + β · bytes_r),
+///
+/// which is what the scaling benches report next to the raw measurements.
+/// Defaults approximate Frontera's HDR-100 interconnect. This substitution
+/// is documented in DESIGN.md; the claims it supports are *shape* claims
+/// (who wins, how setup cost grows with p), not absolute times.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hymv/simmpi/simmpi.hpp"
+
+namespace hymv::perf {
+
+/// Interconnect + node parameters for the modeled cluster.
+struct ClusterSpec {
+  double alpha_s = 2e-6;        ///< per-message latency (HDR-class)
+  double beta_s_per_byte = 8e-11;  ///< inverse bandwidth (~12.5 GB/s)
+  /// Serialization correction: measured per-rank compute seconds are
+  /// multiplied by this factor (use 1.0 when each rank's compute was
+  /// measured as its own span of single-core time).
+  double compute_scale = 1.0;
+};
+
+/// One rank's contribution to a modeled phase.
+struct RankSample {
+  double compute_s = 0.0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Modeled execution time of one phase across ranks.
+struct ModeledPhase {
+  double compute_s = 0.0;  ///< max over ranks (after compute_scale)
+  double comm_s = 0.0;     ///< max over ranks of α·msgs + β·bytes
+  [[nodiscard]] double total_s() const { return compute_s + comm_s; }
+};
+
+/// Apply the α-β model to per-rank samples.
+[[nodiscard]] ModeledPhase model_phase(std::span<const RankSample> ranks,
+                                       const ClusterSpec& spec = {});
+
+/// Convenience: build a RankSample from a compute time and the *delta* of
+/// simmpi counters across the phase.
+[[nodiscard]] RankSample make_sample(double compute_s,
+                                     const simmpi::TrafficCounters& before,
+                                     const simmpi::TrafficCounters& after);
+
+// ---------------------------------------------------------------------------
+// Roofline (Fig. 10 equivalent)
+// ---------------------------------------------------------------------------
+
+/// One method's placement on the roofline: analytic flops and bytes per
+/// SPMV plus its measured time.
+struct RooflineSample {
+  std::string name;
+  std::int64_t flops = 0;
+  std::int64_t bytes = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double arithmetic_intensity() const {
+    return bytes > 0 ? static_cast<double>(flops) / static_cast<double>(bytes)
+                     : 0.0;
+  }
+  [[nodiscard]] double gflops() const {
+    return seconds > 0.0 ? static_cast<double>(flops) / seconds / 1e9 : 0.0;
+  }
+};
+
+/// Render a fixed-width roofline table (printed by bench_fig10).
+[[nodiscard]] std::string format_roofline_table(
+    std::span<const RooflineSample> samples);
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+/// Measure this host's dense column-major EMV throughput (GFLOP/s) with a
+/// short self-test; used to calibrate the GPU simulator's DeviceSpec.
+[[nodiscard]] double measure_host_emv_gflops(int n = 60,
+                                             int batches = 2000);
+
+}  // namespace hymv::perf

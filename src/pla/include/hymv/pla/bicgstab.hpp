@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file bicgstab.hpp
+/// Preconditioned BiCGStab solver. The paper's evaluation uses CG (its
+/// operators are SPD), but HYMV is advertised as a standalone library for
+/// "any domain-based numerical method" — advection-dominated or otherwise
+/// nonsymmetric discretizations need a nonsymmetric Krylov method, so the
+/// solver layer provides van der Vorst's BiCGStab alongside CG with the
+/// same operator/preconditioner interfaces.
+
+#include "hymv/pla/cg.hpp"
+
+namespace hymv::pla {
+
+/// Solve A x = b with right-preconditioned BiCGStab, starting from the
+/// provided x. Collective. Reuses CgOptions/CgResult (same tolerances and
+/// reporting semantics; `iterations` counts full BiCGStab steps).
+CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
+                        Preconditioner& m, const DistVector& b, DistVector& x,
+                        const CgOptions& options = {});
+
+}  // namespace hymv::pla

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file cg.hpp
+/// Preconditioned conjugate-gradient solver (the KSP the paper uses for
+/// every total-solve experiment, §V-F). Operator-agnostic: assembled CSR,
+/// HYMV, matrix-free and GPU-backed operators all plug in through
+/// LinearOperator.
+
+#include <cstdint>
+
+#include "hymv/pla/dist_vector.hpp"
+#include "hymv/pla/operator.hpp"
+#include "hymv/pla/preconditioner.hpp"
+
+namespace hymv::pla {
+
+struct CgOptions {
+  double rtol = 1e-8;        ///< relative residual tolerance ‖r‖/‖b‖
+  double atol = 0.0;         ///< absolute residual tolerance
+  std::int64_t max_iters = 10000;
+};
+
+struct CgResult {
+  std::int64_t iterations = 0;
+  double final_residual = 0.0;   ///< ‖r‖₂ at exit
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solve A x = b with preconditioner M, starting from the provided x.
+/// Collective over `comm`.
+CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
+                  const DistVector& b, DistVector& x,
+                  const CgOptions& options = {});
+
+}  // namespace hymv::pla

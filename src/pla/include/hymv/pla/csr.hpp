@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file csr.hpp
+/// Serial compressed-sparse-row matrix: the node-local storage format of the
+/// matrix-assembled baseline (PETSc MatAIJ equivalent), plus the ILU(0)
+/// factorization used by the block-Jacobi preconditioner's per-rank
+/// sub-solve (PETSc's bjacobi+ilu default).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hymv::pla {
+
+/// One (row, col, value) contribution; duplicates are summed on assembly.
+struct Triplet {
+  std::int64_t row;
+  std::int64_t col;
+  double value;
+};
+
+/// Serial CSR matrix with sorted, unique column indices per row.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Assemble from triplets (duplicates summed). `ncols` may exceed the
+  /// largest referenced column (rectangular blocks).
+  static CsrMatrix from_triplets(std::int64_t nrows, std::int64_t ncols,
+                                 std::vector<Triplet> triplets);
+
+  [[nodiscard]] std::int64_t num_rows() const { return nrows_; }
+  [[nodiscard]] std::int64_t num_cols() const { return ncols_; }
+  [[nodiscard]] std::int64_t num_nonzeros() const {
+    return static_cast<std::int64_t>(vals_.size());
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return vals_; }
+  [[nodiscard]] std::vector<double>& values() { return vals_; }
+
+  /// y = A x (serial). x has num_cols() entries, y has num_rows().
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// y += A x.
+  void spmv_add(std::span<const double> x, std::span<double> y) const;
+
+  /// Diagonal entries (0 where a row has no diagonal).
+  [[nodiscard]] std::vector<double> diagonal() const;
+
+  /// Entry (i, j); 0 if not stored.
+  [[nodiscard]] double at(std::int64_t i, std::int64_t j) const;
+
+ private:
+  std::int64_t nrows_ = 0;
+  std::int64_t ncols_ = 0;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int64_t> col_idx_;
+  std::vector<double> vals_;
+};
+
+/// Zero-fill ILU(0) factorization of a square CSR matrix. L (unit lower) and
+/// U share the original sparsity. solve() applies (LU)⁻¹ by forward/backward
+/// substitution — the block-Jacobi sub-solver.
+class Ilu0 {
+ public:
+  /// Factor `a` (must be square, with non-zero diagonals after elimination).
+  explicit Ilu0(const CsrMatrix& a);
+
+  /// x = (LU)⁻¹ b.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  [[nodiscard]] std::int64_t size() const { return n_; }
+
+ private:
+  std::int64_t n_ = 0;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int64_t> col_idx_;
+  std::vector<double> vals_;       ///< combined L\U factors (in-place ILU)
+  std::vector<std::int64_t> diag_; ///< index of the diagonal in each row
+};
+
+}  // namespace hymv::pla

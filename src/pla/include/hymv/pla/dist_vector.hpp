@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file dist_vector.hpp
+/// Distributed vectors over contiguous per-rank DoF ranges, plus the global
+/// reductions (dot, norms) every Krylov solver needs. A DistVector stores
+/// only its owned block; ghost padding is a concern of the operators
+/// (HYMV's DistributedArray, the CSR scatter context), not of the vector.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hymv/simmpi/simmpi.hpp"
+
+namespace hymv::pla {
+
+/// Contiguous DoF ownership: this rank owns global indices
+/// [begin, end_excl); ranges are rank-ordered and partition [0, global).
+struct Layout {
+  std::int64_t begin = 0;
+  std::int64_t end_excl = 0;
+  std::int64_t global_size = 0;
+
+  [[nodiscard]] std::int64_t owned() const { return end_excl - begin; }
+
+  /// Build a layout from each rank's owned count (exscan + allreduce).
+  static Layout from_owned_count(simmpi::Comm& comm, std::int64_t count);
+
+  /// All ranks' [begin, end) pairs, rank-ordered (allgather). Used by the
+  /// scatter-context builders to locate the owner of a global index.
+  static std::vector<std::int64_t> gather_offsets(simmpi::Comm& comm,
+                                                  const Layout& layout);
+};
+
+/// Owner rank of global index `g` given the offsets array from
+/// Layout::gather_offsets (size nranks + 1).
+[[nodiscard]] int owner_of(std::span<const std::int64_t> offsets,
+                           std::int64_t g);
+
+/// Distributed vector: the owned block of a layout.
+class DistVector {
+ public:
+  DistVector() = default;
+  explicit DistVector(const Layout& layout)
+      : layout_(layout), v_(static_cast<std::size_t>(layout.owned()), 0.0) {}
+
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+  [[nodiscard]] std::int64_t owned_size() const { return layout_.owned(); }
+
+  [[nodiscard]] std::span<double> values() { return v_; }
+  [[nodiscard]] std::span<const double> values() const { return v_; }
+
+  [[nodiscard]] double& operator[](std::int64_t local) {
+    return v_[static_cast<std::size_t>(local)];
+  }
+  [[nodiscard]] double operator[](std::int64_t local) const {
+    return v_[static_cast<std::size_t>(local)];
+  }
+
+  void set_all(double value) { std::fill(v_.begin(), v_.end(), value); }
+
+ private:
+  Layout layout_;
+  std::vector<double> v_;
+};
+
+/// Global dot product (allreduce).
+[[nodiscard]] double dot(simmpi::Comm& comm, const DistVector& x,
+                         const DistVector& y);
+
+/// Global 2-norm.
+[[nodiscard]] double norm2(simmpi::Comm& comm, const DistVector& x);
+
+/// Global infinity norm.
+[[nodiscard]] double norm_inf(simmpi::Comm& comm, const DistVector& x);
+
+/// y += a·x (local).
+void axpy(double a, const DistVector& x, DistVector& y);
+
+/// y = x + b·y (local) — the CG direction update.
+void xpby(const DistVector& x, double b, DistVector& y);
+
+/// y = x (local copy; layouts must match).
+void copy(const DistVector& x, DistVector& y);
+
+}  // namespace hymv::pla

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file ghost_exchange.hpp
+/// Neighbor exchange of ghost values over a Layout — the communication
+/// engine behind both the assembled-matrix SPMV (PETSc VecScatter
+/// equivalent) and HYMV's LNSM/GNGM maps (paper §IV-D):
+///
+///   * forward  (scatter): owners send owned values needed as ghosts by
+///     neighbors — the Local Node Scatter Map direction;
+///   * reverse  (gather/accumulate): ghost contributions are sent back and
+///     *summed* into the owners' entries — the Ghost Node Gather Map
+///     direction used after element-vector accumulation.
+///
+/// Both directions are split into begin/end pairs so callers can overlap
+/// communication with computation (independent-element EMV, diag-block
+/// SpMV), exactly as Algorithm 2 of the paper prescribes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hymv/pla/dist_vector.hpp"
+#include "hymv/simmpi/simmpi.hpp"
+
+namespace hymv::pla {
+
+/// Communication plan for one set of ghost indices against one Layout.
+/// Construction is collective over the communicator.
+class GhostExchange {
+ public:
+  GhostExchange() = default;
+
+  /// `ghosts` must be sorted, unique global ids NOT owned by this rank.
+  /// Collective: every rank must construct with its own ghost list.
+  GhostExchange(simmpi::Comm& comm, const Layout& layout,
+                std::vector<std::int64_t> ghosts);
+
+  /// Ghost ids this plan serves (sorted).
+  [[nodiscard]] const std::vector<std::int64_t>& ghost_ids() const {
+    return ghosts_;
+  }
+  [[nodiscard]] std::int64_t num_ghosts() const {
+    return static_cast<std::int64_t>(ghosts_.size());
+  }
+
+  // --- forward: owned → ghosts (LNSM direction) ---------------------------
+
+  /// Start sending owned values neighbors need. `owned` indexes this rank's
+  /// owned block (layout-local).
+  void forward_begin(simmpi::Comm& comm, std::span<const double> owned);
+  /// Finish: afterwards ghost_values() holds the received values, aligned
+  /// with ghost_ids().
+  void forward_end(simmpi::Comm& comm);
+  [[nodiscard]] std::span<const double> ghost_values() const {
+    return ghost_vals_;
+  }
+  /// Writable view, for callers that stage ghost contributions in place.
+  [[nodiscard]] std::span<double> ghost_values_mutable() {
+    return ghost_vals_;
+  }
+
+  // --- reverse: ghosts → owned, summed (GNGM direction) -------------------
+
+  /// Start sending `ghost_contrib` (aligned with ghost_ids()) back to the
+  /// owners.
+  void reverse_begin(simmpi::Comm& comm, std::span<const double> ghost_contrib);
+  /// Finish: incoming contributions are *added* into `owned`.
+  void reverse_end(simmpi::Comm& comm, std::span<double> owned);
+
+  /// Number of neighbor ranks this rank exchanges with.
+  [[nodiscard]] int num_neighbors() const {
+    return static_cast<int>(send_peers_.size() + recv_peers_.size());
+  }
+
+ private:
+  /// One neighbor's share of the plan. For send_peers_, `owned_locals` are
+  /// the owned-block indices packed for that peer (the LNSM rows); for
+  /// recv_peers_, [ghost_offset, ghost_offset + count) is the slice of the
+  /// sorted ghost array owned by that peer.
+  struct SendPeer {
+    int rank = -1;
+    std::vector<std::int64_t> owned_locals;
+    std::vector<double> buf;
+  };
+  struct RecvPeer {
+    int rank = -1;
+    std::int64_t ghost_offset = 0;
+    std::int64_t count = 0;
+    std::vector<double> buf;  ///< staging for reverse receives
+  };
+
+  Layout layout_;
+  std::vector<std::int64_t> ghosts_;
+  std::vector<double> ghost_vals_;
+  std::vector<SendPeer> send_peers_;
+  std::vector<RecvPeer> recv_peers_;
+  std::vector<simmpi::Request> pending_;
+};
+
+}  // namespace hymv::pla

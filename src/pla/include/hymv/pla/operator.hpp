@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file operator.hpp
+/// Abstract distributed linear operator — the MatShell-style interface
+/// through which the CG solver consumes either the assembled CSR matrix,
+/// the HYMV operator, or the matrix-free operator interchangeably (the
+/// paper plugs HYMV into PETSc solvers exactly this way, §V-F).
+
+#include <vector>
+
+#include "hymv/pla/csr.hpp"
+#include "hymv/pla/dist_vector.hpp"
+#include "hymv/simmpi/simmpi.hpp"
+
+namespace hymv::pla {
+
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// DoF ownership layout (rows == cols; operators are square).
+  [[nodiscard]] virtual const Layout& layout() const = 0;
+
+  /// y = A x. Collective; may overlap communication with computation.
+  virtual void apply(simmpi::Comm& comm, const DistVector& x,
+                     DistVector& y) = 0;
+
+  /// Owned diagonal entries, for the Jacobi preconditioner. Collective.
+  virtual std::vector<double> diagonal(simmpi::Comm& comm) = 0;
+
+  /// The owned diagonal block as a serial CSR (rows and cols restricted to
+  /// this rank's range), for the block-Jacobi preconditioner. Collective.
+  /// Default: unsupported.
+  virtual CsrMatrix owned_block(simmpi::Comm& comm);
+
+  /// Flops one apply() performs on this rank (for throughput reports).
+  [[nodiscard]] virtual std::int64_t apply_flops() const { return 0; }
+  /// Bytes one apply() moves on this rank, analytic estimate (roofline AI).
+  [[nodiscard]] virtual std::int64_t apply_bytes() const { return 0; }
+};
+
+}  // namespace hymv::pla

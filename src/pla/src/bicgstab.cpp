@@ -1,0 +1,92 @@
+#include "hymv/pla/bicgstab.hpp"
+
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
+                        Preconditioner& m, const DistVector& b, DistVector& x,
+                        const CgOptions& options) {
+  const Layout& layout = a.layout();
+  HYMV_CHECK_MSG(b.owned_size() == layout.owned() &&
+                     x.owned_size() == layout.owned(),
+                 "bicgstab_solve: vector/operator layout mismatch");
+
+  DistVector r(layout), r0(layout), p(layout), v(layout), s(layout),
+      t(layout), phat(layout), shat(layout);
+
+  a.apply(comm, x, v);
+  copy(b, r);
+  axpy(-1.0, v, r);
+  copy(r, r0);  // shadow residual
+
+  const double bnorm = norm2(comm, b);
+  const double target =
+      std::max(options.atol, options.rtol * (bnorm > 0.0 ? bnorm : 1.0));
+
+  CgResult result;
+  double rnorm = norm2(comm, r);
+  if (rnorm <= target) {
+    result.converged = true;
+    result.final_residual = rnorm;
+    result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    return result;
+  }
+
+  double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
+  v.set_all(0.0);
+  p.set_all(0.0);
+
+  for (std::int64_t it = 1; it <= options.max_iters; ++it) {
+    const double rho = dot(comm, r0, r);
+    HYMV_CHECK_MSG(std::abs(rho) > 1e-300,
+                   "bicgstab_solve: rho breakdown (r0 ⊥ r)");
+    if (it == 1) {
+      copy(r, p);
+    } else {
+      const double beta = (rho / rho_prev) * (alpha / omega);
+      // p = r + beta (p - omega v)
+      axpy(-omega, v, p);
+      xpby(r, beta, p);
+    }
+    m.apply(comm, p, phat);
+    a.apply(comm, phat, v);
+    const double r0v = dot(comm, r0, v);
+    HYMV_CHECK_MSG(std::abs(r0v) > 1e-300, "bicgstab_solve: r0·v breakdown");
+    alpha = rho / r0v;
+    copy(r, s);
+    axpy(-alpha, v, s);
+    result.iterations = it;
+    const double snorm = norm2(comm, s);
+    if (snorm <= target) {
+      axpy(alpha, phat, x);  // early half-step convergence
+      rnorm = snorm;
+      result.converged = true;
+      break;
+    }
+    m.apply(comm, s, shat);
+    a.apply(comm, shat, t);
+    const double tt = dot(comm, t, t);
+    HYMV_CHECK_MSG(tt > 0.0, "bicgstab_solve: t = 0 breakdown");
+    omega = dot(comm, t, s) / tt;
+    axpy(alpha, phat, x);
+    axpy(omega, shat, x);
+    copy(s, r);
+    axpy(-omega, t, r);
+    rnorm = norm2(comm, r);
+    if (rnorm <= target) {
+      result.converged = true;
+      break;
+    }
+    HYMV_CHECK_MSG(std::abs(omega) > 1e-300,
+                   "bicgstab_solve: omega breakdown");
+    rho_prev = rho;
+  }
+  result.final_residual = rnorm;
+  result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+  return result;
+}
+
+}  // namespace hymv::pla

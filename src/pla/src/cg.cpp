@@ -1,0 +1,66 @@
+#include "hymv/pla/cg.hpp"
+
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
+                  const DistVector& b, DistVector& x,
+                  const CgOptions& options) {
+  const Layout& layout = a.layout();
+  HYMV_CHECK_MSG(b.owned_size() == layout.owned() &&
+                     x.owned_size() == layout.owned(),
+                 "cg_solve: vector/operator layout mismatch");
+
+  DistVector r(layout), z(layout), p(layout), q(layout);
+
+  // r = b - A x
+  a.apply(comm, x, q);
+  copy(b, r);
+  axpy(-1.0, q, r);
+
+  const double bnorm = norm2(comm, b);
+  const double target =
+      std::max(options.atol, options.rtol * (bnorm > 0.0 ? bnorm : 1.0));
+
+  CgResult result;
+  double rnorm = norm2(comm, r);
+  if (rnorm <= target) {
+    result.converged = true;
+    result.final_residual = rnorm;
+    result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    return result;
+  }
+
+  m.apply(comm, r, z);
+  copy(z, p);
+  double rz = dot(comm, r, z);
+
+  for (std::int64_t it = 1; it <= options.max_iters; ++it) {
+    a.apply(comm, p, q);
+    const double pq = dot(comm, p, q);
+    HYMV_CHECK_MSG(pq > 0.0,
+                   "cg_solve: operator is not positive definite (p·Ap <= 0)");
+    const double alpha = rz / pq;
+    axpy(alpha, p, x);
+    axpy(-alpha, q, r);
+    rnorm = norm2(comm, r);
+    result.iterations = it;
+    if (rnorm <= target) {
+      result.converged = true;
+      break;
+    }
+    m.apply(comm, r, z);
+    const double rz_new = dot(comm, r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    xpby(z, beta, p);  // p = z + beta p
+  }
+  result.final_residual = rnorm;
+  result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+  return result;
+}
+
+}  // namespace hymv::pla

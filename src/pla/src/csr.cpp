@@ -1,0 +1,168 @@
+#include "hymv/pla/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+CsrMatrix CsrMatrix::from_triplets(std::int64_t nrows, std::int64_t ncols,
+                                   std::vector<Triplet> triplets) {
+  CsrMatrix m;
+  m.nrows_ = nrows;
+  m.ncols_ = ncols;
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.row_ptr_.assign(static_cast<std::size_t>(nrows) + 1, 0);
+  for (std::size_t k = 0; k < triplets.size(); ++k) {
+    const Triplet& t = triplets[k];
+    HYMV_CHECK_MSG(t.row >= 0 && t.row < nrows && t.col >= 0 && t.col < ncols,
+                   "CsrMatrix::from_triplets: index out of range");
+    if (k > 0 && triplets[k - 1].row == t.row && triplets[k - 1].col == t.col) {
+      m.vals_.back() += t.value;  // merge duplicate
+    } else {
+      m.col_idx_.push_back(t.col);
+      m.vals_.push_back(t.value);
+      ++m.row_ptr_[static_cast<std::size_t>(t.row) + 1];
+    }
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(nrows); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(x.size()) == ncols_ &&
+                     static_cast<std::int64_t>(y.size()) == nrows_,
+                 "CsrMatrix::spmv: size mismatch");
+  for (std::int64_t r = 0; r < nrows_; ++r) {
+    double sum = 0.0;
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      sum += vals_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void CsrMatrix::spmv_add(std::span<const double> x, std::span<double> y) const {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(x.size()) == ncols_ &&
+                     static_cast<std::int64_t>(y.size()) == nrows_,
+                 "CsrMatrix::spmv_add: size mismatch");
+  for (std::int64_t r = 0; r < nrows_; ++r) {
+    double sum = 0.0;
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      sum += vals_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] += sum;
+  }
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(static_cast<std::size_t>(nrows_), 0.0);
+  for (std::int64_t r = 0; r < std::min(nrows_, ncols_); ++r) {
+    d[static_cast<std::size_t>(r)] = at(r, r);
+  }
+  return d;
+}
+
+double CsrMatrix::at(std::int64_t i, std::int64_t j) const {
+  const auto lo = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(i)];
+  const auto hi = col_idx_.begin() + row_ptr_[static_cast<std::size_t>(i) + 1];
+  const auto it = std::lower_bound(lo, hi, j);
+  if (it != hi && *it == j) {
+    return vals_[static_cast<std::size_t>(it - col_idx_.begin())];
+  }
+  return 0.0;
+}
+
+Ilu0::Ilu0(const CsrMatrix& a)
+    : n_(a.num_rows()),
+      row_ptr_(a.row_ptr()),
+      col_idx_(a.col_idx()),
+      vals_(a.values()),
+      diag_(static_cast<std::size_t>(a.num_rows()), -1) {
+  HYMV_CHECK_MSG(a.num_rows() == a.num_cols(), "Ilu0: matrix must be square");
+  for (std::int64_t r = 0; r < n_; ++r) {
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (col_idx_[static_cast<std::size_t>(k)] == r) {
+        diag_[static_cast<std::size_t>(r)] = k;
+      }
+    }
+    HYMV_CHECK_MSG(diag_[static_cast<std::size_t>(r)] >= 0,
+                   "Ilu0: structurally zero diagonal");
+  }
+
+  // IKJ-variant in-place ILU(0). Columns within each row are sorted.
+  std::vector<std::int64_t> col_to_idx(static_cast<std::size_t>(n_), -1);
+  for (std::int64_t i = 1; i < n_; ++i) {
+    const std::int64_t row_lo = row_ptr_[static_cast<std::size_t>(i)];
+    const std::int64_t row_hi = row_ptr_[static_cast<std::size_t>(i) + 1];
+    for (std::int64_t k = row_lo; k < row_hi; ++k) {
+      col_to_idx[static_cast<std::size_t>(
+          col_idx_[static_cast<std::size_t>(k)])] = k;
+    }
+    for (std::int64_t kk = row_lo; kk < row_hi; ++kk) {
+      const std::int64_t k = col_idx_[static_cast<std::size_t>(kk)];
+      if (k >= i) {
+        break;  // only the strictly-lower part drives elimination
+      }
+      const double dkk = vals_[static_cast<std::size_t>(
+          diag_[static_cast<std::size_t>(k)])];
+      HYMV_CHECK_MSG(std::abs(dkk) > 0.0, "Ilu0: zero pivot");
+      const double lik = vals_[static_cast<std::size_t>(kk)] / dkk;
+      vals_[static_cast<std::size_t>(kk)] = lik;
+      // Row i -= lik * row k (restricted to row i's sparsity, cols > k).
+      for (std::int64_t kj = diag_[static_cast<std::size_t>(k)] + 1;
+           kj < row_ptr_[static_cast<std::size_t>(k) + 1]; ++kj) {
+        const std::int64_t j = col_idx_[static_cast<std::size_t>(kj)];
+        const std::int64_t idx = col_to_idx[static_cast<std::size_t>(j)];
+        if (idx >= row_lo && idx < row_hi) {
+          vals_[static_cast<std::size_t>(idx)] -=
+              lik * vals_[static_cast<std::size_t>(kj)];
+        }
+      }
+    }
+    for (std::int64_t k = row_lo; k < row_hi; ++k) {
+      col_to_idx[static_cast<std::size_t>(
+          col_idx_[static_cast<std::size_t>(k)])] = -1;
+    }
+  }
+}
+
+void Ilu0::solve(std::span<const double> b, std::span<double> x) const {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(b.size()) == n_ &&
+                     static_cast<std::int64_t>(x.size()) == n_,
+                 "Ilu0::solve: size mismatch");
+  // Forward substitution: L y = b (unit diagonal).
+  for (std::int64_t i = 0; i < n_; ++i) {
+    double sum = b[static_cast<std::size_t>(i)];
+    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(i)];
+         k < diag_[static_cast<std::size_t>(i)]; ++k) {
+      sum -= vals_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    x[static_cast<std::size_t>(i)] = sum;
+  }
+  // Backward substitution: U x = y.
+  for (std::int64_t i = n_ - 1; i >= 0; --i) {
+    double sum = x[static_cast<std::size_t>(i)];
+    for (std::int64_t k = diag_[static_cast<std::size_t>(i)] + 1;
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      sum -= vals_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    x[static_cast<std::size_t>(i)] =
+        sum / vals_[static_cast<std::size_t>(diag_[static_cast<std::size_t>(i)])];
+  }
+}
+
+}  // namespace hymv::pla

@@ -1,0 +1,126 @@
+#include "hymv/pla/dist_csr.hpp"
+
+#include <algorithm>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+void DistCsrMatrix::add_value(std::int64_t gi, std::int64_t gj, double v) {
+  HYMV_CHECK_MSG(!assembled_, "DistCsrMatrix: add_value after assemble");
+  HYMV_CHECK_MSG(gi >= 0 && gi < layout_.global_size && gj >= 0 &&
+                     gj < layout_.global_size,
+                 "DistCsrMatrix: index out of range");
+  pending_.push_back(Triplet{gi, gj, v});
+}
+
+void DistCsrMatrix::add_element_matrix(std::span<const std::int64_t> dofs,
+                                       std::span<const double> ke) {
+  const std::size_t n = dofs.size();
+  HYMV_CHECK_MSG(ke.size() == n * n,
+                 "add_element_matrix: ke must be dofs²");
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t a = 0; a < n; ++a) {
+      add_value(dofs[a], dofs[b], ke[b * n + a]);  // column-major ke
+    }
+  }
+}
+
+void DistCsrMatrix::assemble(simmpi::Comm& comm) {
+  HYMV_CHECK_MSG(!assembled_, "DistCsrMatrix: assemble called twice");
+  const std::vector<std::int64_t> offsets =
+      Layout::gather_offsets(comm, layout_);
+  const int p = comm.size();
+
+  // Migrate off-owner rows to their owners (MatAssembly communication).
+  std::vector<std::vector<Triplet>> outbound(static_cast<std::size_t>(p));
+  std::vector<Triplet> local;
+  local.reserve(pending_.size());
+  for (const Triplet& t : pending_) {
+    if (t.row >= layout_.begin && t.row < layout_.end_excl) {
+      local.push_back(t);
+    } else {
+      outbound[static_cast<std::size_t>(owner_of(offsets, t.row))].push_back(t);
+    }
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  for (int r = 0; r < p; ++r) {
+    if (r != comm.rank()) {
+      assembly_bytes_migrated_ += static_cast<std::int64_t>(
+          outbound[static_cast<std::size_t>(r)].size() * sizeof(Triplet));
+    }
+  }
+  const auto inbound = comm.alltoallv(outbound);
+  for (const auto& batch : inbound) {
+    local.insert(local.end(), batch.begin(), batch.end());
+  }
+
+  // Split into diag block (owned cols) and offdiag block (ghost cols).
+  std::vector<Triplet> diag_trip;
+  std::vector<Triplet> off_trip;  // cols still global here
+  for (Triplet& t : local) {
+    HYMV_CHECK(t.row >= layout_.begin && t.row < layout_.end_excl);
+    t.row -= layout_.begin;
+    if (t.col >= layout_.begin && t.col < layout_.end_excl) {
+      t.col -= layout_.begin;
+      diag_trip.push_back(t);
+    } else {
+      off_trip.push_back(t);
+    }
+  }
+  local.clear();
+  local.shrink_to_fit();
+
+  // Compact ghost column ids.
+  std::vector<std::int64_t> ghosts;
+  ghosts.reserve(off_trip.size());
+  for (const Triplet& t : off_trip) {
+    ghosts.push_back(t.col);
+  }
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  for (Triplet& t : off_trip) {
+    t.col = std::lower_bound(ghosts.begin(), ghosts.end(), t.col) -
+            ghosts.begin();
+  }
+
+  diag_ = CsrMatrix::from_triplets(layout_.owned(), layout_.owned(),
+                                   std::move(diag_trip));
+  offdiag_ = CsrMatrix::from_triplets(
+      layout_.owned(), static_cast<std::int64_t>(ghosts.size()),
+      std::move(off_trip));
+  exchange_ = GhostExchange(comm, layout_, std::move(ghosts));
+  assembled_ = true;
+}
+
+void DistCsrMatrix::apply(simmpi::Comm& comm, const DistVector& x,
+                          DistVector& y) {
+  HYMV_CHECK_MSG(assembled_, "DistCsrMatrix: apply before assemble");
+  // Overlap the ghost scatter with the diagonal-block SpMV.
+  exchange_.forward_begin(comm, x.values());
+  diag_.spmv(x.values(), y.values());
+  exchange_.forward_end(comm);
+  offdiag_.spmv_add(exchange_.ghost_values(), y.values());
+}
+
+std::vector<double> DistCsrMatrix::diagonal(simmpi::Comm&) {
+  HYMV_CHECK_MSG(assembled_, "DistCsrMatrix: diagonal before assemble");
+  return diag_.diagonal();
+}
+
+CsrMatrix DistCsrMatrix::owned_block(simmpi::Comm&) {
+  HYMV_CHECK_MSG(assembled_, "DistCsrMatrix: owned_block before assemble");
+  return diag_;
+}
+
+std::int64_t DistCsrMatrix::apply_bytes() const {
+  // Cache-level (Advisor-equivalent) traffic: per nonzero one 8 B value and
+  // one 4 B column index stream (PETSc stores 32-bit column indices); per
+  // row a pointer load and the y store. The x gather mostly hits cache and
+  // is not charged — this reproduces the paper's measured AI ≈ 0.16 F/B for
+  // the assembled SPMV.
+  return local_nnz() * 12 + layout_.owned() * 12;
+}
+
+}  // namespace hymv::pla

@@ -1,0 +1,82 @@
+#include "hymv/pla/dist_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+Layout Layout::from_owned_count(simmpi::Comm& comm, std::int64_t count) {
+  HYMV_CHECK_MSG(count >= 0, "Layout: negative owned count");
+  Layout layout;
+  layout.begin = comm.exscan<std::int64_t>(count, simmpi::ReduceOp::kSum);
+  layout.end_excl = layout.begin + count;
+  layout.global_size =
+      comm.allreduce<std::int64_t>(count, simmpi::ReduceOp::kSum);
+  return layout;
+}
+
+std::vector<std::int64_t> Layout::gather_offsets(simmpi::Comm& comm,
+                                                 const Layout& layout) {
+  const int p = comm.size();
+  std::vector<std::int64_t> begins(static_cast<std::size_t>(p));
+  comm.allgather(std::span<const std::int64_t>(&layout.begin, 1),
+                 std::span<std::int64_t>(begins));
+  begins.push_back(layout.global_size);
+  return begins;
+}
+
+int owner_of(std::span<const std::int64_t> offsets, std::int64_t g) {
+  HYMV_CHECK_MSG(g >= 0 && g < offsets.back(), "owner_of: index out of range");
+  const auto it = std::upper_bound(offsets.begin(), offsets.end() - 1, g);
+  return static_cast<int>(it - offsets.begin()) - 1;
+}
+
+double dot(simmpi::Comm& comm, const DistVector& x, const DistVector& y) {
+  HYMV_CHECK_MSG(x.owned_size() == y.owned_size(), "dot: size mismatch");
+  double local = 0.0;
+  const auto xs = x.values();
+  const auto ys = y.values();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    local += xs[i] * ys[i];
+  }
+  return comm.allreduce(local, simmpi::ReduceOp::kSum);
+}
+
+double norm2(simmpi::Comm& comm, const DistVector& x) {
+  return std::sqrt(dot(comm, x, x));
+}
+
+double norm_inf(simmpi::Comm& comm, const DistVector& x) {
+  double local = 0.0;
+  for (const double v : x.values()) {
+    local = std::max(local, std::abs(v));
+  }
+  return comm.allreduce(local, simmpi::ReduceOp::kMax);
+}
+
+void axpy(double a, const DistVector& x, DistVector& y) {
+  HYMV_CHECK_MSG(x.owned_size() == y.owned_size(), "axpy: size mismatch");
+  const auto xs = x.values();
+  const auto ys = y.values();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ys[i] += a * xs[i];
+  }
+}
+
+void xpby(const DistVector& x, double b, DistVector& y) {
+  HYMV_CHECK_MSG(x.owned_size() == y.owned_size(), "xpby: size mismatch");
+  const auto xs = x.values();
+  const auto ys = y.values();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ys[i] = xs[i] + b * ys[i];
+  }
+}
+
+void copy(const DistVector& x, DistVector& y) {
+  HYMV_CHECK_MSG(x.owned_size() == y.owned_size(), "copy: size mismatch");
+  std::copy(x.values().begin(), x.values().end(), y.values().begin());
+}
+
+}  // namespace hymv::pla

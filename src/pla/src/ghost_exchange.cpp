@@ -1,0 +1,138 @@
+#include "hymv/pla/ghost_exchange.hpp"
+
+#include <algorithm>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+namespace {
+constexpr int kForwardTag = 1001;
+constexpr int kReverseTag = 1002;
+}  // namespace
+
+GhostExchange::GhostExchange(simmpi::Comm& comm, const Layout& layout,
+                             std::vector<std::int64_t> ghosts)
+    : layout_(layout), ghosts_(std::move(ghosts)) {
+  HYMV_CHECK_MSG(std::is_sorted(ghosts_.begin(), ghosts_.end()),
+                 "GhostExchange: ghost ids must be sorted");
+  for (std::size_t i = 0; i + 1 < ghosts_.size(); ++i) {
+    HYMV_CHECK_MSG(ghosts_[i] != ghosts_[i + 1],
+                   "GhostExchange: duplicate ghost id");
+  }
+  for (const std::int64_t g : ghosts_) {
+    HYMV_CHECK_MSG(g < layout_.begin || g >= layout_.end_excl,
+                   "GhostExchange: ghost id is owned by this rank");
+  }
+  ghost_vals_.assign(ghosts_.size(), 0.0);
+
+  const std::vector<std::int64_t> offsets =
+      Layout::gather_offsets(comm, layout_);
+  const int p = comm.size();
+
+  // Group the sorted ghosts into per-owner runs → recv peers.
+  {
+    std::size_t i = 0;
+    while (i < ghosts_.size()) {
+      const int owner = owner_of(offsets, ghosts_[i]);
+      std::size_t j = i;
+      while (j < ghosts_.size() && owner_of(offsets, ghosts_[j]) == owner) {
+        ++j;
+      }
+      RecvPeer peer;
+      peer.rank = owner;
+      peer.ghost_offset = static_cast<std::int64_t>(i);
+      peer.count = static_cast<std::int64_t>(j - i);
+      peer.buf.resize(static_cast<std::size_t>(peer.count));
+      recv_peers_.push_back(std::move(peer));
+      i = j;
+    }
+  }
+
+  // Tell each owner which of its ids we need (alltoallv), producing the
+  // send side of the plan on the owners.
+  std::vector<std::vector<std::int64_t>> requests(static_cast<std::size_t>(p));
+  for (const RecvPeer& peer : recv_peers_) {
+    auto& req = requests[static_cast<std::size_t>(peer.rank)];
+    req.assign(ghosts_.begin() + peer.ghost_offset,
+               ghosts_.begin() + peer.ghost_offset + peer.count);
+  }
+  const auto wanted = comm.alltoallv(requests);
+  for (int r = 0; r < p; ++r) {
+    const auto& ids = wanted[static_cast<std::size_t>(r)];
+    if (ids.empty()) {
+      continue;
+    }
+    SendPeer peer;
+    peer.rank = r;
+    peer.owned_locals.reserve(ids.size());
+    for (const std::int64_t g : ids) {
+      HYMV_CHECK_MSG(g >= layout_.begin && g < layout_.end_excl,
+                     "GhostExchange: peer requested an id we do not own");
+      peer.owned_locals.push_back(g - layout_.begin);
+    }
+    peer.buf.resize(ids.size());
+    send_peers_.push_back(std::move(peer));
+  }
+}
+
+void GhostExchange::forward_begin(simmpi::Comm& comm,
+                                  std::span<const double> owned) {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) == layout_.owned(),
+                 "forward_begin: owned span size mismatch");
+  HYMV_CHECK_MSG(pending_.empty(),
+                 "forward_begin: previous exchange still in flight");
+  // Post receives into slices of the ghost value array.
+  for (RecvPeer& peer : recv_peers_) {
+    pending_.push_back(comm.irecv(
+        peer.rank, kForwardTag,
+        std::span<double>(ghost_vals_.data() + peer.ghost_offset,
+                          static_cast<std::size_t>(peer.count))));
+  }
+  // Pack and send owned values.
+  for (SendPeer& peer : send_peers_) {
+    for (std::size_t i = 0; i < peer.owned_locals.size(); ++i) {
+      peer.buf[i] = owned[static_cast<std::size_t>(peer.owned_locals[i])];
+    }
+    pending_.push_back(
+        comm.isend(peer.rank, kForwardTag, std::span<const double>(peer.buf)));
+  }
+}
+
+void GhostExchange::forward_end(simmpi::Comm& comm) {
+  comm.waitall(pending_);
+  pending_.clear();
+}
+
+void GhostExchange::reverse_begin(simmpi::Comm& comm,
+                                  std::span<const double> ghost_contrib) {
+  HYMV_CHECK_MSG(ghost_contrib.size() == ghosts_.size(),
+                 "reverse_begin: ghost contribution size mismatch");
+  HYMV_CHECK_MSG(pending_.empty(),
+                 "reverse_begin: previous exchange still in flight");
+  // Receives land in the send peers' buffers (roles are mirrored).
+  for (SendPeer& peer : send_peers_) {
+    pending_.push_back(
+        comm.irecv(peer.rank, kReverseTag, std::span<double>(peer.buf)));
+  }
+  for (const RecvPeer& peer : recv_peers_) {
+    pending_.push_back(comm.isend(
+        peer.rank, kReverseTag,
+        std::span<const double>(ghost_contrib.data() + peer.ghost_offset,
+                                static_cast<std::size_t>(peer.count))));
+  }
+}
+
+void GhostExchange::reverse_end(simmpi::Comm& comm, std::span<double> owned) {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) == layout_.owned(),
+                 "reverse_end: owned span size mismatch");
+  comm.waitall(pending_);
+  pending_.clear();
+  for (const SendPeer& peer : send_peers_) {
+    for (std::size_t i = 0; i < peer.owned_locals.size(); ++i) {
+      owned[static_cast<std::size_t>(peer.owned_locals[i])] += peer.buf[i];
+    }
+  }
+}
+
+}  // namespace hymv::pla

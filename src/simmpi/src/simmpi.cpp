@@ -1,0 +1,383 @@
+#include "hymv/simmpi/simmpi.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace simmpi {
+namespace detail {
+
+namespace {
+
+/// Internal tag space; user code should use tags below (1 << 28).
+constexpr int kBarrierTag = (1 << 28) + 0;
+constexpr int kBcastTag = (1 << 28) + 1;
+constexpr int kReduceTag = (1 << 28) + 2;
+
+}  // namespace
+
+/// Completion state shared between a Request handle and the runtime.
+/// `done` and `status` are guarded by the owning rank's mailbox mutex.
+struct RequestState {
+  bool done = false;
+  Status status;
+  int owner_rank = -1;  ///< Rank whose mailbox guards this state.
+};
+
+/// An eagerly-buffered in-flight message.
+struct Envelope {
+  int src = -1;
+  int tag = kAnyTag;
+  std::vector<std::byte> payload;
+};
+
+/// A posted, not-yet-matched receive.
+struct PendingRecv {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  void* buf = nullptr;
+  std::size_t capacity = 0;
+  std::shared_ptr<RequestState> state;
+};
+
+/// Per-rank mailbox: unexpected-message queue + posted-receive queue.
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Envelope> unexpected;   // arrival order
+  std::deque<PendingRecv> pending;   // post order
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_received = 0;
+};
+
+/// Job-wide shared state for one simmpi::run invocation.
+class Context {
+ public:
+  explicit Context(int nranks)
+      : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)),
+        sent_(static_cast<std::size_t>(nranks)) {
+    for (auto& box : mailboxes_) {
+      box = std::make_unique<Mailbox>();
+    }
+  }
+
+  [[nodiscard]] int size() const { return nranks_; }
+
+  [[nodiscard]] Mailbox& mailbox(int rank) {
+    return *mailboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Sender-side counters; only written by the owning rank's thread.
+  struct SentCounters {
+    std::int64_t messages = 0;
+    std::int64_t bytes = 0;
+  };
+  [[nodiscard]] SentCounters& sent(int rank) {
+    return sent_[static_cast<std::size_t>(rank)];
+  }
+
+  void abort() {
+    aborted_.store(true, std::memory_order_release);
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box->mutex);
+      box->cv.notify_all();
+    }
+  }
+
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<SentCounters> sent_;
+  std::atomic<bool> aborted_{false};
+};
+
+namespace {
+
+bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == kAnySource || want_src == src) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+
+void deliver(Mailbox& box, int receiver, const PendingRecv& recv, int src,
+             int tag, const void* data, std::size_t bytes) {
+  HYMV_CHECK_MSG(bytes <= recv.capacity,
+                 "simmpi: received message larger than posted buffer");
+  if (bytes > 0) {
+    std::memcpy(recv.buf, data, bytes);
+  }
+  recv.state->status = Status{src, tag, bytes};
+  recv.state->done = true;
+  if (src != receiver) {  // self-messages are not network traffic
+    box.messages_received += 1;
+    box.bytes_received += static_cast<std::int64_t>(bytes);
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+int Comm::size() const { return ctx_->size(); }
+
+Request Comm::isend_bytes(int dest, int tag, const void* data,
+                          std::size_t bytes) {
+  HYMV_CHECK_MSG(dest >= 0 && dest < size(), "isend: destination out of range");
+  if (ctx_->aborted()) {
+    throw AbortError();
+  }
+  if (dest != rank_) {
+    auto& sent = ctx_->sent(rank_);
+    sent.messages += 1;
+    sent.bytes += static_cast<std::int64_t>(bytes);
+  }
+  detail::Mailbox& box = ctx_->mailbox(dest);
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    // Try to match the earliest posted receive (FIFO per source/tag).
+    for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
+      if (detail::matches(it->src, it->tag, rank_, tag)) {
+        detail::deliver(box, dest, *it, rank_, tag, data, bytes);
+        box.pending.erase(it);
+        box.cv.notify_all();
+        auto state = std::make_shared<detail::RequestState>();
+        state->done = true;
+        state->status = Status{dest, tag, bytes};
+        state->owner_rank = rank_;
+        return Request(std::move(state));
+      }
+    }
+    // No posted receive: enqueue as an unexpected (eagerly buffered) message.
+    detail::Envelope env;
+    env.src = rank_;
+    env.tag = tag;
+    env.payload.resize(bytes);
+    if (bytes > 0) {
+      std::memcpy(env.payload.data(), data, bytes);
+    }
+    box.unexpected.push_back(std::move(env));
+    box.cv.notify_all();
+  }
+  auto state = std::make_shared<detail::RequestState>();
+  state->done = true;
+  state->status = Status{dest, tag, bytes};
+  state->owner_rank = rank_;
+  return Request(std::move(state));
+}
+
+Request Comm::irecv_bytes(int source, int tag, void* buf,
+                          std::size_t capacity) {
+  HYMV_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
+                 "irecv: source out of range");
+  if (ctx_->aborted()) {
+    throw AbortError();
+  }
+  detail::Mailbox& box = ctx_->mailbox(rank_);
+  auto state = std::make_shared<detail::RequestState>();
+  state->owner_rank = rank_;
+  std::lock_guard<std::mutex> lock(box.mutex);
+  // Try the unexpected queue first (earliest arrival wins).
+  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+    if (detail::matches(source, tag, it->src, it->tag)) {
+      detail::PendingRecv recv{source, tag, buf, capacity, state};
+      detail::deliver(box, rank_, recv, it->src, it->tag, it->payload.data(),
+                      it->payload.size());
+      box.unexpected.erase(it);
+      return Request(std::move(state));
+    }
+  }
+  box.pending.push_back(detail::PendingRecv{source, tag, buf, capacity, state});
+  return Request(std::move(state));
+}
+
+Status Comm::wait(Request& req) {
+  if (!req.valid()) {
+    return Status{};
+  }
+  detail::RequestState& state = *req.state_;
+  detail::Mailbox& box = ctx_->mailbox(state.owner_rank);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  box.cv.wait(lock, [&] { return state.done || ctx_->aborted(); });
+  if (!state.done) {
+    throw AbortError();
+  }
+  const Status status = state.status;
+  req.state_.reset();
+  return status;
+}
+
+bool Comm::test(Request& req) {
+  if (!req.valid()) {
+    return true;
+  }
+  detail::RequestState& state = *req.state_;
+  detail::Mailbox& box = ctx_->mailbox(state.owner_rank);
+  std::lock_guard<std::mutex> lock(box.mutex);
+  if (ctx_->aborted() && !state.done) {
+    throw AbortError();
+  }
+  return state.done;
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  for (Request& r : reqs) {
+    wait(r);
+  }
+}
+
+Status Comm::probe(int source, int tag) {
+  detail::Mailbox& box = ctx_->mailbox(rank_);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    for (const auto& env : box.unexpected) {
+      if (detail::matches(source, tag, env.src, env.tag)) {
+        return Status{env.src, env.tag, env.payload.size()};
+      }
+    }
+    if (ctx_->aborted()) {
+      throw AbortError();
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: ceil(log2 p) rounds; round k sends a token to
+  // (rank + 2^k) mod p and receives one from (rank - 2^k) mod p.
+  const int p = size();
+  std::byte token{};
+  for (int k = 1; k < p; k <<= 1) {
+    const int to = (rank_ + k) % p;
+    const int from = (rank_ - k % p + p) % p;
+    Request s = isend_bytes(to, detail::kBarrierTag, &token, 1);
+    wait(s);
+    std::byte in{};
+    Request r = irecv_bytes(from, detail::kBarrierTag, &in, 1);
+    wait(r);
+  }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  // Binomial tree rooted at `root`.
+  const int p = size();
+  HYMV_CHECK_MSG(root >= 0 && root < p, "bcast: root out of range");
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) != 0) {
+      const int parent = ((vrank - mask) + root) % p;
+      Request r = irecv_bytes(parent, detail::kBcastTag, data, bytes);
+      wait(r);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int child = ((vrank + mask) + root) % p;
+      Request s = isend_bytes(child, detail::kBcastTag, data, bytes);
+      wait(s);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce_bytes_inplace(void* data, std::size_t count,
+                                std::size_t elem_size, ReduceOp op, int root,
+                                void (*apply)(void*, const void*, std::size_t,
+                                              ReduceOp)) {
+  // Binomial tree reduction to `root`; `data` holds this rank's contribution
+  // on entry and, on the root, the reduced result on exit.
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  const std::size_t bytes = count * elem_size;
+  std::vector<std::byte> incoming(bytes);
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((vrank & mask) != 0) {
+      const int parent = ((vrank & ~mask) + root) % p;
+      Request s = isend_bytes(parent, detail::kReduceTag, data, bytes);
+      wait(s);
+      return;
+    }
+    const int vchild = vrank | mask;
+    if (vchild < p) {
+      const int child = (vchild + root) % p;
+      Request r = irecv_bytes(child, detail::kReduceTag, incoming.data(), bytes);
+      wait(r);
+      apply(data, incoming.data(), count, op);
+    }
+  }
+}
+
+TrafficCounters Comm::counters() const {
+  TrafficCounters out;
+  const auto& sent = ctx_->sent(rank_);
+  out.messages_sent = sent.messages;
+  out.bytes_sent = sent.bytes;
+  detail::Mailbox& box = ctx_->mailbox(rank_);
+  std::lock_guard<std::mutex> lock(box.mutex);
+  out.messages_received = box.messages_received;
+  out.bytes_received = box.bytes_received;
+  return out;
+}
+
+void Comm::reset_counters() {
+  auto& sent = ctx_->sent(rank_);
+  sent.messages = 0;
+  sent.bytes = 0;
+  detail::Mailbox& box = ctx_->mailbox(rank_);
+  std::lock_guard<std::mutex> lock(box.mutex);
+  box.messages_received = 0;
+  box.bytes_received = 0;
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  HYMV_CHECK_MSG(nranks > 0, "simmpi::run: nranks must be positive");
+  detail::Context ctx(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&ctx, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        ctx.abort();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Prefer the original failure over secondary AbortErrors.
+  std::exception_ptr first_abort;
+  for (const auto& e : errors) {
+    if (!e) {
+      continue;
+    }
+    try {
+      std::rethrow_exception(e);
+    } catch (const AbortError&) {
+      if (!first_abort) {
+        first_abort = e;
+      }
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (first_abort) {
+    std::rethrow_exception(first_abort);
+  }
+}
+
+}  // namespace simmpi

@@ -1,0 +1,240 @@
+// Unit tests for the common utility module: error macros, timers, aligned
+// allocation, RNG determinism, and summary statistics.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "hymv/common/aligned.hpp"
+#include "hymv/common/env.hpp"
+#include "hymv/common/error.hpp"
+#include "hymv/common/rng.hpp"
+#include "hymv/common/stats.hpp"
+#include "hymv/common/timer.hpp"
+
+namespace {
+
+TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(HYMV_CHECK(1 + 1 == 2)); }
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(HYMV_CHECK(1 + 1 == 3), hymv::Error);
+}
+
+TEST(Error, CheckMsgCarriesMessage) {
+  try {
+    HYMV_CHECK_MSG(false, "the answer is 42");
+    FAIL() << "expected throw";
+  } catch (const hymv::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, ThrowMacroThrows) { EXPECT_THROW(HYMV_THROW("boom"), hymv::Error); }
+
+TEST(Error, MessageContainsFileAndExpr) {
+  try {
+    HYMV_CHECK(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const hymv::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Timer, ElapsedIsMonotone) {
+  hymv::Timer t;
+  const double a = t.elapsed_s();
+  const double b = t.elapsed_s();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Timer, RestartResetsOrigin) {
+  hymv::Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.restart();
+  EXPECT_LT(t.elapsed_s(), 0.005);
+}
+
+TEST(CumulativeTimer, AccumulatesIntervals) {
+  hymv::CumulativeTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.stop();
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.stop();
+  EXPECT_GE(t.total_s(), 0.004 * 0.5);  // generous slack for CI jitter
+  EXPECT_EQ(t.count(), 2);
+}
+
+TEST(CumulativeTimer, DoubleStartThrows) {
+  hymv::CumulativeTimer t;
+  t.start();
+  EXPECT_THROW(t.start(), hymv::Error);
+  t.stop();
+}
+
+TEST(CumulativeTimer, StopWithoutStartThrows) {
+  hymv::CumulativeTimer t;
+  EXPECT_THROW(t.stop(), hymv::Error);
+}
+
+TEST(CumulativeTimer, ResetClearsTotals) {
+  hymv::CumulativeTimer t;
+  t.start();
+  t.stop();
+  t.reset();
+  EXPECT_EQ(t.total_s(), 0.0);
+  EXPECT_EQ(t.count(), 0);
+}
+
+TEST(ScopedTimer, StopsOnScopeExit) {
+  hymv::CumulativeTimer t;
+  {
+    hymv::ScopedTimer guard(t);
+    EXPECT_TRUE(t.running());
+  }
+  EXPECT_FALSE(t.running());
+  EXPECT_EQ(t.count(), 1);
+}
+
+TEST(PhaseTimers, UnknownPhaseIsZero) {
+  hymv::PhaseTimers timers;
+  EXPECT_EQ(timers.total_s("never_ran"), 0.0);
+}
+
+TEST(PhaseTimers, TracksNamedPhases) {
+  hymv::PhaseTimers timers;
+  timers.phase("compute").start();
+  timers.phase("compute").stop();
+  EXPECT_EQ(timers.phases().size(), 1u);
+  EXPECT_GE(timers.total_s("compute"), 0.0);
+}
+
+TEST(Aligned, VectorDataIsAligned) {
+  hymv::aligned_vector<double> v(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % hymv::kSimdAlign, 0u);
+}
+
+TEST(Aligned, EmptyVectorWorks) {
+  hymv::aligned_vector<double> v;
+  EXPECT_TRUE(v.empty());
+  v.resize(4, 1.5);
+  EXPECT_EQ(v[3], 1.5);
+}
+
+TEST(Aligned, RoundUpTo) {
+  EXPECT_EQ(hymv::round_up_to(0, 8), 0u);
+  EXPECT_EQ(hymv::round_up_to(1, 8), 8u);
+  EXPECT_EQ(hymv::round_up_to(8, 8), 8u);
+  EXPECT_EQ(hymv::round_up_to(9, 8), 16u);
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  hymv::SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, XoshiroUniformInRange) {
+  hymv::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, XoshiroUniformIntervalRespectsBounds) {
+  hymv::Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  hymv::Xoshiro256 a(1), b(2);
+  std::set<std::uint64_t> xs;
+  bool all_equal = true;
+  for (int i = 0; i < 16; ++i) {
+    all_equal = all_equal && (a.next() == b.next());
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformIntBelowBound) {
+  hymv::Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+}
+
+TEST(Stats, EmptySampleIsZero) {
+  const hymv::Summary s = hymv::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const std::vector<double> xs{3.0};
+  const hymv::Summary s = hymv::summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 3.0);
+  EXPECT_EQ(s.max, 3.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, OddMedian) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_EQ(hymv::summarize(xs).median, 3.0);
+}
+
+TEST(Stats, EvenMedian) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(hymv::summarize(xs).median, 2.5);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const hymv::Summary s = hymv::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+}
+
+TEST(Stats, RelDiff) {
+  EXPECT_EQ(hymv::rel_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(hymv::rel_diff(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_EQ(hymv::rel_diff(0.0, 0.0), 0.0);
+}
+
+TEST(Env, FallbackWhenUnset) {
+  EXPECT_EQ(hymv::env_int("HYMV_TEST_UNSET_VAR_XYZ", 42), 42);
+  EXPECT_EQ(hymv::env_double("HYMV_TEST_UNSET_VAR_XYZ", 1.5), 1.5);
+}
+
+TEST(Env, ParsesSetValues) {
+  ::setenv("HYMV_TEST_SET_VAR", "17", 1);
+  EXPECT_EQ(hymv::env_int("HYMV_TEST_SET_VAR", 0), 17);
+  ::setenv("HYMV_TEST_SET_VAR_D", "2.25", 1);
+  EXPECT_EQ(hymv::env_double("HYMV_TEST_SET_VAR_D", 0.0), 2.25);
+  ::unsetenv("HYMV_TEST_SET_VAR");
+  ::unsetenv("HYMV_TEST_SET_VAR_D");
+}
+
+TEST(Env, FallbackOnGarbage) {
+  ::setenv("HYMV_TEST_GARBAGE", "not_a_number", 1);
+  EXPECT_EQ(hymv::env_int("HYMV_TEST_GARBAGE", 9), 9);
+  ::unsetenv("HYMV_TEST_GARBAGE");
+}
+
+}  // namespace

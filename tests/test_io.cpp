@@ -1,0 +1,181 @@
+// Tests for the I/O module: legacy-VTK rendering and element-store
+// checkpointing (including the HymvOperator restart constructor).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "hymv/core/hymv_operator.hpp"
+#include "hymv/fem/operators.hpp"
+#include "hymv/io/store_io.hpp"
+#include "hymv/io/vtk.hpp"
+#include "hymv/mesh/partition.hpp"
+#include "hymv/mesh/structured.hpp"
+#include "hymv/mesh/tet.hpp"
+
+namespace {
+
+using namespace hymv;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(VtkTest, CellTypes) {
+  EXPECT_EQ(io::vtk_cell_type(mesh::ElementType::kHex8), 12);
+  EXPECT_EQ(io::vtk_cell_type(mesh::ElementType::kHex20), 25);
+  EXPECT_EQ(io::vtk_cell_type(mesh::ElementType::kHex27), 29);
+  EXPECT_EQ(io::vtk_cell_type(mesh::ElementType::kTet4), 10);
+  EXPECT_EQ(io::vtk_cell_type(mesh::ElementType::kTet10), 24);
+}
+
+TEST(VtkTest, PermutationIsBijective) {
+  for (const auto type :
+       {mesh::ElementType::kHex8, mesh::ElementType::kHex20,
+        mesh::ElementType::kHex27, mesh::ElementType::kTet4,
+        mesh::ElementType::kTet10}) {
+    const auto perm = io::vtk_node_permutation(type);
+    std::vector<bool> seen(perm.size(), false);
+    for (const int p : perm) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, static_cast<int>(perm.size()));
+      ASSERT_FALSE(seen[static_cast<std::size_t>(p)]);
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+  }
+}
+
+TEST(VtkTest, RenderContainsStructure) {
+  const mesh::Mesh m = mesh::build_structured_hex({.nx = 2, .ny = 1, .nz = 1},
+                                                  mesh::ElementType::kHex8);
+  const std::string vtk = io::render_vtk(m, {}, "test mesh");
+  EXPECT_NE(vtk.find("# vtk DataFile Version 3.0"), std::string::npos);
+  EXPECT_NE(vtk.find("test mesh"), std::string::npos);
+  EXPECT_NE(vtk.find("POINTS 12 double"), std::string::npos);
+  EXPECT_NE(vtk.find("CELLS 2 18"), std::string::npos);  // 2 * (8 + 1)
+  EXPECT_NE(vtk.find("CELL_TYPES 2"), std::string::npos);
+  EXPECT_NE(vtk.find("\n12\n"), std::string::npos);  // hexahedron type
+}
+
+TEST(VtkTest, ScalarAndVectorFields) {
+  const mesh::Mesh m = mesh::build_structured_hex({.nx = 1, .ny = 1, .nz = 1},
+                                                  mesh::ElementType::kHex8);
+  std::vector<io::VtkField> fields;
+  fields.push_back({.name = "temp", .components = 1,
+                    .values = std::vector<double>(8, 1.5)});
+  fields.push_back({.name = "disp", .components = 3,
+                    .values = std::vector<double>(24, 0.25)});
+  const std::string vtk = io::render_vtk(m, fields);
+  EXPECT_NE(vtk.find("POINT_DATA 8"), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS temp double 1"), std::string::npos);
+  EXPECT_NE(vtk.find("VECTORS disp double"), std::string::npos);
+}
+
+TEST(VtkTest, WrongFieldSizeThrows) {
+  const mesh::Mesh m = mesh::build_structured_hex({.nx = 1, .ny = 1, .nz = 1},
+                                                  mesh::ElementType::kHex8);
+  const std::vector<io::VtkField> bad{
+      {.name = "x", .components = 1, .values = std::vector<double>(3, 0.0)}};
+  EXPECT_THROW(io::render_vtk(m, bad), hymv::Error);
+}
+
+TEST(VtkTest, WriteCreatesFile) {
+  const mesh::Mesh m = mesh::build_unstructured_tet(
+      {.box = {.nx = 2, .ny = 2, .nz = 2}}, mesh::ElementType::kTet10);
+  const std::string path = temp_path("hymv_test_mesh.vtk");
+  io::write_vtk(path, m);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 1000u);
+  std::filesystem::remove(path);
+}
+
+TEST(StoreIoTest, RoundTripPreservesEverything) {
+  core::ElementMatrixStore store(5, 7);
+  std::vector<double> ke(49);
+  for (std::int64_t e = 0; e < 5; ++e) {
+    for (int i = 0; i < 49; ++i) {
+      ke[static_cast<std::size_t>(i)] = static_cast<double>(e * 100 + i);
+    }
+    store.set(e, ke);
+  }
+  const std::string path = temp_path("hymv_test_store.bin");
+  io::save_store(path, store);
+  const core::ElementMatrixStore loaded = io::load_store(path);
+  EXPECT_EQ(loaded.num_elements(), 5);
+  EXPECT_EQ(loaded.ndofs(), 7);
+  EXPECT_EQ(loaded.leading_dim(), store.leading_dim());
+  for (std::int64_t e = 0; e < 5; ++e) {
+    for (int c = 0; c < 7; ++c) {
+      for (int r = 0; r < 7; ++r) {
+        EXPECT_EQ(loaded.at(e, r, c), store.at(e, r, c));
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(StoreIoTest, BadMagicRejected) {
+  const std::string path = temp_path("hymv_test_bad.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const char junk[64] = "this is not a store file";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(io::load_store(path), hymv::Error);
+  std::filesystem::remove(path);
+}
+
+TEST(StoreIoTest, MissingFileThrows) {
+  EXPECT_THROW(io::load_store("/nonexistent/dir/store.bin"), hymv::Error);
+}
+
+TEST(StoreIoTest, RestartOperatorMatchesFreshSetup) {
+  // Save a computed store, reload it, build the operator via the restart
+  // constructor, and verify the SPMV matches the freshly-computed one.
+  const mesh::Mesh m = mesh::build_structured_hex({.nx = 3, .ny = 3, .nz = 3},
+                                                  mesh::ElementType::kHex8);
+  const auto part_ids =
+      mesh::partition_elements(m, 2, mesh::Partitioner::kSlab);
+  const auto dist = mesh::distribute_mesh(m, part_ids, 2);
+  simmpi::run(2, [&](simmpi::Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const fem::ElasticityOperator op(mesh::ElementType::kHex8, 300.0, 0.25);
+    core::HymvOperator fresh(comm, part, op);
+
+    const std::string path = temp_path(
+        ("hymv_restart_r" + std::to_string(comm.rank()) + ".bin").c_str());
+    io::save_store(path, fresh.store());
+    core::HymvOperator restarted(comm, part, op.ndof_per_node(),
+                                 io::load_store(path));
+    std::filesystem::remove(path);
+
+    pla::DistVector x(fresh.layout()), y1(fresh.layout()), y2(fresh.layout());
+    for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+      x[i] = std::cos(0.2 * static_cast<double>(i + 1));
+    }
+    fresh.apply(comm, x, y1);
+    restarted.apply(comm, x, y2);
+    for (std::int64_t i = 0; i < y1.owned_size(); ++i) {
+      EXPECT_DOUBLE_EQ(y2[i], y1[i]);
+    }
+    // Restart skipped the element-matrix computation entirely.
+    EXPECT_EQ(restarted.setup_breakdown().emat_compute_s, 0.0);
+  });
+}
+
+TEST(StoreIoTest, RestartRejectsWrongDimensions) {
+  const mesh::Mesh m = mesh::build_structured_hex({.nx = 2, .ny = 2, .nz = 2},
+                                                  mesh::ElementType::kHex8);
+  const std::vector<int> ids(static_cast<std::size_t>(m.num_elements()), 0);
+  const auto dist = mesh::distribute_mesh(m, ids, 1);
+  simmpi::run(1, [&](simmpi::Comm& comm) {
+    core::ElementMatrixStore wrong(3, 8);  // wrong element count
+    EXPECT_THROW(core::HymvOperator(comm, dist.parts[0], 1, std::move(wrong)),
+                 hymv::Error);
+  });
+}
+
+}  // namespace

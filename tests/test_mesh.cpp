@@ -1,0 +1,521 @@
+// Tests for the mesh module: structured hex builders, unstructured tet
+// generation (conformity, orientation, volume), partitioners, and the
+// distributed ownership/renumbering layer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "hymv/mesh/distributed.hpp"
+#include "hymv/mesh/mesh.hpp"
+#include "hymv/mesh/partition.hpp"
+#include "hymv/mesh/structured.hpp"
+#include "hymv/mesh/tet.hpp"
+
+namespace {
+
+using namespace hymv::mesh;
+
+// ---------------------------------------------------------------------------
+// element_type
+// ---------------------------------------------------------------------------
+
+TEST(ElementTypeTest, NodeCounts) {
+  EXPECT_EQ(nodes_per_element(ElementType::kHex8), 8);
+  EXPECT_EQ(nodes_per_element(ElementType::kHex20), 20);
+  EXPECT_EQ(nodes_per_element(ElementType::kHex27), 27);
+  EXPECT_EQ(nodes_per_element(ElementType::kTet4), 4);
+  EXPECT_EQ(nodes_per_element(ElementType::kTet10), 10);
+}
+
+TEST(ElementTypeTest, FamiliesAndOrders) {
+  EXPECT_TRUE(is_hex(ElementType::kHex20));
+  EXPECT_FALSE(is_hex(ElementType::kTet10));
+  EXPECT_TRUE(is_tet(ElementType::kTet4));
+  EXPECT_EQ(element_order(ElementType::kHex8), 1);
+  EXPECT_EQ(element_order(ElementType::kHex20), 2);
+  EXPECT_EQ(element_order(ElementType::kTet10), 2);
+  EXPECT_EQ(element_name(ElementType::kHex27), "hex27");
+}
+
+// ---------------------------------------------------------------------------
+// structured hex meshes
+// ---------------------------------------------------------------------------
+
+TEST(StructuredTest, Hex8Counts) {
+  const Mesh m = build_structured_hex({.nx = 3, .ny = 4, .nz = 5},
+                                      ElementType::kHex8);
+  EXPECT_EQ(m.num_elements(), 3 * 4 * 5);
+  EXPECT_EQ(m.num_nodes(), 4 * 5 * 6);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(StructuredTest, Hex20Counts) {
+  const BoxSpec spec{.nx = 2, .ny = 3, .nz = 2};
+  const Mesh m = build_structured_hex(spec, ElementType::kHex20);
+  EXPECT_EQ(m.num_elements(), 12);
+  EXPECT_EQ(m.num_nodes(), structured_hex_num_nodes(spec, ElementType::kHex20));
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(StructuredTest, Hex27Counts) {
+  const BoxSpec spec{.nx = 2, .ny = 2, .nz = 2};
+  const Mesh m = build_structured_hex(spec, ElementType::kHex27);
+  EXPECT_EQ(m.num_elements(), 8);
+  EXPECT_EQ(m.num_nodes(), 5 * 5 * 5);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(StructuredTest, BoundingBoxMatchesSpec) {
+  const BoxSpec spec{.nx = 2, .ny = 2, .nz = 4, .lx = 2.0, .ly = 3.0,
+                     .lz = 8.0, .origin = {-1.0, -1.5, 0.0}};
+  const Mesh m = build_structured_hex(spec, ElementType::kHex8);
+  const BoundingBox box = bounding_box(m);
+  EXPECT_DOUBLE_EQ(box.lo[0], -1.0);
+  EXPECT_DOUBLE_EQ(box.lo[1], -1.5);
+  EXPECT_DOUBLE_EQ(box.lo[2], 0.0);
+  EXPECT_DOUBLE_EQ(box.hi[0], 1.0);
+  EXPECT_DOUBLE_EQ(box.hi[1], 1.5);
+  EXPECT_DOUBLE_EQ(box.hi[2], 8.0);
+}
+
+TEST(StructuredTest, Hex8CornerCoordsAreElementCorners) {
+  const Mesh m = build_structured_hex(
+      {.nx = 1, .ny = 1, .nz = 1, .lx = 2.0, .ly = 2.0, .lz = 2.0},
+      ElementType::kHex8);
+  const auto nodes = m.element(0);
+  // Our ordering: node 0 low corner, node 6 high corner.
+  EXPECT_EQ(m.coord(nodes[0])[0], 0.0);
+  EXPECT_EQ(m.coord(nodes[6])[0], 2.0);
+  EXPECT_EQ(m.coord(nodes[6])[2], 2.0);
+  // Node 1 is +x from node 0.
+  EXPECT_EQ(m.coord(nodes[1])[0], 2.0);
+  EXPECT_EQ(m.coord(nodes[1])[1], 0.0);
+  EXPECT_EQ(m.coord(nodes[1])[2], 0.0);
+}
+
+TEST(StructuredTest, Hex20EdgeNodesAreMidpoints) {
+  const Mesh m = build_structured_hex({.nx = 1, .ny = 1, .nz = 1},
+                                      ElementType::kHex20);
+  const auto nodes = m.element(0);
+  // Node 8 = midpoint of edge 0-1.
+  const Point& a = m.coord(nodes[0]);
+  const Point& b = m.coord(nodes[1]);
+  const Point& mid = m.coord(nodes[8]);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_DOUBLE_EQ(mid[static_cast<std::size_t>(d)],
+                     0.5 * (a[static_cast<std::size_t>(d)] +
+                            b[static_cast<std::size_t>(d)]));
+  }
+  // Node 16 = midpoint of vertical edge 0-4.
+  const Point& top = m.coord(nodes[4]);
+  const Point& vmid = m.coord(nodes[16]);
+  EXPECT_DOUBLE_EQ(vmid[2], 0.5 * (a[2] + top[2]));
+}
+
+TEST(StructuredTest, Hex27CenterNodeIsElementCenter) {
+  const Mesh m = build_structured_hex(
+      {.nx = 1, .ny = 1, .nz = 1, .lx = 4.0, .ly = 4.0, .lz = 4.0},
+      ElementType::kHex27);
+  const auto nodes = m.element(0);
+  const Point& c = m.coord(nodes[26]);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 2.0);
+}
+
+TEST(StructuredTest, SharedNodesBetweenNeighborElements) {
+  // Two hexes in x share exactly 4 corner nodes (hex8).
+  const Mesh m = build_structured_hex({.nx = 2, .ny = 1, .nz = 1},
+                                      ElementType::kHex8);
+  const auto e0 = m.element(0);
+  const auto e1 = m.element(1);
+  std::set<NodeId> s0(e0.begin(), e0.end());
+  int shared = 0;
+  for (const NodeId n : e1) {
+    shared += s0.count(n) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(shared, 4);
+}
+
+TEST(StructuredTest, CentroidOfFirstElement) {
+  const Mesh m = build_structured_hex(
+      {.nx = 2, .ny = 2, .nz = 2, .lx = 2.0, .ly = 2.0, .lz = 2.0},
+      ElementType::kHex8);
+  const Point c = m.centroid(0);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[2], 0.5);
+}
+
+TEST(StructuredTest, RenumberPreservesGeometry) {
+  Mesh m = build_structured_hex({.nx = 2, .ny = 2, .nz = 2},
+                                ElementType::kHex8);
+  const Point before = m.centroid(3);
+  const auto perm = random_node_permutation(m.num_nodes(), 99);
+  m.renumber_nodes(perm);
+  EXPECT_NO_THROW(m.validate());
+  const Point after = m.centroid(3);
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_DOUBLE_EQ(before[d], after[d]);
+  }
+}
+
+TEST(StructuredTest, InvalidSpecRejected) {
+  EXPECT_THROW(build_structured_hex({.nx = 0, .ny = 1, .nz = 1},
+                                    ElementType::kHex8),
+               hymv::Error);
+  EXPECT_THROW(build_structured_hex({.nx = 1, .ny = 1, .nz = 1},
+                                    ElementType::kTet4),
+               hymv::Error);
+}
+
+// ---------------------------------------------------------------------------
+// unstructured tets
+// ---------------------------------------------------------------------------
+
+double mesh_volume_tet(const Mesh& m) {
+  double vol = 0.0;
+  for (std::int64_t e = 0; e < m.num_elements(); ++e) {
+    const auto n = m.element(e);
+    vol += tet_signed_volume(m.coord(n[0]), m.coord(n[1]), m.coord(n[2]),
+                             m.coord(n[3]));
+  }
+  return vol;
+}
+
+TEST(TetTest, SubdivisionCountsAndVolume) {
+  const TetMeshSpec spec{.box = {.nx = 3, .ny = 2, .nz = 2, .lx = 3.0,
+                                 .ly = 2.0, .lz = 2.0},
+                         .jitter = 0.0,
+                         .shuffle_nodes = false};
+  const Mesh m = build_unstructured_tet(spec, ElementType::kTet4);
+  EXPECT_EQ(m.num_elements(), 3 * 2 * 2 * 6);
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_NEAR(mesh_volume_tet(m), 12.0, 1e-12);
+}
+
+TEST(TetTest, AllTetsPositivelyOriented) {
+  const TetMeshSpec spec{.box = {.nx = 3, .ny = 3, .nz = 3},
+                         .jitter = 0.3,
+                         .seed = 1234};
+  const Mesh m = build_unstructured_tet(spec, ElementType::kTet4);
+  for (std::int64_t e = 0; e < m.num_elements(); ++e) {
+    const auto n = m.element(e);
+    EXPECT_GT(tet_signed_volume(m.coord(n[0]), m.coord(n[1]), m.coord(n[2]),
+                                m.coord(n[3])),
+              0.0);
+  }
+}
+
+TEST(TetTest, JitterPreservesTotalVolume) {
+  // Jitter moves only interior nodes; the boundary is intact, and interior
+  // node movement redistributes volume without changing the total.
+  const TetMeshSpec spec{.box = {.nx = 4, .ny = 4, .nz = 4},
+                         .jitter = 0.3,
+                         .seed = 42,
+                         .shuffle_nodes = false};
+  const Mesh m = build_unstructured_tet(spec, ElementType::kTet4);
+  EXPECT_NEAR(mesh_volume_tet(m), 1.0, 1e-12);
+}
+
+TEST(TetTest, MeshIsConforming) {
+  // Every interior triangular face must be shared by exactly two tets.
+  const TetMeshSpec spec{.box = {.nx = 2, .ny = 2, .nz = 2},
+                         .jitter = 0.2,
+                         .seed = 7,
+                         .shuffle_nodes = true};
+  const Mesh m = build_unstructured_tet(spec, ElementType::kTet4);
+  std::map<std::array<NodeId, 3>, int> faces;
+  constexpr int kFace[4][3] = {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}};
+  for (std::int64_t e = 0; e < m.num_elements(); ++e) {
+    const auto n = m.element(e);
+    for (const auto& f : kFace) {
+      std::array<NodeId, 3> key{n[static_cast<std::size_t>(f[0])],
+                                n[static_cast<std::size_t>(f[1])],
+                                n[static_cast<std::size_t>(f[2])]};
+      std::sort(key.begin(), key.end());
+      ++faces[key];
+    }
+  }
+  for (const auto& [face, count] : faces) {
+    EXPECT_LE(count, 2);
+    EXPECT_GE(count, 1);
+  }
+  // Boundary faces: 2 triangles per hex face * 6 faces * 4 hexes... simply
+  // check the total parity: total faces = 4 * ne; interior counted twice.
+  std::int64_t boundary = 0;
+  for (const auto& [face, count] : faces) {
+    if (count == 1) {
+      ++boundary;
+    }
+  }
+  // Each of the 6 box sides has nx*ny hex faces, each split into 2 triangles.
+  EXPECT_EQ(boundary, 6 * (2 * 2) * 2);
+}
+
+TEST(TetTest, Tet10MidpointsAtEdgeCenters) {
+  const TetMeshSpec spec{.box = {.nx = 2, .ny = 2, .nz = 2},
+                         .jitter = 0.25,
+                         .seed = 3,
+                         .shuffle_nodes = false};
+  const Mesh m = build_unstructured_tet(spec, ElementType::kTet10);
+  EXPECT_NO_THROW(m.validate());
+  constexpr int kEdges[6][2] = {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}};
+  for (std::int64_t e = 0; e < std::min<std::int64_t>(m.num_elements(), 12);
+       ++e) {
+    const auto n = m.element(e);
+    for (int k = 0; k < 6; ++k) {
+      const Point& a = m.coord(n[static_cast<std::size_t>(kEdges[k][0])]);
+      const Point& b = m.coord(n[static_cast<std::size_t>(kEdges[k][1])]);
+      const Point& mid = m.coord(n[static_cast<std::size_t>(4 + k)]);
+      for (std::size_t d = 0; d < 3; ++d) {
+        EXPECT_NEAR(mid[d], 0.5 * (a[d] + b[d]), 1e-14);
+      }
+    }
+  }
+}
+
+TEST(TetTest, Tet10SharesEdgeNodes) {
+  // Unique edge nodes: the tet10 mesh must not duplicate midpoints of
+  // shared edges.
+  const TetMeshSpec spec{.box = {.nx = 2, .ny = 1, .nz = 1},
+                         .jitter = 0.0,
+                         .shuffle_nodes = false};
+  const Mesh t4 = build_unstructured_tet(spec, ElementType::kTet4);
+  const Mesh t10 = build_unstructured_tet(spec, ElementType::kTet10);
+  // Count unique edges of the tet4 mesh.
+  std::set<std::pair<NodeId, NodeId>> edges;
+  constexpr int kEdges[6][2] = {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}};
+  for (std::int64_t e = 0; e < t4.num_elements(); ++e) {
+    const auto n = t4.element(e);
+    for (const auto& edge : kEdges) {
+      NodeId lo = n[static_cast<std::size_t>(edge[0])];
+      NodeId hi = n[static_cast<std::size_t>(edge[1])];
+      if (lo > hi) std::swap(lo, hi);
+      edges.insert({lo, hi});
+    }
+  }
+  EXPECT_EQ(t10.num_nodes(),
+            t4.num_nodes() + static_cast<std::int64_t>(edges.size()));
+}
+
+TEST(TetTest, ShuffleChangesNumbering) {
+  const TetMeshSpec base{.box = {.nx = 2, .ny = 2, .nz = 2}, .jitter = 0.0};
+  TetMeshSpec shuffled = base;
+  shuffled.shuffle_nodes = true;
+  TetMeshSpec plain = base;
+  plain.shuffle_nodes = false;
+  const Mesh a = build_unstructured_tet(shuffled, ElementType::kTet4);
+  const Mesh b = build_unstructured_tet(plain, ElementType::kTet4);
+  EXPECT_NE(a.connectivity(), b.connectivity());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+}
+
+TEST(TetTest, PermutationIsBijective) {
+  const auto perm = random_node_permutation(1000, 5);
+  std::vector<bool> seen(1000, false);
+  for (const NodeId p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 1000);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// partitioners
+// ---------------------------------------------------------------------------
+
+class PartitionerTest
+    : public ::testing::TestWithParam<std::tuple<Partitioner, int>> {};
+
+TEST_P(PartitionerTest, BalancedAndComplete) {
+  const auto [method, nparts] = GetParam();
+  const Mesh m = build_structured_hex({.nx = 6, .ny = 6, .nz = 6},
+                                      ElementType::kHex8);
+  const auto part = partition_elements(m, nparts, method);
+  const PartitionStats stats = evaluate_partition(m, part, nparts);
+  EXPECT_GT(stats.min_elems, 0);
+  // Chunked assignment keeps parts within one element of each other.
+  EXPECT_LE(stats.max_elems - stats.min_elems, 1 + 216 / nparts / 4);
+  EXPECT_LT(stats.imbalance, 0.30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, PartitionerTest,
+    ::testing::Combine(::testing::Values(Partitioner::kSlab, Partitioner::kRcb,
+                                         Partitioner::kGreedy),
+                       ::testing::Values(1, 2, 3, 4, 7, 8)));
+
+TEST(PartitionTest, SlabOrdersAlongZ) {
+  const Mesh m = build_structured_hex({.nx = 2, .ny = 2, .nz = 8},
+                                      ElementType::kHex8);
+  const auto part = partition_elements(m, 4, Partitioner::kSlab);
+  // Element centroid z must be non-decreasing with part index.
+  for (std::int64_t e = 0; e < m.num_elements(); ++e) {
+    for (std::int64_t f = 0; f < m.num_elements(); ++f) {
+      if (part[static_cast<std::size_t>(e)] < part[static_cast<std::size_t>(f)]) {
+        EXPECT_LE(m.centroid(e)[2], m.centroid(f)[2] + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, RcbCutSmallerThanSlabForCube) {
+  // For a cube, slab partitions have larger boundaries than RCB boxes once
+  // p is large enough.
+  const Mesh m = build_structured_hex({.nx = 8, .ny = 8, .nz = 8},
+                                      ElementType::kHex8);
+  const auto slab = partition_elements(m, 8, Partitioner::kSlab);
+  const auto rcb = partition_elements(m, 8, Partitioner::kRcb);
+  const auto s_slab = evaluate_partition(m, slab, 8);
+  const auto s_rcb = evaluate_partition(m, rcb, 8);
+  EXPECT_LE(s_rcb.cut_edges, s_slab.cut_edges);
+}
+
+TEST(PartitionTest, DualGraphSymmetric) {
+  const Mesh m = build_structured_hex({.nx = 3, .ny = 3, .nz = 3},
+                                      ElementType::kHex8);
+  const DualGraph g = build_dual_graph(m);
+  // adjacency must be symmetric
+  std::set<std::pair<std::int64_t, std::int64_t>> edges;
+  for (std::int64_t e = 0; e < m.num_elements(); ++e) {
+    for (std::int64_t k = g.xadj[static_cast<std::size_t>(e)];
+         k < g.xadj[static_cast<std::size_t>(e) + 1]; ++k) {
+      edges.insert({e, g.adjncy[static_cast<std::size_t>(k)]});
+    }
+  }
+  for (const auto& [a, b] : edges) {
+    EXPECT_TRUE(edges.count({b, a}) > 0);
+  }
+}
+
+TEST(PartitionTest, DualGraphFaceAdjacency) {
+  // With min_shared_nodes = 4 (a full hex face), a corner element of a cube
+  // has exactly 3 face neighbors.
+  const Mesh m = build_structured_hex({.nx = 3, .ny = 3, .nz = 3},
+                                      ElementType::kHex8);
+  const DualGraph g = build_dual_graph(m, 4);
+  EXPECT_EQ(g.xadj[1] - g.xadj[0], 3);  // element 0 is a corner
+}
+
+TEST(PartitionTest, MorePartsThanElementsRejected) {
+  const Mesh m = build_structured_hex({.nx = 1, .ny = 1, .nz = 2},
+                                      ElementType::kHex8);
+  EXPECT_THROW(partition_elements(m, 3, Partitioner::kSlab), hymv::Error);
+}
+
+// ---------------------------------------------------------------------------
+// distributed mesh
+// ---------------------------------------------------------------------------
+
+TEST(DistributedTest, RangesPartitionAllNodes) {
+  const Mesh m = build_structured_hex({.nx = 4, .ny = 4, .nz = 4},
+                                      ElementType::kHex8);
+  const auto part = partition_elements(m, 4, Partitioner::kSlab);
+  const DistributedMesh dist = distribute_mesh(m, part, 4);
+  ASSERT_EQ(dist.parts.size(), 4u);
+  NodeId expected_begin = 0;
+  for (const MeshPartition& p : dist.parts) {
+    EXPECT_EQ(p.n_begin, expected_begin);
+    expected_begin = p.n_end + 1;
+    EXPECT_GE(p.num_owned_nodes(), 0);
+  }
+  EXPECT_EQ(expected_begin, m.num_nodes());
+}
+
+TEST(DistributedTest, E2GMatchesCoordinates) {
+  // elem_coords[slot] must equal the coordinate of the global node that
+  // e2g[slot] refers to (checked via owner partitions).
+  const Mesh m = build_structured_hex({.nx = 3, .ny = 3, .nz = 3},
+                                      ElementType::kHex8);
+  const auto part = partition_elements(m, 3, Partitioner::kRcb);
+  const DistributedMesh dist = distribute_mesh(m, part, 3);
+  // Build a global coords-by-new-id table from the owners.
+  std::vector<Point> global(static_cast<std::size_t>(m.num_nodes()));
+  for (const MeshPartition& p : dist.parts) {
+    for (NodeId g = p.n_begin; g <= p.n_end; ++g) {
+      global[static_cast<std::size_t>(g)] =
+          p.owned_coords[static_cast<std::size_t>(g - p.n_begin)];
+    }
+  }
+  for (const MeshPartition& p : dist.parts) {
+    for (std::int64_t e = 0; e < p.num_local_elements(); ++e) {
+      const auto nodes = p.element_nodes(e);
+      const auto coords = p.element_coords(e);
+      for (std::size_t a = 0; a < nodes.size(); ++a) {
+        for (std::size_t d = 0; d < 3; ++d) {
+          EXPECT_DOUBLE_EQ(coords[a][d],
+                           global[static_cast<std::size_t>(nodes[a])][d]);
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedTest, LowestRankOwnsSharedNodes) {
+  const Mesh m = build_structured_hex({.nx = 2, .ny = 2, .nz = 4},
+                                      ElementType::kHex8);
+  const auto part = partition_elements(m, 2, Partitioner::kSlab);
+  const DistributedMesh dist = distribute_mesh(m, part, 2);
+  // Any node appearing in both partitions' e2g must be owned by rank 0.
+  std::set<NodeId> nodes0(dist.parts[0].e2g.begin(), dist.parts[0].e2g.end());
+  for (const NodeId n : dist.parts[1].e2g) {
+    if (nodes0.count(n) > 0) {
+      EXPECT_LE(n, dist.parts[0].n_end);
+    }
+  }
+}
+
+TEST(DistributedTest, ElementCountsPreserved) {
+  const Mesh m = build_structured_hex({.nx = 4, .ny = 3, .nz = 2},
+                                      ElementType::kHex20);
+  const auto part = partition_elements(m, 3, Partitioner::kGreedy);
+  const DistributedMesh dist = distribute_mesh(m, part, 3);
+  std::int64_t total = 0;
+  for (const auto& p : dist.parts) {
+    total += p.num_local_elements();
+  }
+  EXPECT_EQ(total, m.num_elements());
+}
+
+TEST(DistributedTest, SingleRankOwnsEverything) {
+  const Mesh m = build_structured_hex({.nx = 2, .ny = 2, .nz = 2},
+                                      ElementType::kHex8);
+  const std::vector<int> part(static_cast<std::size_t>(m.num_elements()), 0);
+  const DistributedMesh dist = distribute_mesh(m, part, 1);
+  EXPECT_EQ(dist.parts[0].n_begin, 0);
+  EXPECT_EQ(dist.parts[0].n_end, m.num_nodes() - 1);
+  EXPECT_EQ(dist.parts[0].num_local_elements(), m.num_elements());
+}
+
+TEST(DistributedTest, PermutationIsBijection) {
+  const Mesh m = build_structured_hex({.nx = 3, .ny = 2, .nz = 2},
+                                      ElementType::kHex8);
+  const auto part = partition_elements(m, 2, Partitioner::kRcb);
+  const DistributedMesh dist = distribute_mesh(m, part, 2);
+  std::vector<bool> seen(static_cast<std::size_t>(m.num_nodes()), false);
+  for (const NodeId p : dist.node_perm) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(DistributedTest, WorksOnUnstructuredTets) {
+  const TetMeshSpec spec{.box = {.nx = 3, .ny = 3, .nz = 3}, .jitter = 0.2};
+  const Mesh m = build_unstructured_tet(spec, ElementType::kTet10);
+  const auto part = partition_elements(m, 4, Partitioner::kGreedy);
+  const DistributedMesh dist = distribute_mesh(m, part, 4);
+  std::int64_t owned = 0;
+  for (const auto& p : dist.parts) {
+    owned += p.num_owned_nodes();
+  }
+  EXPECT_EQ(owned, m.num_nodes());
+}
+
+}  // namespace

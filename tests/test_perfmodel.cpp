@@ -1,0 +1,94 @@
+// Tests for the performance-model module: α-β phase modeling, traffic
+// sampling, roofline bookkeeping, and host throughput calibration.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hymv/perfmodel/perfmodel.hpp"
+
+namespace {
+
+using namespace hymv::perf;
+
+TEST(PerfModelTest, PhaseTakesMaxAcrossRanks) {
+  const std::vector<RankSample> ranks{
+      {.compute_s = 1.0, .messages = 10, .bytes = 1000},
+      {.compute_s = 2.0, .messages = 5, .bytes = 500},
+      {.compute_s = 0.5, .messages = 100, .bytes = 100000},
+  };
+  ClusterSpec spec;
+  spec.alpha_s = 1e-3;
+  spec.beta_s_per_byte = 1e-6;
+  const ModeledPhase phase = model_phase(ranks, spec);
+  EXPECT_DOUBLE_EQ(phase.compute_s, 2.0);
+  // Rank 2 dominates comm: 100 * 1e-3 + 1e5 * 1e-6 = 0.2.
+  EXPECT_DOUBLE_EQ(phase.comm_s, 0.2);
+  EXPECT_DOUBLE_EQ(phase.total_s(), 2.2);
+}
+
+TEST(PerfModelTest, ComputeScaleApplies) {
+  const std::vector<RankSample> ranks{{.compute_s = 4.0}};
+  ClusterSpec spec;
+  spec.compute_scale = 0.25;
+  EXPECT_DOUBLE_EQ(model_phase(ranks, spec).compute_s, 1.0);
+}
+
+TEST(PerfModelTest, EmptyRanksThrow) {
+  EXPECT_THROW((void)model_phase({}), hymv::Error);
+}
+
+TEST(PerfModelTest, MakeSampleUsesDeltas) {
+  simmpi::TrafficCounters before{.messages_sent = 5, .bytes_sent = 100};
+  simmpi::TrafficCounters after{.messages_sent = 9, .bytes_sent = 1100};
+  const RankSample sample = make_sample(1.5, before, after);
+  EXPECT_DOUBLE_EQ(sample.compute_s, 1.5);
+  EXPECT_EQ(sample.messages, 4);
+  EXPECT_EQ(sample.bytes, 1000);
+}
+
+TEST(PerfModelTest, RooflineArithmetic) {
+  RooflineSample s{.name = "hymv", .flops = 2'000'000'000,
+                   .bytes = 4'000'000'000, .seconds = 0.5};
+  EXPECT_DOUBLE_EQ(s.arithmetic_intensity(), 0.5);
+  EXPECT_DOUBLE_EQ(s.gflops(), 4.0);
+  RooflineSample zero{.name = "z"};
+  EXPECT_EQ(zero.arithmetic_intensity(), 0.0);
+  EXPECT_EQ(zero.gflops(), 0.0);
+}
+
+TEST(PerfModelTest, RooflineTableContainsRows) {
+  const std::vector<RooflineSample> samples{
+      {.name = "assembled", .flops = 100, .bytes = 800, .seconds = 0.1},
+      {.name = "hymv", .flops = 200, .bytes = 800, .seconds = 0.1},
+  };
+  const std::string table = format_roofline_table(samples);
+  EXPECT_NE(table.find("assembled"), std::string::npos);
+  EXPECT_NE(table.find("hymv"), std::string::npos);
+  EXPECT_NE(table.find("AI(F/B)"), std::string::npos);
+}
+
+TEST(PerfModelTest, HostEmvCalibrationIsPositive) {
+  const double gflops = measure_host_emv_gflops(24, 200);
+  EXPECT_GT(gflops, 0.05);   // any machine beats 50 MFLOP/s
+  EXPECT_LT(gflops, 1000.0); // and stays below 1 TFLOP/s scalar
+}
+
+TEST(PerfModelTest, ModelShowsWeakScalingSetupGap) {
+  // Sanity of the *shape* claim: assembled setup communicates O(nnz) bytes
+  // per rank while HYMV communicates none; the modeled gap must grow with
+  // message volume.
+  const double compute = 0.2;
+  std::vector<RankSample> assembled, hymv;
+  for (int r = 0; r < 64; ++r) {
+    assembled.push_back(
+        {.compute_s = compute, .messages = 2000, .bytes = 50'000'000});
+    hymv.push_back({.compute_s = compute, .messages = 0, .bytes = 0});
+  }
+  const ModeledPhase a = model_phase(assembled);
+  const ModeledPhase h = model_phase(hymv);
+  EXPECT_GT(a.total_s(), h.total_s() * 1.01);
+  EXPECT_DOUBLE_EQ(h.comm_s, 0.0);
+}
+
+}  // namespace

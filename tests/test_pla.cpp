@@ -1,0 +1,577 @@
+// Tests for the PETSc-like algebra layer: serial CSR + ILU(0), distributed
+// vectors and layouts, ghost exchange, distributed CSR assembly/SpMV, CG
+// convergence, preconditioners, and Dirichlet constraint handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "hymv/common/rng.hpp"
+#include "hymv/pla/cg.hpp"
+#include "hymv/pla/constraints.hpp"
+#include "hymv/pla/csr.hpp"
+#include "hymv/pla/dist_csr.hpp"
+#include "hymv/pla/dist_vector.hpp"
+#include "hymv/pla/ghost_exchange.hpp"
+#include "hymv/pla/preconditioner.hpp"
+
+namespace {
+
+using namespace hymv::pla;
+using simmpi::Comm;
+
+// ---------------------------------------------------------------------------
+// serial CSR
+// ---------------------------------------------------------------------------
+
+TEST(CsrTest, FromTripletsMergesDuplicates) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 5.0}, {0, 1, -1.0}});
+  EXPECT_EQ(m.num_nonzeros(), 3);
+  EXPECT_EQ(m.at(0, 0), 3.0);
+  EXPECT_EQ(m.at(0, 1), -1.0);
+  EXPECT_EQ(m.at(1, 1), 5.0);
+  EXPECT_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(CsrTest, SpmvMatchesDense) {
+  // 3x3: [2 1 0; 1 3 1; 0 1 4] * [1 2 3] = [4, 10, 14]
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 3,
+      {{0, 0, 2}, {0, 1, 1}, {1, 0, 1}, {1, 1, 3}, {1, 2, 1}, {2, 1, 1},
+       {2, 2, 4}});
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> y(3);
+  m.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+  EXPECT_DOUBLE_EQ(y[2], 14.0);
+  m.spmv_add(x, y);  // doubles
+  EXPECT_DOUBLE_EQ(y[2], 28.0);
+}
+
+TEST(CsrTest, DiagonalExtraction) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(3, 3, {{0, 0, 2}, {1, 1, 3}, {2, 0, 1}});
+  const auto d = m.diagonal();
+  EXPECT_EQ(d[0], 2.0);
+  EXPECT_EQ(d[1], 3.0);
+  EXPECT_EQ(d[2], 0.0);  // missing diagonal → 0
+}
+
+TEST(CsrTest, RectangularBlock) {
+  const CsrMatrix m = CsrMatrix::from_triplets(2, 5, {{0, 4, 1.0}, {1, 0, 2.0}});
+  const std::vector<double> x{1, 0, 0, 0, 3};
+  std::vector<double> y(2);
+  m.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(CsrTest, OutOfRangeTripletThrows) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}), hymv::Error);
+}
+
+TEST(IluTest, ExactForTriangularMatrix) {
+  // Lower-triangular matrices factor exactly, so solve() is a direct solve.
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 3, {{0, 0, 2}, {1, 0, 1}, {1, 1, 4}, {2, 1, 1}, {2, 2, 5}});
+  const Ilu0 ilu(m);
+  const std::vector<double> b{2, 6, 12};
+  std::vector<double> x(3);
+  ilu.solve(b, x);
+  // forward: x0=1, x1=(6-1)/4=1.25, x2=(12-1.25)/5=2.15
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 1.25, 1e-14);
+  EXPECT_NEAR(x[2], 2.15, 1e-14);
+}
+
+TEST(IluTest, ExactWhenNoFillNeeded) {
+  // Tridiagonal SPD: ILU(0) == exact LU (no fill outside the pattern).
+  const int n = 8;
+  std::vector<Triplet> trip;
+  for (int i = 0; i < n; ++i) {
+    trip.push_back({i, i, 2.0});
+    if (i > 0) trip.push_back({i, i - 1, -1.0});
+    if (i < n - 1) trip.push_back({i, i + 1, -1.0});
+  }
+  const CsrMatrix m = CsrMatrix::from_triplets(n, n, trip);
+  const Ilu0 ilu(m);
+  // Solve A x = b and verify residual.
+  std::vector<double> b(n, 1.0), x(n), ax(n);
+  ilu.solve(b, x);
+  m.spmv(x, ax);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[static_cast<std::size_t>(i)], 1.0, 1e-12);
+  }
+}
+
+TEST(IluTest, MissingDiagonalThrows) {
+  const CsrMatrix m = CsrMatrix::from_triplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_THROW(Ilu0{m}, hymv::Error);
+}
+
+// ---------------------------------------------------------------------------
+// layouts and vectors
+// ---------------------------------------------------------------------------
+
+TEST(LayoutTest, FromOwnedCountIsContiguous) {
+  simmpi::run(4, [](Comm& comm) {
+    const std::int64_t mine = 10 + comm.rank();
+    const Layout layout = Layout::from_owned_count(comm, mine);
+    EXPECT_EQ(layout.owned(), mine);
+    EXPECT_EQ(layout.global_size, 10 + 11 + 12 + 13);
+    std::int64_t expected_begin = 0;
+    for (int r = 0; r < comm.rank(); ++r) {
+      expected_begin += 10 + r;
+    }
+    EXPECT_EQ(layout.begin, expected_begin);
+  });
+}
+
+TEST(LayoutTest, OwnerOf) {
+  simmpi::run(3, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 5);
+    const auto offsets = Layout::gather_offsets(comm, layout);
+    EXPECT_EQ(owner_of(offsets, 0), 0);
+    EXPECT_EQ(owner_of(offsets, 4), 0);
+    EXPECT_EQ(owner_of(offsets, 5), 1);
+    EXPECT_EQ(owner_of(offsets, 14), 2);
+    EXPECT_THROW((void)owner_of(offsets, 15), hymv::Error);
+  });
+}
+
+TEST(VectorTest, GlobalReductions) {
+  simmpi::run(3, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 2);
+    DistVector x(layout), y(layout);
+    // x = [1..6] across ranks, y = all ones.
+    x[0] = 2.0 * comm.rank() + 1;
+    x[1] = 2.0 * comm.rank() + 2;
+    y.set_all(1.0);
+    EXPECT_DOUBLE_EQ(dot(comm, x, y), 21.0);
+    EXPECT_DOUBLE_EQ(dot(comm, x, x), 91.0);
+    EXPECT_DOUBLE_EQ(norm2(comm, x), std::sqrt(91.0));
+    EXPECT_DOUBLE_EQ(norm_inf(comm, x), 6.0);
+  });
+}
+
+TEST(VectorTest, AxpyAndXpby) {
+  simmpi::run(2, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 3);
+    DistVector x(layout), y(layout);
+    x.set_all(2.0);
+    y.set_all(1.0);
+    axpy(3.0, x, y);  // y = 7
+    EXPECT_DOUBLE_EQ(y[0], 7.0);
+    xpby(x, -2.0, y);  // y = 2 - 14 = -12
+    EXPECT_DOUBLE_EQ(y[1], -12.0);
+    copy(x, y);
+    EXPECT_DOUBLE_EQ(y[2], 2.0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ghost exchange
+// ---------------------------------------------------------------------------
+
+TEST(GhostExchangeTest, ForwardScatter) {
+  // Each rank owns 4 ids; ghosts are the two ids straddling its range.
+  simmpi::run(3, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 4);
+    std::vector<std::int64_t> ghosts;
+    if (layout.begin > 0) {
+      ghosts.push_back(layout.begin - 1);
+    }
+    if (layout.end_excl < layout.global_size) {
+      ghosts.push_back(layout.end_excl);
+    }
+    GhostExchange ex(comm, layout, ghosts);
+    std::vector<double> owned(4);
+    for (int i = 0; i < 4; ++i) {
+      owned[static_cast<std::size_t>(i)] =
+          static_cast<double>(layout.begin + i) * 10.0;
+    }
+    ex.forward_begin(comm, owned);
+    ex.forward_end(comm);
+    const auto vals = ex.ghost_values();
+    for (std::size_t k = 0; k < ghosts.size(); ++k) {
+      EXPECT_DOUBLE_EQ(vals[k], static_cast<double>(ghosts[k]) * 10.0);
+    }
+  });
+}
+
+TEST(GhostExchangeTest, ReverseAccumulate) {
+  // Every rank contributes +1 to its neighbors' boundary ids; the owners
+  // must see the summed contributions added to their own values.
+  simmpi::run(4, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 3);
+    std::vector<std::int64_t> ghosts;
+    if (layout.begin > 0) {
+      ghosts.push_back(layout.begin - 1);
+    }
+    if (layout.end_excl < layout.global_size) {
+      ghosts.push_back(layout.end_excl);
+    }
+    GhostExchange ex(comm, layout, ghosts);
+    std::vector<double> contrib(ghosts.size(), 1.0);
+    std::vector<double> owned(3, 100.0);
+    ex.reverse_begin(comm, contrib);
+    ex.reverse_end(comm, owned);
+    // First and last owned ids of interior ranks receive one contribution
+    // each from each adjacent rank.
+    const bool has_lower = comm.rank() > 0;
+    const bool has_upper = comm.rank() < comm.size() - 1;
+    EXPECT_DOUBLE_EQ(owned[0], has_lower ? 101.0 : 100.0);
+    EXPECT_DOUBLE_EQ(owned[2], has_upper ? 101.0 : 100.0);
+    EXPECT_DOUBLE_EQ(owned[1], 100.0);
+  });
+}
+
+TEST(GhostExchangeTest, UnsortedGhostsRejected) {
+  simmpi::run(2, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 2);
+    if (comm.rank() == 0) {
+      EXPECT_THROW(GhostExchange(comm, layout, {3, 2}), hymv::Error);
+      // Recover collectivity for the other rank's (valid) constructor by
+      // constructing a valid plan afterwards.
+    }
+    // Note: after an exception on rank 0, rank 1 would deadlock waiting in
+    // the collective — so rank 1 throws too via abort, which run() surfaces.
+  });
+}
+
+TEST(GhostExchangeTest, OwnedGhostRejected) {
+  simmpi::run(1, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 4);
+    EXPECT_THROW(GhostExchange(comm, layout, {2}), hymv::Error);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// distributed CSR
+// ---------------------------------------------------------------------------
+
+/// Build the distributed 1D Laplacian [-1 2 -1] with each rank adding its
+/// own rows, then apply to x[g] = g and compare with the exact result.
+TEST(DistCsrTest, LaplacianSpmv) {
+  for (int p : {1, 2, 3, 4}) {
+    simmpi::run(p, [](Comm& comm) {
+      const std::int64_t local = 6;
+      const Layout layout = Layout::from_owned_count(comm, local);
+      const std::int64_t n = layout.global_size;
+      DistCsrMatrix a(layout);
+      for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+        a.add_value(g, g, 2.0);
+        if (g > 0) a.add_value(g, g - 1, -1.0);
+        if (g < n - 1) a.add_value(g, g + 1, -1.0);
+      }
+      a.assemble(comm);
+      DistVector x(layout), y(layout);
+      for (std::int64_t i = 0; i < local; ++i) {
+        x[i] = static_cast<double>(layout.begin + i);
+      }
+      a.apply(comm, x, y);
+      // (Ax)_g = 2g - (g-1) - (g+1) = 0 interior; boundaries differ.
+      for (std::int64_t i = 0; i < local; ++i) {
+        const std::int64_t g = layout.begin + i;
+        double expected = 0.0;
+        if (g == 0) expected = -1.0;           // 0 - x[1] = -1
+        if (g == n - 1) expected = static_cast<double>(n);  // 2(n-1) - (n-2)
+        EXPECT_NEAR(y[i], expected, 1e-13) << "g=" << g << " p=" << comm.size();
+      }
+    });
+  }
+}
+
+TEST(DistCsrTest, OffOwnerContributionsMigrate) {
+  // Every rank adds 1.0 to entry (0, 0); after assembly, rank 0's diagonal
+  // entry must equal the rank count.
+  simmpi::run(4, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 2);
+    DistCsrMatrix a(layout);
+    a.add_value(0, 0, 1.0);
+    // Keep the matrix full-rank-ish: own diagonal too.
+    for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+      if (g != 0) {
+        a.add_value(g, g, 1.0);
+      }
+    }
+    a.assemble(comm);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(a.diag_block().at(0, 0), 4.0);
+    } else {
+      // Non-owners shipped their (0,0) contribution to rank 0.
+      EXPECT_GT(a.assembly_bytes_migrated(), 0);
+    }
+    DistVector x(layout), y(layout);
+    x.set_all(1.0);
+    a.apply(comm, x, y);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(y[0], 4.0);
+    }
+  });
+}
+
+TEST(DistCsrTest, AddAfterAssembleThrows) {
+  simmpi::run(1, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 2);
+    DistCsrMatrix a(layout);
+    a.add_value(0, 0, 1.0);
+    a.add_value(1, 1, 1.0);
+    a.assemble(comm);
+    EXPECT_THROW(a.add_value(0, 0, 1.0), hymv::Error);
+  });
+}
+
+TEST(DistCsrTest, DiagonalAcrossRanks) {
+  simmpi::run(3, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 2);
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+      a.add_value(g, g, static_cast<double>(g + 1));
+    }
+    a.assemble(comm);
+    const auto d = a.diagonal(comm);
+    for (std::int64_t i = 0; i < layout.owned(); ++i) {
+      EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)],
+                       static_cast<double>(layout.begin + i + 1));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// CG + preconditioners
+// ---------------------------------------------------------------------------
+
+/// Distributed SPD Laplacian + identity shift, solved with each
+/// preconditioner; checks convergence and solution accuracy.
+class CgTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CgTest, SolvesLaplacianSystem) {
+  const auto [p, precond] = GetParam();
+  simmpi::run(p, [precond](Comm& comm) {
+    const std::int64_t local = 8;
+    const Layout layout = Layout::from_owned_count(comm, local);
+    const std::int64_t n = layout.global_size;
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+      a.add_value(g, g, 2.5);  // shifted Laplacian → SPD
+      if (g > 0) a.add_value(g, g - 1, -1.0);
+      if (g < n - 1) a.add_value(g, g + 1, -1.0);
+    }
+    a.assemble(comm);
+
+    // Manufactured solution x*_g = sin(g+1); b = A x*.
+    DistVector xstar(layout), b(layout), x(layout);
+    for (std::int64_t i = 0; i < local; ++i) {
+      xstar[i] = std::sin(static_cast<double>(layout.begin + i + 1));
+    }
+    a.apply(comm, xstar, b);
+
+    std::unique_ptr<Preconditioner> m;
+    switch (precond) {
+      case 0:
+        m = std::make_unique<IdentityPreconditioner>();
+        break;
+      case 1:
+        m = std::make_unique<JacobiPreconditioner>(comm, a);
+        break;
+      default:
+        m = std::make_unique<BlockJacobiPreconditioner>(comm, a);
+        break;
+    }
+    const CgResult result =
+        cg_solve(comm, a, *m, b, x, {.rtol = 1e-12, .max_iters = 500});
+    EXPECT_TRUE(result.converged);
+    axpy(-1.0, xstar, x);
+    EXPECT_LT(norm_inf(comm, x), 1e-9);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CgTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(0, 1, 2)));
+
+TEST(CgDetailTest, PreconditioningReducesIterations) {
+  simmpi::run(2, [](Comm& comm) {
+    const std::int64_t local = 40;
+    const Layout layout = Layout::from_owned_count(comm, local);
+    const std::int64_t n = layout.global_size;
+    DistCsrMatrix a(layout);
+    hymv::Xoshiro256 rng(3);
+    for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+      // Badly scaled diagonal makes Jacobi matter.
+      const double scale = 1.0 + static_cast<double>(g % 17) * 10.0;
+      a.add_value(g, g, 2.0 * scale);
+      if (g > 0) a.add_value(g, g - 1, -0.9);
+      if (g < n - 1) a.add_value(g, g + 1, -0.9);
+    }
+    a.assemble(comm);
+    DistVector b(layout), x0(layout), x1(layout);
+    b.set_all(1.0);
+    IdentityPreconditioner ident;
+    JacobiPreconditioner jacobi(comm, a);
+    const CgResult r0 = cg_solve(comm, a, ident, b, x0, {.rtol = 1e-10});
+    const CgResult r1 = cg_solve(comm, a, jacobi, b, x1, {.rtol = 1e-10});
+    EXPECT_TRUE(r0.converged);
+    EXPECT_TRUE(r1.converged);
+    EXPECT_LT(r1.iterations, r0.iterations);
+  });
+}
+
+TEST(CgDetailTest, MaxItersRespected) {
+  simmpi::run(1, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 50);
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = 0; g < 50; ++g) {
+      a.add_value(g, g, 2.0);
+      if (g > 0) a.add_value(g, g - 1, -1.0);
+      if (g < 49) a.add_value(g, g + 1, -1.0);
+    }
+    a.assemble(comm);
+    DistVector b(layout), x(layout);
+    b.set_all(1.0);
+    IdentityPreconditioner m;
+    const CgResult result =
+        cg_solve(comm, a, m, b, x, {.rtol = 1e-14, .max_iters = 3});
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.iterations, 3);
+  });
+}
+
+TEST(CgDetailTest, ZeroRhsConvergesImmediately) {
+  simmpi::run(1, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 4);
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = 0; g < 4; ++g) {
+      a.add_value(g, g, 1.0);
+    }
+    a.assemble(comm);
+    DistVector b(layout), x(layout);
+    IdentityPreconditioner m;
+    const CgResult result = cg_solve(comm, a, m, b, x);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// constraints
+// ---------------------------------------------------------------------------
+
+TEST(ConstraintsTest, ProjectAndApplyValues) {
+  simmpi::run(1, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 5);
+    DirichletConstraints c;
+    c.add(1, 10.0);
+    c.add(3, 30.0);
+    c.finalize();
+    DistVector v(layout);
+    v.set_all(7.0);
+    c.project(v);
+    EXPECT_DOUBLE_EQ(v[0], 7.0);
+    EXPECT_DOUBLE_EQ(v[1], 0.0);
+    EXPECT_DOUBLE_EQ(v[3], 0.0);
+    c.apply_values(v);
+    EXPECT_DOUBLE_EQ(v[1], 10.0);
+    EXPECT_DOUBLE_EQ(v[3], 30.0);
+    EXPECT_TRUE(c.is_constrained(3));
+    EXPECT_FALSE(c.is_constrained(2));
+  });
+}
+
+TEST(ConstraintsTest, DuplicateConsistentOk_ConflictThrows) {
+  DirichletConstraints ok;
+  ok.add(2, 5.0);
+  ok.add(2, 5.0);
+  EXPECT_NO_THROW(ok.finalize());
+  EXPECT_EQ(ok.size(), 1);
+
+  DirichletConstraints bad;
+  bad.add(2, 5.0);
+  bad.add(2, 6.0);
+  EXPECT_THROW(bad.finalize(), hymv::Error);
+}
+
+TEST(ConstraintsTest, ConstrainedSolveRecoversBoundaryValues) {
+  // 1D Poisson with u(0) = 1, u(n-1) = 3: the exact solution is linear.
+  simmpi::run(2, [](Comm& comm) {
+    const std::int64_t local = 10;
+    const Layout layout = Layout::from_owned_count(comm, local);
+    const std::int64_t n = layout.global_size;
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+      a.add_value(g, g, 2.0);
+      if (g > 0) a.add_value(g, g - 1, -1.0);
+      if (g < n - 1) a.add_value(g, g + 1, -1.0);
+    }
+    a.assemble(comm);
+
+    DirichletConstraints c;
+    if (layout.begin == 0) {
+      c.add(0, 1.0);
+    }
+    if (layout.end_excl == n) {
+      c.add(n - 1 - layout.begin, 3.0);
+    }
+    c.finalize();
+
+    ConstrainedOperator ac(a, c);
+    DistVector b(layout), x(layout);
+    apply_constraints_to_rhs(comm, a, c, b);
+    JacobiPreconditioner m(comm, ac);
+    const CgResult result = cg_solve(comm, ac, m, b, x, {.rtol = 1e-12});
+    EXPECT_TRUE(result.converged);
+    // Exact: u_g = 1 + 2 g / (n-1).
+    for (std::int64_t i = 0; i < local; ++i) {
+      const double g = static_cast<double>(layout.begin + i);
+      EXPECT_NEAR(x[i], 1.0 + 2.0 * g / static_cast<double>(n - 1), 1e-9);
+    }
+  });
+}
+
+TEST(ConstraintsTest, ConstrainedOperatorDiagonalIsOne) {
+  simmpi::run(1, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 3);
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = 0; g < 3; ++g) {
+      a.add_value(g, g, 5.0);
+    }
+    a.assemble(comm);
+    DirichletConstraints c;
+    c.add(1, 0.0);
+    c.finalize();
+    ConstrainedOperator ac(a, c);
+    const auto d = ac.diagonal(comm);
+    EXPECT_DOUBLE_EQ(d[0], 5.0);
+    EXPECT_DOUBLE_EQ(d[1], 1.0);
+  });
+}
+
+TEST(ConstraintsTest, ConstrainedOwnedBlockHasUnitRows) {
+  simmpi::run(1, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 3);
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = 0; g < 3; ++g) {
+      for (std::int64_t h = 0; h < 3; ++h) {
+        a.add_value(g, h, g == h ? 4.0 : -1.0);
+      }
+    }
+    a.assemble(comm);
+    DirichletConstraints c;
+    c.add(0, 2.0);
+    c.finalize();
+    ConstrainedOperator ac(a, c);
+    const CsrMatrix block = ac.owned_block(comm);
+    EXPECT_DOUBLE_EQ(block.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(block.at(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(block.at(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(block.at(1, 1), 4.0);
+    EXPECT_DOUBLE_EQ(block.at(1, 2), -1.0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,327 @@
+// Randomized property tests across the stack: CSR vs dense reference on
+// random sparse matrices, ghost exchange on random ownership patterns,
+// distributed CSR vs serial reference on random systems, HYMV linearity and
+// symmetry properties, and simmpi message-storm stress.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "hymv/common/rng.hpp"
+#include "hymv/core/hymv_operator.hpp"
+#include "hymv/fem/operators.hpp"
+#include "hymv/mesh/partition.hpp"
+#include "hymv/mesh/structured.hpp"
+#include "hymv/mesh/tet.hpp"
+#include "hymv/pla/dist_csr.hpp"
+#include "hymv/pla/ghost_exchange.hpp"
+
+namespace {
+
+using namespace hymv;
+using simmpi::Comm;
+
+// ---------------------------------------------------------------------------
+// CSR vs dense reference on random matrices
+// ---------------------------------------------------------------------------
+
+class RandomCsrTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCsrTest, SpmvMatchesDenseReference) {
+  const int seed = GetParam();
+  hymv::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  const std::int64_t n = 20 + static_cast<std::int64_t>(rng.uniform_int(30));
+  const std::int64_t m = 15 + static_cast<std::int64_t>(rng.uniform_int(25));
+  std::vector<double> dense(static_cast<std::size_t>(n * m), 0.0);
+  std::vector<pla::Triplet> trip;
+  const int nnz = 150;
+  for (int k = 0; k < nnz; ++k) {
+    const auto i = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(n)));
+    const auto j = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(m)));
+    const double v = rng.uniform(-2.0, 2.0);
+    dense[static_cast<std::size_t>(i * m + j)] += v;  // duplicates merge
+    trip.push_back({i, j, v});
+  }
+  const auto a = pla::CsrMatrix::from_triplets(n, m, trip);
+  std::vector<double> x(static_cast<std::size_t>(m));
+  for (double& v : x) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<double> y(static_cast<std::size_t>(n)), y_ref(y.size(), 0.0);
+  a.spmv(x, y);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      y_ref[static_cast<std::size_t>(i)] +=
+          dense[static_cast<std::size_t>(i * m + j)] *
+          x[static_cast<std::size_t>(j)];
+    }
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], y_ref[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCsrTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// ghost exchange on random patterns
+// ---------------------------------------------------------------------------
+
+class RandomGhostTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGhostTest, ForwardThenReverseIsConsistent) {
+  // Every rank requests a random subset of remote ids. Forward must deliver
+  // owner values; reverse of all-ones must add each id's global request
+  // multiplicity to its owner.
+  const int seed = GetParam();
+  simmpi::run(4, [seed](Comm& comm) {
+    const pla::Layout layout = pla::Layout::from_owned_count(comm, 12);
+    hymv::Xoshiro256 rng(
+        static_cast<std::uint64_t>(seed * 100 + comm.rank()));
+    std::vector<std::int64_t> ghosts;
+    for (std::int64_t g = 0; g < layout.global_size; ++g) {
+      if (g >= layout.begin && g < layout.end_excl) {
+        continue;
+      }
+      if (rng.uniform() < 0.3) {
+        ghosts.push_back(g);
+      }
+    }
+    pla::GhostExchange ex(comm, layout, ghosts);
+
+    // Forward: owner value = 1000*owner + local index.
+    std::vector<double> owned(12);
+    for (std::int64_t i = 0; i < 12; ++i) {
+      owned[static_cast<std::size_t>(i)] = 1000.0 * comm.rank() + i;
+    }
+    ex.forward_begin(comm, owned);
+    ex.forward_end(comm);
+    const auto offsets = pla::Layout::gather_offsets(comm, layout);
+    const auto vals = ex.ghost_values();
+    for (std::size_t k = 0; k < ghosts.size(); ++k) {
+      const int owner = pla::owner_of(offsets, ghosts[k]);
+      const double expected =
+          1000.0 * owner + static_cast<double>(ghosts[k] - 12 * owner);
+      EXPECT_DOUBLE_EQ(vals[k], expected);
+    }
+
+    // Reverse with all-ones: owner accumulates the request multiplicity.
+    // Compute the global multiplicity via allreduce of indicator vectors.
+    std::vector<double> indicator(
+        static_cast<std::size_t>(layout.global_size), 0.0);
+    for (const std::int64_t g : ghosts) {
+      indicator[static_cast<std::size_t>(g)] += 1.0;
+    }
+    std::vector<double> multiplicity(indicator.size());
+    comm.allreduce(std::span<const double>(indicator),
+                   std::span<double>(multiplicity), simmpi::ReduceOp::kSum);
+
+    std::vector<double> acc(12, 0.0);
+    const std::vector<double> ones(ghosts.size(), 1.0);
+    ex.reverse_begin(comm, ones);
+    ex.reverse_end(comm, acc);
+    for (std::int64_t i = 0; i < 12; ++i) {
+      EXPECT_DOUBLE_EQ(acc[static_cast<std::size_t>(i)],
+                       multiplicity[static_cast<std::size_t>(layout.begin + i)])
+          << "rank " << comm.rank() << " local " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGhostTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// distributed CSR vs serial reference on random SPD-ish systems
+// ---------------------------------------------------------------------------
+
+class RandomDistCsrTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDistCsrTest, MatchesSerialReferenceWithRandomInsertionOwners) {
+  // Entries are inserted by RANDOM ranks (not row owners), exercising the
+  // assembly-migration path; the result must match a serial dense build.
+  const int seed = GetParam();
+  const std::int64_t n = 24;
+  // Serial reference built deterministically from the seed.
+  std::vector<double> dense(static_cast<std::size_t>(n * n), 0.0);
+  std::vector<pla::Triplet> entries;
+  {
+    hymv::Xoshiro256 rng(static_cast<std::uint64_t>(seed + 7));
+    for (int k = 0; k < 200; ++k) {
+      const auto i = static_cast<std::int64_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(n)));
+      const auto j = static_cast<std::int64_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(n)));
+      const double v = rng.uniform(-1.0, 1.0);
+      dense[static_cast<std::size_t>(i * n + j)] += v;
+      entries.push_back({i, j, v});
+    }
+  }
+  std::vector<double> y_global(static_cast<std::size_t>(n), 0.0);
+  std::mutex mutex;
+  simmpi::run(3, [&](Comm& comm) {
+    const pla::Layout layout = pla::Layout::from_owned_count(comm, 8);
+    pla::DistCsrMatrix a(layout);
+    // Round-robin insertion: rank r adds entries r, r+3, r+6, ...
+    for (std::size_t k = static_cast<std::size_t>(comm.rank());
+         k < entries.size(); k += 3) {
+      a.add_value(entries[k].row, entries[k].col, entries[k].value);
+    }
+    a.assemble(comm);
+    pla::DistVector x(layout), y(layout);
+    for (std::int64_t i = 0; i < 8; ++i) {
+      x[i] = std::sin(static_cast<double>(layout.begin + i) + seed);
+    }
+    a.apply(comm, x, y);
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::int64_t i = 0; i < 8; ++i) {
+      y_global[static_cast<std::size_t>(layout.begin + i)] = y[i];
+    }
+  });
+  // Dense reference.
+  std::vector<double> x_global(static_cast<std::size_t>(n));
+  for (std::int64_t g = 0; g < n; ++g) {
+    x_global[static_cast<std::size_t>(g)] =
+        std::sin(static_cast<double>(g) + seed);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      sum += dense[static_cast<std::size_t>(i * n + j)] *
+             x_global[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(y_global[static_cast<std::size_t>(i)], sum, 1e-12)
+        << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDistCsrTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// operator algebraic properties
+// ---------------------------------------------------------------------------
+
+TEST(OperatorPropertyTest, HymvApplyIsLinear) {
+  const mesh::Mesh m = mesh::build_structured_hex({.nx = 3, .ny = 3, .nz = 3},
+                                                  mesh::ElementType::kHex8);
+  const auto ids = mesh::partition_elements(m, 2, mesh::Partitioner::kRcb);
+  const auto dist = mesh::distribute_mesh(m, ids, 2);
+  simmpi::run(2, [&](Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const fem::PoissonOperator op(mesh::ElementType::kHex8);
+    core::HymvOperator a(comm, part, op);
+    pla::DistVector x1(a.layout()), x2(a.layout()), xc(a.layout());
+    pla::DistVector y1(a.layout()), y2(a.layout()), yc(a.layout());
+    hymv::Xoshiro256 rng(static_cast<std::uint64_t>(41 + comm.rank()));
+    for (std::int64_t i = 0; i < x1.owned_size(); ++i) {
+      x1[i] = rng.uniform(-1, 1);
+      x2[i] = rng.uniform(-1, 1);
+      xc[i] = 2.0 * x1[i] - 3.0 * x2[i];
+    }
+    a.apply(comm, x1, y1);
+    a.apply(comm, x2, y2);
+    a.apply(comm, xc, yc);
+    for (std::int64_t i = 0; i < yc.owned_size(); ++i) {
+      EXPECT_NEAR(yc[i], 2.0 * y1[i] - 3.0 * y2[i],
+                  1e-11 * (1.0 + std::abs(yc[i])));
+    }
+  });
+}
+
+TEST(OperatorPropertyTest, HymvOperatorIsSymmetric) {
+  // x·(A y) == y·(A x) for the SPD FEM operator, across ranks.
+  const mesh::Mesh m = mesh::build_unstructured_tet(
+      {.box = {.nx = 2, .ny = 2, .nz = 2}, .jitter = 0.2, .seed = 9},
+      mesh::ElementType::kTet10);
+  const auto ids = mesh::partition_elements(m, 3, mesh::Partitioner::kGreedy);
+  const auto dist = mesh::distribute_mesh(m, ids, 3);
+  simmpi::run(3, [&](Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const fem::PoissonOperator op(mesh::ElementType::kTet10);
+    core::HymvOperator a(comm, part, op);
+    pla::DistVector x(a.layout()), y(a.layout()), ax(a.layout()),
+        ay(a.layout());
+    hymv::Xoshiro256 rng(static_cast<std::uint64_t>(17 + comm.rank()));
+    for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+      x[i] = rng.uniform(-1, 1);
+      y[i] = rng.uniform(-1, 1);
+    }
+    a.apply(comm, x, ax);
+    a.apply(comm, y, ay);
+    const double xay = pla::dot(comm, x, ay);
+    const double yax = pla::dot(comm, y, ax);
+    EXPECT_NEAR(xay, yax, 1e-10 * (1.0 + std::abs(xay)));
+  });
+}
+
+TEST(OperatorPropertyTest, GlobalEnergyIsNonNegative) {
+  // x·(K x) >= 0 for the Laplacian (SPD up to the constant null space).
+  const mesh::Mesh m = mesh::build_structured_hex({.nx = 3, .ny = 2, .nz = 2},
+                                                  mesh::ElementType::kHex20);
+  const auto ids = mesh::partition_elements(m, 2, mesh::Partitioner::kSlab);
+  const auto dist = mesh::distribute_mesh(m, ids, 2);
+  simmpi::run(2, [&](Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const fem::PoissonOperator op(mesh::ElementType::kHex20);
+    core::HymvOperator a(comm, part, op);
+    hymv::Xoshiro256 rng(static_cast<std::uint64_t>(5 + comm.rank()));
+    for (int trial = 0; trial < 10; ++trial) {
+      pla::DistVector x(a.layout()), ax(a.layout());
+      for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+        x[i] = rng.uniform(-1, 1);
+      }
+      a.apply(comm, x, ax);
+      EXPECT_GE(pla::dot(comm, x, ax), -1e-10);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// simmpi message storm
+// ---------------------------------------------------------------------------
+
+TEST(SimMpiStressTest, RandomizedAllToAllStorm) {
+  // Every rank sends a random number of randomly-sized messages to random
+  // targets, then all are drained via matching counts — exercises the
+  // unexpected-message queue under load.
+  simmpi::run(4, [](Comm& comm) {
+    hymv::Xoshiro256 rng(static_cast<std::uint64_t>(1000 + comm.rank()));
+    const int p = comm.size();
+    std::vector<int> sent_to(static_cast<std::size_t>(p), 0);
+    const int nmsgs = 50;
+    for (int k = 0; k < nmsgs; ++k) {
+      const auto dest = static_cast<int>(rng.uniform_int(
+          static_cast<std::uint64_t>(p)));
+      const auto len = 1 + rng.uniform_int(64);
+      std::vector<double> payload(len, static_cast<double>(comm.rank()));
+      comm.send(dest, 42, std::span<const double>(payload));
+      ++sent_to[static_cast<std::size_t>(dest)];
+    }
+    // Tell every rank how many messages to expect from us.
+    std::vector<std::vector<int>> counts(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      counts[static_cast<std::size_t>(r)] = {sent_to[static_cast<std::size_t>(r)]};
+    }
+    const auto expected = comm.alltoallv(counts);
+    int total = 0;
+    for (const auto& c : expected) {
+      total += c[0];
+    }
+    for (int k = 0; k < total; ++k) {
+      const simmpi::Status st = comm.probe(simmpi::kAnySource, 42);
+      std::vector<double> buf(st.bytes / sizeof(double));
+      const simmpi::Status recv_st =
+          comm.recv(st.source, 42, std::span<double>(buf));
+      EXPECT_EQ(recv_st.bytes, st.bytes);
+      for (const double v : buf) {
+        EXPECT_EQ(v, static_cast<double>(recv_st.source));
+      }
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,407 @@
+// Tests for the in-process message-passing runtime (simmpi): point-to-point
+// matching semantics, wildcards, ordering, collectives, failure propagation,
+// and traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "hymv/simmpi/simmpi.hpp"
+
+namespace {
+
+using simmpi::Comm;
+using simmpi::ReduceOp;
+
+TEST(SimMpi, SingleRankRuns) {
+  simmpi::run(1, [](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+  });
+}
+
+TEST(SimMpi, RanksAreDistinct) {
+  std::atomic<int> sum{0};
+  simmpi::run(4, [&](Comm& comm) { sum += comm.rank(); });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(SimMpi, PingPong) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 7, 42);
+      EXPECT_EQ(comm.recv_value<int>(1, 8), 43);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 42);
+      comm.send_value<int>(0, 8, 43);
+    }
+  });
+}
+
+TEST(SimMpi, SendBeforeRecvIsBuffered) {
+  // Eager sends complete without a matching receive; the message is picked up
+  // later from the unexpected queue.
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send_value<int>(1, 5, i);
+      }
+    } else {
+      comm.barrier();  // make sure sends happened first on most schedules
+    }
+    if (comm.rank() == 0) {
+      comm.barrier();
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 5), i);  // FIFO per (src, tag)
+      }
+    }
+  });
+}
+
+TEST(SimMpi, TagSelectivity) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, 100);
+      comm.send_value<int>(1, 2, 200);
+    } else {
+      // Receive out of send order by selecting on tag.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 100);
+    }
+  });
+}
+
+TEST(SimMpi, AnySourceMatches) {
+  simmpi::run(3, [](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<int>(0, 3, comm.rank());
+    } else {
+      int got = 0;
+      for (int i = 0; i < 2; ++i) {
+        int value = 0;
+        const simmpi::Status st =
+            comm.recv(simmpi::kAnySource, 3, std::span<int>(&value, 1));
+        EXPECT_EQ(st.source, value);
+        got += value;
+      }
+      EXPECT_EQ(got, 1 + 2);
+    }
+  });
+}
+
+TEST(SimMpi, AnyTagMatchesAndReportsTag) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<double>(1, 77, 2.5);
+    } else {
+      double value = 0.0;
+      const simmpi::Status st =
+          comm.recv(0, simmpi::kAnyTag, std::span<double>(&value, 1));
+      EXPECT_EQ(st.tag, 77);
+      EXPECT_EQ(st.bytes, sizeof(double));
+      EXPECT_EQ(value, 2.5);
+    }
+  });
+}
+
+TEST(SimMpi, SelfSendWorks) {
+  simmpi::run(1, [](Comm& comm) {
+    comm.send_value<int>(0, 9, 5);
+    EXPECT_EQ(comm.recv_value<int>(0, 9), 5);
+  });
+}
+
+TEST(SimMpi, EmptyMessage) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.isend_bytes(1, 4, nullptr, 0);
+    } else {
+      const simmpi::Status st = comm.probe(0, 4);
+      EXPECT_EQ(st.bytes, 0u);
+      simmpi::Request r = comm.irecv_bytes(0, 4, nullptr, 0);
+      comm.wait(r);
+    }
+  });
+}
+
+TEST(SimMpi, VectorPayloadRoundtrips) {
+  simmpi::run(2, [](Comm& comm) {
+    std::vector<double> data(1000);
+    if (comm.rank() == 0) {
+      std::iota(data.begin(), data.end(), 0.0);
+      comm.send(1, 2, std::span<const double>(data));
+    } else {
+      comm.recv(0, 2, std::span<double>(data));
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(data[i], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(SimMpi, OversizedMessageThrows) {
+  EXPECT_THROW(simmpi::run(2,
+                           [](Comm& comm) {
+                             if (comm.rank() == 0) {
+                               std::vector<int> big(8, 1);
+                               comm.send(1, 1, std::span<const int>(big));
+                             } else {
+                               int small = 0;
+                               comm.recv(0, 1, std::span<int>(&small, 1));
+                             }
+                           }),
+               hymv::Error);
+}
+
+TEST(SimMpi, ProbeReportsSize) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::int32_t> v(17, 3);
+      comm.send(1, 6, std::span<const std::int32_t>(v));
+    } else {
+      const simmpi::Status st = comm.probe(0, 6);
+      EXPECT_EQ(st.bytes, 17 * sizeof(std::int32_t));
+      std::vector<std::int32_t> v(st.bytes / sizeof(std::int32_t));
+      comm.recv(0, 6, std::span<std::int32_t>(v));
+      EXPECT_EQ(v[16], 3);
+    }
+  });
+}
+
+TEST(SimMpi, ExceptionOnOneRankPropagatesAndUnblocksOthers) {
+  // Rank 1 throws; rank 0 is blocked in a receive that will never be matched
+  // and must be released via AbortError rather than deadlocking.
+  try {
+    simmpi::run(2, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        (void)comm.recv_value<int>(1, 1);
+      } else {
+        throw std::logic_error("rank 1 failed");
+      }
+    });
+    FAIL() << "expected exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 failed");
+  }
+}
+
+TEST(SimMpi, BarrierCompletes) {
+  for (int p : {1, 2, 3, 5, 8}) {
+    simmpi::run(p, [](Comm& comm) {
+      for (int i = 0; i < 5; ++i) {
+        comm.barrier();
+      }
+    });
+  }
+}
+
+TEST(SimMpi, BcastFromEachRoot) {
+  simmpi::run(5, [](Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<int> data(4, comm.rank() == root ? root + 10 : -1);
+      comm.bcast(std::span<int>(data), root);
+      for (const int x : data) {
+        ASSERT_EQ(x, root + 10);
+      }
+    }
+  });
+}
+
+TEST(SimMpi, AllreduceSum) {
+  for (int p : {1, 2, 4, 7}) {
+    simmpi::run(p, [p](Comm& comm) {
+      const double sum = comm.allreduce(1.0 + comm.rank(), ReduceOp::kSum);
+      EXPECT_DOUBLE_EQ(sum, p * (p + 1) / 2.0);
+    });
+  }
+}
+
+TEST(SimMpi, AllreduceMinMax) {
+  simmpi::run(6, [](Comm& comm) {
+    EXPECT_EQ(comm.allreduce(comm.rank(), ReduceOp::kMin), 0);
+    EXPECT_EQ(comm.allreduce(comm.rank(), ReduceOp::kMax), comm.size() - 1);
+  });
+}
+
+TEST(SimMpi, AllreduceVectorElementwise) {
+  simmpi::run(3, [](Comm& comm) {
+    std::vector<std::int64_t> in{comm.rank(), 2 * comm.rank(), 1};
+    std::vector<std::int64_t> out(3);
+    comm.allreduce(std::span<const std::int64_t>(in),
+                   std::span<std::int64_t>(out), ReduceOp::kSum);
+    EXPECT_EQ(out[0], 0 + 1 + 2);
+    EXPECT_EQ(out[1], 0 + 2 + 4);
+    EXPECT_EQ(out[2], 3);
+  });
+}
+
+TEST(SimMpi, AllreduceLogical) {
+  simmpi::run(4, [](Comm& comm) {
+    const int land =
+        comm.allreduce(comm.rank() < 3 ? 1 : 0, ReduceOp::kLogicalAnd);
+    EXPECT_EQ(land, 0);
+    const int lor = comm.allreduce(comm.rank() == 2 ? 1 : 0,
+                                   ReduceOp::kLogicalOr);
+    EXPECT_EQ(lor, 1);
+  });
+}
+
+TEST(SimMpi, AllgatherEqualSizes) {
+  simmpi::run(4, [](Comm& comm) {
+    const std::array<int, 2> mine{comm.rank(), comm.rank() * comm.rank()};
+    std::vector<int> all(8);
+    comm.allgather(std::span<const int>(mine), std::span<int>(all));
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(all[2 * r], r);
+      EXPECT_EQ(all[2 * r + 1], r * r);
+    }
+  });
+}
+
+TEST(SimMpi, AllgathervVariableSizes) {
+  simmpi::run(4, [](Comm& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()),
+                          comm.rank());  // rank r contributes r copies of r
+    std::vector<std::size_t> counts;
+    const std::vector<int> all =
+        comm.allgatherv(std::span<const int>(mine), &counts);
+    EXPECT_EQ(all.size(), 0u + 1u + 2u + 3u);
+    EXPECT_EQ(counts.size(), 4u);
+    std::size_t offset = 0;
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                static_cast<std::size_t>(r));
+      for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+        EXPECT_EQ(all[offset + i], r);
+      }
+      offset += counts[static_cast<std::size_t>(r)];
+    }
+  });
+}
+
+TEST(SimMpi, AlltoallvExchangesAllPairs) {
+  simmpi::run(4, [](Comm& comm) {
+    const int p = comm.size();
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      // Send r copies of (100*me + r) to rank r.
+      send[static_cast<std::size_t>(r)]
+          .assign(static_cast<std::size_t>(r), 100 * comm.rank() + r);
+    }
+    const auto recv = comm.alltoallv(send);
+    for (int r = 0; r < p; ++r) {
+      const auto& from_r = recv[static_cast<std::size_t>(r)];
+      ASSERT_EQ(from_r.size(), static_cast<std::size_t>(comm.rank()));
+      for (const int x : from_r) {
+        EXPECT_EQ(x, 100 * r + comm.rank());
+      }
+    }
+  });
+}
+
+TEST(SimMpi, ExscanSum) {
+  simmpi::run(5, [](Comm& comm) {
+    const std::int64_t prefix =
+        comm.exscan<std::int64_t>(comm.rank() + 1, ReduceOp::kSum);
+    // prefix of rank r = sum over ranks < r of (rank+1)
+    std::int64_t expected = 0;
+    for (int q = 0; q < comm.rank(); ++q) {
+      expected += q + 1;
+    }
+    EXPECT_EQ(prefix, expected);
+  });
+}
+
+TEST(SimMpi, WaitallMixedRequests) {
+  simmpi::run(2, [](Comm& comm) {
+    constexpr int kN = 32;
+    std::vector<int> in(kN), out(kN);
+    std::vector<simmpi::Request> reqs;
+    const int other = 1 - comm.rank();
+    for (int i = 0; i < kN; ++i) {
+      in[static_cast<std::size_t>(i)] = 1000 * comm.rank() + i;
+      reqs.push_back(comm.irecv(
+          other, i, std::span<int>(&out[static_cast<std::size_t>(i)], 1)));
+    }
+    for (int i = 0; i < kN; ++i) {
+      reqs.push_back(comm.isend(
+          other, i, std::span<const int>(&in[static_cast<std::size_t>(i)], 1)));
+    }
+    comm.waitall(reqs);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], 1000 * other + i);
+    }
+  });
+}
+
+TEST(SimMpi, NullRequestWaitIsNoop) {
+  simmpi::run(1, [](Comm& comm) {
+    simmpi::Request r;
+    EXPECT_FALSE(r.valid());
+    EXPECT_TRUE(comm.test(r));
+    comm.wait(r);
+  });
+}
+
+TEST(SimMpi, TrafficCountersTrackRemoteBytes) {
+  simmpi::run(2, [](Comm& comm) {
+    comm.reset_counters();
+    comm.barrier();  // dissemination: each rank sends/receives one token
+    if (comm.rank() == 0) {
+      std::vector<double> payload(100, 1.0);
+      comm.send(1, 1, std::span<const double>(payload));
+    } else {
+      std::vector<double> payload(100);
+      comm.recv(0, 1, std::span<double>(payload));
+    }
+    comm.barrier();
+    const auto counters = comm.counters();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(counters.bytes_sent, 800 + 2);  // payload + 2 barrier tokens
+      EXPECT_EQ(counters.messages_sent, 3);
+    } else {
+      EXPECT_EQ(counters.bytes_received, 800 + 2);
+      EXPECT_EQ(counters.messages_received, 3);
+    }
+  });
+}
+
+TEST(SimMpi, SelfMessagesNotCounted) {
+  simmpi::run(1, [](Comm& comm) {
+    comm.reset_counters();
+    comm.send_value<int>(0, 1, 5);
+    (void)comm.recv_value<int>(0, 1);
+    const auto counters = comm.counters();
+    EXPECT_EQ(counters.messages_sent, 0);
+    EXPECT_EQ(counters.messages_received, 0);
+  });
+}
+
+TEST(SimMpi, ManyRanksStress) {
+  // Ring shift with 16 ranks (heavily oversubscribed on one core).
+  simmpi::run(16, [](Comm& comm) {
+    const int p = comm.size();
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() - 1 + p) % p;
+    int token = comm.rank();
+    for (int step = 0; step < p; ++step) {
+      const int out = token;  // capture before the recv can overwrite it
+      simmpi::Request r = comm.irecv_bytes(prev, 2, &token, sizeof(int));
+      comm.isend_bytes(next, 2, &out, sizeof(int));
+      comm.wait(r);
+    }
+    // After p shifts the original token returns.
+    EXPECT_EQ(token, comm.rank());
+  });
+}
+
+TEST(SimMpi, ZeroRanksRejected) {
+  EXPECT_THROW(simmpi::run(0, [](Comm&) {}), hymv::Error);
+}
+
+}  // namespace
