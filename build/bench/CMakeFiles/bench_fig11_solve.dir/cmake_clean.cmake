@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_solve.dir/bench_fig11_solve.cpp.o"
+  "CMakeFiles/bench_fig11_solve.dir/bench_fig11_solve.cpp.o.d"
+  "bench_fig11_solve"
+  "bench_fig11_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

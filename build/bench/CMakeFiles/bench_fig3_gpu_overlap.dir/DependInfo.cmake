@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_gpu_overlap.cpp" "bench/CMakeFiles/bench_fig3_gpu_overlap.dir/bench_fig3_gpu_overlap.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_gpu_overlap.dir/bench_fig3_gpu_overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/hymv_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/hymv_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hymv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fem/CMakeFiles/hymv_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/hymv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/pla/CMakeFiles/hymv_pla.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hymv_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hymv_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hymv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

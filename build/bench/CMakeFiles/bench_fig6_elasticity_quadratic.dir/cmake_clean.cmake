@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_elasticity_quadratic.dir/bench_fig6_elasticity_quadratic.cpp.o"
+  "CMakeFiles/bench_fig6_elasticity_quadratic.dir/bench_fig6_elasticity_quadratic.cpp.o.d"
+  "bench_fig6_elasticity_quadratic"
+  "bench_fig6_elasticity_quadratic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_elasticity_quadratic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_unstructured.dir/bench_fig7_unstructured.cpp.o"
+  "CMakeFiles/bench_fig7_unstructured.dir/bench_fig7_unstructured.cpp.o.d"
+  "bench_fig7_unstructured"
+  "bench_fig7_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

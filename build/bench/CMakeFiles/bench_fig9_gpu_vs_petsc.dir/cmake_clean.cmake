@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gpu_vs_petsc.dir/bench_fig9_gpu_vs_petsc.cpp.o"
+  "CMakeFiles/bench_fig9_gpu_vs_petsc.dir/bench_fig9_gpu_vs_petsc.cpp.o.d"
+  "bench_fig9_gpu_vs_petsc"
+  "bench_fig9_gpu_vs_petsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gpu_vs_petsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

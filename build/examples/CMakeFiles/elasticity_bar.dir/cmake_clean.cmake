@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticity_bar.dir/elasticity_bar.cpp.o"
+  "CMakeFiles/elasticity_bar.dir/elasticity_bar.cpp.o.d"
+  "elasticity_bar"
+  "elasticity_bar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticity_bar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

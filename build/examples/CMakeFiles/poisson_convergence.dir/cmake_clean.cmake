@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_convergence.dir/poisson_convergence.cpp.o"
+  "CMakeFiles/poisson_convergence.dir/poisson_convergence.cpp.o.d"
+  "poisson_convergence"
+  "poisson_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution_export.dir/solution_export.cpp.o"
+  "CMakeFiles/solution_export.dir/solution_export.cpp.o.d"
+  "solution_export"
+  "solution_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_heat.dir/transient_heat.cpp.o"
+  "CMakeFiles/transient_heat.dir/transient_heat.cpp.o.d"
+  "transient_heat"
+  "transient_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfem_enrichment.dir/xfem_enrichment.cpp.o"
+  "CMakeFiles/xfem_enrichment.dir/xfem_enrichment.cpp.o.d"
+  "xfem_enrichment"
+  "xfem_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfem_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_common.dir/src/env.cpp.o"
+  "CMakeFiles/hymv_common.dir/src/env.cpp.o.d"
+  "CMakeFiles/hymv_common.dir/src/error.cpp.o"
+  "CMakeFiles/hymv_common.dir/src/error.cpp.o.d"
+  "CMakeFiles/hymv_common.dir/src/stats.cpp.o"
+  "CMakeFiles/hymv_common.dir/src/stats.cpp.o.d"
+  "CMakeFiles/hymv_common.dir/src/timer.cpp.o"
+  "CMakeFiles/hymv_common.dir/src/timer.cpp.o.d"
+  "libhymv_common.a"
+  "libhymv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

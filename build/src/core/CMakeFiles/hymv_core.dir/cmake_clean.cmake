@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_core.dir/src/assembly.cpp.o"
+  "CMakeFiles/hymv_core.dir/src/assembly.cpp.o.d"
+  "CMakeFiles/hymv_core.dir/src/element_store.cpp.o"
+  "CMakeFiles/hymv_core.dir/src/element_store.cpp.o.d"
+  "CMakeFiles/hymv_core.dir/src/gpu_operator.cpp.o"
+  "CMakeFiles/hymv_core.dir/src/gpu_operator.cpp.o.d"
+  "CMakeFiles/hymv_core.dir/src/hymv_operator.cpp.o"
+  "CMakeFiles/hymv_core.dir/src/hymv_operator.cpp.o.d"
+  "CMakeFiles/hymv_core.dir/src/maps.cpp.o"
+  "CMakeFiles/hymv_core.dir/src/maps.cpp.o.d"
+  "CMakeFiles/hymv_core.dir/src/matrix_free_operator.cpp.o"
+  "CMakeFiles/hymv_core.dir/src/matrix_free_operator.cpp.o.d"
+  "libhymv_core.a"
+  "libhymv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

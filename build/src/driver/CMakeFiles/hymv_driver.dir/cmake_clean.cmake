@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_driver.dir/src/driver.cpp.o"
+  "CMakeFiles/hymv_driver.dir/src/driver.cpp.o.d"
+  "libhymv_driver.a"
+  "libhymv_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

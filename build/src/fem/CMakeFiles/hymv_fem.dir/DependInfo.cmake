@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/src/analytic.cpp" "src/fem/CMakeFiles/hymv_fem.dir/src/analytic.cpp.o" "gcc" "src/fem/CMakeFiles/hymv_fem.dir/src/analytic.cpp.o.d"
+  "/root/repo/src/fem/src/mass.cpp" "src/fem/CMakeFiles/hymv_fem.dir/src/mass.cpp.o" "gcc" "src/fem/CMakeFiles/hymv_fem.dir/src/mass.cpp.o.d"
+  "/root/repo/src/fem/src/operators.cpp" "src/fem/CMakeFiles/hymv_fem.dir/src/operators.cpp.o" "gcc" "src/fem/CMakeFiles/hymv_fem.dir/src/operators.cpp.o.d"
+  "/root/repo/src/fem/src/quadrature.cpp" "src/fem/CMakeFiles/hymv_fem.dir/src/quadrature.cpp.o" "gcc" "src/fem/CMakeFiles/hymv_fem.dir/src/quadrature.cpp.o.d"
+  "/root/repo/src/fem/src/reference_element.cpp" "src/fem/CMakeFiles/hymv_fem.dir/src/reference_element.cpp.o" "gcc" "src/fem/CMakeFiles/hymv_fem.dir/src/reference_element.cpp.o.d"
+  "/root/repo/src/fem/src/surface.cpp" "src/fem/CMakeFiles/hymv_fem.dir/src/surface.cpp.o" "gcc" "src/fem/CMakeFiles/hymv_fem.dir/src/surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hymv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/hymv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hymv_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

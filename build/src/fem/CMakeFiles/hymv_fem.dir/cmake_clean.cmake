@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_fem.dir/src/analytic.cpp.o"
+  "CMakeFiles/hymv_fem.dir/src/analytic.cpp.o.d"
+  "CMakeFiles/hymv_fem.dir/src/mass.cpp.o"
+  "CMakeFiles/hymv_fem.dir/src/mass.cpp.o.d"
+  "CMakeFiles/hymv_fem.dir/src/operators.cpp.o"
+  "CMakeFiles/hymv_fem.dir/src/operators.cpp.o.d"
+  "CMakeFiles/hymv_fem.dir/src/quadrature.cpp.o"
+  "CMakeFiles/hymv_fem.dir/src/quadrature.cpp.o.d"
+  "CMakeFiles/hymv_fem.dir/src/reference_element.cpp.o"
+  "CMakeFiles/hymv_fem.dir/src/reference_element.cpp.o.d"
+  "CMakeFiles/hymv_fem.dir/src/surface.cpp.o"
+  "CMakeFiles/hymv_fem.dir/src/surface.cpp.o.d"
+  "libhymv_fem.a"
+  "libhymv_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

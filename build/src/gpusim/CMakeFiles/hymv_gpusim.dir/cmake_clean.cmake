@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_gpusim.dir/src/gpusim.cpp.o"
+  "CMakeFiles/hymv_gpusim.dir/src/gpusim.cpp.o.d"
+  "libhymv_gpusim.a"
+  "libhymv_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_io.dir/src/store_io.cpp.o"
+  "CMakeFiles/hymv_io.dir/src/store_io.cpp.o.d"
+  "CMakeFiles/hymv_io.dir/src/vtk.cpp.o"
+  "CMakeFiles/hymv_io.dir/src/vtk.cpp.o.d"
+  "libhymv_io.a"
+  "libhymv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

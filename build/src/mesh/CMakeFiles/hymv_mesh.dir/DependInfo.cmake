@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/src/distributed.cpp" "src/mesh/CMakeFiles/hymv_mesh.dir/src/distributed.cpp.o" "gcc" "src/mesh/CMakeFiles/hymv_mesh.dir/src/distributed.cpp.o.d"
+  "/root/repo/src/mesh/src/face_topology.cpp" "src/mesh/CMakeFiles/hymv_mesh.dir/src/face_topology.cpp.o" "gcc" "src/mesh/CMakeFiles/hymv_mesh.dir/src/face_topology.cpp.o.d"
+  "/root/repo/src/mesh/src/mesh.cpp" "src/mesh/CMakeFiles/hymv_mesh.dir/src/mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/hymv_mesh.dir/src/mesh.cpp.o.d"
+  "/root/repo/src/mesh/src/partition.cpp" "src/mesh/CMakeFiles/hymv_mesh.dir/src/partition.cpp.o" "gcc" "src/mesh/CMakeFiles/hymv_mesh.dir/src/partition.cpp.o.d"
+  "/root/repo/src/mesh/src/structured.cpp" "src/mesh/CMakeFiles/hymv_mesh.dir/src/structured.cpp.o" "gcc" "src/mesh/CMakeFiles/hymv_mesh.dir/src/structured.cpp.o.d"
+  "/root/repo/src/mesh/src/surface_mesh.cpp" "src/mesh/CMakeFiles/hymv_mesh.dir/src/surface_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/hymv_mesh.dir/src/surface_mesh.cpp.o.d"
+  "/root/repo/src/mesh/src/tet.cpp" "src/mesh/CMakeFiles/hymv_mesh.dir/src/tet.cpp.o" "gcc" "src/mesh/CMakeFiles/hymv_mesh.dir/src/tet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hymv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hymv_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

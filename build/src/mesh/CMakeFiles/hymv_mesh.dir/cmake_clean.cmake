@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_mesh.dir/src/distributed.cpp.o"
+  "CMakeFiles/hymv_mesh.dir/src/distributed.cpp.o.d"
+  "CMakeFiles/hymv_mesh.dir/src/face_topology.cpp.o"
+  "CMakeFiles/hymv_mesh.dir/src/face_topology.cpp.o.d"
+  "CMakeFiles/hymv_mesh.dir/src/mesh.cpp.o"
+  "CMakeFiles/hymv_mesh.dir/src/mesh.cpp.o.d"
+  "CMakeFiles/hymv_mesh.dir/src/partition.cpp.o"
+  "CMakeFiles/hymv_mesh.dir/src/partition.cpp.o.d"
+  "CMakeFiles/hymv_mesh.dir/src/structured.cpp.o"
+  "CMakeFiles/hymv_mesh.dir/src/structured.cpp.o.d"
+  "CMakeFiles/hymv_mesh.dir/src/surface_mesh.cpp.o"
+  "CMakeFiles/hymv_mesh.dir/src/surface_mesh.cpp.o.d"
+  "CMakeFiles/hymv_mesh.dir/src/tet.cpp.o"
+  "CMakeFiles/hymv_mesh.dir/src/tet.cpp.o.d"
+  "libhymv_mesh.a"
+  "libhymv_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

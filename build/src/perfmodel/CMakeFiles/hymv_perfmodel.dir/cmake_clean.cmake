@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_perfmodel.dir/src/perfmodel.cpp.o"
+  "CMakeFiles/hymv_perfmodel.dir/src/perfmodel.cpp.o.d"
+  "libhymv_perfmodel.a"
+  "libhymv_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

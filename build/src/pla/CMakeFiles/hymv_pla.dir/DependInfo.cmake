@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pla/src/bicgstab.cpp" "src/pla/CMakeFiles/hymv_pla.dir/src/bicgstab.cpp.o" "gcc" "src/pla/CMakeFiles/hymv_pla.dir/src/bicgstab.cpp.o.d"
+  "/root/repo/src/pla/src/cg.cpp" "src/pla/CMakeFiles/hymv_pla.dir/src/cg.cpp.o" "gcc" "src/pla/CMakeFiles/hymv_pla.dir/src/cg.cpp.o.d"
+  "/root/repo/src/pla/src/constraints.cpp" "src/pla/CMakeFiles/hymv_pla.dir/src/constraints.cpp.o" "gcc" "src/pla/CMakeFiles/hymv_pla.dir/src/constraints.cpp.o.d"
+  "/root/repo/src/pla/src/csr.cpp" "src/pla/CMakeFiles/hymv_pla.dir/src/csr.cpp.o" "gcc" "src/pla/CMakeFiles/hymv_pla.dir/src/csr.cpp.o.d"
+  "/root/repo/src/pla/src/dist_csr.cpp" "src/pla/CMakeFiles/hymv_pla.dir/src/dist_csr.cpp.o" "gcc" "src/pla/CMakeFiles/hymv_pla.dir/src/dist_csr.cpp.o.d"
+  "/root/repo/src/pla/src/dist_vector.cpp" "src/pla/CMakeFiles/hymv_pla.dir/src/dist_vector.cpp.o" "gcc" "src/pla/CMakeFiles/hymv_pla.dir/src/dist_vector.cpp.o.d"
+  "/root/repo/src/pla/src/ghost_exchange.cpp" "src/pla/CMakeFiles/hymv_pla.dir/src/ghost_exchange.cpp.o" "gcc" "src/pla/CMakeFiles/hymv_pla.dir/src/ghost_exchange.cpp.o.d"
+  "/root/repo/src/pla/src/preconditioner.cpp" "src/pla/CMakeFiles/hymv_pla.dir/src/preconditioner.cpp.o" "gcc" "src/pla/CMakeFiles/hymv_pla.dir/src/preconditioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hymv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/hymv_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

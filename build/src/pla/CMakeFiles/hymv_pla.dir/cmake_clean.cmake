@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_pla.dir/src/bicgstab.cpp.o"
+  "CMakeFiles/hymv_pla.dir/src/bicgstab.cpp.o.d"
+  "CMakeFiles/hymv_pla.dir/src/cg.cpp.o"
+  "CMakeFiles/hymv_pla.dir/src/cg.cpp.o.d"
+  "CMakeFiles/hymv_pla.dir/src/constraints.cpp.o"
+  "CMakeFiles/hymv_pla.dir/src/constraints.cpp.o.d"
+  "CMakeFiles/hymv_pla.dir/src/csr.cpp.o"
+  "CMakeFiles/hymv_pla.dir/src/csr.cpp.o.d"
+  "CMakeFiles/hymv_pla.dir/src/dist_csr.cpp.o"
+  "CMakeFiles/hymv_pla.dir/src/dist_csr.cpp.o.d"
+  "CMakeFiles/hymv_pla.dir/src/dist_vector.cpp.o"
+  "CMakeFiles/hymv_pla.dir/src/dist_vector.cpp.o.d"
+  "CMakeFiles/hymv_pla.dir/src/ghost_exchange.cpp.o"
+  "CMakeFiles/hymv_pla.dir/src/ghost_exchange.cpp.o.d"
+  "CMakeFiles/hymv_pla.dir/src/preconditioner.cpp.o"
+  "CMakeFiles/hymv_pla.dir/src/preconditioner.cpp.o.d"
+  "libhymv_pla.a"
+  "libhymv_pla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_pla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

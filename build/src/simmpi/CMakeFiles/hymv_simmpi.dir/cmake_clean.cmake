@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymv_simmpi.dir/src/simmpi.cpp.o"
+  "CMakeFiles/hymv_simmpi.dir/src/simmpi.cpp.o.d"
+  "libhymv_simmpi.a"
+  "libhymv_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymv_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
