@@ -9,13 +9,15 @@
 
 namespace hymv {
 
-/// Read an integer environment variable; returns `fallback` when unset or
-/// unparsable.
+/// Read an integer environment variable. Returns `fallback` when unset;
+/// values with trailing garbage ("8abc") or out of std::int64_t range are
+/// rejected with a one-line stderr warning (trailing whitespace is fine).
 [[nodiscard]] std::int64_t env_int(const std::string& name,
                                    std::int64_t fallback);
 
-/// Read a floating-point environment variable; returns `fallback` when unset
-/// or unparsable.
+/// Read a floating-point environment variable. Returns `fallback` when
+/// unset; trailing garbage and values outside the double range are rejected
+/// with a one-line stderr warning.
 [[nodiscard]] double env_double(const std::string& name, double fallback);
 
 }  // namespace hymv

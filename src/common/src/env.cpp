@@ -1,8 +1,36 @@
 #include "hymv/common/env.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace hymv {
+
+namespace {
+
+/// True when `end` points at nothing but trailing whitespace — the whole
+/// value was consumed by the numeric parse.
+bool fully_consumed(const char* value, const char* end) {
+  if (end == value) {
+    return false;  // no digits at all
+  }
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) {
+      return false;  // trailing garbage, e.g. "8abc"
+    }
+    ++end;
+  }
+  return true;
+}
+
+void warn_rejected(const char* name, const char* value, const char* kind) {
+  std::fprintf(stderr,
+               "hymv: ignoring %s='%s' (not a valid %s); using fallback\n",
+               name, value, kind);
+}
+
+}  // namespace
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   const char* value = std::getenv(name.c_str());
@@ -10,8 +38,13 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
     return fallback;
   }
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(value, &end, 10);
-  return (end == value) ? fallback : static_cast<std::int64_t>(parsed);
+  if (!fully_consumed(value, end) || errno == ERANGE) {
+    warn_rejected(name.c_str(), value, "integer");
+    return fallback;
+  }
+  return static_cast<std::int64_t>(parsed);
 }
 
 double env_double(const std::string& name, double fallback) {
@@ -20,8 +53,13 @@ double env_double(const std::string& name, double fallback) {
     return fallback;
   }
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(value, &end);
-  return (end == value) ? fallback : parsed;
+  if (!fully_consumed(value, end) || errno == ERANGE) {
+    warn_rejected(name.c_str(), value, "number");
+    return fallback;
+  }
+  return parsed;
 }
 
 }  // namespace hymv

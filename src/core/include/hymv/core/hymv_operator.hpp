@@ -25,6 +25,7 @@
 #include "hymv/core/dense_kernels.hpp"
 #include "hymv/core/element_store.hpp"
 #include "hymv/core/maps.hpp"
+#include "hymv/core/schedule.hpp"
 #include "hymv/fem/operators.hpp"
 #include "hymv/pla/operator.hpp"
 
@@ -35,6 +36,10 @@ struct HymvOptions {
   EmvKernel kernel = EmvKernel::kSimd;  ///< EMV inner-kernel flavor
   bool overlap = true;   ///< overlap LNSM with independent-element EMV
   bool use_openmp = true;  ///< thread the element loop when OpenMP is active
+  /// Threaded scatter-add strategy. The HYMV_THREAD_SCHEDULE environment
+  /// variable ("serial" | "buffer" | "colored"), when set, overrides this
+  /// at operator construction (the global ablation switch).
+  ThreadSchedule schedule = ThreadSchedule::kColored;
 };
 
 /// Wall-clock decomposition of the setup phase, matching the paper's
@@ -44,8 +49,26 @@ struct SetupBreakdown {
   double emat_compute_s = 0.0;
   double local_copy_s = 0.0;
   double maps_s = 0.0;
+  double schedule_s = 0.0;  ///< element-graph coloring (thread schedule)
   [[nodiscard]] double total_s() const {
-    return emat_compute_s + local_copy_s + maps_s;
+    return emat_compute_s + local_copy_s + maps_s + schedule_s;
+  }
+};
+
+/// Wall-clock decomposition of apply(), accumulated across calls until
+/// reset. The gather/EMV/scatter element work is one fused phase (emv_s):
+/// splitting it per element would perturb exactly the loop being measured.
+/// reduce_s isolates the legacy kBufferReduce overhead (per-thread buffer
+/// zeroing + the O(nthreads × da_size) collapse) that the colored schedule
+/// eliminates — it is identically zero under kColored/kSerial.
+struct ApplyBreakdown {
+  double lnsm_s = 0.0;    ///< forward ghost exchange + ghost load
+  double emv_s = 0.0;     ///< gather u_e, EMV, scatter-add v_e
+  double reduce_s = 0.0;  ///< kBufferReduce buffer zero + collapse
+  double gngm_s = 0.0;    ///< reverse exchange reduce-to-owned
+  int applies = 0;        ///< apply() calls accumulated
+  [[nodiscard]] double total_s() const {
+    return lnsm_s + emv_s + reduce_s + gngm_s;
   }
 };
 
@@ -88,9 +111,22 @@ class HymvOperator final : public pla::LinearOperator {
   [[nodiscard]] const SetupBreakdown& setup_breakdown() const {
     return setup_;
   }
+  /// Per-apply phase timings accumulated since construction or the last
+  /// reset_apply_breakdown().
+  [[nodiscard]] const ApplyBreakdown& apply_breakdown() const {
+    return apply_;
+  }
+  void reset_apply_breakdown() { apply_ = ApplyBreakdown{}; }
   [[nodiscard]] const HymvOptions& options() const { return options_; }
   void set_kernel(EmvKernel kernel) { options_.kernel = kernel; }
   void set_overlap(bool overlap) { options_.overlap = overlap; }
+  /// The colored schedules of the independent/dependent element sets.
+  [[nodiscard]] const ElementSchedule& independent_schedule() const {
+    return indep_sched_;
+  }
+  [[nodiscard]] const ElementSchedule& dependent_schedule() const {
+    return dep_sched_;
+  }
 
   /// 2·ndofs² flops per element EMV.
   [[nodiscard]] std::int64_t apply_flops() const override;
@@ -99,10 +135,26 @@ class HymvOperator final : public pla::LinearOperator {
   [[nodiscard]] std::int64_t apply_bytes() const override;
 
  private:
-  /// EMV over a set of elements: gather u_e, v_e = K_e u_e, scatter-add v_e
-  /// (lines 3-6 / 8-11 of Algorithm 2). OpenMP-threaded with per-thread
-  /// accumulation buffers when enabled.
-  void emv_loop(std::span<const std::int64_t> elements);
+  /// EMV over one element set: gather u_e, v_e = K_e u_e, scatter-add v_e
+  /// (lines 3-6 / 8-11 of Algorithm 2). Under kColored, threads scatter
+  /// directly into the shared v-DA color by color (race-free, bitwise
+  /// reproducible for any thread count); kBufferReduce keeps the legacy
+  /// per-thread buffers + reduction; kSerial is the plain loop.
+  /// `elements` is the set in original order, `sched` its colored schedule.
+  void emv_loop(const ElementSchedule& sched,
+                std::span<const std::int64_t> elements);
+
+  /// Scatter-add the stored diagonal entries of one element set into v_da_,
+  /// colored-threaded under the same rules as emv_loop.
+  void diagonal_loop(const ElementSchedule& sched,
+                     std::span<const std::int64_t> elements);
+
+  /// Build the per-subset colored schedules, recording the time in setup_.
+  void build_schedules();
+
+  /// True when the loop should run an OpenMP team (kColored/kBufferReduce,
+  /// use_openmp, and more than one thread available).
+  [[nodiscard]] bool threading_active() const;
 
   /// GNGM reduction: copy v-DA owned slots into `owned_out` and add the
   /// ghost contributions received from neighbors.
@@ -115,13 +167,16 @@ class HymvOperator final : public pla::LinearOperator {
 
   HymvOptions options_;
   SetupBreakdown setup_;  ///< declared before maps_ so timing can target it
+  ApplyBreakdown apply_;
   DofMaps maps_;
   ElementMatrixStore store_;
   std::vector<mesh::Point> elem_coords_;  ///< kept for update_elements
   DistributedArray u_da_;
   DistributedArray v_da_;
   std::vector<double> ghost_buf_;
-  std::vector<hymv::aligned_vector<double>> thread_bufs_;
+  ElementSchedule indep_sched_;  ///< colored schedule, independent set
+  ElementSchedule dep_sched_;    ///< colored schedule, dependent set
+  std::vector<hymv::aligned_vector<double>> thread_bufs_;  ///< kBufferReduce
 };
 
 /// Reduce a contribution-holding distributed array (owned + ghost slots) to

@@ -13,6 +13,7 @@
 
 #include "hymv/core/dense_kernels.hpp"
 #include "hymv/core/maps.hpp"
+#include "hymv/core/schedule.hpp"
 #include "hymv/fem/operators.hpp"
 #include "hymv/pla/operator.hpp"
 
@@ -21,9 +22,12 @@ namespace hymv::core {
 class MatrixFreeOperator final : public pla::LinearOperator {
  public:
   /// Collective: builds the maps; stores only coordinates (`op` must
-  /// outlive the operator — it is invoked on every apply).
+  /// outlive the operator — it is invoked on every apply). The element
+  /// loop threads with the colored conflict-free schedule (same rules as
+  /// HymvOperator; HYMV_THREAD_SCHEDULE overrides the strategy).
   MatrixFreeOperator(simmpi::Comm& comm, const mesh::MeshPartition& part,
-                     const fem::ElementOperator& op, bool overlap = true);
+                     const fem::ElementOperator& op, bool overlap = true,
+                     bool use_openmp = true);
 
   [[nodiscard]] const pla::Layout& layout() const override {
     return maps_.layout();
@@ -40,15 +44,21 @@ class MatrixFreeOperator final : public pla::LinearOperator {
   [[nodiscard]] std::int64_t apply_bytes() const override;
 
  private:
-  void emv_loop(std::span<const std::int64_t> elements);
+  void emv_loop(const ElementSchedule& sched,
+                std::span<const std::int64_t> elements);
+  [[nodiscard]] bool threading_active() const;
 
   const fem::ElementOperator* op_;
   bool overlap_;
+  bool use_openmp_;
+  ThreadSchedule schedule_;
   DofMaps maps_;
   std::vector<mesh::Point> elem_coords_;
   DistributedArray u_da_;
   DistributedArray v_da_;
   std::vector<double> ghost_buf_;
+  ElementSchedule indep_sched_;
+  ElementSchedule dep_sched_;
 };
 
 }  // namespace hymv::core

@@ -22,6 +22,13 @@ DofMaps HymvOperator::build_maps_timed(simmpi::Comm& comm,
   return maps;
 }
 
+void HymvOperator::build_schedules() {
+  hymv::ThreadCpuTimer timer;
+  indep_sched_ = ElementSchedule(maps_, maps_.independent_elements());
+  dep_sched_ = ElementSchedule(maps_, maps_.dependent_elements());
+  setup_.schedule_s = timer.elapsed_s();
+}
+
 HymvOperator::HymvOperator(simmpi::Comm& comm,
                            const mesh::MeshPartition& part,
                            const fem::ElementOperator& op,
@@ -38,6 +45,8 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
                      static_cast<int>(op.num_nodes()),
                  "HymvOperator: element type mismatch between mesh and "
                  "operator");
+  options_.schedule = thread_schedule_from_env(options_.schedule);
+  build_schedules();
   // Element-matrix computation + local copy (the HYMV "setup" the paper
   // times against PETSc's global assembly).
   hymv::ThreadCpuTimer timer;
@@ -76,26 +85,100 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
                  "HymvOperator: adopted store has wrong element count");
   HYMV_CHECK_MSG(store_.ndofs() == maps_.ndofs_per_elem(),
                  "HymvOperator: adopted store has wrong matrix size");
+  options_.schedule = thread_schedule_from_env(options_.schedule);
+  build_schedules();
 }
 
-void HymvOperator::emv_loop(std::span<const std::int64_t> elements) {
+bool HymvOperator::threading_active() const {
+#ifdef _OPENMP
+  return options_.use_openmp &&
+         options_.schedule != ThreadSchedule::kSerial &&
+         omp_get_max_threads() > 1;
+#else
+  return false;
+#endif
+}
+
+void HymvOperator::emv_loop(const ElementSchedule& sched,
+                            std::span<const std::int64_t> elements) {
   const auto n = static_cast<std::size_t>(store_.ndofs());
   const auto ld = static_cast<std::size_t>(store_.leading_dim());
   const std::span<double> v = v_da_.all();
   const std::span<const double> u = u_da_.all();
 
+  const auto process = [&](std::int64_t e, double* ue, double* ve) {
+    const auto e2l = maps_.e2l(e);
+    for (std::size_t a = 0; a < n; ++a) {
+      ue[a] = u[static_cast<std::size_t>(e2l[a])];  // extract u_e
+    }
+    emv(options_.kernel, store_.data(e), ld, n, ue, ve);
+    for (std::size_t a = 0; a < n; ++a) {
+      v[static_cast<std::size_t>(e2l[a])] += ve[a];  // accumulate v_e
+    }
+  };
+
+  if (options_.schedule == ThreadSchedule::kColored) {
+    const std::span<const std::int64_t> order = sched.order();
+    hymv::Timer timer;
 #ifdef _OPENMP
-  const int nthreads = options_.use_openmp ? omp_get_max_threads() : 1;
-  if (nthreads > 1) {
-    // Per-thread accumulation buffers avoid write races on shared nodes.
+    if (threading_active()) {
+#pragma omp parallel
+      {
+        hymv::aligned_vector<double> ue(n), ve(n);
+        for (int c = 0; c < sched.num_colors(); ++c) {
+          const std::span<const ElementSchedule::Block> blocks =
+              sched.blocks(c);
+          // No two blocks of one color share a node, so blocks may be
+          // handed out in any order; the implicit barrier fences colors.
+#pragma omp for schedule(dynamic, 1)
+          for (std::int64_t b = 0;
+               b < static_cast<std::int64_t>(blocks.size()); ++b) {
+            const ElementSchedule::Block& blk =
+                blocks[static_cast<std::size_t>(b)];
+            for (std::int64_t i = blk.begin; i < blk.end; ++i) {
+              process(order[static_cast<std::size_t>(i)], ue.data(),
+                      ve.data());
+            }
+          }
+        }
+      }
+      apply_.emv_s += timer.elapsed_s();
+      return;
+    }
+#endif
+    // Serial execution of the same color-major order: each DoF still
+    // receives its contributions in color order, so this is bitwise
+    // identical to the threaded path above for any thread count.
+    hymv::aligned_vector<double> ue(n), ve(n);
+    for (const std::int64_t e : order) {
+      process(e, ue.data(), ve.data());
+    }
+    apply_.emv_s += timer.elapsed_s();
+    return;
+  }
+
+#ifdef _OPENMP
+  if (options_.schedule == ThreadSchedule::kBufferReduce &&
+      threading_active()) {
+    const int nthreads = omp_get_max_threads();
     if (thread_bufs_.size() < static_cast<std::size_t>(nthreads)) {
       thread_bufs_.resize(static_cast<std::size_t>(nthreads));
     }
+    hymv::Timer timer;
+    // Per-thread accumulation buffers dodge the scatter-add race at the
+    // cost of zeroing and collapsing nthreads full DA copies per call —
+    // the overhead the colored schedule exists to remove. Kept as the
+    // legacy fallback / ablation baseline.
 #pragma omp parallel num_threads(nthreads)
     {
-      const int t = omp_get_thread_num();
-      auto& buf = thread_bufs_[static_cast<std::size_t>(t)];
-      buf.assign(v.size(), 0.0);
+      thread_bufs_[static_cast<std::size_t>(omp_get_thread_num())].assign(
+          v.size(), 0.0);
+    }
+    apply_.reduce_s += timer.elapsed_s();
+    timer.restart();
+#pragma omp parallel num_threads(nthreads)
+    {
+      auto& buf = thread_bufs_[static_cast<std::size_t>(omp_get_thread_num())];
       hymv::aligned_vector<double> ue(n), ve(n);
 #pragma omp for schedule(static)
       for (std::int64_t idx = 0;
@@ -110,32 +193,32 @@ void HymvOperator::emv_loop(std::span<const std::int64_t> elements) {
           buf[static_cast<std::size_t>(e2l[a])] += ve[a];
         }
       }
-      // Parallel reduction of the thread buffers into v.
-#pragma omp for schedule(static)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(v.size()); ++i) {
-        double sum = 0.0;
-        for (int tt = 0; tt < nthreads; ++tt) {
-          sum += thread_bufs_[static_cast<std::size_t>(tt)]
-                             [static_cast<std::size_t>(i)];
-        }
-        v[static_cast<std::size_t>(i)] += sum;
-      }
     }
+    apply_.emv_s += timer.elapsed_s();
+    timer.restart();
+    // Collapse the thread buffers into v.
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(v.size()); ++i) {
+      double sum = 0.0;
+      for (int tt = 0; tt < nthreads; ++tt) {
+        sum += thread_bufs_[static_cast<std::size_t>(tt)]
+                           [static_cast<std::size_t>(i)];
+      }
+      v[static_cast<std::size_t>(i)] += sum;
+    }
+    apply_.reduce_s += timer.elapsed_s();
     return;
   }
 #endif
 
+  // kSerial (and any strategy with threading unavailable/disabled): the
+  // plain element-order loop.
+  hymv::Timer timer;
   hymv::aligned_vector<double> ue(n), ve(n);
   for (const std::int64_t e : elements) {
-    const auto e2l = maps_.e2l(e);
-    for (std::size_t a = 0; a < n; ++a) {
-      ue[a] = u[static_cast<std::size_t>(e2l[a])];  // extract u_e
-    }
-    emv(options_.kernel, store_.data(e), ld, n, ue.data(), ve.data());
-    for (std::size_t a = 0; a < n; ++a) {
-      v[static_cast<std::size_t>(e2l[a])] += ve[a];  // accumulate v_e
-    }
+    process(e, ue.data(), ve.data());
   }
+  apply_.emv_s += timer.elapsed_s();
 }
 
 void reduce_da_to_owned(simmpi::Comm& comm, DofMaps& maps,
@@ -162,35 +245,85 @@ void HymvOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
   std::copy(x.values().begin(), x.values().end(), u_da_.owned().begin());
   v_da_.fill(0.0);
 
+  hymv::Timer timer;
   if (options_.overlap) {
+    timer.restart();
     maps_.exchange().forward_begin(comm, x.values());
-    emv_loop(maps_.independent_elements());  // overlap with communication
+    apply_.lnsm_s += timer.elapsed_s();
+    emv_loop(indep_sched_,  // overlap with communication
+             maps_.independent_elements());
+    timer.restart();
     maps_.exchange().forward_end(comm);
     u_da_.load_ghosts(maps_.exchange().ghost_values());
-    emv_loop(maps_.dependent_elements());
+    apply_.lnsm_s += timer.elapsed_s();
+    emv_loop(dep_sched_, maps_.dependent_elements());
   } else {
+    timer.restart();
     maps_.exchange().forward_begin(comm, x.values());
     maps_.exchange().forward_end(comm);
     u_da_.load_ghosts(maps_.exchange().ghost_values());
-    emv_loop(maps_.independent_elements());
-    emv_loop(maps_.dependent_elements());
+    apply_.lnsm_s += timer.elapsed_s();
+    emv_loop(indep_sched_, maps_.independent_elements());
+    emv_loop(dep_sched_, maps_.dependent_elements());
   }
 
   // GNGM: ship ghost contributions back to their owners and accumulate.
+  timer.restart();
   reduce_v_to_owned(comm, y.values());
+  apply_.gngm_s += timer.elapsed_s();
+  ++apply_.applies;
 }
 
-std::vector<double> HymvOperator::diagonal(simmpi::Comm& comm) {
+void HymvOperator::diagonal_loop(const ElementSchedule& sched,
+                                 std::span<const std::int64_t> elements) {
   const auto n = static_cast<std::size_t>(store_.ndofs());
-  v_da_.fill(0.0);
   const std::span<double> v = v_da_.all();
-  for (std::int64_t e = 0; e < maps_.num_elements(); ++e) {
+  const auto scatter_diag = [&](std::int64_t e) {
     const auto e2l = maps_.e2l(e);
     for (std::size_t a = 0; a < n; ++a) {
       v[static_cast<std::size_t>(e2l[a])] +=
           store_.at(e, static_cast<int>(a), static_cast<int>(a));
     }
+  };
+
+  if (options_.schedule == ThreadSchedule::kColored) {
+#ifdef _OPENMP
+    if (threading_active()) {
+      const std::span<const std::int64_t> order = sched.order();
+#pragma omp parallel
+      for (int c = 0; c < sched.num_colors(); ++c) {
+        const std::span<const ElementSchedule::Block> blocks = sched.blocks(c);
+        // Blocks, not elements, are the conflict-free unit of one color.
+#pragma omp for schedule(static)
+        for (std::int64_t b = 0;
+             b < static_cast<std::int64_t>(blocks.size()); ++b) {
+          const ElementSchedule::Block& blk =
+              blocks[static_cast<std::size_t>(b)];
+          for (std::int64_t i = blk.begin; i < blk.end; ++i) {
+            scatter_diag(order[static_cast<std::size_t>(i)]);
+          }
+        }
+      }
+      return;
+    }
+#endif
+    for (const std::int64_t e : sched.order()) {
+      scatter_diag(e);
+    }
+    return;
   }
+  // kSerial / kBufferReduce: the diagonal scatter is too small to warrant
+  // thread buffers — run the plain element-order loop.
+  for (const std::int64_t e : elements) {
+    scatter_diag(e);
+  }
+}
+
+std::vector<double> HymvOperator::diagonal(simmpi::Comm& comm) {
+  v_da_.fill(0.0);
+  // Independent ∪ dependent covers every local element exactly once.
+  diagonal_loop(indep_sched_, maps_.independent_elements());
+  diagonal_loop(dep_sched_, maps_.dependent_elements());
   std::vector<double> diag(static_cast<std::size_t>(maps_.n_owned()), 0.0);
   reduce_v_to_owned(comm, diag);
   return diag;
@@ -249,14 +382,36 @@ void HymvOperator::update_elements(
                  "update_elements: operator size mismatch");
   const auto n = static_cast<std::size_t>(op.num_dofs());
   const auto nper = static_cast<std::size_t>(op.num_nodes());
-  std::vector<double> ke(n * n);
+  // Validate up front: throwing from inside an OpenMP region terminates.
   for (const std::int64_t e : local_elements) {
     HYMV_CHECK_MSG(e >= 0 && e < maps_.num_elements(),
                    "update_elements: element out of range");
+  }
+  const auto recompute = [&](std::int64_t e, std::vector<double>& ke) {
     op.element_matrix(
         std::span<const mesh::Point>(elem_coords_.data() + e * nper, nper),
         ke);
     store_.set(e, ke);
+  };
+#ifdef _OPENMP
+  // Each element owns a disjoint store slot, so the update needs no
+  // coloring — a plain parallel loop is already race-free.
+  if (threading_active()) {
+#pragma omp parallel
+    {
+      std::vector<double> ke(n * n);
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0;
+           i < static_cast<std::int64_t>(local_elements.size()); ++i) {
+        recompute(local_elements[static_cast<std::size_t>(i)], ke);
+      }
+    }
+    return;
+  }
+#endif
+  std::vector<double> ke(n * n);
+  for (const std::int64_t e : local_elements) {
+    recompute(e, ke);
   }
 }
 

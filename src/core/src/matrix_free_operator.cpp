@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "hymv/common/aligned.hpp"
 #include "hymv/common/error.hpp"
 #include "hymv/core/hymv_operator.hpp"
@@ -11,27 +15,41 @@ namespace hymv::core {
 MatrixFreeOperator::MatrixFreeOperator(simmpi::Comm& comm,
                                        const mesh::MeshPartition& part,
                                        const fem::ElementOperator& op,
-                                       bool overlap)
+                                       bool overlap, bool use_openmp)
     : op_(&op),
       overlap_(overlap),
+      use_openmp_(use_openmp),
+      schedule_(thread_schedule_from_env(ThreadSchedule::kColored)),
       maps_(comm, part, op.ndof_per_node()),
       elem_coords_(part.elem_coords),
       u_da_(maps_),
       v_da_(maps_),
       ghost_buf_(static_cast<std::size_t>(maps_.n_pre() + maps_.n_post()),
-                 0.0) {
+                 0.0),
+      indep_sched_(maps_, maps_.independent_elements()),
+      dep_sched_(maps_, maps_.dependent_elements()) {
   HYMV_CHECK_MSG(part.nodes_per_elem == static_cast<int>(op.num_nodes()),
                  "MatrixFreeOperator: element type mismatch");
 }
 
-void MatrixFreeOperator::emv_loop(std::span<const std::int64_t> elements) {
+bool MatrixFreeOperator::threading_active() const {
+#ifdef _OPENMP
+  return use_openmp_ && schedule_ == ThreadSchedule::kColored &&
+         omp_get_max_threads() > 1;
+#else
+  return false;
+#endif
+}
+
+void MatrixFreeOperator::emv_loop(const ElementSchedule& sched,
+                                  std::span<const std::int64_t> elements) {
   const auto n = static_cast<std::size_t>(op_->num_dofs());
   const auto nper = static_cast<std::size_t>(op_->num_nodes());
   const std::span<double> v = v_da_.all();
   const std::span<const double> u = u_da_.all();
-  std::vector<double> ke(n * n);
-  hymv::aligned_vector<double> ue(n), ve(n);
-  for (const std::int64_t e : elements) {
+
+  const auto process = [&](std::int64_t e, std::vector<double>& ke,
+                           double* ue, double* ve) {
     const auto e2l = maps_.e2l(e);
     for (std::size_t a = 0; a < n; ++a) {
       ue[a] = u[static_cast<std::size_t>(e2l[a])];
@@ -41,10 +59,51 @@ void MatrixFreeOperator::emv_loop(std::span<const std::int64_t> elements) {
     op_->element_matrix(
         std::span<const mesh::Point>(elem_coords_.data() + e * nper, nper),
         ke);
-    emv_simd(ke.data(), n, n, ue.data(), ve.data());
+    emv_simd(ke.data(), n, n, ue, ve);
     for (std::size_t a = 0; a < n; ++a) {
       v[static_cast<std::size_t>(e2l[a])] += ve[a];
     }
+  };
+
+  if (schedule_ == ThreadSchedule::kColored) {
+    const std::span<const std::int64_t> order = sched.order();
+#ifdef _OPENMP
+    if (threading_active()) {
+#pragma omp parallel
+      {
+        std::vector<double> ke(n * n);
+        hymv::aligned_vector<double> ue(n), ve(n);
+        for (int c = 0; c < sched.num_colors(); ++c) {
+          const std::span<const ElementSchedule::Block> blocks =
+              sched.blocks(c);
+#pragma omp for schedule(dynamic, 1)
+          for (std::int64_t b = 0;
+               b < static_cast<std::int64_t>(blocks.size()); ++b) {
+            const ElementSchedule::Block& blk =
+                blocks[static_cast<std::size_t>(b)];
+            for (std::int64_t i = blk.begin; i < blk.end; ++i) {
+              process(order[static_cast<std::size_t>(i)], ke, ue.data(),
+                      ve.data());
+            }
+          }
+        }
+      }
+      return;
+    }
+#endif
+    // Same color-major order serially → bitwise identical to threaded.
+    std::vector<double> ke(n * n);
+    hymv::aligned_vector<double> ue(n), ve(n);
+    for (const std::int64_t e : order) {
+      process(e, ke, ue.data(), ve.data());
+    }
+    return;
+  }
+
+  std::vector<double> ke(n * n);
+  hymv::aligned_vector<double> ue(n), ve(n);
+  for (const std::int64_t e : elements) {
+    process(e, ke, ue.data(), ve.data());
   }
 }
 
@@ -57,16 +116,16 @@ void MatrixFreeOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
   v_da_.fill(0.0);
   if (overlap_) {
     maps_.exchange().forward_begin(comm, x.values());
-    emv_loop(maps_.independent_elements());
+    emv_loop(indep_sched_, maps_.independent_elements());
     maps_.exchange().forward_end(comm);
     u_da_.load_ghosts(maps_.exchange().ghost_values());
-    emv_loop(maps_.dependent_elements());
+    emv_loop(dep_sched_, maps_.dependent_elements());
   } else {
     maps_.exchange().forward_begin(comm, x.values());
     maps_.exchange().forward_end(comm);
     u_da_.load_ghosts(maps_.exchange().ghost_values());
-    emv_loop(maps_.independent_elements());
-    emv_loop(maps_.dependent_elements());
+    emv_loop(indep_sched_, maps_.independent_elements());
+    emv_loop(dep_sched_, maps_.dependent_elements());
   }
   reduce_da_to_owned(comm, maps_, v_da_, ghost_buf_, y.values());
 }

@@ -158,6 +158,9 @@ struct SpmvReport {
   double spmv_wall_s = 0.0;     ///< wall time of the apply loop (this rank)
   double spmv_cpu_s = 0.0;      ///< thread-CPU seconds (per-rank work)
   double spmv_modeled_s = 0.0;  ///< GPU backends: overlap-aware modeled time
+  /// HYMV backend only: per-apply phase breakdown (lnsm/emv/reduce/gngm)
+  /// accumulated over the timed rounds after warm-up.
+  core::ApplyBreakdown hymv_apply{};
   std::int64_t comm_bytes = 0;
   std::int64_t comm_messages = 0;
   std::int64_t flops = 0;       ///< analytic flops over all applies

@@ -188,6 +188,7 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
 
   const auto counters_setup0 = comm.counters();
   std::unique_ptr<pla::LinearOperator> op;
+  core::HymvOperator* hymv_cpu = nullptr;
   core::HymvGpuOperator* hymv_gpu = nullptr;
   core::GpuCsrOperator* csr_gpu = nullptr;
 
@@ -207,6 +208,7 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
       report.setup.emat_compute_s = hymv->setup_breakdown().emat_compute_s;
       report.setup.local_copy_s = hymv->setup_breakdown().local_copy_s;
       report.setup.maps_s = hymv->setup_breakdown().maps_s;
+      hymv_cpu = hymv.get();
       op = std::move(hymv);
       break;
     }
@@ -284,7 +286,10 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
   // Warm-up apply (touches all maps/buffers, fills caches).
   op->apply(comm, x, y);
 
-  // Reset GPU modeled timing after warm-up.
+  // Reset GPU modeled timing / CPU phase breakdown after warm-up.
+  if (hymv_cpu != nullptr) {
+    hymv_cpu->reset_apply_breakdown();
+  }
   if (hymv_gpu != nullptr) {
     hymv_gpu->reset_timings();
   }
@@ -324,6 +329,9 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
     } else if (csr_gpu != nullptr) {
       gpu_modeled = std::min(gpu_modeled, csr_gpu->timings().total_modeled_s);
     }
+  }
+  if (hymv_cpu != nullptr) {
+    report.hymv_apply = hymv_cpu->apply_breakdown();
   }
   report.flops = op->apply_flops() * napplies;
   report.bytes = op->apply_bytes() * napplies;

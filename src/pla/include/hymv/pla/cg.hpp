@@ -25,6 +25,12 @@ struct CgResult {
   double final_residual = 0.0;   ///< ‖r‖₂ at exit
   double relative_residual = 0.0;
   bool converged = false;
+  /// True when the iteration stopped on a numerical breakdown (e.g. an
+  /// indefinite operator yields p·Ap ≤ 0, or a BiCGStab orthogonality
+  /// collapse). The best iterate so far is left in x — reported like a
+  /// non-converged run rather than aborting the caller.
+  bool breakdown = false;
+  const char* breakdown_reason = "";  ///< static description, "" if none
 };
 
 /// Solve A x = b with preconditioner M, starting from the provided x.

@@ -39,10 +39,20 @@ CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
   v.set_all(0.0);
   p.set_all(0.0);
 
+  // Numerical breakdowns (orthogonality collapses, stagnation divisors)
+  // end the iteration with a status instead of aborting the caller; the
+  // iterate so far stays in x, mirroring how converged=false is reported.
+  const auto broke = [&result](const char* reason) {
+    result.breakdown = true;
+    result.breakdown_reason = reason;
+  };
+
   for (std::int64_t it = 1; it <= options.max_iters; ++it) {
     const double rho = dot(comm, r0, r);
-    HYMV_CHECK_MSG(std::abs(rho) > 1e-300,
-                   "bicgstab_solve: rho breakdown (r0 ⊥ r)");
+    if (!(std::abs(rho) > 1e-300)) {
+      broke("bicgstab_solve: rho breakdown (r0 ⊥ r)");
+      break;
+    }
     if (it == 1) {
       copy(r, p);
     } else {
@@ -54,7 +64,10 @@ CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
     m.apply(comm, p, phat);
     a.apply(comm, phat, v);
     const double r0v = dot(comm, r0, v);
-    HYMV_CHECK_MSG(std::abs(r0v) > 1e-300, "bicgstab_solve: r0·v breakdown");
+    if (!(std::abs(r0v) > 1e-300)) {
+      broke("bicgstab_solve: r0·v breakdown");
+      break;
+    }
     alpha = rho / r0v;
     copy(r, s);
     axpy(-alpha, v, s);
@@ -69,7 +82,13 @@ CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
     m.apply(comm, s, shat);
     a.apply(comm, shat, t);
     const double tt = dot(comm, t, t);
-    HYMV_CHECK_MSG(tt > 0.0, "bicgstab_solve: t = 0 breakdown");
+    if (!(tt > 0.0)) {
+      // s is the current residual; keep the half-step iterate.
+      axpy(alpha, phat, x);
+      rnorm = snorm;
+      broke("bicgstab_solve: t = 0 breakdown");
+      break;
+    }
     omega = dot(comm, t, s) / tt;
     axpy(alpha, phat, x);
     axpy(omega, shat, x);
@@ -80,8 +99,10 @@ CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
       result.converged = true;
       break;
     }
-    HYMV_CHECK_MSG(std::abs(omega) > 1e-300,
-                   "bicgstab_solve: omega breakdown");
+    if (!(std::abs(omega) > 1e-300)) {
+      broke("bicgstab_solve: omega breakdown");
+      break;
+    }
     rho_prev = rho;
   }
   result.final_residual = rnorm;

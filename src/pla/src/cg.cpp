@@ -41,8 +41,14 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
   for (std::int64_t it = 1; it <= options.max_iters; ++it) {
     a.apply(comm, p, q);
     const double pq = dot(comm, p, q);
-    HYMV_CHECK_MSG(pq > 0.0,
-                   "cg_solve: operator is not positive definite (p·Ap <= 0)");
+    if (!(pq > 0.0)) {
+      // Indefinite (or NaN-producing) operator: report a breakdown with
+      // the iterate accumulated so far instead of aborting the caller.
+      result.breakdown = true;
+      result.breakdown_reason =
+          "cg_solve: operator is not positive definite (p·Ap <= 0)";
+      break;
+    }
     const double alpha = rz / pq;
     axpy(alpha, p, x);
     axpy(-alpha, q, r);

@@ -237,4 +237,41 @@ TEST(Env, FallbackOnGarbage) {
   ::unsetenv("HYMV_TEST_GARBAGE");
 }
 
+TEST(Env, RejectsTrailingGarbage) {
+  // "8abc" must not silently parse as 8.
+  ::setenv("HYMV_TEST_TRAIL", "8abc", 1);
+  EXPECT_EQ(hymv::env_int("HYMV_TEST_TRAIL", 3), 3);
+  ::setenv("HYMV_TEST_TRAIL", "2.5x", 1);
+  EXPECT_EQ(hymv::env_double("HYMV_TEST_TRAIL", 0.5), 0.5);
+  ::setenv("HYMV_TEST_TRAIL", "1e3 junk", 1);
+  EXPECT_EQ(hymv::env_double("HYMV_TEST_TRAIL", 0.5), 0.5);
+  ::unsetenv("HYMV_TEST_TRAIL");
+}
+
+TEST(Env, AcceptsSurroundingWhitespace) {
+  ::setenv("HYMV_TEST_WS", "  8  ", 1);
+  EXPECT_EQ(hymv::env_int("HYMV_TEST_WS", 3), 8);
+  ::setenv("HYMV_TEST_WS", " 2.25\t", 1);
+  EXPECT_EQ(hymv::env_double("HYMV_TEST_WS", 0.0), 2.25);
+  ::unsetenv("HYMV_TEST_WS");
+}
+
+TEST(Env, RejectsOutOfRange) {
+  // strtoll saturates on overflow; env_int must reject, not saturate.
+  ::setenv("HYMV_TEST_RANGE", "999999999999999999999999999", 1);
+  EXPECT_EQ(hymv::env_int("HYMV_TEST_RANGE", 7), 7);
+  ::setenv("HYMV_TEST_RANGE", "-999999999999999999999999999", 1);
+  EXPECT_EQ(hymv::env_int("HYMV_TEST_RANGE", -7), -7);
+  ::setenv("HYMV_TEST_RANGE", "1e999", 1);
+  EXPECT_EQ(hymv::env_double("HYMV_TEST_RANGE", 1.25), 1.25);
+  ::unsetenv("HYMV_TEST_RANGE");
+}
+
+TEST(Env, RejectsEmptyValue) {
+  ::setenv("HYMV_TEST_EMPTY", "", 1);
+  EXPECT_EQ(hymv::env_int("HYMV_TEST_EMPTY", 5), 5);
+  EXPECT_EQ(hymv::env_double("HYMV_TEST_EMPTY", 5.5), 5.5);
+  ::unsetenv("HYMV_TEST_EMPTY");
+}
+
 }  // namespace

@@ -239,6 +239,29 @@ TEST(BiCgStabTest, MaxItersRespected) {
   });
 }
 
+TEST(BiCgStabTest, SkewSystemReportsBreakdownWithoutThrowing) {
+  // A = [[0, 1], [-1, 0]] with b = e0: v = A r0 is orthogonal to the
+  // shadow residual r0, so the very first r0·v divisor vanishes. The
+  // solver must return a breakdown status rather than abort.
+  simmpi::run(1, [](Comm& comm) {
+    const pla::Layout layout = pla::Layout::from_owned_count(comm, 2);
+    pla::DistCsrMatrix a(layout);
+    a.add_value(0, 1, 1.0);
+    a.add_value(1, 0, -1.0);
+    a.assemble(comm);
+    pla::DistVector b(layout), x(layout);
+    b[0] = 1.0;
+    pla::IdentityPreconditioner m;
+    pla::CgResult result;
+    EXPECT_NO_THROW(
+        result = pla::bicgstab_solve(comm, a, m, b, x, {.max_iters = 20}));
+    EXPECT_TRUE(result.breakdown);
+    EXPECT_FALSE(result.converged);
+    EXPECT_NE(std::string(result.breakdown_reason).find("breakdown"),
+              std::string::npos);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // node-block Jacobi
 // ---------------------------------------------------------------------------

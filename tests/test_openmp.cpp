@@ -1,7 +1,15 @@
-// Exercises the OpenMP-threaded element loop of HymvOperator (per-thread
-// accumulation buffers + parallel reduction), which is dormant when
-// omp_get_max_threads() == 1. This binary forces 2 and 4 threads and
-// verifies bit-compatible results against the serial path.
+// Exercises the threaded element loop of HymvOperator across its three
+// scatter strategies (see schedule.hpp):
+//   * kColored (default) — conflict-free coloring, direct scatter-add into
+//     the shared v-DA: threaded apply must be BITWISE identical to serial
+//     apply, for any thread count, kernel, element type, and dof count;
+//   * kBufferReduce (legacy) — per-thread buffers + reduction: results
+//     reassociate the sums, so they match serial only to roundoff;
+//   * kSerial — the plain loop.
+// Also covers the colored schedule's structural invariants, the threaded
+// diagonal()/update_elements() paths, and the HYMV_THREAD_SCHEDULE env
+// override. These tests carry the ctest label `threading` so a HYMV_TSAN
+// build can prove the colored scatter path race-free (`ctest -L threading`).
 
 #include <gtest/gtest.h>
 
@@ -9,60 +17,286 @@
 #include <omp.h>
 #endif
 
+#include <atomic>
+#include <barrier>
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <tuple>
 
 #include "hymv/core/hymv_operator.hpp"
+#include "hymv/core/matrix_free_operator.hpp"
+#include "hymv/core/schedule.hpp"
 #include "hymv/fem/operators.hpp"
 #include "hymv/mesh/partition.hpp"
 #include "hymv/mesh/structured.hpp"
+#include "hymv/mesh/tet.hpp"
 
 namespace {
 
 using namespace hymv;
 
-#ifdef _OPENMP
+/// Build the 2-rank partition of a small hex or tet mesh.
+mesh::DistributedMesh build_dist(bool tet) {
+  const mesh::Mesh m =
+      tet ? mesh::build_unstructured_tet(
+                {.box = {.nx = 3, .ny = 3, .nz = 3}, .jitter = 0.2, .seed = 7},
+                mesh::ElementType::kTet4)
+          : mesh::build_structured_hex({.nx = 4, .ny = 3, .nz = 4},
+                                       mesh::ElementType::kHex8);
+  const auto ids = mesh::partition_elements(m, 2, mesh::Partitioner::kGreedy);
+  return mesh::distribute_mesh(m, ids, 2);
+}
 
-class OpenMpEmvTest : public ::testing::TestWithParam<int> {};
+mesh::ElementType element_type(bool tet) {
+  return tet ? mesh::ElementType::kTet4 : mesh::ElementType::kHex8;
+}
 
-TEST_P(OpenMpEmvTest, ThreadedLoopMatchesSerial) {
-  const int threads = GetParam();
-  const mesh::Mesh m = mesh::build_structured_hex({.nx = 4, .ny = 3, .nz = 4},
-                                                  mesh::ElementType::kHex8);
-  const auto ids = mesh::partition_elements(m, 2, mesh::Partitioner::kSlab);
-  const auto dist = mesh::distribute_mesh(m, ids, 2);
+/// The element operator for the requested dof count (1 = Poisson,
+/// 3 = elasticity).
+std::unique_ptr<fem::ElementOperator> make_op(bool tet, int ndof) {
+  if (ndof == 1) {
+    return std::make_unique<fem::PoissonOperator>(element_type(tet));
+  }
+  return std::make_unique<fem::ElasticityOperator>(element_type(tet), 100.0,
+                                                   0.3);
+}
+
+pla::DistVector seeded_input(const pla::Layout& layout) {
+  pla::DistVector x(layout);
+  for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+    x[i] = std::sin(0.7 * static_cast<double>(layout.begin + i));
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Colored schedule invariants
+// ---------------------------------------------------------------------------
+
+TEST(ElementScheduleTest, ColoringIsConflictFreeAndComplete) {
+  for (const bool tet : {false, true}) {
+    const auto dist = build_dist(tet);
+    simmpi::run(2, [&](simmpi::Comm& comm) {
+      const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+      core::DofMaps maps(comm, part, 3);
+      for (const auto* subset :
+           {&maps.independent_elements(), &maps.dependent_elements()}) {
+        const core::ElementSchedule sched(maps, *subset);
+        ASSERT_EQ(sched.num_elements(),
+                  static_cast<std::int64_t>(subset->size()));
+        // order() is a permutation of the subset.
+        std::multiset<std::int64_t> in(subset->begin(), subset->end());
+        std::multiset<std::int64_t> out(sched.order().begin(),
+                                        sched.order().end());
+        ASSERT_EQ(in, out);
+        // No two BLOCKS of one color touch a common DoF (a block runs on
+        // one thread, so sharing inside a block is fine).
+        for (int c = 0; c < sched.num_colors(); ++c) {
+          std::map<std::int64_t, std::size_t> owner;  // dof -> block index
+          const auto blocks = sched.blocks(c);
+          for (std::size_t b = 0; b < blocks.size(); ++b) {
+            for (std::int64_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+              const std::int64_t e =
+                  sched.order()[static_cast<std::size_t>(i)];
+              for (const std::int64_t dof : maps.e2l(e)) {
+                const auto [it, inserted] = owner.emplace(dof, b);
+                ASSERT_TRUE(inserted || it->second == b)
+                    << "color " << c << ": blocks " << it->second << " and "
+                    << b << " share dof " << dof;
+              }
+            }
+          }
+        }
+        // Blocks exactly tile each color's range of order().
+        for (int c = 0; c < sched.num_colors(); ++c) {
+          std::int64_t covered = 0;
+          std::int64_t expect_begin = -1;
+          for (const auto& blk : sched.blocks(c)) {
+            if (expect_begin >= 0) {
+              ASSERT_EQ(blk.begin, expect_begin);
+            }
+            ASSERT_LT(blk.begin, blk.end);
+            covered += blk.end - blk.begin;
+            expect_begin = blk.end;
+          }
+          ASSERT_EQ(covered,
+                    static_cast<std::int64_t>(sched.color(c).size()));
+        }
+      }
+    });
+  }
+}
+
+// Exercises the schedule's safety invariant under a threading runtime
+// ThreadSanitizer fully understands (std::thread + std::barrier, unlike
+// libgomp with GCC): workers scatter-add into one shared vector, grabbing
+// blocks of the current color from an atomic counter, with a barrier
+// between colors. Any coloring bug is a TSan-visible data race here, and
+// the result must still be bitwise equal to the serial color-major order.
+TEST(ElementScheduleTest, StdThreadScatterAddIsRaceFreeAndBitwise) {
+  const auto dist = build_dist(true);
   simmpi::run(2, [&](simmpi::Comm& comm) {
     const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
-    const fem::ElasticityOperator op(mesh::ElementType::kHex8, 100.0, 0.3);
+    core::DofMaps maps(comm, part, 1);
+    std::vector<std::int64_t> elems(
+        static_cast<std::size_t>(maps.num_elements()));
+    std::iota(elems.begin(), elems.end(), std::int64_t{0});
+    // Tiny blocks force many same-color candidates → a weak coloring
+    // would actually collide.
+    const core::ElementSchedule sched(maps, elems, 4);
 
-    // Serial reference.
-    omp_set_num_threads(1);
-    core::HymvOperator serial(comm, part, op, {.use_openmp = false});
-    pla::DistVector x(serial.layout()), y_serial(serial.layout());
-    for (std::int64_t i = 0; i < x.owned_size(); ++i) {
-      x[i] = std::sin(0.7 * static_cast<double>(serial.layout().begin + i));
+    const auto contribution = [](std::int64_t e, std::size_t a) {
+      return std::sin(static_cast<double>(e) + 0.3 * static_cast<double>(a));
+    };
+    const std::span<const std::int64_t> order = sched.order();
+
+    // Serial reference in color-major order.
+    std::vector<double> ref(static_cast<std::size_t>(maps.da_size()), 0.0);
+    for (const std::int64_t e : order) {
+      const auto e2l = maps.e2l(e);
+      for (std::size_t a = 0; a < e2l.size(); ++a) {
+        ref[static_cast<std::size_t>(e2l[a])] += contribution(e, a);
+      }
     }
+
+    const int nworkers = 4;
+    std::vector<double> shared(static_cast<std::size_t>(maps.da_size()), 0.0);
+    std::atomic<std::int64_t> next{0};
+    std::barrier color_fence(nworkers, [&next]() noexcept {
+      next.store(0, std::memory_order_relaxed);
+    });
+    std::vector<std::thread> workers;
+    for (int w = 0; w < nworkers; ++w) {
+      workers.emplace_back([&]() {
+        for (int c = 0; c < sched.num_colors(); ++c) {
+          const auto blocks = sched.blocks(c);
+          for (;;) {
+            const std::int64_t b = next.fetch_add(1);
+            if (b >= static_cast<std::int64_t>(blocks.size())) {
+              break;
+            }
+            const auto& blk = blocks[static_cast<std::size_t>(b)];
+            for (std::int64_t i = blk.begin; i < blk.end; ++i) {
+              const std::int64_t e = order[static_cast<std::size_t>(i)];
+              const auto e2l = maps.e2l(e);
+              for (std::size_t a = 0; a < e2l.size(); ++a) {
+                shared[static_cast<std::size_t>(e2l[a])] += contribution(e, a);
+              }
+            }
+          }
+          color_fence.arrive_and_wait();
+        }
+      });
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(shared[i], ref[i]) << "dof " << i;
+    }
+  });
+}
+
+TEST(ThreadScheduleTest, EnvOverrideParses) {
+  using core::ThreadSchedule;
+  ::setenv("HYMV_THREAD_SCHEDULE", "buffer", 1);
+  EXPECT_EQ(core::thread_schedule_from_env(ThreadSchedule::kColored),
+            ThreadSchedule::kBufferReduce);
+  ::setenv("HYMV_THREAD_SCHEDULE", "serial", 1);
+  EXPECT_EQ(core::thread_schedule_from_env(ThreadSchedule::kColored),
+            ThreadSchedule::kSerial);
+  ::setenv("HYMV_THREAD_SCHEDULE", "colored", 1);
+  EXPECT_EQ(core::thread_schedule_from_env(ThreadSchedule::kBufferReduce),
+            ThreadSchedule::kColored);
+  ::setenv("HYMV_THREAD_SCHEDULE", "bogus", 1);  // warns, keeps fallback
+  EXPECT_EQ(core::thread_schedule_from_env(ThreadSchedule::kColored),
+            ThreadSchedule::kColored);
+  ::unsetenv("HYMV_THREAD_SCHEDULE");
+  EXPECT_EQ(core::thread_schedule_from_env(ThreadSchedule::kSerial),
+            ThreadSchedule::kSerial);
+}
+
+#ifdef _OPENMP
+
+// ---------------------------------------------------------------------------
+// Determinism + equivalence sweep:
+// {kScalar, kSimd, kAvx} × {hex8, tet4} × {1, 3 dof/node}
+// ---------------------------------------------------------------------------
+
+struct EquivCase {
+  core::EmvKernel kernel;
+  bool tet;
+  int ndof;
+};
+
+class ColoredEquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(ColoredEquivalenceTest, ThreadedApplyBitwiseEqualsSerial) {
+  const EquivCase c = GetParam();
+  const auto dist = build_dist(c.tet);
+  simmpi::run(2, [&](simmpi::Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const auto op = make_op(c.tet, c.ndof);
+
+    // Serial reference: colored order executed on one thread.
+    omp_set_num_threads(1);
+    core::HymvOperator serial(comm, part, *op,
+                              {.kernel = c.kernel, .use_openmp = false});
+    const pla::DistVector x = seeded_input(serial.layout());
+    pla::DistVector y_serial(serial.layout());
     serial.apply(comm, x, y_serial);
 
-    // Threaded run (oversubscribed on this 1-core machine, but the
-    // per-thread buffer reduction must still be exact).
-    omp_set_num_threads(threads);
-    core::HymvOperator threaded(comm, part, op, {.use_openmp = true});
-    pla::DistVector y_threaded(threaded.layout());
-    threaded.apply(comm, x, y_threaded);
-    omp_set_num_threads(1);
+    // Threaded colored runs (oversubscribed on this 1-core machine): the
+    // conflict-free schedule must reproduce the serial result BITWISE for
+    // every thread count.
+    for (const int threads : {2, 4}) {
+      omp_set_num_threads(threads);
+      core::HymvOperator colored(comm, part, *op,
+                                 {.kernel = c.kernel, .use_openmp = true});
+      pla::DistVector y(colored.layout());
+      colored.apply(comm, x, y);
+      for (std::int64_t i = 0; i < y_serial.owned_size(); ++i) {
+        ASSERT_EQ(y[i], y_serial[i])
+            << "threads=" << threads << " dof=" << i;
+      }
+    }
 
+    // Legacy buffer-reduce regression: reassociated sums, roundoff only.
+    omp_set_num_threads(4);
+    core::HymvOperator buffered(
+        comm, part, *op,
+        {.kernel = c.kernel,
+         .use_openmp = true,
+         .schedule = core::ThreadSchedule::kBufferReduce});
+    pla::DistVector y_buf(buffered.layout());
+    buffered.apply(comm, x, y_buf);
+    omp_set_num_threads(1);
     for (std::int64_t i = 0; i < y_serial.owned_size(); ++i) {
-      // Per-thread accumulation reassociates sums; allow roundoff only.
-      ASSERT_NEAR(y_threaded[i], y_serial[i],
-                  1e-12 * (1.0 + std::abs(y_serial[i])))
+      ASSERT_NEAR(y_buf[i], y_serial[i],
+                  1e-13 * (1.0 + std::abs(y_serial[i])))
           << "dof " << i;
     }
   });
 }
 
-INSTANTIATE_TEST_SUITE_P(Threads, OpenMpEmvTest, ::testing::Values(2, 4));
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ColoredEquivalenceTest,
+    ::testing::Values(
+        EquivCase{core::EmvKernel::kScalar, false, 1},
+        EquivCase{core::EmvKernel::kScalar, true, 3},
+        EquivCase{core::EmvKernel::kSimd, false, 1},
+        EquivCase{core::EmvKernel::kSimd, false, 3},
+        EquivCase{core::EmvKernel::kSimd, true, 1},
+        EquivCase{core::EmvKernel::kSimd, true, 3},
+        EquivCase{core::EmvKernel::kAvx, false, 3},
+        EquivCase{core::EmvKernel::kAvx, true, 1}));
 
-TEST(OpenMpEmvTest2, RepeatedThreadedAppliesStayConsistent) {
+TEST(ColoredDeterminismTest, RepeatedThreadedAppliesStayConsistent) {
   const mesh::Mesh m = mesh::build_structured_hex({.nx = 3, .ny = 3, .nz = 3},
                                                   mesh::ElementType::kHex20);
   const std::vector<int> ids(static_cast<std::size_t>(m.num_elements()), 0);
@@ -79,6 +313,120 @@ TEST(OpenMpEmvTest2, RepeatedThreadedAppliesStayConsistent) {
     for (std::int64_t i = 0; i < y1.owned_size(); ++i) {
       ASSERT_EQ(y1[i], y2[i]);  // deterministic across applies
     }
+  });
+}
+
+TEST(ColoredDeterminismTest, MatrixFreeThreadedBitwiseEqualsSerial) {
+  const auto dist = build_dist(/*tet=*/false);
+  simmpi::run(2, [&](simmpi::Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const fem::ElasticityOperator op(mesh::ElementType::kHex8, 100.0, 0.3);
+    omp_set_num_threads(1);
+    core::MatrixFreeOperator serial(comm, part, op, /*overlap=*/true,
+                                    /*use_openmp=*/false);
+    const pla::DistVector x = seeded_input(serial.layout());
+    pla::DistVector y_serial(serial.layout());
+    serial.apply(comm, x, y_serial);
+
+    omp_set_num_threads(4);
+    core::MatrixFreeOperator threaded(comm, part, op);
+    pla::DistVector y(threaded.layout());
+    threaded.apply(comm, x, y);
+    omp_set_num_threads(1);
+    for (std::int64_t i = 0; i < y_serial.owned_size(); ++i) {
+      ASSERT_EQ(y[i], y_serial[i]) << "dof " << i;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Threaded diagonal() / update_elements() (restart + XFEM paths)
+// ---------------------------------------------------------------------------
+
+TEST(ColoredDeterminismTest, DiagonalThreadedBitwiseEqualsSerial) {
+  const auto dist = build_dist(/*tet=*/true);
+  simmpi::run(2, [&](simmpi::Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const fem::ElasticityOperator op(mesh::ElementType::kTet4, 100.0, 0.3);
+    omp_set_num_threads(1);
+    core::HymvOperator serial(comm, part, op, {.use_openmp = false});
+    const std::vector<double> d_serial = serial.diagonal(comm);
+
+    omp_set_num_threads(4);
+    core::HymvOperator threaded(comm, part, op, {.use_openmp = true});
+    const std::vector<double> d = threaded.diagonal(comm);
+    omp_set_num_threads(1);
+    ASSERT_EQ(d.size(), d_serial.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      ASSERT_EQ(d[i], d_serial[i]) << "dof " << i;
+    }
+  });
+}
+
+TEST(ColoredDeterminismTest, UpdateElementsThreadedMatchesSerial) {
+  const auto dist = build_dist(/*tet=*/false);
+  simmpi::run(2, [&](simmpi::Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const fem::ElasticityOperator op(mesh::ElementType::kHex8, 100.0, 0.3);
+    fem::ElasticityOperator softened(mesh::ElementType::kHex8, 100.0, 0.3);
+    softened.set_stiffness_scale(0.5);
+
+    // Update the first half of the local elements on both operators.
+    std::vector<std::int64_t> targets;
+    for (std::int64_t e = 0; e < part.num_local_elements() / 2; ++e) {
+      targets.push_back(e);
+    }
+
+    omp_set_num_threads(1);
+    core::HymvOperator serial(comm, part, op, {.use_openmp = false});
+    serial.update_elements(targets, softened);
+    const pla::DistVector x = seeded_input(serial.layout());
+    pla::DistVector y_serial(serial.layout());
+    serial.apply(comm, x, y_serial);
+
+    omp_set_num_threads(4);
+    core::HymvOperator threaded(comm, part, op, {.use_openmp = true});
+    threaded.update_elements(targets, softened);
+    pla::DistVector y(threaded.layout());
+    threaded.apply(comm, x, y);
+    omp_set_num_threads(1);
+    for (std::int64_t i = 0; i < y_serial.owned_size(); ++i) {
+      ASSERT_EQ(y[i], y_serial[i]) << "dof " << i;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ApplyBreakdown bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(ApplyBreakdownTest, PhasesAccumulateAndReset) {
+  const auto dist = build_dist(/*tet=*/false);
+  simmpi::run(2, [&](simmpi::Comm& comm) {
+    const auto& part = dist.parts[static_cast<std::size_t>(comm.rank())];
+    const fem::PoissonOperator op(mesh::ElementType::kHex8);
+
+    omp_set_num_threads(2);
+    core::HymvOperator colored(comm, part, op, {.use_openmp = true});
+    const pla::DistVector x = seeded_input(colored.layout());
+    pla::DistVector y(colored.layout());
+    colored.apply(comm, x, y);
+    colored.apply(comm, x, y);
+    EXPECT_EQ(colored.apply_breakdown().applies, 2);
+    EXPECT_GT(colored.apply_breakdown().emv_s, 0.0);
+    // The whole point of the colored schedule: no reduction pass.
+    EXPECT_EQ(colored.apply_breakdown().reduce_s, 0.0);
+    colored.reset_apply_breakdown();
+    EXPECT_EQ(colored.apply_breakdown().applies, 0);
+    EXPECT_EQ(colored.apply_breakdown().total_s(), 0.0);
+
+    core::HymvOperator buffered(
+        comm, part, op,
+        {.use_openmp = true,
+         .schedule = core::ThreadSchedule::kBufferReduce});
+    buffered.apply(comm, x, y);
+    EXPECT_GT(buffered.apply_breakdown().reduce_s, 0.0);
+    omp_set_num_threads(1);
   });
 }
 

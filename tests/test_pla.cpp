@@ -458,6 +458,34 @@ TEST(CgDetailTest, ZeroRhsConvergesImmediately) {
   });
 }
 
+TEST(CgDetailTest, IndefiniteOperatorReportsBreakdownWithoutThrowing) {
+  simmpi::run(2, [](Comm& comm) {
+    const Layout layout = Layout::from_owned_count(comm, 4);
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+      // One negative diagonal entry makes A indefinite: p·Ap goes
+      // non-positive and CG must stop with a breakdown status, not abort.
+      a.add_value(g, g, g == 2 ? -3.0 : 2.0);
+    }
+    a.assemble(comm);
+    DistVector b(layout), x(layout);
+    b.set_all(1.0);
+    IdentityPreconditioner m;
+    CgResult result;
+    EXPECT_NO_THROW(result = cg_solve(comm, a, m, b, x, {.max_iters = 50}));
+    EXPECT_TRUE(result.breakdown);
+    EXPECT_FALSE(result.converged);
+    EXPECT_NE(std::string(result.breakdown_reason).find("positive definite"),
+              std::string::npos);
+    // The residual reported must describe the iterate actually left in x.
+    DistVector r(layout);
+    a.apply(comm, x, r);
+    axpy(-1.0, b, r);
+    EXPECT_NEAR(norm2(comm, r), result.final_residual,
+                1e-10 * (1.0 + result.final_residual));
+  });
+}
+
 // ---------------------------------------------------------------------------
 // constraints
 // ---------------------------------------------------------------------------
