@@ -8,7 +8,11 @@
 //      of "cracked" elements grows (the §III XFEM/AMR claim),
 //   5. thread schedule for the EMV scatter-add: colored conflict-free
 //      scheduling vs the legacy per-thread buffer-and-reduce scheme
-//      (DESIGN.md §6), with the per-apply phase breakdown.
+//      (DESIGN.md §6), with the per-apply phase breakdown,
+//   6. element-matrix store layout: padded vs entry-interleaved batches vs
+//      packed-symmetric vs fp32-compressed (DESIGN.md §5c) — the apply
+//      phase is bandwidth-bound on the store, so streamed bytes per
+//      element translate directly into apply time.
 
 #include "bench_common.hpp"
 
@@ -182,5 +186,60 @@ int main() {
 #else
   std::printf("  (skipped: built without OpenMP)\n");
 #endif
+
+  std::printf("\n=== Ablation 6: element-matrix store layout (1 rank, "
+              "8 threads, raw wall) ===\n");
+  {
+    // The Fig. 4 Poisson strong-scaling mesh again: hex8, n = 8, so the
+    // padded layout carries no padding waste and the layouts differ purely
+    // in streamed bytes (sympacked ~2x fewer, fp32 2x fewer) and access
+    // pattern (interleaved: unit-stride across 8 elements per batch).
+    driver::ProblemSpec pspec;
+    pspec.pde = driver::Pde::kPoisson;
+    pspec.element = mesh::ElementType::kHex8;
+    pspec.box = {.nx = scaled(13), .ny = scaled(13), .nz = scaled(56)};
+    pspec.partitioner = mesh::Partitioner::kSlab;
+    const driver::ProblemSetup setup = driver::ProblemSetup::build(pspec, 1);
+    const int applies = 50;
+#ifdef _OPENMP
+    const int save_threads = omp_get_max_threads();
+    omp_set_num_threads(8);
+#endif
+    simmpi::run(1, [&](simmpi::Comm& comm) {
+      driver::RankContext ctx(comm, setup);
+      std::printf("  %-12s %-11s %-12s %-13s %-10s\n", "layout",
+                  "store (MB)", "apply (ms)", "traffic (MB)", "speedup");
+      double padded_ms = 0.0;
+      for (const core::StoreLayout layout :
+           {core::StoreLayout::kPadded, core::StoreLayout::kInterleaved,
+            core::StoreLayout::kSymPacked, core::StoreLayout::kFp32}) {
+        core::HymvOperator op(comm, ctx.part(), ctx.element_op(),
+                              {.layout = layout});
+        pla::DistVector x(op.layout()), y(op.layout());
+        for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+          x[i] = 1.0 + 0.25 * static_cast<double>(i % 7);
+        }
+        op.apply(comm, x, y);  // warm-up
+        hymv::Timer t;
+        for (int a = 0; a < applies; ++a) {
+          op.apply(comm, x, y);
+        }
+        const double ms = t.elapsed_s() * 1e3 / applies;
+        if (layout == core::StoreLayout::kPadded) padded_ms = ms;
+        std::printf("  %-12s %-11.2f %-12.4f %-13.2f %.2fx\n",
+                    core::to_string(layout),
+                    static_cast<double>(op.store().bytes()) / 1e6, ms,
+                    static_cast<double>(op.apply_bytes()) / 1e6,
+                    padded_ms / ms);
+      }
+      std::printf("  (apply streams the whole store: fewer stored bytes -> "
+                  "faster SPMV; fp32 trades ~1e-7\n   relative accuracy, "
+                  "sympacked requires symmetric operators — see DESIGN.md "
+                  "§5c)\n");
+    });
+#ifdef _OPENMP
+    omp_set_num_threads(save_threads);
+#endif
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 /// All kernels require: ld >= n, ke 64-byte aligned, columns padded with
 /// zeros from n to ld.
 
+#include <cmath>
 #include <cstddef>
 
 #if defined(__AVX512F__) || defined(__AVX2__)
@@ -126,6 +127,310 @@ inline void emv(EmvKernel kernel, const double* ke, std::size_t ld,
       emv_avx(ke, ld, n, u, v);
       return;
   }
+}
+
+// ---------------------------------------------------------------------------
+// fp32-compressed kernels (StoreLayout::kFp32)
+//
+// The matrix is stored in single precision — half the streamed bytes on the
+// bandwidth-bound apply — but every product accumulates in double, so the
+// only precision loss is the one rounding of each K_e entry to fp32
+// (~1e-7 relative on the output; quantified in DESIGN.md §5c).
+// Geometry matches the padded layout: column-major, ld >= n, zero-padded.
+// ---------------------------------------------------------------------------
+
+/// fp32 reference kernel: per-row dot products, double accumulation.
+inline void emv_f32_scalar(const float* ke, std::size_t ld, std::size_t n,
+                           const double* u, double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      sum += static_cast<double>(ke[c * ld + r]) * u[c];
+    }
+    v[r] = sum;
+  }
+}
+
+/// fp32 column-major accumulation (the eq. 4 sweep), compiler-vectorized;
+/// the float→double widening vectorizes as a cvt in the loop body.
+inline void emv_f32_simd(const float* ke, std::size_t ld, std::size_t n,
+                         const double* u, double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    v[r] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double uc = u[c];
+    const float* col = ke + c * ld;
+#pragma omp simd
+    for (std::size_t r = 0; r < n; ++r) {
+      v[r] += static_cast<double>(col[r]) * uc;
+    }
+  }
+}
+
+/// fp32 explicit AVX column accumulation: load 8 (resp. 4) floats, widen to
+/// doubles with a cvt, fma into double accumulators. Same tile/mask shape
+/// as emv_avx. Falls back to emv_f32_simd without AVX support.
+inline void emv_f32_avx(const float* ke, std::size_t ld, std::size_t n,
+                        const double* u, double* v) {
+#if defined(__AVX512F__)
+  constexpr std::size_t kLanes = 8;
+  for (std::size_t r = 0; r < n; r += kLanes) {
+    const std::size_t rem = n - r;
+    const __mmask8 mask =
+        rem >= kLanes ? 0xFF : static_cast<__mmask8>((1u << rem) - 1u);
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const __m512d col =
+          _mm512_cvtps_pd(_mm256_loadu_ps(ke + c * ld + r));
+      acc = _mm512_fmadd_pd(col, _mm512_set1_pd(u[c]), acc);
+    }
+    _mm512_mask_storeu_pd(v + r, mask, acc);
+  }
+#elif defined(__AVX2__)
+  constexpr std::size_t kLanes = 4;
+  const std::size_t full = n / kLanes * kLanes;
+  for (std::size_t r = 0; r < full; r += kLanes) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const __m256d col = _mm256_cvtps_pd(_mm_loadu_ps(ke + c * ld + r));
+      acc = _mm256_fmadd_pd(col, _mm256_set1_pd(u[c]), acc);
+    }
+    _mm256_storeu_pd(v + r, acc);
+  }
+  for (std::size_t r = full; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      sum += static_cast<double>(ke[c * ld + r]) * u[c];
+    }
+    v[r] = sum;
+  }
+#else
+  emv_f32_simd(ke, ld, n, u, v);
+#endif
+}
+
+/// Dispatch on kernel flavor, fp32 storage.
+inline void emv_f32(EmvKernel kernel, const float* ke, std::size_t ld,
+                    std::size_t n, const double* u, double* v) {
+  switch (kernel) {
+    case EmvKernel::kScalar:
+      emv_f32_scalar(ke, ld, n, u, v);
+      return;
+    case EmvKernel::kSimd:
+      emv_f32_simd(ke, ld, n, u, v);
+      return;
+    case EmvKernel::kAvx:
+      emv_f32_avx(ke, ld, n, u, v);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved-batch kernels (StoreLayout::kInterleaved)
+//
+// SELL-C-σ-style: a batch of kIlvLanes consecutive elements is stored
+// entry-interleaved — entry (r,c) of the batch's elements is contiguous —
+// so the EMV vectorizes *across* elements (one SIMD lane = one element)
+// with unit-stride loads and no padding, regardless of n. u/v are
+// lane-interleaved to match: entry a of batch element l at [a*kIlvLanes+l].
+//
+// Every variant accumulates each lane over c ascending — the same
+// per-element order as the corresponding padded kernel — so batching never
+// perturbs a given element's bitwise result between the batch and
+// single-lane paths of the same flavor.
+// ---------------------------------------------------------------------------
+
+/// Elements per interleaved batch (one AVX-512 register of fp64 lanes).
+inline constexpr std::size_t kIlvLanes = 8;
+
+/// Reference batch kernel: per-lane row dots. keb points at the batch's
+/// n·n·kIlvLanes block; ub/vb are lane-interleaved n·kIlvLanes buffers.
+inline void emv_interleaved_batch_scalar(const double* keb, std::size_t n,
+                                         const double* ub, double* vb) {
+  for (std::size_t l = 0; l < kIlvLanes; ++l) {
+    for (std::size_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        sum += keb[(c * n + r) * kIlvLanes + l] * ub[c * kIlvLanes + l];
+      }
+      vb[r * kIlvLanes + l] = sum;
+    }
+  }
+}
+
+/// Compiler-vectorized batch kernel: the inner loop runs over the
+/// kIlvLanes contiguous lanes of one (r,c) entry.
+inline void emv_interleaved_batch_simd(const double* keb, std::size_t n,
+                                       const double* ub, double* vb) {
+  for (std::size_t i = 0; i < n * kIlvLanes; ++i) {
+    vb[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* uc = ub + c * kIlvLanes;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* entry = keb + (c * n + r) * kIlvLanes;
+      double* out = vb + r * kIlvLanes;
+#pragma omp simd
+      for (std::size_t l = 0; l < kIlvLanes; ++l) {
+        out[l] += entry[l] * uc[l];
+      }
+    }
+  }
+}
+
+/// Explicit AVX batch kernel: one full-width register per matrix entry,
+/// no masks, no tails — the layout exists so this loop is this simple.
+inline void emv_interleaved_batch_avx(const double* keb, std::size_t n,
+                                      const double* ub, double* vb) {
+#if defined(__AVX512F__)
+  for (std::size_t r = 0; r < n; ++r) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const __m512d ke = _mm512_load_pd(keb + (c * n + r) * kIlvLanes);
+      const __m512d uc = _mm512_loadu_pd(ub + c * kIlvLanes);
+      acc = _mm512_fmadd_pd(ke, uc, acc);
+    }
+    _mm512_storeu_pd(vb + r * kIlvLanes, acc);
+  }
+#elif defined(__AVX2__)
+  for (std::size_t r = 0; r < n; ++r) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const double* entry = keb + (c * n + r) * kIlvLanes;
+      const double* uc = ub + c * kIlvLanes;
+      acc0 = _mm256_fmadd_pd(_mm256_load_pd(entry),
+                             _mm256_loadu_pd(uc), acc0);
+      acc1 = _mm256_fmadd_pd(_mm256_load_pd(entry + 4),
+                             _mm256_loadu_pd(uc + 4), acc1);
+    }
+    _mm256_storeu_pd(vb + r * kIlvLanes, acc0);
+    _mm256_storeu_pd(vb + r * kIlvLanes + 4, acc1);
+  }
+#else
+  emv_interleaved_batch_simd(keb, n, ub, vb);
+#endif
+}
+
+/// Dispatch on kernel flavor, interleaved batch.
+inline void emv_interleaved_batch(EmvKernel kernel, const double* keb,
+                                  std::size_t n, const double* ub,
+                                  double* vb) {
+  switch (kernel) {
+    case EmvKernel::kScalar:
+      emv_interleaved_batch_scalar(keb, n, ub, vb);
+      return;
+    case EmvKernel::kSimd:
+      emv_interleaved_batch_simd(keb, n, ub, vb);
+      return;
+    case EmvKernel::kAvx:
+      emv_interleaved_batch_avx(keb, n, ub, vb);
+      return;
+  }
+}
+
+/// Single-element fallback for elements the batch path cannot take (batch
+/// tails and non-contiguous schedule runs): lane l of the batch at keb,
+/// strided loads. Per-flavor accumulation order matches the batch kernel —
+/// kAvx contracts with std::fma because the batch kernel's vfmadd does —
+/// so an element's result is identical whether it went through the batch
+/// or the lane path.
+inline void emv_interleaved_lane(EmvKernel kernel, const double* keb,
+                                 std::size_t n, std::size_t l,
+                                 const double* u, double* v) {
+  if (kernel == EmvKernel::kAvx) {
+    for (std::size_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        sum = std::fma(keb[(c * n + r) * kIlvLanes + l], u[c], sum);
+      }
+      v[r] = sum;
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      sum += keb[(c * n + r) * kIlvLanes + l] * u[c];
+    }
+    v[r] = sum;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric-packed kernels (StoreLayout::kSymPacked)
+//
+// Only the upper triangle is stored, packed column-major: entry (r, c)
+// with r <= c lives at kp[c(c+1)/2 + r]. FEM operators produce symmetric
+// K_e, so this halves the streamed bytes. Each kernel accumulates every
+// output v[r] over u-indices in ascending order — the same order the dense
+// kernels use — so a symmetric matrix applied through the packed store
+// reproduces the dense result exactly (up to compiler contraction).
+// ---------------------------------------------------------------------------
+
+/// Packed length of one n×n upper triangle.
+constexpr std::size_t sym_packed_size(std::size_t n) {
+  return n * (n + 1) / 2;
+}
+
+/// Index of entry (r, c), r <= c, in the packed upper triangle.
+constexpr std::size_t sym_packed_index(std::size_t r, std::size_t c) {
+  return c * (c + 1) / 2 + r;
+}
+
+/// Reference packed kernel: per-row dots, mirroring the lower triangle
+/// through the stored upper one.
+inline void emv_sym_scalar(const double* kp, std::size_t n, const double* u,
+                           double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = kp + sym_packed_index(0, r);  // (c, r) for c <= r
+    double sum = 0.0;
+    for (std::size_t c = 0; c <= r; ++c) {
+      sum += row[c] * u[c];
+    }
+    for (std::size_t c = r + 1; c < n; ++c) {
+      sum += kp[sym_packed_index(r, c)] * u[c];
+    }
+    v[r] = sum;
+  }
+}
+
+/// Column-sweep packed kernel: each stored column c updates the r < c
+/// outputs (upper entry, unit stride — vectorizes) and accumulates the
+/// mirrored contributions into v[c]. The sweep delivers every v[r]'s terms
+/// in ascending-u order, matching emv_sym_scalar and the dense kernels.
+inline void emv_sym_simd(const double* kp, std::size_t n, const double* u,
+                         double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    v[r] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* col = kp + sym_packed_index(0, c);
+    const double uc = u[c];
+    double sum = 0.0;
+#pragma omp simd reduction(+ : sum)
+    for (std::size_t r = 0; r < c; ++r) {
+      v[r] += col[r] * uc;
+      sum += col[r] * u[r];
+    }
+    v[c] += sum;
+    v[c] += col[c] * uc;
+  }
+}
+
+/// Dispatch on kernel flavor, packed-symmetric storage. kAvx maps to the
+/// column-sweep kernel: the packed triangle's ragged columns defeat the
+/// aligned full-register tiling the dense AVX kernel relies on, and the
+/// compiler-vectorized sweep is already within noise of hand intrinsics
+/// at these column lengths.
+inline void emv_sym(EmvKernel kernel, const double* kp, std::size_t n,
+                    const double* u, double* v) {
+  if (kernel == EmvKernel::kScalar) {
+    emv_sym_scalar(kp, n, u, v);
+    return;
+  }
+  emv_sym_simd(kp, n, u, v);
 }
 
 }  // namespace hymv::core

@@ -2,62 +2,164 @@
 
 /// \file element_store.hpp
 /// Per-partition storage of dense element matrices — the "adaptive matrix"
-/// at the heart of HYMV (paper §III). Matrices are stored column-major with
-/// the leading dimension padded to the SIMD width so every column starts on
-/// a 64-byte boundary, enabling aligned vector loads in the EMV kernels.
-/// Individual elements can be recomputed in place (update()), which is the
-/// XFEM-enrichment / AMR fast path the paper motivates.
+/// at the heart of HYMV (paper §III) — behind a pluggable *layout* axis.
+///
+/// The apply phase is bandwidth-bound on the stored matrices (paper §V
+/// roofline), so how the bytes are laid out and how wide each scalar is
+/// are first-order performance knobs. Four layouts live behind one
+/// `ElementMatrixStore` interface (selected via `HymvOptions.layout` or
+/// the `HYMV_STORE_LAYOUT` environment variable):
+///
+///   * `kPadded` — the classic layout: fp64, per-element column-major with
+///     the leading dimension padded to the SIMD width so every column
+///     starts on a 64-byte boundary. Bit-identical to the pre-layout-axis
+///     store (regression-tested).
+///   * `kInterleaved` — SELL-C-σ-style batching: groups of `kBatchElems`
+///     consecutive elements are stored entry-interleaved, entry (r,c) of
+///     the batch's 8 elements adjacent in memory. One SIMD lane = one
+///     element, so the EMV vectorizes *across* elements with unit-stride
+///     loads and zero padding waste (a tet4's padded layout wastes 50 % of
+///     its bytes; interleaved wastes none).
+///   * `kSymPacked` — upper triangle only, packed column-major, for the
+///     symmetric operators FEM produces: ~2× fewer streamed bytes per
+///     apply. `set()` rejects non-symmetric input instead of silently
+///     storing a wrong half.
+///   * `kFp32` — fp32 storage with fp64 accumulation in the kernels:
+///     halves the streamed bytes at ~1e-7 relative output error (the
+///     mixed-precision point in the accuracy/bandwidth tradeoff;
+///     quantified in DESIGN.md §5c).
+///
+/// Individual elements can be recomputed in place (set()/update path),
+/// which is the XFEM-enrichment / AMR fast path the paper motivates —
+/// every layout supports it.
 
 #include <cstdint>
 #include <span>
 
 #include "hymv/common/aligned.hpp"
+#include "hymv/core/dense_kernels.hpp"
 
 namespace hymv::core {
 
+/// Storage layout of the element-matrix store (see file comment).
+enum class StoreLayout : int {
+  kPadded,       ///< fp64, per-element column-major, SIMD-padded ld
+  kInterleaved,  ///< fp64, batches of 8 elements entry-interleaved
+  kSymPacked,    ///< fp64, packed upper triangle (symmetric operators)
+  kFp32,         ///< fp32 storage, fp64 accumulation, padded geometry
+};
+
+/// Human-readable layout name ("padded" / "interleaved" / "sympacked" /
+/// "fp32").
+[[nodiscard]] const char* to_string(StoreLayout layout);
+
+/// Resolve the HYMV_STORE_LAYOUT environment override
+/// ("padded" | "interleaved" | "sympacked" | "fp32"). Returns `fallback`
+/// when unset; warns to stderr and returns `fallback` on an unknown value.
+[[nodiscard]] StoreLayout store_layout_from_env(StoreLayout fallback);
+
 class ElementMatrixStore {
  public:
+  /// Elements per interleaved batch: one AVX-512 register of fp64 lanes.
+  static constexpr std::int64_t kBatchElems = 8;
+
   ElementMatrixStore() = default;
 
-  /// Allocate storage for `num_elements` matrices of size ndofs × ndofs.
-  ElementMatrixStore(std::int64_t num_elements, int ndofs);
+  /// Allocate storage for `num_elements` matrices of size ndofs × ndofs in
+  /// the given layout. All entries start zero.
+  ElementMatrixStore(std::int64_t num_elements, int ndofs,
+                     StoreLayout layout = StoreLayout::kPadded);
 
+  [[nodiscard]] StoreLayout layout() const { return layout_; }
   [[nodiscard]] std::int64_t num_elements() const { return num_elements_; }
   /// Matrix dimension (rows == cols).
   [[nodiscard]] int ndofs() const { return ndofs_; }
-  /// Padded leading dimension (multiple of 8 doubles = 64 bytes).
+  /// Leading dimension of one stored column: padded to a multiple of 8
+  /// scalars for kPadded/kFp32; equal to ndofs for the layouts that carry
+  /// no padding (kInterleaved/kSymPacked have no dense column storage).
   [[nodiscard]] int leading_dim() const { return ld_; }
-  /// Doubles per stored element matrix (ld × ndofs).
+  /// Scalars stored per element (layout-true; excludes the tail-batch
+  /// padding of kInterleaved).
   [[nodiscard]] std::int64_t stride() const { return stride_; }
-  /// Total storage in bytes (the memory-footprint cost the paper discusses).
+  /// Width of one stored scalar in bytes (8, or 4 for kFp32).
+  [[nodiscard]] int scalar_bytes() const {
+    return layout_ == StoreLayout::kFp32 ? 4 : 8;
+  }
+  /// Total storage in bytes (the memory-footprint cost the paper
+  /// discusses), derived from the actual payload — never assumes fp64.
   [[nodiscard]] std::int64_t bytes() const {
-    return static_cast<std::int64_t>(data_.size()) * 8;
+    return static_cast<std::int64_t>(data_.size()) * 8 +
+           static_cast<std::int64_t>(data32_.size()) * 4;
   }
+  /// Cache-level bytes one element's EMV streams (matrix load at the
+  /// stored scalar width + the v_e read-modify-write per touched entry) —
+  /// the layout-true matrix term of HymvOperator::apply_bytes().
+  [[nodiscard]] std::int64_t emv_traffic_bytes_per_elem() const;
 
-  /// Write element e's matrix from an unpadded column-major ke
-  /// (ndofs² entries). Padding rows are zeroed.
+  /// Write element e's matrix from an unpadded column-major ke (ndofs²
+  /// entries). Throws for kSymPacked when ke is not symmetric (within
+  /// 1e-12 relative) — a packed store cannot represent the general half.
   void set(std::int64_t e, std::span<const double> ke);
+  /// set() that reports a symmetry violation by returning false instead of
+  /// throwing — for callers inside OpenMP regions, where an exception
+  /// escaping the parallel loop would terminate.
+  [[nodiscard]] bool try_set(std::int64_t e, std::span<const double> ke);
+  /// Read element e back as an unpadded column-major dense matrix (ndofs²
+  /// entries) — the layout-independent unpack used for conversion, device
+  /// upload, and serialization round-trips.
+  void get(std::int64_t e, std::span<double> ke) const;
 
-  /// Aligned, padded, column-major storage of element e.
-  [[nodiscard]] const double* data(std::int64_t e) const {
-    return data_.data() + static_cast<std::size_t>(e * stride_);
+  /// Entry (row, col) of element e, any layout (kFp32 widens).
+  [[nodiscard]] double at(std::int64_t e, int row, int col) const;
+
+  /// Aligned, padded, column-major storage of element e (kPadded only).
+  [[nodiscard]] const double* data(std::int64_t e) const;
+  /// fp32 padded column-major storage of element e (kFp32 only).
+  [[nodiscard]] const float* data32(std::int64_t e) const;
+
+  /// v_e = K_e u_e for one element, dispatched on layout × kernel flavor.
+  /// ue/ve hold ndofs doubles; ve is overwritten.
+  void emv(EmvKernel kernel, std::int64_t e, const double* ue,
+           double* ve) const;
+  /// True when elements [e, e + kBatchElems) form one full interleaved
+  /// batch, i.e. emv_batch(kernel, e, ...) is the fast path for them.
+  [[nodiscard]] bool full_batch_at(std::int64_t e) const {
+    return layout_ == StoreLayout::kInterleaved && e % kBatchElems == 0 &&
+           e + kBatchElems <= num_elements_;
   }
+  /// Batched EMV over the full interleaved batch starting at `first_elem`
+  /// (which must satisfy full_batch_at). uei/vei are lane-interleaved:
+  /// entry c of batch element l at uei[c * kBatchElems + l]. Each lane's
+  /// accumulation order matches the single-element emv() (agreement to the
+  /// last ulp; FP contraction may differ between the two code paths).
+  /// Bitwise determinism of the operator does not rest on that: callers
+  /// must make the batch-vs-single decision from data independent of the
+  /// executing thread (HymvOperator decides per schedule block).
+  void emv_batch(EmvKernel kernel, std::int64_t first_elem, const double* uei,
+                 double* vei) const;
 
-  /// Whole padded payload (for serialization).
-  [[nodiscard]] std::span<const double> raw() const { return data_; }
-  [[nodiscard]] std::span<double> raw() { return data_; }
+  /// Re-encode the whole store into `target` layout (element-wise
+  /// get()/set(); throws if target is kSymPacked and the contents are not
+  /// symmetric). Converting away from kFp32 keeps the rounded values.
+  [[nodiscard]] ElementMatrixStore convert_to(StoreLayout target) const;
 
-  /// Entry (row, col) of element e (for tests).
-  [[nodiscard]] double at(std::int64_t e, int row, int col) const {
-    return data_[static_cast<std::size_t>(e * stride_ + col * ld_ + row)];
-  }
+  /// Whole payload as raw bytes (for serialization). The byte meaning is
+  /// layout-dependent; persist layout() + ndofs() + num_elements() with it.
+  [[nodiscard]] std::span<const std::byte> raw_bytes() const;
+  [[nodiscard]] std::span<std::byte> raw_bytes();
 
  private:
+  /// Shared body of set()/try_set(): returns false on a kSymPacked
+  /// symmetry violation, true otherwise.
+  bool set_impl(std::int64_t e, std::span<const double> ke);
+
+  StoreLayout layout_ = StoreLayout::kPadded;
   std::int64_t num_elements_ = 0;
   int ndofs_ = 0;
   int ld_ = 0;
   std::int64_t stride_ = 0;
-  hymv::aligned_vector<double> data_;
+  hymv::aligned_vector<double> data_;   ///< fp64 layouts
+  hymv::aligned_vector<float> data32_;  ///< kFp32
 };
 
 }  // namespace hymv::core

@@ -110,6 +110,12 @@ class HymvGpuOperator final : public pla::LinearOperator {
   /// Element ids in device order: independent first, then dependent.
   std::vector<std::int64_t> elem_order_;
   std::int64_t num_independent_ = 0;
+  /// Device-resident matrix format: entry-interleaved batches when the
+  /// host store is kInterleaved (its natural device form), padded
+  /// column-major slots otherwise (any host layout unpacks into it).
+  bool interleaved_device_ = false;
+  std::size_t dev_ld_ = 0;      ///< leading dim of one padded device slot
+  std::size_t dev_stride_ = 0;  ///< doubles per device slot
   gpu::DeviceBuffer d_ke_;
   gpu::DeviceBuffer d_ue_;
   gpu::DeviceBuffer d_ve_;

@@ -40,6 +40,12 @@ struct HymvOptions {
   /// variable ("serial" | "buffer" | "colored"), when set, overrides this
   /// at operator construction (the global ablation switch).
   ThreadSchedule schedule = ThreadSchedule::kColored;
+  /// Element-matrix storage layout (see element_store.hpp). The
+  /// HYMV_STORE_LAYOUT environment variable
+  /// ("padded" | "interleaved" | "sympacked" | "fp32"), when set, overrides
+  /// this at operator construction. The restart constructor adopts the
+  /// loaded store's layout instead (convert via io::load_store).
+  StoreLayout layout = StoreLayout::kPadded;
 };
 
 /// Wall-clock decomposition of the setup phase, matching the paper's
@@ -143,6 +149,15 @@ class HymvOperator final : public pla::LinearOperator {
   /// `elements` is the set in original order, `sched` its colored schedule.
   void emv_loop(const ElementSchedule& sched,
                 std::span<const std::int64_t> elements);
+
+  /// Gather/EMV/scatter for order[begin, end) — one schedule block (or the
+  /// whole list under kSerial). Takes the interleaved batch fast path for
+  /// aligned runs of kBatchElems consecutive elements; the batching
+  /// decision depends only on the block boundaries, so serial and threaded
+  /// traversals of the same schedule stay bitwise identical. ue/ve are
+  /// per-thread workspaces of ndofs × kBatchElems doubles.
+  void emv_range(std::span<const std::int64_t> order, std::int64_t begin,
+                 std::int64_t end, double* ue, double* ve);
 
   /// Scatter-add the stored diagonal entries of one element set into v_da_,
   /// colored-threaded under the same rules as emv_loop.

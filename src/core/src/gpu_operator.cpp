@@ -45,35 +45,70 @@ HymvGpuOperator::HymvGpuOperator(simmpi::Comm& comm,
 
   // Device residency: the element matrices move host → device exactly once
   // (paper §IV-F), in device (reordered) element order so per-apply chunks
-  // are contiguous ranges.
+  // are contiguous ranges. Host layouts are re-encoded slot by slot via
+  // store.get(): a kInterleaved host store uploads into entry-interleaved
+  // device batches (its natural device form), every other layout unpacks
+  // into padded column-major device slots.
   const ElementMatrixStore& store = host_op_.store();
-  const auto stride = static_cast<std::size_t>(store.stride());
+  const auto n = static_cast<std::size_t>(store.ndofs());
   const auto ne = static_cast<std::int64_t>(elem_order_.size());
+  constexpr auto kB = static_cast<std::size_t>(ElementMatrixStore::kBatchElems);
+  interleaved_device_ = store.layout() == StoreLayout::kInterleaved;
+  dev_ld_ = interleaved_device_ ? n : hymv::round_up_to(n, 8);
+  dev_stride_ = interleaved_device_ ? n * n : dev_ld_ * n;
+  const std::size_t total_slots =
+      interleaved_device_ ? hymv::round_up_to(static_cast<std::size_t>(ne), kB)
+                          : static_cast<std::size_t>(ne);
   const double vt0 = device_->virtual_time();
-  d_ke_ = device_->alloc(static_cast<std::size_t>(ne) * stride * 8);
-  const std::int64_t elems_per_chunk =
-      std::max<std::int64_t>(1, kUploadChunkBytes /
-                                    static_cast<std::int64_t>(stride * 8));
+  d_ke_ = device_->alloc(total_slots * dev_stride_ * 8);
+  std::int64_t elems_per_chunk = std::max<std::int64_t>(
+      1, kUploadChunkBytes / static_cast<std::int64_t>(dev_stride_ * 8));
+  if (interleaved_device_) {
+    // Each H2D must cover whole interleaved batches so chunk byte ranges
+    // tile the device buffer without splitting a batch.
+    elems_per_chunk = static_cast<std::int64_t>(
+        hymv::round_up_to(static_cast<std::size_t>(elems_per_chunk), kB));
+  }
+  // Zero-initialized so padded rows (and the final batch's unused lanes)
+  // upload as zeros.
   hymv::aligned_vector<double> staging(
-      static_cast<std::size_t>(elems_per_chunk) * stride);
+      static_cast<std::size_t>(elems_per_chunk) * dev_stride_, 0.0);
+  std::vector<double> dense(n * n);
   for (std::int64_t first = 0; first < ne; first += elems_per_chunk) {
     const std::int64_t count = std::min(elems_per_chunk, ne - first);
+    const std::size_t padded_count =
+        interleaved_device_
+            ? hymv::round_up_to(static_cast<std::size_t>(count), kB)
+            : static_cast<std::size_t>(count);
+    if (padded_count != static_cast<std::size_t>(count)) {
+      std::fill(staging.begin(), staging.end(), 0.0);  // tail-lane zeros
+    }
     for (std::int64_t i = 0; i < count; ++i) {
-      const double* src = store.data(elem_order_[static_cast<std::size_t>(
-          first + i)]);
-      std::copy_n(src, stride,
-                  staging.data() + static_cast<std::size_t>(i) * stride);
+      store.get(elem_order_[static_cast<std::size_t>(first + i)], dense);
+      if (interleaved_device_) {
+        const auto s = static_cast<std::size_t>(i);
+        double* dst = staging.data() + s / kB * dev_stride_ * kB + s % kB;
+        for (std::size_t k = 0; k < n * n; ++k) {
+          dst[k * kB] = dense[k];
+        }
+      } else {
+        double* dst = staging.data() + static_cast<std::size_t>(i) * dev_stride_;
+        for (std::size_t c = 0; c < n; ++c) {
+          for (std::size_t r = 0; r < n; ++r) {
+            dst[c * dev_ld_ + r] = dense[c * n + r];
+          }
+        }
+      }
     }
     device_->memcpy_h2d(
         static_cast<int>((first / elems_per_chunk) %
                          options_.num_streams),
-        d_ke_, staging.data(), static_cast<std::size_t>(count) * stride * 8,
-        static_cast<std::size_t>(first) * stride * 8);
+        d_ke_, staging.data(), padded_count * dev_stride_ * 8,
+        static_cast<std::size_t>(first) * dev_stride_ * 8);
   }
   device_->synchronize();
   setup_upload_virtual_s_ = device_->virtual_time() - vt0;
 
-  const auto n = static_cast<std::size_t>(store.ndofs());
   d_ue_ = device_->alloc(static_cast<std::size_t>(ne) * n * 8);
   d_ve_ = device_->alloc(static_cast<std::size_t>(ne) * n * 8);
   h_ue_.assign(static_cast<std::size_t>(ne) * n, 0.0);
@@ -122,7 +157,6 @@ void HymvGpuOperator::enqueue_range(std::int64_t first, std::int64_t count) {
   }
   const ElementMatrixStore& store = host_op_.store();
   const auto n = static_cast<std::size_t>(store.ndofs());
-  const auto ld = static_cast<std::size_t>(store.leading_dim());
   // Adaptive chunking: never split below min_chunk_elements per chunk, so
   // small batches use few commands (latency) while large ones use all
   // streams (overlap).
@@ -142,8 +176,16 @@ void HymvGpuOperator::enqueue_range(std::int64_t first, std::int64_t count) {
     device_->memcpy_h2d(s, d_ue_,
                         h_ue_.data() + static_cast<std::size_t>(c_first) * n,
                         vec_bytes, vec_offset);
-    device_->batched_emv(s, d_ke_, ld, n, static_cast<std::size_t>(c_count),
-                         d_ue_, d_ve_, static_cast<std::size_t>(c_first));
+    if (interleaved_device_) {
+      device_->batched_emv_interleaved(s, d_ke_, n,
+                                       static_cast<std::size_t>(c_count),
+                                       d_ue_, d_ve_,
+                                       static_cast<std::size_t>(c_first));
+    } else {
+      device_->batched_emv(s, d_ke_, dev_ld_, n,
+                           static_cast<std::size_t>(c_count), d_ue_, d_ve_,
+                           static_cast<std::size_t>(c_first));
+    }
     device_->memcpy_d2h(s, h_ve_.data() + static_cast<std::size_t>(c_first) * n,
                         d_ve_, vec_bytes, vec_offset);
   }
@@ -207,7 +249,6 @@ void HymvGpuOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
         hymv::ThreadCpuTimer dep_timer;
         const ElementMatrixStore& store = host_op_.store();
         const auto n = static_cast<std::size_t>(store.ndofs());
-        const auto ld = static_cast<std::size_t>(store.leading_dim());
         const std::span<const double> u = u_da_.all();
         const std::span<double> v = v_da_.all();
         hymv::aligned_vector<double> ue(n), ve(n);
@@ -216,8 +257,7 @@ void HymvGpuOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
           for (std::size_t a = 0; a < n; ++a) {
             ue[a] = u[static_cast<std::size_t>(e2l[a])];
           }
-          emv(options_.host.kernel, store.data(e), ld, n, ue.data(),
-              ve.data());
+          store.emv(options_.host.kernel, e, ue.data(), ve.data());
           for (std::size_t a = 0; a < n; ++a) {
             v[static_cast<std::size_t>(e2l[a])] += ve[a];
           }

@@ -35,7 +35,8 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
                            HymvOptions options)
     : options_(options),
       maps_(build_maps_timed(comm, part, op.ndof_per_node(), setup_)),
-      store_(part.num_local_elements(), op.num_dofs()),
+      store_(part.num_local_elements(), op.num_dofs(),
+             store_layout_from_env(options.layout)),
       elem_coords_(part.elem_coords),
       u_da_(maps_),
       v_da_(maps_),
@@ -46,6 +47,7 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
                  "HymvOperator: element type mismatch between mesh and "
                  "operator");
   options_.schedule = thread_schedule_from_env(options_.schedule);
+  options_.layout = store_.layout();  // reflect the env override
   build_schedules();
   // Element-matrix computation + local copy (the HYMV "setup" the paper
   // times against PETSc's global assembly).
@@ -86,6 +88,7 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
   HYMV_CHECK_MSG(store_.ndofs() == maps_.ndofs_per_elem(),
                  "HymvOperator: adopted store has wrong matrix size");
   options_.schedule = thread_schedule_from_env(options_.schedule);
+  options_.layout = store_.layout();  // the adopted store dictates layout
   build_schedules();
 }
 
@@ -99,23 +102,70 @@ bool HymvOperator::threading_active() const {
 #endif
 }
 
-void HymvOperator::emv_loop(const ElementSchedule& sched,
-                            std::span<const std::int64_t> elements) {
+void HymvOperator::emv_range(std::span<const std::int64_t> order,
+                             std::int64_t begin, std::int64_t end, double* ue,
+                             double* ve) {
+  constexpr std::int64_t kB = ElementMatrixStore::kBatchElems;
   const auto n = static_cast<std::size_t>(store_.ndofs());
-  const auto ld = static_cast<std::size_t>(store_.leading_dim());
   const std::span<double> v = v_da_.all();
   const std::span<const double> u = u_da_.all();
 
-  const auto process = [&](std::int64_t e, double* ue, double* ve) {
+  std::int64_t i = begin;
+  while (i < end) {
+    const std::int64_t e = order[static_cast<std::size_t>(i)];
+    if (i + kB <= end && store_.full_batch_at(e)) {
+      // Interleaved fast path if the next kB entries are exactly the
+      // aligned batch e..e+kB-1 (schedule blocks list ascending ids, so
+      // this holds for most of the interior).
+      bool run = true;
+      for (std::int64_t l = 1; l < kB; ++l) {
+        run = run && order[static_cast<std::size_t>(i + l)] == e + l;
+      }
+      if (run) {
+        for (std::int64_t l = 0; l < kB; ++l) {
+          const auto e2l = maps_.e2l(e + l);
+          for (std::size_t a = 0; a < n; ++a) {  // lane-interleaved u_e
+            ue[a * static_cast<std::size_t>(kB) +
+               static_cast<std::size_t>(l)] =
+                u[static_cast<std::size_t>(e2l[a])];
+          }
+        }
+        store_.emv_batch(options_.kernel, e, ue, ve);
+        // Lane-ascending scatter: contributions land in the same order the
+        // element-at-a-time path produces them.
+        for (std::int64_t l = 0; l < kB; ++l) {
+          const auto e2l = maps_.e2l(e + l);
+          for (std::size_t a = 0; a < n; ++a) {
+            v[static_cast<std::size_t>(e2l[a])] +=
+                ve[a * static_cast<std::size_t>(kB) +
+                   static_cast<std::size_t>(l)];
+          }
+        }
+        i += kB;
+        continue;
+      }
+    }
     const auto e2l = maps_.e2l(e);
     for (std::size_t a = 0; a < n; ++a) {
       ue[a] = u[static_cast<std::size_t>(e2l[a])];  // extract u_e
     }
-    emv(options_.kernel, store_.data(e), ld, n, ue, ve);
+    store_.emv(options_.kernel, e, ue, ve);
     for (std::size_t a = 0; a < n; ++a) {
       v[static_cast<std::size_t>(e2l[a])] += ve[a];  // accumulate v_e
     }
-  };
+    ++i;
+  }
+}
+
+void HymvOperator::emv_loop(const ElementSchedule& sched,
+                            std::span<const std::int64_t> elements) {
+  const auto n = static_cast<std::size_t>(store_.ndofs());
+  // Workspace sized for the interleaved batch path; the single-element
+  // path uses the first n entries.
+  const std::size_t ws =
+      n * static_cast<std::size_t>(ElementMatrixStore::kBatchElems);
+  const std::span<double> v = v_da_.all();
+  const std::span<const double> u = u_da_.all();
 
   if (options_.schedule == ThreadSchedule::kColored) {
     const std::span<const std::int64_t> order = sched.order();
@@ -124,7 +174,7 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
     if (threading_active()) {
 #pragma omp parallel
       {
-        hymv::aligned_vector<double> ue(n), ve(n);
+        hymv::aligned_vector<double> ue(ws), ve(ws);
         for (int c = 0; c < sched.num_colors(); ++c) {
           const std::span<const ElementSchedule::Block> blocks =
               sched.blocks(c);
@@ -135,10 +185,7 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
                b < static_cast<std::int64_t>(blocks.size()); ++b) {
             const ElementSchedule::Block& blk =
                 blocks[static_cast<std::size_t>(b)];
-            for (std::int64_t i = blk.begin; i < blk.end; ++i) {
-              process(order[static_cast<std::size_t>(i)], ue.data(),
-                      ve.data());
-            }
+            emv_range(order, blk.begin, blk.end, ue.data(), ve.data());
           }
         }
       }
@@ -146,12 +193,15 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
       return;
     }
 #endif
-    // Serial execution of the same color-major order: each DoF still
-    // receives its contributions in color order, so this is bitwise
+    // Serial execution of the same color-major, block-by-block traversal:
+    // each DoF still receives its contributions in color order and the
+    // per-block batching decisions are identical, so this is bitwise
     // identical to the threaded path above for any thread count.
-    hymv::aligned_vector<double> ue(n), ve(n);
-    for (const std::int64_t e : order) {
-      process(e, ue.data(), ve.data());
+    hymv::aligned_vector<double> ue(ws), ve(ws);
+    for (int c = 0; c < sched.num_colors(); ++c) {
+      for (const ElementSchedule::Block& blk : sched.blocks(c)) {
+        emv_range(order, blk.begin, blk.end, ue.data(), ve.data());
+      }
     }
     apply_.emv_s += timer.elapsed_s();
     return;
@@ -188,7 +238,7 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
         for (std::size_t a = 0; a < n; ++a) {
           ue[a] = u[static_cast<std::size_t>(e2l[a])];
         }
-        emv(options_.kernel, store_.data(e), ld, n, ue.data(), ve.data());
+        store_.emv(options_.kernel, e, ue.data(), ve.data());
         for (std::size_t a = 0; a < n; ++a) {
           buf[static_cast<std::size_t>(e2l[a])] += ve[a];
         }
@@ -212,12 +262,12 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
 #endif
 
   // kSerial (and any strategy with threading unavailable/disabled): the
-  // plain element-order loop.
+  // plain element-order loop (one range, so aligned interleaved runs still
+  // batch).
   hymv::Timer timer;
-  hymv::aligned_vector<double> ue(n), ve(n);
-  for (const std::int64_t e : elements) {
-    process(e, ue.data(), ve.data());
-  }
+  hymv::aligned_vector<double> ue(ws), ve(ws);
+  emv_range(elements, 0, static_cast<std::int64_t>(elements.size()),
+            ue.data(), ve.data());
   apply_.emv_s += timer.elapsed_s();
 }
 
@@ -387,32 +437,44 @@ void HymvOperator::update_elements(
     HYMV_CHECK_MSG(e >= 0 && e < maps_.num_elements(),
                    "update_elements: element out of range");
   }
+  // try_set (not set) so a kSymPacked store can report a non-symmetric
+  // recompute without throwing inside the parallel region; the failure is
+  // rethrown once the loop finishes.
   const auto recompute = [&](std::int64_t e, std::vector<double>& ke) {
     op.element_matrix(
         std::span<const mesh::Point>(elem_coords_.data() + e * nper, nper),
         ke);
-    store_.set(e, ke);
+    return store_.try_set(e, ke);
   };
+  bool symmetric = true;
 #ifdef _OPENMP
   // Each element owns a disjoint store slot, so the update needs no
   // coloring — a plain parallel loop is already race-free.
   if (threading_active()) {
-#pragma omp parallel
+#pragma omp parallel reduction(&& : symmetric)
     {
       std::vector<double> ke(n * n);
 #pragma omp for schedule(static)
       for (std::int64_t i = 0;
            i < static_cast<std::int64_t>(local_elements.size()); ++i) {
-        recompute(local_elements[static_cast<std::size_t>(i)], ke);
+        symmetric =
+            recompute(local_elements[static_cast<std::size_t>(i)], ke) &&
+            symmetric;
       }
     }
-    return;
-  }
+  } else
 #endif
-  std::vector<double> ke(n * n);
-  for (const std::int64_t e : local_elements) {
-    recompute(e, ke);
+  {
+    std::vector<double> ke(n * n);
+    for (const std::int64_t e : local_elements) {
+      symmetric = recompute(e, ke) && symmetric;
+    }
   }
+  HYMV_CHECK_MSG(symmetric,
+                 "update_elements: non-symmetric recompute rejected by the "
+                 "sympacked store (symmetric elements of this update were "
+                 "still applied; use a dense layout for unsymmetric "
+                 "operators)");
 }
 
 std::int64_t HymvOperator::apply_flops() const {
@@ -421,12 +483,15 @@ std::int64_t HymvOperator::apply_flops() const {
 }
 
 std::int64_t HymvOperator::apply_bytes() const {
-  // Cache-level (Advisor-equivalent) traffic of the column-major EMV
-  // (eq. 4): each padded matrix entry costs a column load plus a v_e
-  // read-modify-write (24 B per entry), plus the u_e gather and v_e
-  // scatter. Reproduces the paper's measured AI ≈ 0.08 F/B for HYMV.
+  // Cache-level (Advisor-equivalent) traffic of the EMV sweep: the
+  // layout-true matrix streaming cost (each stored scalar's load at its
+  // actual width plus the v_e read-modify-write it feeds — see
+  // ElementMatrixStore::emv_traffic_bytes_per_elem), plus the u_e gather
+  // and v_e scatter. For kPadded this reproduces the paper's measured
+  // AI ≈ 0.08 F/B; the compressed layouts report proportionally less.
   const auto n = static_cast<std::int64_t>(store_.ndofs());
-  const std::int64_t per_elem = store_.stride() * 24 + 40 * n;
+  const std::int64_t per_elem =
+      store_.emv_traffic_bytes_per_elem() + 40 * n;
   return maps_.num_elements() * per_elem + maps_.da_size() * 16;
 }
 

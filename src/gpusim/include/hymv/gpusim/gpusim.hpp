@@ -127,6 +127,18 @@ class Device {
                    std::size_t n, std::size_t nbatch, const DeviceBuffer& u,
                    DeviceBuffer& v, std::size_t elem_offset = 0);
 
+  /// batched_emv over entry-interleaved matrix storage (the device-native
+  /// form of the host's StoreLayout::kInterleaved): slots are grouped in
+  /// batches of 8, and entry (r, c) of slot s lives at
+  ///   ke[(s/8)·n²·8 + (c·n + r)·8 + s%8]  doubles —
+  /// one lane per element, so a warp's loads coalesce with zero padding.
+  /// u/v are per-slot contiguous exactly as in batched_emv, and the slot
+  /// range may start at any offset (lanes are addressed globally).
+  void batched_emv_interleaved(int stream, const DeviceBuffer& ke,
+                               std::size_t n, std::size_t nbatch,
+                               const DeviceBuffer& u, DeviceBuffer& v,
+                               std::size_t elem_offset = 0);
+
   /// Upload a CSR matrix once (setup-time cost on the H2D engine of
   /// `stream`); returns a handle for csr_spmv.
   CsrHandle upload_csr(int stream, std::span<const std::int64_t> row_ptr,

@@ -7,8 +7,17 @@
 /// up-front cost; for production runs that restart — or applications that
 /// re-run many load cases on a fixed mesh — persisting the store lets a
 /// rank resume SPMV-ready without recomputing a single quadrature point.
-/// Format: little-endian header {magic, version, num_elements, ndofs}
-/// followed by the raw padded column-major payload.
+///
+/// Format (little-endian), version 2: header
+///   {magic, version, ndofs, num_elements, layout, scalar_bytes,
+///    payload_bytes}
+/// followed by the store's raw payload in its native layout. Version-1
+/// files (written before the layout axis existed) carry the shorter
+/// {magic, version, ndofs, num_elements} header and always hold the padded
+/// fp64 payload; they still load, as StoreLayout::kPadded. Loads validate
+/// the header fields and the exact payload size, so truncated or
+/// garbage-extended files are rejected with a clear error instead of a
+/// partial read.
 
 #include <string>
 
@@ -16,11 +25,20 @@
 
 namespace hymv::io {
 
-/// Write `store` to `path`. Throws hymv::Error on I/O failure.
+/// Write `store` to `path` in its native layout. Throws hymv::Error on I/O
+/// failure.
 void save_store(const std::string& path, const core::ElementMatrixStore& store);
 
-/// Read a store previously written by save_store. Throws on I/O failure,
-/// bad magic, or version mismatch.
+/// Read a store previously written by save_store, in whatever layout it was
+/// saved (version-1 files load as kPadded). Throws on I/O failure, bad
+/// magic, unsupported version, corrupt header fields, or a payload whose
+/// size does not match the header exactly.
 [[nodiscard]] core::ElementMatrixStore load_store(const std::string& path);
+
+/// load_store, then convert to `target` if the file was saved in a
+/// different layout (throws if target is kSymPacked and the stored
+/// matrices are not symmetric).
+[[nodiscard]] core::ElementMatrixStore load_store(const std::string& path,
+                                                  core::StoreLayout target);
 
 }  // namespace hymv::io

@@ -11,14 +11,28 @@ namespace hymv::io {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x48594d5653544f52ULL;  // "HYMVSTOR"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
-struct Header {
+/// The version-1 header, still the leading fields of version 2. Version-1
+/// files imply the padded fp64 layout (the only one that existed).
+struct HeaderV1 {
   std::uint64_t magic = kMagic;
   std::uint32_t version = kVersion;
   std::uint32_t ndofs = 0;
   std::int64_t num_elements = 0;
 };
+
+/// Version-2 extension: the layout axis plus redundant size fields so a
+/// reader can cross-check the file against the geometry it implies before
+/// touching the payload.
+struct HeaderV2Ext {
+  std::int32_t layout = 0;
+  std::int32_t scalar_bytes = 8;
+  std::int64_t payload_bytes = 0;
+};
+
+static_assert(sizeof(HeaderV1) == 24 && sizeof(HeaderV2Ext) == 16,
+              "store header must be packed (fixed on-disk format)");
 
 }  // namespace
 
@@ -26,11 +40,16 @@ void save_store(const std::string& path,
                 const core::ElementMatrixStore& store) {
   std::ofstream out(path, std::ios::binary);
   HYMV_CHECK_MSG(out.good(), "save_store: cannot open " + path);
-  Header header;
+  const auto payload = store.raw_bytes();
+  HeaderV1 header;
   header.ndofs = static_cast<std::uint32_t>(store.ndofs());
   header.num_elements = store.num_elements();
+  HeaderV2Ext ext;
+  ext.layout = static_cast<std::int32_t>(store.layout());
+  ext.scalar_bytes = store.scalar_bytes();
+  ext.payload_bytes = static_cast<std::int64_t>(payload.size_bytes());
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  const auto payload = store.raw();
+  out.write(reinterpret_cast<const char*>(&ext), sizeof(ext));
   out.write(reinterpret_cast<const char*>(payload.data()),
             static_cast<std::streamsize>(payload.size_bytes()));
   HYMV_CHECK_MSG(out.good(), "save_store: write failed for " + path);
@@ -39,20 +58,63 @@ void save_store(const std::string& path,
 core::ElementMatrixStore load_store(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   HYMV_CHECK_MSG(in.good(), "load_store: cannot open " + path);
-  Header header;
+  HeaderV1 header;
   in.read(reinterpret_cast<char*>(&header), sizeof(header));
-  HYMV_CHECK_MSG(in.good(), "load_store: truncated header in " + path);
+  HYMV_CHECK_MSG(
+      in.good() && in.gcount() == static_cast<std::streamsize>(sizeof(header)),
+      "load_store: truncated header in " + path);
   HYMV_CHECK_MSG(header.magic == kMagic,
                  "load_store: not a HYMV store file: " + path);
-  HYMV_CHECK_MSG(header.version == kVersion,
+  HYMV_CHECK_MSG(header.version == 1 || header.version == kVersion,
                  "load_store: unsupported store version in " + path);
+  HYMV_CHECK_MSG(header.ndofs > 0 && header.num_elements >= 0,
+                 "load_store: corrupt header dimensions in " + path);
+
+  core::StoreLayout layout = core::StoreLayout::kPadded;
+  HeaderV2Ext ext;
+  if (header.version == kVersion) {
+    in.read(reinterpret_cast<char*>(&ext), sizeof(ext));
+    HYMV_CHECK_MSG(
+        in.good() && in.gcount() == static_cast<std::streamsize>(sizeof(ext)),
+        "load_store: truncated header in " + path);
+    HYMV_CHECK_MSG(
+        ext.layout >= static_cast<std::int32_t>(core::StoreLayout::kPadded) &&
+            ext.layout <= static_cast<std::int32_t>(core::StoreLayout::kFp32),
+        "load_store: corrupt layout field in " + path);
+    layout = static_cast<core::StoreLayout>(ext.layout);
+  }
+
   core::ElementMatrixStore store(header.num_elements,
-                                 static_cast<int>(header.ndofs));
-  const auto payload = store.raw();
+                                 static_cast<int>(header.ndofs), layout);
+  const auto payload = store.raw_bytes();
+  if (header.version == kVersion) {
+    // The redundant size fields must agree with the geometry the
+    // dimensions imply — a mismatch means a corrupt or foreign file.
+    HYMV_CHECK_MSG(
+        ext.scalar_bytes == store.scalar_bytes() &&
+            ext.payload_bytes ==
+                static_cast<std::int64_t>(payload.size_bytes()),
+        "load_store: header size fields inconsistent with dimensions in " +
+            path);
+  }
   in.read(reinterpret_cast<char*>(payload.data()),
           static_cast<std::streamsize>(payload.size_bytes()));
-  HYMV_CHECK_MSG(in.good(), "load_store: truncated payload in " + path);
+  HYMV_CHECK_MSG(in.good() && static_cast<std::size_t>(in.gcount()) ==
+                                  payload.size_bytes(),
+                 "load_store: truncated payload in " + path);
+  in.peek();
+  HYMV_CHECK_MSG(in.eof(),
+                 "load_store: trailing bytes after payload in " + path);
   return store;
+}
+
+core::ElementMatrixStore load_store(const std::string& path,
+                                    core::StoreLayout target) {
+  core::ElementMatrixStore store = load_store(path);
+  if (store.layout() == target) {
+    return store;
+  }
+  return store.convert_to(target);
 }
 
 }  // namespace hymv::io
