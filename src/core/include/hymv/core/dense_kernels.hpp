@@ -433,4 +433,220 @@ inline void emv_sym(EmvKernel kernel, const double* kp, std::size_t n,
   emv_sym_simd(kp, n, u, v);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-RHS panel kernels
+//
+// V = K_e U over a k-lane panel: U and V are n×k lane-interleaved (entry a
+// of lane j at [a*k + j]), the layout the ghost-padded panel DA produces,
+// so one E2L gather feeds all k lanes. The matrix is streamed ONCE per
+// panel — the whole point: arithmetic intensity grows ~k while matrix
+// traffic stays flat.
+//
+// The inner `omp simd` loop runs over the k contiguous lanes of one output
+// entry, so vector width comes from the panel itself — no padding, masks,
+// or per-layout intrinsics needed. kAvx therefore maps to the simd panel
+// kernel in every dispatch below: the lane dimension already vectorizes
+// perfectly and explicit intrinsics have nothing left to add.
+// ---------------------------------------------------------------------------
+
+/// Reference panel kernel: per-lane row dots (emv_scalar per lane).
+inline void emv_multi_scalar(const double* ke, std::size_t ld, std::size_t n,
+                             std::size_t k, const double* u, double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        sum += ke[c * ld + r] * u[c * k + j];
+      }
+      v[r * k + j] = sum;
+    }
+  }
+}
+
+/// Column-sweep panel kernel: each matrix entry is loaded once and fmadd'ed
+/// across all k lanes (unit stride in the panel).
+inline void emv_multi_simd(const double* ke, std::size_t ld, std::size_t n,
+                           std::size_t k, const double* u, double* v) {
+  for (std::size_t i = 0; i < n * k; ++i) {
+    v[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* uc = u + c * k;
+    const double* col = ke + c * ld;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a = col[r];
+      double* out = v + r * k;
+#pragma omp simd
+      for (std::size_t j = 0; j < k; ++j) {
+        out[j] += a * uc[j];
+      }
+    }
+  }
+}
+
+/// Dispatch on kernel flavor, panel variant (kAvx → simd, see above).
+inline void emv_multi(EmvKernel kernel, const double* ke, std::size_t ld,
+                      std::size_t n, std::size_t k, const double* u,
+                      double* v) {
+  if (kernel == EmvKernel::kScalar) {
+    emv_multi_scalar(ke, ld, n, k, u, v);
+    return;
+  }
+  emv_multi_simd(ke, ld, n, k, u, v);
+}
+
+/// fp32-storage panel kernel (double accumulation, like emv_f32_*).
+inline void emv_f32_multi(EmvKernel kernel, const float* ke, std::size_t ld,
+                          std::size_t n, std::size_t k, const double* u,
+                          double* v) {
+  if (kernel == EmvKernel::kScalar) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t j = 0; j < k; ++j) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+          sum += static_cast<double>(ke[c * ld + r]) * u[c * k + j];
+        }
+        v[r * k + j] = sum;
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n * k; ++i) {
+    v[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* uc = u + c * k;
+    const float* col = ke + c * ld;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a = static_cast<double>(col[r]);
+      double* out = v + r * k;
+#pragma omp simd
+      for (std::size_t j = 0; j < k; ++j) {
+        out[j] += a * uc[j];
+      }
+    }
+  }
+}
+
+/// Symmetric-packed panel kernel: each stored upper entry (r, c) feeds both
+/// v[r] += K·u[c] and the mirrored v[c] += K·u[r] across all lanes before
+/// moving on — the triangle is streamed once per panel.
+inline void emv_sym_multi(EmvKernel kernel, const double* kp, std::size_t n,
+                          std::size_t k, const double* u, double* v) {
+  if (kernel == EmvKernel::kScalar) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t j = 0; j < k; ++j) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c <= r; ++c) {
+          sum += kp[sym_packed_index(c, r)] * u[c * k + j];
+        }
+        for (std::size_t c = r + 1; c < n; ++c) {
+          sum += kp[sym_packed_index(r, c)] * u[c * k + j];
+        }
+        v[r * k + j] = sum;
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n * k; ++i) {
+    v[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* col = kp + sym_packed_index(0, c);
+    const double* uc = u + c * k;
+    double* vc = v + c * k;
+    for (std::size_t r = 0; r < c; ++r) {
+      const double a = col[r];
+      const double* ur = u + r * k;
+      double* vr = v + r * k;
+#pragma omp simd
+      for (std::size_t j = 0; j < k; ++j) {
+        vr[j] += a * uc[j];
+        vc[j] += a * ur[j];
+      }
+    }
+    const double d = col[c];
+#pragma omp simd
+    for (std::size_t j = 0; j < k; ++j) {
+      vc[j] += d * uc[j];
+    }
+  }
+}
+
+/// Interleaved-batch panel kernel: the batch panel carries the k lanes of
+/// batch element l's entry a at ub[(a*kIlvLanes + l)*k + j] — i.e. the DA's
+/// lane-interleaved runs, gathered per batch element. Each stored matrix
+/// entry (kIlvLanes elements' worth) is loaded once and applied to all k
+/// lanes of all batch elements.
+inline void emv_interleaved_batch_multi(EmvKernel kernel, const double* keb,
+                                        std::size_t n, std::size_t k,
+                                        const double* ub, double* vb) {
+  if (kernel == EmvKernel::kScalar) {
+    for (std::size_t l = 0; l < kIlvLanes; ++l) {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t j = 0; j < k; ++j) {
+          double sum = 0.0;
+          for (std::size_t c = 0; c < n; ++c) {
+            sum += keb[(c * n + r) * kIlvLanes + l] *
+                   ub[(c * kIlvLanes + l) * k + j];
+          }
+          vb[(r * kIlvLanes + l) * k + j] = sum;
+        }
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n * kIlvLanes * k; ++i) {
+    vb[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* entry = keb + (c * n + r) * kIlvLanes;
+      for (std::size_t l = 0; l < kIlvLanes; ++l) {
+        const double a = entry[l];
+        const double* uc = ub + (c * kIlvLanes + l) * k;
+        double* out = vb + (r * kIlvLanes + l) * k;
+#pragma omp simd
+        for (std::size_t j = 0; j < k; ++j) {
+          out[j] += a * uc[j];
+        }
+      }
+    }
+  }
+}
+
+/// Single-element panel fallback for batch tails / non-contiguous runs:
+/// lane l of the interleaved batch at keb, applied to an n×k panel.
+inline void emv_interleaved_lane_multi(EmvKernel kernel, const double* keb,
+                                       std::size_t n, std::size_t l,
+                                       std::size_t k, const double* u,
+                                       double* v) {
+  if (kernel == EmvKernel::kScalar) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t j = 0; j < k; ++j) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+          sum += keb[(c * n + r) * kIlvLanes + l] * u[c * k + j];
+        }
+        v[r * k + j] = sum;
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n * k; ++i) {
+    v[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* uc = u + c * k;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double a = keb[(c * n + r) * kIlvLanes + l];
+      double* out = v + r * k;
+#pragma omp simd
+      for (std::size_t j = 0; j < k; ++j) {
+        out[j] += a * uc[j];
+      }
+    }
+  }
+}
+
 }  // namespace hymv::core

@@ -138,6 +138,30 @@ class ElementMatrixStore {
   void emv_batch(EmvKernel kernel, std::int64_t first_elem, const double* uei,
                  double* vei) const;
 
+  /// Panel EMV: V_e = K_e U_e over a k-lane panel, dispatched on layout.
+  /// ue/ve are ndofs × k lane-interleaved (entry a of lane j at [a*k + j]);
+  /// ve is overwritten. The element matrix is streamed once for all k
+  /// lanes — the multi-RHS arithmetic-intensity win.
+  void emv_multi(EmvKernel kernel, std::int64_t e, std::size_t k,
+                 const double* ue, double* ve) const;
+  /// Panel EMV over the full interleaved batch at `first_elem` (which must
+  /// satisfy full_batch_at). uei/vei carry the k lanes of batch element l's
+  /// entry a at [(a*kBatchElems + l)*k + j]. Same batch-vs-single decision
+  /// contract as emv_batch: callers decide per schedule block, never per
+  /// thread.
+  void emv_batch_multi(EmvKernel kernel, std::int64_t first_elem,
+                       std::size_t k, const double* uei, double* vei) const;
+
+  /// Bytes one element's *panel* EMV streams for a k-lane panel: the
+  /// matrix-side traffic (load + accumulator RMW) is charged ONCE — it is
+  /// identical to the single-RHS term — while each extra lane only adds
+  /// vector traffic, which HymvOperator accounts separately. Keeping the
+  /// matrix term k-independent is exactly what makes apply_bytes_multi's
+  /// arithmetic intensity grow ~k.
+  [[nodiscard]] std::int64_t emv_panel_traffic_bytes_per_elem() const {
+    return emv_traffic_bytes_per_elem();
+  }
+
   /// Re-encode the whole store into `target` layout (element-wise
   /// get()/set(); throws if target is kSymPacked and the contents are not
   /// symmetric). Converting away from kFp32 keeps the rounded values.

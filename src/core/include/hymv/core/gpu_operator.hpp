@@ -69,6 +69,13 @@ class HymvGpuOperator final : public pla::LinearOperator {
   }
   void apply(simmpi::Comm& comm, const pla::DistVector& x,
              pla::DistVector& y) override;
+  /// Panel SPMV on the device: per-apply element *panels* (n × k per
+  /// element, lane-interleaved) chunk across the streams and feed the
+  /// batched multi-RHS kernels — the resident element matrices are read
+  /// once per panel, so the modeled kernel time per lane drops as k grows.
+  /// Same three overlap modes as apply().
+  void apply_multi(simmpi::Comm& comm, const pla::DistMultiVector& x,
+                   pla::DistMultiVector& y) override;
   std::vector<double> diagonal(simmpi::Comm& comm) override {
     return host_op_.diagonal(comm);
   }
@@ -80,6 +87,12 @@ class HymvGpuOperator final : public pla::LinearOperator {
   }
   [[nodiscard]] std::int64_t apply_bytes() const override {
     return host_op_.apply_bytes();
+  }
+  [[nodiscard]] std::int64_t apply_flops_multi(int nrhs) const override {
+    return host_op_.apply_flops_multi(nrhs);
+  }
+  [[nodiscard]] std::int64_t apply_bytes_multi(int nrhs) const override {
+    return host_op_.apply_bytes_multi(nrhs);
   }
 
   /// Host-side HYMV operator (shared maps/store).
@@ -104,6 +117,15 @@ class HymvGpuOperator final : public pla::LinearOperator {
   /// Accumulate element result vectors for the range into the v array.
   void accumulate_ve(std::int64_t first, std::int64_t count);
 
+  /// Panel twins: element panels of n × k lane-interleaved doubles per
+  /// slot, fed to the batched multi-RHS device kernels.
+  void enqueue_range_multi(std::int64_t first, std::int64_t count, int k);
+  void pack_ue_multi(std::int64_t first, std::int64_t count, int k);
+  void accumulate_ve_multi(std::int64_t first, std::int64_t count, int k);
+  /// (Re)size the width-k panel DAs + host/device panel buffers; no-op
+  /// when already sized for k.
+  void ensure_multi_buffers(int k);
+
   HymvGpuOptions options_;
   HymvOperator host_op_;
   gpu::Device* device_;
@@ -124,6 +146,16 @@ class HymvGpuOperator final : public pla::LinearOperator {
   DistributedArray u_da_;
   DistributedArray v_da_;
   std::vector<double> ghost_buf_;
+  /// Width-k panel state, lazily created on the first apply_multi of each
+  /// width (device panel buffers are reallocated when k changes).
+  std::unique_ptr<DistributedArray> u_mda_;
+  std::unique_ptr<DistributedArray> v_mda_;
+  std::vector<double> ghost_panel_buf_;
+  gpu::DeviceBuffer d_ue_m_;
+  gpu::DeviceBuffer d_ve_m_;
+  hymv::aligned_vector<double> h_ue_m_;
+  hymv::aligned_vector<double> h_ve_m_;
+  int multi_width_ = 0;
   double setup_upload_virtual_s_ = 0.0;
   double staging_s_ = 0.0;  ///< per-apply pack/accumulate CPU time
   GpuApplyTimings timings_;

@@ -46,7 +46,18 @@ struct HymvOptions {
   /// this at operator construction. The restart constructor adopts the
   /// loaded store's layout instead (convert via io::load_store).
   StoreLayout layout = StoreLayout::kPadded;
+  /// Default panel width the driver feeds apply_multi (the benchmark /
+  /// solver knob; apply_multi itself always honors the panel it is given).
+  /// The HYMV_NRHS environment variable, when set, overrides this at
+  /// operator construction (validated: integers in [1, 64]).
+  int nrhs = 1;
 };
+
+/// Resolve the HYMV_NRHS environment override through the validated
+/// env_int path (trailing garbage / out-of-range text already rejected
+/// there), then range-check to [1, 64]: warns to stderr and returns
+/// `fallback` on a value outside the panel widths the kernels support.
+[[nodiscard]] int nrhs_from_env(int fallback);
 
 /// Wall-clock decomposition of the setup phase, matching the paper's
 /// stacked setup bars (Fig. 5/7): element-matrix computation vs. the local
@@ -98,6 +109,17 @@ class HymvOperator final : public pla::LinearOperator {
   /// Algorithm 2: overlapped element-by-element SPMV.
   void apply(simmpi::Comm& comm, const pla::DistVector& x,
              pla::DistVector& y) override;
+  /// Panel SPMV: Algorithm 2 over a k-lane panel. The element-matrix
+  /// stream — the bandwidth bound of apply() — is traversed ONCE for all k
+  /// lanes: each element gathers an ndofs×k panel through the same E2L
+  /// indices, runs the layout's panel EMV kernel, and scatter-adds under
+  /// the same colored schedule, so serial and threaded execution stay
+  /// bitwise identical for every k. Ghosts move as whole panels: one
+  /// message per neighbor per direction. kBufferReduce has no multi
+  /// variant — the panel path falls back to the serial traversal for it
+  /// (the colored schedule is the supported threaded mode).
+  void apply_multi(simmpi::Comm& comm, const pla::DistMultiVector& x,
+                   pla::DistMultiVector& y) override;
   std::vector<double> diagonal(simmpi::Comm& comm) override;
   /// Assembles only the owned diagonal block (for block-Jacobi) — the one
   /// place HYMV performs (block-local) assembly, as the paper notes in §V-F.
@@ -139,6 +161,13 @@ class HymvOperator final : public pla::LinearOperator {
   /// Streamed bytes per apply: stored matrices + element vectors + DA
   /// gather/scatter traffic (analytic, for the roofline placement).
   [[nodiscard]] std::int64_t apply_bytes() const override;
+  /// k × apply_flops(): every lane performs the full EMV flop count.
+  [[nodiscard]] std::int64_t apply_flops_multi(int nrhs) const override;
+  /// k-true traffic of one panel apply: the matrix-side stream is charged
+  /// once (it does not grow with k), only the element-vector and DA panel
+  /// traffic scale with k — so AI grows ~k. Reduces exactly to
+  /// apply_bytes() at nrhs == 1.
+  [[nodiscard]] std::int64_t apply_bytes_multi(int nrhs) const override;
 
  private:
   /// EMV over one element set: gather u_e, v_e = K_e u_e, scatter-add v_e
@@ -158,6 +187,19 @@ class HymvOperator final : public pla::LinearOperator {
   /// per-thread workspaces of ndofs × kBatchElems doubles.
   void emv_range(std::span<const std::int64_t> order, std::int64_t begin,
                  std::int64_t end, double* ue, double* ve);
+
+  /// Panel twins of emv_loop/emv_range: identical traversal and batching
+  /// decisions (block-boundary-only), panels of k lanes per DoF. ue/ve are
+  /// per-thread workspaces of ndofs × kBatchElems × k doubles.
+  void emv_loop_multi(const ElementSchedule& sched,
+                      std::span<const std::int64_t> elements, int k);
+  void emv_range_multi(std::span<const std::int64_t> order,
+                       std::int64_t begin, std::int64_t end, std::size_t k,
+                       double* ue, double* ve);
+
+  /// (Re)allocate the width-k panel DAs + ghost panel scratch; no-op when
+  /// already sized for k.
+  void ensure_multi_buffers(int k);
 
   /// Scatter-add the stored diagonal entries of one element set into v_da_,
   /// colored-threaded under the same rules as emv_loop.
@@ -189,6 +231,12 @@ class HymvOperator final : public pla::LinearOperator {
   DistributedArray u_da_;
   DistributedArray v_da_;
   std::vector<double> ghost_buf_;
+  /// Width-k panel DAs + ghost panel scratch, lazily created by the first
+  /// apply_multi of each width (most apps use one k for a whole solve).
+  std::unique_ptr<DistributedArray> u_mda_;
+  std::unique_ptr<DistributedArray> v_mda_;
+  std::vector<double> ghost_panel_buf_;
+  int multi_width_ = 0;
   ElementSchedule indep_sched_;  ///< colored schedule, independent set
   ElementSchedule dep_sched_;    ///< colored schedule, dependent set
   std::vector<hymv::aligned_vector<double>> thread_bufs_;  ///< kBufferReduce

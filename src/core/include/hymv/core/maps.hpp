@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hymv/common/aligned.hpp"
+#include "hymv/common/error.hpp"
 #include "hymv/mesh/distributed.hpp"
 #include "hymv/pla/dist_vector.hpp"
 #include "hymv/pla/ghost_exchange.hpp"
@@ -99,24 +100,35 @@ class DofMaps {
 
 /// Distributed array (paper §IV-C): ghost-padded local vector with layout
 /// [pre-ghost | owned | post-ghost], aligned for the SIMD kernels.
+///
+/// `width` > 1 turns the DA into a ghost-padded *panel*: every node slot
+/// holds `width` lane-interleaved values (entry i of lane j lives at
+/// i*width + j), so the E2L gather of one element pulls a contiguous
+/// `width`-wide run per DoF — the layout the multi-RHS panel kernels eat.
 class DistributedArray {
  public:
-  explicit DistributedArray(const DofMaps& maps)
+  explicit DistributedArray(const DofMaps& maps, int width = 1)
       : maps_(&maps),
-        v_(static_cast<std::size_t>(maps.da_size()), 0.0) {}
+        width_(width),
+        v_(static_cast<std::size_t>(maps.da_size() * width), 0.0) {
+    HYMV_CHECK_MSG(width >= 1, "DistributedArray: width must be >= 1");
+  }
+
+  [[nodiscard]] int width() const { return width_; }
 
   [[nodiscard]] std::span<double> all() { return v_; }
   [[nodiscard]] std::span<const double> all() const { return v_; }
   [[nodiscard]] std::span<double> owned() {
-    return {v_.data() + maps_->n_pre(),
-            static_cast<std::size_t>(maps_->n_owned())};
+    return {v_.data() + maps_->n_pre() * width_,
+            static_cast<std::size_t>(maps_->n_owned() * width_)};
   }
   [[nodiscard]] std::span<const double> owned() const {
-    return {v_.data() + maps_->n_pre(),
-            static_cast<std::size_t>(maps_->n_owned())};
+    return {v_.data() + maps_->n_pre() * width_,
+            static_cast<std::size_t>(maps_->n_owned() * width_)};
   }
   /// Ghost slots in exchange order (pre then post): pre is the DA prefix,
-  /// post is the DA suffix.
+  /// post is the DA suffix. For width > 1 the spans are lane-interleaved
+  /// panels (`width` values per ghost DoF).
   void load_ghosts(std::span<const double> ghost_vals);
   /// Copy the DA's ghost slots out in exchange order.
   void store_ghosts(std::span<double> ghost_vals) const;
@@ -125,6 +137,7 @@ class DistributedArray {
 
  private:
   const DofMaps* maps_;
+  int width_ = 1;
   hymv::aligned_vector<double> v_;
 };
 

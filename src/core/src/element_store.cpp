@@ -312,6 +312,50 @@ void ElementMatrixStore::emv_batch(EmvKernel kernel, std::int64_t first_elem,
       static_cast<std::size_t>(ndofs_), uei, vei);
 }
 
+void ElementMatrixStore::emv_multi(EmvKernel kernel, std::int64_t e,
+                                   std::size_t k, const double* ue,
+                                   double* ve) const {
+  const auto n = static_cast<std::size_t>(ndofs_);
+  const auto ld = static_cast<std::size_t>(ld_);
+  switch (layout_) {
+    case StoreLayout::kPadded:
+      core::emv_multi(kernel,
+                      data_.data() + static_cast<std::size_t>(e * stride_), ld,
+                      n, k, ue, ve);
+      return;
+    case StoreLayout::kFp32:
+      emv_f32_multi(kernel,
+                    data32_.data() + static_cast<std::size_t>(e * stride_), ld,
+                    n, k, ue, ve);
+      return;
+    case StoreLayout::kInterleaved:
+      emv_interleaved_lane_multi(
+          kernel,
+          data_.data() + static_cast<std::size_t>(e / kBatchElems * stride_ *
+                                                  kBatchElems),
+          n, static_cast<std::size_t>(e % kBatchElems), k, ue, ve);
+      return;
+    case StoreLayout::kSymPacked:
+      emv_sym_multi(kernel,
+                    data_.data() + static_cast<std::size_t>(e * stride_), n, k,
+                    ue, ve);
+      return;
+  }
+}
+
+void ElementMatrixStore::emv_batch_multi(EmvKernel kernel,
+                                         std::int64_t first_elem,
+                                         std::size_t k, const double* uei,
+                                         double* vei) const {
+  HYMV_CHECK_MSG(full_batch_at(first_elem),
+                 "ElementMatrixStore::emv_batch_multi: not a full batch start");
+  emv_interleaved_batch_multi(
+      kernel,
+      data_.data() + static_cast<std::size_t>(first_elem / kBatchElems *
+                                              stride_ * kBatchElems),
+      static_cast<std::size_t>(ndofs_), k, uei, vei);
+}
+
 ElementMatrixStore ElementMatrixStore::convert_to(StoreLayout target) const {
   ElementMatrixStore out(num_elements_, ndofs_, target);
   const auto n = static_cast<std::size_t>(ndofs_);

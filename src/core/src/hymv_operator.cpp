@@ -1,14 +1,27 @@
 #include "hymv/core/hymv_operator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
 
 namespace hymv::core {
+
+int nrhs_from_env(int fallback) {
+  const std::int64_t value = hymv::env_int("HYMV_NRHS", fallback);
+  if (value < 1 || value > 64) {
+    std::fprintf(stderr,
+                 "hymv: ignoring HYMV_NRHS=%lld (expected 1..64); using %d\n",
+                 static_cast<long long>(value), fallback);
+    return fallback;
+  }
+  return static_cast<int>(value);
+}
 
 DofMaps HymvOperator::build_maps_timed(simmpi::Comm& comm,
                                        const mesh::MeshPartition& part,
@@ -48,6 +61,7 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
                  "operator");
   options_.schedule = thread_schedule_from_env(options_.schedule);
   options_.layout = store_.layout();  // reflect the env override
+  options_.nrhs = nrhs_from_env(options_.nrhs);
   build_schedules();
   // Element-matrix computation + local copy (the HYMV "setup" the paper
   // times against PETSc's global assembly).
@@ -89,6 +103,7 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
                  "HymvOperator: adopted store has wrong matrix size");
   options_.schedule = thread_schedule_from_env(options_.schedule);
   options_.layout = store_.layout();  // the adopted store dictates layout
+  options_.nrhs = nrhs_from_env(options_.nrhs);
   build_schedules();
 }
 
@@ -324,6 +339,190 @@ void HymvOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
   ++apply_.applies;
 }
 
+void HymvOperator::ensure_multi_buffers(int k) {
+  if (multi_width_ == k) {
+    return;
+  }
+  u_mda_ = std::make_unique<DistributedArray>(maps_, k);
+  v_mda_ = std::make_unique<DistributedArray>(maps_, k);
+  ghost_panel_buf_.assign(
+      static_cast<std::size_t>((maps_.n_pre() + maps_.n_post()) * k), 0.0);
+  multi_width_ = k;
+}
+
+void HymvOperator::emv_range_multi(std::span<const std::int64_t> order,
+                                   std::int64_t begin, std::int64_t end,
+                                   std::size_t k, double* ue, double* ve) {
+  constexpr std::int64_t kB = ElementMatrixStore::kBatchElems;
+  const auto kBu = static_cast<std::size_t>(kB);
+  const auto n = static_cast<std::size_t>(store_.ndofs());
+  const std::span<double> v = v_mda_->all();
+  const std::span<const double> u = u_mda_->all();
+
+  std::int64_t i = begin;
+  while (i < end) {
+    const std::int64_t e = order[static_cast<std::size_t>(i)];
+    if (i + kB <= end && store_.full_batch_at(e)) {
+      // Same batch condition as emv_range — driven only by the block
+      // boundaries and the stored element order, never by the executing
+      // thread, which is what keeps serial and threaded traversals
+      // bitwise identical at every k.
+      bool run = true;
+      for (std::int64_t l = 1; l < kB; ++l) {
+        run = run && order[static_cast<std::size_t>(i + l)] == e + l;
+      }
+      if (run) {
+        for (std::int64_t l = 0; l < kB; ++l) {
+          const auto e2l = maps_.e2l(e + l);
+          for (std::size_t a = 0; a < n; ++a) {
+            const double* src =
+                u.data() + static_cast<std::size_t>(e2l[a]) * k;
+            double* dst = ue + (a * kBu + static_cast<std::size_t>(l)) * k;
+            for (std::size_t j = 0; j < k; ++j) {
+              dst[j] = src[j];
+            }
+          }
+        }
+        store_.emv_batch_multi(options_.kernel, e, k, ue, ve);
+        for (std::int64_t l = 0; l < kB; ++l) {
+          const auto e2l = maps_.e2l(e + l);
+          for (std::size_t a = 0; a < n; ++a) {
+            double* dst = v.data() + static_cast<std::size_t>(e2l[a]) * k;
+            const double* src =
+                ve + (a * kBu + static_cast<std::size_t>(l)) * k;
+            for (std::size_t j = 0; j < k; ++j) {
+              dst[j] += src[j];
+            }
+          }
+        }
+        i += kB;
+        continue;
+      }
+    }
+    const auto e2l = maps_.e2l(e);
+    for (std::size_t a = 0; a < n; ++a) {  // gather the ndofs × k panel
+      const double* src = u.data() + static_cast<std::size_t>(e2l[a]) * k;
+      double* dst = ue + a * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        dst[j] = src[j];
+      }
+    }
+    store_.emv_multi(options_.kernel, e, k, ue, ve);
+    for (std::size_t a = 0; a < n; ++a) {  // scatter-add the v_e panel
+      double* dst = v.data() + static_cast<std::size_t>(e2l[a]) * k;
+      const double* src = ve + a * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        dst[j] += src[j];
+      }
+    }
+    ++i;
+  }
+}
+
+void HymvOperator::emv_loop_multi(const ElementSchedule& sched,
+                                  std::span<const std::int64_t> elements,
+                                  int k) {
+  const auto n = static_cast<std::size_t>(store_.ndofs());
+  const auto ku = static_cast<std::size_t>(k);
+  const std::size_t ws =
+      n * static_cast<std::size_t>(ElementMatrixStore::kBatchElems) * ku;
+
+  if (options_.schedule == ThreadSchedule::kColored) {
+    const std::span<const std::int64_t> order = sched.order();
+    hymv::Timer timer;
+#ifdef _OPENMP
+    if (threading_active()) {
+#pragma omp parallel
+      {
+        hymv::aligned_vector<double> ue(ws), ve(ws);
+        for (int c = 0; c < sched.num_colors(); ++c) {
+          const std::span<const ElementSchedule::Block> blocks =
+              sched.blocks(c);
+#pragma omp for schedule(dynamic, 1)
+          for (std::int64_t b = 0;
+               b < static_cast<std::int64_t>(blocks.size()); ++b) {
+            const ElementSchedule::Block& blk =
+                blocks[static_cast<std::size_t>(b)];
+            emv_range_multi(order, blk.begin, blk.end, ku, ue.data(),
+                            ve.data());
+          }
+        }
+      }
+      apply_.emv_s += timer.elapsed_s();
+      return;
+    }
+#endif
+    // Serial color-major traversal — bitwise identical to the threaded
+    // path above, exactly as in emv_loop.
+    hymv::aligned_vector<double> ue(ws), ve(ws);
+    for (int c = 0; c < sched.num_colors(); ++c) {
+      for (const ElementSchedule::Block& blk : sched.blocks(c)) {
+        emv_range_multi(order, blk.begin, blk.end, ku, ue.data(), ve.data());
+      }
+    }
+    apply_.emv_s += timer.elapsed_s();
+    return;
+  }
+
+  // kSerial — and kBufferReduce, which has no panel variant (per-thread
+  // panel buffers would cost nthreads × da_size × k doubles per apply;
+  // the colored schedule is the supported threaded mode): plain
+  // element-order traversal.
+  hymv::Timer timer;
+  hymv::aligned_vector<double> ue(ws), ve(ws);
+  emv_range_multi(elements, 0, static_cast<std::int64_t>(elements.size()), ku,
+                  ue.data(), ve.data());
+  apply_.emv_s += timer.elapsed_s();
+}
+
+void HymvOperator::apply_multi(simmpi::Comm& comm,
+                               const pla::DistMultiVector& x,
+                               pla::DistMultiVector& y) {
+  const int k = x.width();
+  HYMV_CHECK_MSG(k >= 1 && y.width() == k,
+                 "HymvOperator::apply_multi: panel width mismatch");
+  HYMV_CHECK_MSG(x.owned_size() == maps_.n_owned() &&
+                     y.owned_size() == maps_.n_owned(),
+                 "HymvOperator::apply_multi: vector size mismatch");
+  ensure_multi_buffers(k);
+  // The panel DA and DistMultiVector share the lane-interleaved layout, so
+  // staging is one contiguous copy.
+  std::copy(x.values().begin(), x.values().end(), u_mda_->owned().begin());
+  v_mda_->fill(0.0);
+
+  hymv::Timer timer;
+  if (options_.overlap) {
+    timer.restart();
+    maps_.exchange().forward_begin_multi(comm, x.values(), k);
+    apply_.lnsm_s += timer.elapsed_s();
+    emv_loop_multi(indep_sched_,  // overlap with communication
+                   maps_.independent_elements(), k);
+    timer.restart();
+    maps_.exchange().forward_end_multi(comm);
+    u_mda_->load_ghosts(maps_.exchange().ghost_panel());
+    apply_.lnsm_s += timer.elapsed_s();
+    emv_loop_multi(dep_sched_, maps_.dependent_elements(), k);
+  } else {
+    timer.restart();
+    maps_.exchange().forward_begin_multi(comm, x.values(), k);
+    maps_.exchange().forward_end_multi(comm);
+    u_mda_->load_ghosts(maps_.exchange().ghost_panel());
+    apply_.lnsm_s += timer.elapsed_s();
+    emv_loop_multi(indep_sched_, maps_.independent_elements(), k);
+    emv_loop_multi(dep_sched_, maps_.dependent_elements(), k);
+  }
+
+  // GNGM over whole panels: one message per neighbor per direction.
+  timer.restart();
+  v_mda_->store_ghosts(ghost_panel_buf_);
+  maps_.exchange().reverse_begin_multi(comm, ghost_panel_buf_, k);
+  std::copy(v_mda_->owned().begin(), v_mda_->owned().end(),
+            y.values().begin());
+  maps_.exchange().reverse_end_multi(comm, y.values());
+  apply_.gngm_s += timer.elapsed_s();
+  ++apply_.applies;
+}
+
 void HymvOperator::diagonal_loop(const ElementSchedule& sched,
                                  std::span<const std::int64_t> elements) {
   const auto n = static_cast<std::size_t>(store_.ndofs());
@@ -493,6 +692,21 @@ std::int64_t HymvOperator::apply_bytes() const {
   const std::int64_t per_elem =
       store_.emv_traffic_bytes_per_elem() + 40 * n;
   return maps_.num_elements() * per_elem + maps_.da_size() * 16;
+}
+
+std::int64_t HymvOperator::apply_flops_multi(int nrhs) const {
+  return apply_flops() * nrhs;
+}
+
+std::int64_t HymvOperator::apply_bytes_multi(int nrhs) const {
+  // The matrix-side stream (K_e load + v_e accumulator RMW) is charged
+  // once per panel — it is what the multi-RHS path amortizes — while the
+  // u_e gather / v_e scatter (40 B per DoF per lane) and the DA panel
+  // traffic scale with k. Identical to apply_bytes() at nrhs == 1.
+  const auto n = static_cast<std::int64_t>(store_.ndofs());
+  const std::int64_t per_elem =
+      store_.emv_panel_traffic_bytes_per_elem() + nrhs * 40 * n;
+  return maps_.num_elements() * per_elem + maps_.da_size() * 16 * nrhs;
 }
 
 }  // namespace hymv::core

@@ -76,22 +76,24 @@ DofMaps::DofMaps(simmpi::Comm& comm, const mesh::MeshPartition& part,
 }
 
 void DistributedArray::load_ghosts(std::span<const double> ghost_vals) {
-  const auto n_pre = static_cast<std::size_t>(maps_->n_pre());
-  const auto n_post = static_cast<std::size_t>(maps_->n_post());
+  const auto w = static_cast<std::size_t>(width_);
+  const auto n_pre = static_cast<std::size_t>(maps_->n_pre()) * w;
+  const auto n_post = static_cast<std::size_t>(maps_->n_post()) * w;
   HYMV_CHECK_MSG(ghost_vals.size() == n_pre + n_post,
                  "DistributedArray::load_ghosts: size mismatch");
   std::copy_n(ghost_vals.data(), n_pre, v_.data());
   std::copy_n(ghost_vals.data() + n_pre, n_post,
-              v_.data() + maps_->n_pre() + maps_->n_owned());
+              v_.data() + (maps_->n_pre() + maps_->n_owned()) * width_);
 }
 
 void DistributedArray::store_ghosts(std::span<double> ghost_vals) const {
-  const auto n_pre = static_cast<std::size_t>(maps_->n_pre());
-  const auto n_post = static_cast<std::size_t>(maps_->n_post());
+  const auto w = static_cast<std::size_t>(width_);
+  const auto n_pre = static_cast<std::size_t>(maps_->n_pre()) * w;
+  const auto n_post = static_cast<std::size_t>(maps_->n_post()) * w;
   HYMV_CHECK_MSG(ghost_vals.size() == n_pre + n_post,
                  "DistributedArray::store_ghosts: size mismatch");
   std::copy_n(v_.data(), n_pre, ghost_vals.data());
-  std::copy_n(v_.data() + maps_->n_pre() + maps_->n_owned(), n_post,
+  std::copy_n(v_.data() + (maps_->n_pre() + maps_->n_owned()) * width_, n_post,
               ghost_vals.data() + n_pre);
 }
 

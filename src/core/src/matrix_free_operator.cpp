@@ -107,6 +107,124 @@ void MatrixFreeOperator::emv_loop(const ElementSchedule& sched,
   }
 }
 
+void MatrixFreeOperator::emv_loop_multi(const ElementSchedule& sched,
+                                        std::span<const std::int64_t> elements,
+                                        int k) {
+  const auto n = static_cast<std::size_t>(op_->num_dofs());
+  const auto nper = static_cast<std::size_t>(op_->num_nodes());
+  const auto ku = static_cast<std::size_t>(k);
+  const std::span<double> v = v_mda_->all();
+  const std::span<const double> u = u_mda_->all();
+
+  const auto process = [&](std::int64_t e, std::vector<double>& ke,
+                           double* ue, double* ve) {
+    const auto e2l = maps_.e2l(e);
+    for (std::size_t a = 0; a < n; ++a) {  // gather the ndofs × k panel
+      const double* src = u.data() + static_cast<std::size_t>(e2l[a]) * ku;
+      double* dst = ue + a * ku;
+      for (std::size_t j = 0; j < ku; ++j) {
+        dst[j] = src[j];
+      }
+    }
+    // One recomputation serves all k lanes — the panel amortization.
+    op_->element_matrix(
+        std::span<const mesh::Point>(elem_coords_.data() + e * nper, nper),
+        ke);
+    emv_multi_simd(ke.data(), n, n, ku, ue, ve);
+    for (std::size_t a = 0; a < n; ++a) {
+      double* dst = v.data() + static_cast<std::size_t>(e2l[a]) * ku;
+      const double* src = ve + a * ku;
+      for (std::size_t j = 0; j < ku; ++j) {
+        dst[j] += src[j];
+      }
+    }
+  };
+
+  if (schedule_ == ThreadSchedule::kColored) {
+    const std::span<const std::int64_t> order = sched.order();
+#ifdef _OPENMP
+    if (threading_active()) {
+#pragma omp parallel
+      {
+        std::vector<double> ke(n * n);
+        hymv::aligned_vector<double> ue(n * ku), ve(n * ku);
+        for (int c = 0; c < sched.num_colors(); ++c) {
+          const std::span<const ElementSchedule::Block> blocks =
+              sched.blocks(c);
+#pragma omp for schedule(dynamic, 1)
+          for (std::int64_t b = 0;
+               b < static_cast<std::int64_t>(blocks.size()); ++b) {
+            const ElementSchedule::Block& blk =
+                blocks[static_cast<std::size_t>(b)];
+            for (std::int64_t i = blk.begin; i < blk.end; ++i) {
+              process(order[static_cast<std::size_t>(i)], ke, ue.data(),
+                      ve.data());
+            }
+          }
+        }
+      }
+      return;
+    }
+#endif
+    // Same color-major order serially → bitwise identical to threaded.
+    std::vector<double> ke(n * n);
+    hymv::aligned_vector<double> ue(n * ku), ve(n * ku);
+    for (const std::int64_t e : order) {
+      process(e, ke, ue.data(), ve.data());
+    }
+    return;
+  }
+
+  std::vector<double> ke(n * n);
+  hymv::aligned_vector<double> ue(n * ku), ve(n * ku);
+  for (const std::int64_t e : elements) {
+    process(e, ke, ue.data(), ve.data());
+  }
+}
+
+void MatrixFreeOperator::ensure_multi_buffers(int k) {
+  if (multi_width_ == k) {
+    return;
+  }
+  u_mda_ = std::make_unique<DistributedArray>(maps_, k);
+  v_mda_ = std::make_unique<DistributedArray>(maps_, k);
+  ghost_panel_buf_.assign(
+      static_cast<std::size_t>((maps_.n_pre() + maps_.n_post()) * k), 0.0);
+  multi_width_ = k;
+}
+
+void MatrixFreeOperator::apply_multi(simmpi::Comm& comm,
+                                     const pla::DistMultiVector& x,
+                                     pla::DistMultiVector& y) {
+  const int k = x.width();
+  HYMV_CHECK_MSG(k >= 1 && y.width() == k,
+                 "MatrixFreeOperator::apply_multi: panel width mismatch");
+  HYMV_CHECK_MSG(x.owned_size() == maps_.n_owned() &&
+                     y.owned_size() == maps_.n_owned(),
+                 "MatrixFreeOperator::apply_multi: size mismatch");
+  ensure_multi_buffers(k);
+  std::copy(x.values().begin(), x.values().end(), u_mda_->owned().begin());
+  v_mda_->fill(0.0);
+  if (overlap_) {
+    maps_.exchange().forward_begin_multi(comm, x.values(), k);
+    emv_loop_multi(indep_sched_, maps_.independent_elements(), k);
+    maps_.exchange().forward_end_multi(comm);
+    u_mda_->load_ghosts(maps_.exchange().ghost_panel());
+    emv_loop_multi(dep_sched_, maps_.dependent_elements(), k);
+  } else {
+    maps_.exchange().forward_begin_multi(comm, x.values(), k);
+    maps_.exchange().forward_end_multi(comm);
+    u_mda_->load_ghosts(maps_.exchange().ghost_panel());
+    emv_loop_multi(indep_sched_, maps_.independent_elements(), k);
+    emv_loop_multi(dep_sched_, maps_.dependent_elements(), k);
+  }
+  v_mda_->store_ghosts(ghost_panel_buf_);
+  maps_.exchange().reverse_begin_multi(comm, ghost_panel_buf_, k);
+  std::copy(v_mda_->owned().begin(), v_mda_->owned().end(),
+            y.values().begin());
+  maps_.exchange().reverse_end_multi(comm, y.values());
+}
+
 void MatrixFreeOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
                                pla::DistVector& y) {
   HYMV_CHECK_MSG(x.owned_size() == maps_.n_owned() &&
@@ -164,6 +282,22 @@ std::int64_t MatrixFreeOperator::apply_bytes() const {
   const std::int64_t per_elem =
       op_->matrix_traffic_bytes() + 24 * n * n + nper * 24 + 40 * n;
   return maps_.num_elements() * per_elem + maps_.da_size() * 16;
+}
+
+std::int64_t MatrixFreeOperator::apply_flops_multi(int nrhs) const {
+  // The recomputation flops are paid once per panel; only the EMV scales.
+  const auto n = static_cast<std::int64_t>(op_->num_dofs());
+  return maps_.num_elements() * (op_->matrix_flops() + nrhs * 2 * n * n);
+}
+
+std::int64_t MatrixFreeOperator::apply_bytes_multi(int nrhs) const {
+  // Recomputation traffic (quadrature loads + the K_e working-set sweep)
+  // charged once per panel; element-vector and DA traffic scale with k.
+  const auto n = static_cast<std::int64_t>(op_->num_dofs());
+  const auto nper = static_cast<std::int64_t>(op_->num_nodes());
+  const std::int64_t per_elem = op_->matrix_traffic_bytes() + 24 * n * n +
+                                nper * 24 + nrhs * 40 * n;
+  return maps_.num_elements() * per_elem + maps_.da_size() * 16 * nrhs;
 }
 
 }  // namespace hymv::core

@@ -155,6 +155,10 @@ struct SetupReport {
 struct SpmvReport {
   SetupReport setup;
   int napplies = 0;
+  /// Panel width the applies ran at (k simultaneous right-hand sides).
+  /// 1 means the classic single-vector path; >1 means apply_multi was
+  /// measured and flops/bytes use the k-true panel models.
+  int nrhs = 1;
   double spmv_wall_s = 0.0;     ///< wall time of the apply loop (this rank)
   double spmv_cpu_s = 0.0;      ///< thread-CPU seconds (per-rank work)
   double spmv_modeled_s = 0.0;  ///< GPU backends: overlap-aware modeled time

@@ -277,14 +277,39 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
         counters_setup1.messages_sent - counters_setup0.messages_sent;
   }
 
-  // Deterministic input.
+  // Panel width: options.hymv.nrhs (already HYMV_NRHS-resolved inside the
+  // HYMV operators' constructors, but resolve here too so every backend —
+  // including the lane-loop defaults — honors the env knob uniformly).
+  const int nrhs = core::nrhs_from_env(options.hymv.nrhs);
+  report.nrhs = nrhs;
+
+  // Deterministic input. The k=1 path is byte-identical to the historic
+  // single-vector measurement; panels extend the same sin pattern with a
+  // per-lane phase so lanes are distinct but reproducible.
   pla::DistVector x(op->layout()), y(op->layout());
   for (std::int64_t i = 0; i < x.owned_size(); ++i) {
     x[i] = std::sin(0.01 * static_cast<double>(op->layout().begin + i));
   }
+  pla::DistMultiVector xm(op->layout(), nrhs), ym(op->layout(), nrhs);
+  if (nrhs > 1) {
+    for (std::int64_t i = 0; i < xm.owned_size(); ++i) {
+      for (int j = 0; j < nrhs; ++j) {
+        xm.at(i, j) = std::sin(0.01 * static_cast<double>(
+                                          op->layout().begin + i) +
+                               0.1 * static_cast<double>(j));
+      }
+    }
+  }
+  const auto do_apply = [&] {
+    if (nrhs > 1) {
+      op->apply_multi(comm, xm, ym);
+    } else {
+      op->apply(comm, x, y);
+    }
+  };
 
   // Warm-up apply (touches all maps/buffers, fills caches).
-  op->apply(comm, x, y);
+  do_apply();
 
   // Reset GPU modeled timing / CPU phase breakdown after warm-up.
   if (hymv_cpu != nullptr) {
@@ -314,7 +339,7 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
     hymv::Timer wall;
     hymv::ThreadCpuTimer cpu;
     for (int k = 0; k < napplies; ++k) {
-      op->apply(comm, x, y);
+      do_apply();
     }
     report.spmv_wall_s = std::min(report.spmv_wall_s, wall.elapsed_s());
     report.spmv_cpu_s = std::min(report.spmv_cpu_s, cpu.elapsed_s());
@@ -333,8 +358,10 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
   if (hymv_cpu != nullptr) {
     report.hymv_apply = hymv_cpu->apply_breakdown();
   }
-  report.flops = op->apply_flops() * napplies;
-  report.bytes = op->apply_bytes() * napplies;
+  report.flops = (nrhs > 1 ? op->apply_flops_multi(nrhs) : op->apply_flops()) *
+                 napplies;
+  report.bytes = (nrhs > 1 ? op->apply_bytes_multi(nrhs) : op->apply_bytes()) *
+                 napplies;
   report.spmv_modeled_s = (hymv_gpu != nullptr || csr_gpu != nullptr)
                               ? gpu_modeled
                               : report.spmv_wall_s;

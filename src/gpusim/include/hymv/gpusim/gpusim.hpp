@@ -139,6 +139,24 @@ class Device {
                                const DeviceBuffer& u, DeviceBuffer& v,
                                std::size_t elem_offset = 0);
 
+  /// Multi-RHS batched EMV: like batched_emv, but each slot's u/v hold an
+  /// n × k lane-interleaved panel (entry a of lane j at slot_base + a·k+j,
+  /// slot_base = slot · n · k doubles). Each K_b is streamed once for all
+  /// k lanes. MAGMA batched GEMM (n × k) equivalent.
+  void batched_emv_multi(int stream, const DeviceBuffer& ke, std::size_t ld,
+                         std::size_t n, std::size_t k, std::size_t nbatch,
+                         const DeviceBuffer& u, DeviceBuffer& v,
+                         std::size_t elem_offset = 0);
+
+  /// Multi-RHS batched EMV over entry-interleaved matrix storage (see
+  /// batched_emv_interleaved for the layout); u/v slots are n × k
+  /// lane-interleaved panels as in batched_emv_multi.
+  void batched_emv_interleaved_multi(int stream, const DeviceBuffer& ke,
+                                     std::size_t n, std::size_t k,
+                                     std::size_t nbatch, const DeviceBuffer& u,
+                                     DeviceBuffer& v,
+                                     std::size_t elem_offset = 0);
+
   /// Upload a CSR matrix once (setup-time cost on the H2D engine of
   /// `stream`); returns a handle for csr_spmv.
   CsrHandle upload_csr(int stream, std::span<const std::int64_t> row_ptr,

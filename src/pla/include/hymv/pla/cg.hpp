@@ -7,7 +7,9 @@
 /// LinearOperator.
 
 #include <cstdint>
+#include <vector>
 
+#include "hymv/pla/dist_multi_vector.hpp"
 #include "hymv/pla/dist_vector.hpp"
 #include "hymv/pla/operator.hpp"
 #include "hymv/pla/preconditioner.hpp"
@@ -38,5 +40,19 @@ struct CgResult {
 CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
                   const DistVector& b, DistVector& x,
                   const CgOptions& options = {});
+
+/// Multi-RHS CG: solve A x_j = b_j for every lane j of the panel at once.
+/// One apply_multi() per iteration serves all lanes (the operator — HYMV's
+/// element-matrix stream — is traversed once per iteration instead of once
+/// per lane), while α/β/convergence stay *per lane*, so each lane walks
+/// exactly the Krylov trajectory its standalone cg_solve would. Converged
+/// (or broken-down) lanes are deflated: their x/r/p/z updates stop — frozen
+/// bitwise, like a finished standalone solve — and only the shared applies
+/// still touch them. Iteration stops when every lane is done. Collective.
+std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
+                                     Preconditioner& m,
+                                     const DistMultiVector& b,
+                                     DistMultiVector& x,
+                                     const CgOptions& options = {});
 
 }  // namespace hymv::pla

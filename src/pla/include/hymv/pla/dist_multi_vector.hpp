@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file dist_multi_vector.hpp
+/// Distributed multi-vector: k right-hand sides over one Layout, stored
+/// lane-interleaved — lane j of local DoF i lives at values()[i·k + j], so
+/// one DoF's k lanes are contiguous. That is the panel shape the batched
+/// HYMV kernels consume directly (gather a nodes×k panel per element, one
+/// K_e stream feeds k MACs per matrix entry) and the shape the panel ghost
+/// exchange ships: one message per neighbor carries k values per DoF.
+///
+/// Lane-wise reductions (dot_lanes, norm2_lanes) fold all k lanes into a
+/// single vector allreduce, so a k-lane block-CG iteration costs the same
+/// number of latency-bound collectives as a 1-lane iteration.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hymv/pla/dist_vector.hpp"
+#include "hymv/simmpi/simmpi.hpp"
+
+namespace hymv::pla {
+
+/// k interleaved lanes over the owned block of a Layout.
+class DistMultiVector {
+ public:
+  DistMultiVector() = default;
+  DistMultiVector(const Layout& layout, int width)
+      : layout_(layout),
+        width_(width),
+        v_(static_cast<std::size_t>(layout.owned() * width), 0.0) {}
+
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+  /// Number of lanes (right-hand sides) k.
+  [[nodiscard]] int width() const { return width_; }
+  /// Owned DoFs per lane (NOT the total scalar count).
+  [[nodiscard]] std::int64_t owned_size() const { return layout_.owned(); }
+
+  /// Lane-interleaved storage: lane j of DoF i at [i·width + j].
+  [[nodiscard]] std::span<double> values() { return v_; }
+  [[nodiscard]] std::span<const double> values() const { return v_; }
+
+  [[nodiscard]] double& at(std::int64_t local, int lane) {
+    return v_[static_cast<std::size_t>(local * width_ + lane)];
+  }
+  [[nodiscard]] double at(std::int64_t local, int lane) const {
+    return v_[static_cast<std::size_t>(local * width_ + lane)];
+  }
+
+  void set_all(double value) { std::fill(v_.begin(), v_.end(), value); }
+
+  /// Copy one lane in from / out to a single DistVector (same layout).
+  void set_lane(int lane, const DistVector& x);
+  void get_lane(int lane, DistVector& x) const;
+
+ private:
+  Layout layout_;
+  int width_ = 0;
+  std::vector<double> v_;
+};
+
+/// Per-lane global dot products: out[j] = Σ_i x(i,j)·y(i,j), all k lanes
+/// folded into ONE vector allreduce. out.size() must equal width.
+void dot_lanes(simmpi::Comm& comm, const DistMultiVector& x,
+               const DistMultiVector& y, std::span<double> out);
+
+/// Per-lane global 2-norms (one allreduce).
+void norm2_lanes(simmpi::Comm& comm, const DistMultiVector& x,
+                 std::span<double> out);
+
+/// y(·,j) += a[j]·x(·,j) for every lane with active[j] != 0. An empty
+/// `active` span means all lanes. Frozen (deflated) lanes are skipped
+/// outright — bitwise untouched, exactly as a converged standalone solve
+/// would leave them.
+void axpy_lanes(std::span<const double> a, const DistMultiVector& x,
+                DistMultiVector& y,
+                std::span<const unsigned char> active = {});
+
+/// y(·,j) = x(·,j) + b[j]·y(·,j) for active lanes (CG direction update).
+void xpby_lanes(const DistMultiVector& x, std::span<const double> b,
+                DistMultiVector& y,
+                std::span<const unsigned char> active = {});
+
+/// y = x (local copy; layouts and widths must match).
+void copy(const DistMultiVector& x, DistMultiVector& y);
+
+}  // namespace hymv::pla

@@ -77,8 +77,20 @@ class DistVector {
 /// y += a·x (local).
 void axpy(double a, const DistVector& x, DistVector& y);
 
+/// Fused y += a·x returning the global dot(y, y) of the updated y — one
+/// sweep instead of an axpy pass followed by a norm pass. The residual
+/// update + norm check of every Krylov iteration is exactly this shape.
+/// See the implementation comment for the (last-ulp) reassociation caveat.
+[[nodiscard]] double axpy_dot(simmpi::Comm& comm, double a,
+                              const DistVector& x, DistVector& y);
+
 /// y = x + b·y (local) — the CG direction update.
 void xpby(const DistVector& x, double b, DistVector& y);
+
+/// out = x + a·y (local), fusing the copy(x, out) + axpy(a, y, out) pair
+/// BiCGStab performs twice per iteration into one sweep.
+void xpay(const DistVector& x, double a, const DistVector& y,
+          DistVector& out);
 
 /// y = x (local copy; layouts must match).
 void copy(const DistVector& x, DistVector& y);

@@ -59,6 +59,33 @@ class GhostExchange {
     return ghost_vals_;
   }
 
+  // --- panel (multi-RHS) variants ----------------------------------------
+  //
+  // Width-parameterized forward/reverse exchange for lane-interleaved
+  // panels: `owned`/`ghost` spans hold `width` values per DoF (lane j of
+  // DoF i at [i·width + j]). Each neighbor still gets exactly ONE message
+  // per direction — it simply carries width values per DoF — so the
+  // latency (message-count) cost of a k-lane apply equals the 1-lane cost
+  // and only the bandwidth term scales with k.
+
+  /// Start the forward panel exchange. `owned` holds owned()·width values.
+  void forward_begin_multi(simmpi::Comm& comm, std::span<const double> owned,
+                           int width);
+  /// Finish: afterwards ghost_panel() holds num_ghosts()·width values,
+  /// lane-interleaved, aligned with ghost_ids().
+  void forward_end_multi(simmpi::Comm& comm);
+  [[nodiscard]] std::span<const double> ghost_panel() const {
+    return ghost_panel_;
+  }
+
+  /// Start sending `ghost_contrib` (num_ghosts()·width, lane-interleaved)
+  /// back to the owners.
+  void reverse_begin_multi(simmpi::Comm& comm,
+                           std::span<const double> ghost_contrib, int width);
+  /// Finish: incoming contributions are *added* into `owned`
+  /// (owned()·width, lane-interleaved).
+  void reverse_end_multi(simmpi::Comm& comm, std::span<double> owned);
+
   // --- reverse: ghosts → owned, summed (GNGM direction) -------------------
 
   /// Start sending `ghost_contrib` (aligned with ghost_ids()) back to the
@@ -81,17 +108,21 @@ class GhostExchange {
     int rank = -1;
     std::vector<std::int64_t> owned_locals;
     std::vector<double> buf;
+    std::vector<double> panel_buf;  ///< staging for the width-k variants
   };
   struct RecvPeer {
     int rank = -1;
     std::int64_t ghost_offset = 0;
     std::int64_t count = 0;
-    std::vector<double> buf;  ///< staging for reverse receives
+    std::vector<double> buf;        ///< staging for reverse receives
+    std::vector<double> panel_buf;  ///< staging for the width-k variants
   };
 
   Layout layout_;
   std::vector<std::int64_t> ghosts_;
   std::vector<double> ghost_vals_;
+  std::vector<double> ghost_panel_;  ///< width-k ghost values
+  int panel_width_ = 0;              ///< width of the in-flight panel op
   std::vector<SendPeer> send_peers_;
   std::vector<RecvPeer> recv_peers_;
   std::vector<simmpi::Request> pending_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hymv/pla/csr.hpp"
+#include "hymv/pla/dist_multi_vector.hpp"
 #include "hymv/pla/dist_vector.hpp"
 #include "hymv/simmpi/simmpi.hpp"
 
@@ -25,6 +26,14 @@ class LinearOperator {
   virtual void apply(simmpi::Comm& comm, const DistVector& x,
                      DistVector& y) = 0;
 
+  /// Y = A X over a k-lane panel (X.width() == Y.width()). Collective.
+  /// Default: loop over lanes through apply() — correct for every
+  /// operator, but it re-streams the operator k times. Backends with a
+  /// real panel path (HYMV, matrix-free, GPU) override this to stream the
+  /// operator once per panel.
+  virtual void apply_multi(simmpi::Comm& comm, const DistMultiVector& x,
+                           DistMultiVector& y);
+
   /// Owned diagonal entries, for the Jacobi preconditioner. Collective.
   virtual std::vector<double> diagonal(simmpi::Comm& comm) = 0;
 
@@ -37,6 +46,18 @@ class LinearOperator {
   [[nodiscard]] virtual std::int64_t apply_flops() const { return 0; }
   /// Bytes one apply() moves on this rank, analytic estimate (roofline AI).
   [[nodiscard]] virtual std::int64_t apply_bytes() const { return 0; }
+
+  /// Flops of one k-lane apply_multi(). Default matches the lane-loop
+  /// default of apply_multi: k independent applies.
+  [[nodiscard]] virtual std::int64_t apply_flops_multi(int nrhs) const {
+    return apply_flops() * nrhs;
+  }
+  /// Bytes of one k-lane apply_multi(). Panel backends override this with
+  /// a k-true model (operator streamed once, vectors k times) — the
+  /// arithmetic-intensity gain the multi-RHS path exists for.
+  [[nodiscard]] virtual std::int64_t apply_bytes_multi(int nrhs) const {
+    return apply_bytes() * nrhs;
+  }
 };
 
 }  // namespace hymv::pla

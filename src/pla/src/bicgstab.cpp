@@ -69,8 +69,8 @@ CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
       break;
     }
     alpha = rho / r0v;
-    copy(r, s);
-    axpy(-alpha, v, s);
+    // Fused s = r - alpha v: one sweep instead of copy + axpy.
+    xpay(r, -alpha, v, s);
     result.iterations = it;
     const double snorm = norm2(comm, s);
     if (snorm <= target) {
@@ -92,8 +92,7 @@ CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
     omega = dot(comm, t, s) / tt;
     axpy(alpha, phat, x);
     axpy(omega, shat, x);
-    copy(s, r);
-    axpy(-omega, t, r);
+    xpay(s, -omega, t, r);  // fused r = s - omega t
     rnorm = norm2(comm, r);
     if (rnorm <= target) {
       result.converged = true;

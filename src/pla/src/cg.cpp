@@ -51,8 +51,8 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
     }
     const double alpha = rz / pq;
     axpy(alpha, p, x);
-    axpy(-alpha, q, r);
-    rnorm = norm2(comm, r);
+    // Fused residual update + norm: one sweep over r instead of two.
+    rnorm = std::sqrt(axpy_dot(comm, -alpha, q, r));
     result.iterations = it;
     if (rnorm <= target) {
       result.converged = true;
@@ -67,6 +67,131 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
   result.final_residual = rnorm;
   result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
   return result;
+}
+
+std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
+                                     Preconditioner& m,
+                                     const DistMultiVector& b,
+                                     DistMultiVector& x,
+                                     const CgOptions& options) {
+  const Layout& layout = a.layout();
+  const int k = b.width();
+  HYMV_CHECK_MSG(k >= 1 && x.width() == k,
+                 "cg_solve_multi: panel width mismatch");
+  HYMV_CHECK_MSG(b.owned_size() == layout.owned() &&
+                     x.owned_size() == layout.owned(),
+                 "cg_solve_multi: vector/operator layout mismatch");
+  const auto ku = static_cast<std::size_t>(k);
+
+  DistMultiVector r(layout, k), z(layout, k), p(layout, k), q(layout, k);
+  DistVector rj(layout), zj(layout);  // per-lane preconditioner staging
+
+  std::vector<CgResult> results(ku);
+  std::vector<double> bnorm(ku), target(ku), rz(ku), rz_new(ku), pq(ku),
+      alpha(ku, 0.0), beta(ku, 0.0), rnorm(ku), lane_dot(ku);
+  std::vector<unsigned char> active(ku, 1);
+
+  // r = b - A x (one panel apply), plus the per-lane norms — the same two
+  // reductions a standalone solve performs, folded into one allreduce each.
+  a.apply_multi(comm, x, q);
+  copy(b, r);
+  std::vector<double> minus_one(ku, -1.0);
+  axpy_lanes(minus_one, q, r);
+  norm2_lanes(comm, b, bnorm);
+  norm2_lanes(comm, r, rnorm);
+
+  int n_active = 0;
+  for (std::size_t j = 0; j < ku; ++j) {
+    target[j] = std::max(options.atol,
+                         options.rtol * (bnorm[j] > 0.0 ? bnorm[j] : 1.0));
+    if (rnorm[j] <= target[j]) {
+      results[j].converged = true;
+      active[j] = 0;
+    } else {
+      ++n_active;
+    }
+  }
+
+  // z = M r, p = z, rz = r·z for the live lanes.
+  const auto precondition = [&] {
+    for (std::size_t j = 0; j < ku; ++j) {
+      if (active[j] == 0) {
+        continue;
+      }
+      r.get_lane(static_cast<int>(j), rj);
+      m.apply(comm, rj, zj);
+      z.set_lane(static_cast<int>(j), zj);
+    }
+  };
+  if (n_active > 0) {
+    precondition();
+    copy(z, p);
+    dot_lanes(comm, r, z, rz);
+  }
+
+  for (std::int64_t it = 1; it <= options.max_iters && n_active > 0; ++it) {
+    // ONE operator traversal serves every lane. Deflated lanes ride along
+    // in the panel (their p stopped changing, so this recomputes the same
+    // q), which keeps the panel width schedule-stable; the savings of
+    // deflation are the vector updates and preconditioner applies.
+    a.apply_multi(comm, p, q);
+    dot_lanes(comm, p, q, pq);
+    for (std::size_t j = 0; j < ku; ++j) {
+      if (active[j] == 0) {
+        continue;
+      }
+      if (!(pq[j] > 0.0)) {
+        results[j].breakdown = true;
+        results[j].breakdown_reason =
+            "cg_solve_multi: operator is not positive definite (p·Ap <= 0)";
+        active[j] = 0;
+        --n_active;
+        continue;
+      }
+      alpha[j] = rz[j] / pq[j];
+      results[j].iterations = it;
+    }
+    if (n_active == 0) {
+      break;
+    }
+    axpy_lanes(alpha, p, x, active);
+    for (std::size_t j = 0; j < ku; ++j) {
+      lane_dot[j] = -alpha[j];
+    }
+    axpy_lanes(lane_dot, q, r, active);
+    norm2_lanes(comm, r, lane_dot);
+    for (std::size_t j = 0; j < ku; ++j) {
+      if (active[j] == 0) {
+        continue;
+      }
+      rnorm[j] = lane_dot[j];
+      if (rnorm[j] <= target[j]) {
+        results[j].converged = true;
+        active[j] = 0;
+        --n_active;
+      }
+    }
+    if (n_active == 0) {
+      break;
+    }
+    precondition();
+    dot_lanes(comm, r, z, rz_new);
+    for (std::size_t j = 0; j < ku; ++j) {
+      if (active[j] == 0) {
+        continue;
+      }
+      beta[j] = rz_new[j] / rz[j];
+      rz[j] = rz_new[j];
+    }
+    xpby_lanes(z, beta, p, active);
+  }
+
+  for (std::size_t j = 0; j < ku; ++j) {
+    results[j].final_residual = rnorm[j];
+    results[j].relative_residual =
+        bnorm[j] > 0.0 ? rnorm[j] / bnorm[j] : rnorm[j];
+  }
+  return results;
 }
 
 }  // namespace hymv::pla

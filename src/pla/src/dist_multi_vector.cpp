@@ -1,0 +1,130 @@
+#include "hymv/pla/dist_multi_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+void DistMultiVector::set_lane(int lane, const DistVector& x) {
+  HYMV_CHECK_MSG(lane >= 0 && lane < width_,
+                 "DistMultiVector::set_lane: lane out of range");
+  HYMV_CHECK_MSG(x.owned_size() == owned_size(),
+                 "DistMultiVector::set_lane: size mismatch");
+  const auto xs = x.values();
+  for (std::int64_t i = 0; i < owned_size(); ++i) {
+    v_[static_cast<std::size_t>(i * width_ + lane)] =
+        xs[static_cast<std::size_t>(i)];
+  }
+}
+
+void DistMultiVector::get_lane(int lane, DistVector& x) const {
+  HYMV_CHECK_MSG(lane >= 0 && lane < width_,
+                 "DistMultiVector::get_lane: lane out of range");
+  HYMV_CHECK_MSG(x.owned_size() == owned_size(),
+                 "DistMultiVector::get_lane: size mismatch");
+  const auto xs = x.values();
+  for (std::int64_t i = 0; i < owned_size(); ++i) {
+    xs[static_cast<std::size_t>(i)] =
+        v_[static_cast<std::size_t>(i * width_ + lane)];
+  }
+}
+
+namespace {
+
+void check_pair(const DistMultiVector& x, const DistMultiVector& y,
+                const char* who) {
+  HYMV_CHECK_MSG(x.owned_size() == y.owned_size() && x.width() == y.width(),
+                 who);
+}
+
+/// Each lane's local sum accumulates over i ascending — the identical term
+/// order a standalone dot(comm, x_j, y_j) uses — so lane j of the k-lane
+/// reduction matches the 1-lane solver's reduction to the last ulp (modulo
+/// compiler contraction differences between the two loops).
+void local_dots(const DistMultiVector& x, const DistMultiVector& y,
+                std::span<double> out) {
+  const int k = x.width();
+  std::fill(out.begin(), out.end(), 0.0);
+  const auto xs = x.values();
+  const auto ys = y.values();
+  for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+    const auto base = static_cast<std::size_t>(i * k);
+    for (int j = 0; j < k; ++j) {
+      out[static_cast<std::size_t>(j)] +=
+          xs[base + static_cast<std::size_t>(j)] *
+          ys[base + static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+}  // namespace
+
+void dot_lanes(simmpi::Comm& comm, const DistMultiVector& x,
+               const DistMultiVector& y, std::span<double> out) {
+  check_pair(x, y, "dot_lanes: shape mismatch");
+  HYMV_CHECK_MSG(static_cast<int>(out.size()) == x.width(),
+                 "dot_lanes: out size mismatch");
+  std::vector<double> local(out.size());
+  local_dots(x, y, local);
+  comm.allreduce(std::span<const double>(local), out, simmpi::ReduceOp::kSum);
+}
+
+void norm2_lanes(simmpi::Comm& comm, const DistMultiVector& x,
+                 std::span<double> out) {
+  dot_lanes(comm, x, x, out);
+  for (double& v : out) {
+    v = std::sqrt(v);
+  }
+}
+
+void axpy_lanes(std::span<const double> a, const DistMultiVector& x,
+                DistMultiVector& y, std::span<const unsigned char> active) {
+  check_pair(x, y, "axpy_lanes: shape mismatch");
+  const int k = x.width();
+  HYMV_CHECK_MSG(static_cast<int>(a.size()) == k,
+                 "axpy_lanes: coefficient count mismatch");
+  const auto xs = x.values();
+  const auto ys = y.values();
+  for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+    const auto base = static_cast<std::size_t>(i * k);
+    for (int j = 0; j < k; ++j) {
+      if (!active.empty() && active[static_cast<std::size_t>(j)] == 0) {
+        continue;
+      }
+      ys[base + static_cast<std::size_t>(j)] +=
+          a[static_cast<std::size_t>(j)] *
+          xs[base + static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+void xpby_lanes(const DistMultiVector& x, std::span<const double> b,
+                DistMultiVector& y, std::span<const unsigned char> active) {
+  check_pair(x, y, "xpby_lanes: shape mismatch");
+  const int k = x.width();
+  HYMV_CHECK_MSG(static_cast<int>(b.size()) == k,
+                 "xpby_lanes: coefficient count mismatch");
+  const auto xs = x.values();
+  const auto ys = y.values();
+  for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+    const auto base = static_cast<std::size_t>(i * k);
+    for (int j = 0; j < k; ++j) {
+      if (!active.empty() && active[static_cast<std::size_t>(j)] == 0) {
+        continue;
+      }
+      ys[base + static_cast<std::size_t>(j)] =
+          xs[base + static_cast<std::size_t>(j)] +
+          b[static_cast<std::size_t>(j)] *
+              ys[base + static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+void copy(const DistMultiVector& x, DistMultiVector& y) {
+  check_pair(x, y, "copy: multi-vector shape mismatch");
+  std::copy(x.values().begin(), x.values().end(), y.values().begin());
+}
+
+}  // namespace hymv::pla

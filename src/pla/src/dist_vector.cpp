@@ -65,12 +65,45 @@ void axpy(double a, const DistVector& x, DistVector& y) {
   }
 }
 
+double axpy_dot(simmpi::Comm& comm, double a, const DistVector& x,
+                DistVector& y) {
+  HYMV_CHECK_MSG(x.owned_size() == y.owned_size(), "axpy_dot: size mismatch");
+  const auto xs = x.values();
+  const auto ys = y.values();
+  // Reassociation note: each term enters the sum in the same index order as
+  // the unfused axpy-then-dot pair, but fusing lets the compiler contract
+  // y[i] + a·x[i] (and t·t into the accumulator) as FMAs it could not form
+  // across two separate loops — the result may differ from the unfused pair
+  // in the last ulp. Solver tolerances (rtol ~ 1e-8) are unaffected; the
+  // iteration-count pinning test in test_pla.cpp guards against drift.
+  double local = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double t = ys[i] + a * xs[i];
+    ys[i] = t;
+    local += t * t;
+  }
+  return comm.allreduce(local, simmpi::ReduceOp::kSum);
+}
+
 void xpby(const DistVector& x, double b, DistVector& y) {
   HYMV_CHECK_MSG(x.owned_size() == y.owned_size(), "xpby: size mismatch");
   const auto xs = x.values();
   const auto ys = y.values();
   for (std::size_t i = 0; i < xs.size(); ++i) {
     ys[i] = xs[i] + b * ys[i];
+  }
+}
+
+void xpay(const DistVector& x, double a, const DistVector& y,
+          DistVector& out) {
+  HYMV_CHECK_MSG(x.owned_size() == y.owned_size() &&
+                     x.owned_size() == out.owned_size(),
+                 "xpay: size mismatch");
+  const auto xs = x.values();
+  const auto ys = y.values();
+  const auto os = out.values();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os[i] = xs[i] + a * ys[i];
   }
 }
 

@@ -9,6 +9,8 @@ namespace hymv::pla {
 namespace {
 constexpr int kForwardTag = 1001;
 constexpr int kReverseTag = 1002;
+constexpr int kForwardPanelTag = 1003;
+constexpr int kReversePanelTag = 1004;
 }  // namespace
 
 GhostExchange::GhostExchange(simmpi::Comm& comm, const Layout& layout,
@@ -102,6 +104,94 @@ void GhostExchange::forward_begin(simmpi::Comm& comm,
 void GhostExchange::forward_end(simmpi::Comm& comm) {
   comm.waitall(pending_);
   pending_.clear();
+}
+
+void GhostExchange::forward_begin_multi(simmpi::Comm& comm,
+                                        std::span<const double> owned,
+                                        int width) {
+  HYMV_CHECK_MSG(width >= 1, "forward_begin_multi: width must be positive");
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) ==
+                     layout_.owned() * width,
+                 "forward_begin_multi: owned panel size mismatch");
+  HYMV_CHECK_MSG(pending_.empty(),
+                 "forward_begin_multi: previous exchange still in flight");
+  panel_width_ = width;
+  ghost_panel_.resize(ghosts_.size() * static_cast<std::size_t>(width));
+  const auto w = static_cast<std::size_t>(width);
+  // One receive per neighbor, width values per ghost DoF, landing directly
+  // in the matching slice of the lane-interleaved ghost panel.
+  for (RecvPeer& peer : recv_peers_) {
+    pending_.push_back(comm.irecv(
+        peer.rank, kForwardPanelTag,
+        std::span<double>(
+            ghost_panel_.data() +
+                static_cast<std::size_t>(peer.ghost_offset) * w,
+            static_cast<std::size_t>(peer.count) * w)));
+  }
+  // Pack and send whole panels: one message per neighbor.
+  for (SendPeer& peer : send_peers_) {
+    peer.panel_buf.resize(peer.owned_locals.size() * w);
+    for (std::size_t i = 0; i < peer.owned_locals.size(); ++i) {
+      const auto src =
+          static_cast<std::size_t>(peer.owned_locals[i]) * w;
+      for (std::size_t j = 0; j < w; ++j) {
+        peer.panel_buf[i * w + j] = owned[src + j];
+      }
+    }
+    pending_.push_back(comm.isend(peer.rank, kForwardPanelTag,
+                                  std::span<const double>(peer.panel_buf)));
+  }
+}
+
+void GhostExchange::forward_end_multi(simmpi::Comm& comm) {
+  comm.waitall(pending_);
+  pending_.clear();
+}
+
+void GhostExchange::reverse_begin_multi(simmpi::Comm& comm,
+                                        std::span<const double> ghost_contrib,
+                                        int width) {
+  HYMV_CHECK_MSG(width >= 1, "reverse_begin_multi: width must be positive");
+  HYMV_CHECK_MSG(ghost_contrib.size() ==
+                     ghosts_.size() * static_cast<std::size_t>(width),
+                 "reverse_begin_multi: ghost panel size mismatch");
+  HYMV_CHECK_MSG(pending_.empty(),
+                 "reverse_begin_multi: previous exchange still in flight");
+  panel_width_ = width;
+  const auto w = static_cast<std::size_t>(width);
+  for (SendPeer& peer : send_peers_) {
+    peer.panel_buf.resize(peer.owned_locals.size() * w);
+    pending_.push_back(comm.irecv(peer.rank, kReversePanelTag,
+                                  std::span<double>(peer.panel_buf)));
+  }
+  for (const RecvPeer& peer : recv_peers_) {
+    pending_.push_back(comm.isend(
+        peer.rank, kReversePanelTag,
+        std::span<const double>(
+            ghost_contrib.data() +
+                static_cast<std::size_t>(peer.ghost_offset) * w,
+            static_cast<std::size_t>(peer.count) * w)));
+  }
+}
+
+void GhostExchange::reverse_end_multi(simmpi::Comm& comm,
+                                      std::span<double> owned) {
+  const auto w = static_cast<std::size_t>(panel_width_);
+  HYMV_CHECK_MSG(w >= 1, "reverse_end_multi: no panel exchange in flight");
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) ==
+                     layout_.owned() * panel_width_,
+                 "reverse_end_multi: owned panel size mismatch");
+  comm.waitall(pending_);
+  pending_.clear();
+  for (const SendPeer& peer : send_peers_) {
+    for (std::size_t i = 0; i < peer.owned_locals.size(); ++i) {
+      const auto dst =
+          static_cast<std::size_t>(peer.owned_locals[i]) * w;
+      for (std::size_t j = 0; j < w; ++j) {
+        owned[dst + j] += peer.panel_buf[i * w + j];
+      }
+    }
+  }
 }
 
 void GhostExchange::reverse_begin(simmpi::Comm& comm,

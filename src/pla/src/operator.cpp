@@ -1,0 +1,22 @@
+#include "hymv/pla/operator.hpp"
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+void LinearOperator::apply_multi(simmpi::Comm& comm, const DistMultiVector& x,
+                                 DistMultiVector& y) {
+  HYMV_CHECK_MSG(x.width() == y.width() && x.width() >= 1,
+                 "apply_multi: panel width mismatch");
+  HYMV_CHECK_MSG(x.owned_size() == layout().owned() &&
+                     y.owned_size() == layout().owned(),
+                 "apply_multi: vector/operator layout mismatch");
+  DistVector xj(layout()), yj(layout());
+  for (int j = 0; j < x.width(); ++j) {
+    x.get_lane(j, xj);
+    apply(comm, xj, yj);
+    y.set_lane(j, yj);
+  }
+}
+
+}  // namespace hymv::pla

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hymv/common/rng.hpp"
+#include "hymv/pla/bicgstab.hpp"
 #include "hymv/pla/cg.hpp"
 #include "hymv/pla/constraints.hpp"
 #include "hymv/pla/csr.hpp"
@@ -394,6 +395,41 @@ TEST_P(CgTest, SolvesLaplacianSystem) {
 INSTANTIATE_TEST_SUITE_P(Sweep, CgTest,
                          ::testing::Combine(::testing::Values(1, 2, 4),
                                             ::testing::Values(0, 1, 2)));
+
+/// Pins the iteration counts of CG and BiCGStab on a fixed problem: the
+/// fused axpy_dot / xpay sweeps (see cg.cpp, bicgstab.cpp) may reassociate
+/// the last ulp of the residual norm relative to the unfused two-pass
+/// versions, but they must not change how many iterations either solver
+/// takes on this well-conditioned system. A fusion that silently perturbed
+/// convergence would trip this before any benchmark noticed.
+TEST(CgDetailTest, FusedKernelsPinIterationCounts) {
+  simmpi::run(2, [](Comm& comm) {
+    const std::int64_t local = 24;
+    const Layout layout = Layout::from_owned_count(comm, local);
+    const std::int64_t n = layout.global_size;
+    DistCsrMatrix a(layout);
+    for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+      a.add_value(g, g, 2.5);
+      if (g > 0) a.add_value(g, g - 1, -1.0);
+      if (g < n - 1) a.add_value(g, g + 1, -1.0);
+    }
+    a.assemble(comm);
+    DistVector b(layout), x(layout);
+    for (std::int64_t i = 0; i < local; ++i) {
+      b[i] = std::sin(static_cast<double>(layout.begin + i + 1));
+    }
+    IdentityPreconditioner ident;
+    const CgResult cg =
+        cg_solve(comm, a, ident, b, x, {.rtol = 1e-10, .max_iters = 200});
+    EXPECT_TRUE(cg.converged);
+    EXPECT_EQ(cg.iterations, 31);
+    x.set_all(0.0);
+    const CgResult bi = bicgstab_solve(comm, a, ident, b, x,
+                                       {.rtol = 1e-10, .max_iters = 200});
+    EXPECT_TRUE(bi.converged);
+    EXPECT_EQ(bi.iterations, 22);
+  });
+}
 
 TEST(CgDetailTest, PreconditioningReducesIterations) {
   simmpi::run(2, [](Comm& comm) {
