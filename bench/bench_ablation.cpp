@@ -15,7 +15,11 @@
 //      element translate directly into apply time,
 //   7. multi-RHS panel apply: k right-hand sides per matrix stream
 //      (DESIGN.md §5d) — the store is read once per panel, so analytic
-//      arithmetic intensity grows with k and wall time per lane drops.
+//      arithmetic intensity grows with k and wall time per lane drops,
+//   8. resilience overhead (DESIGN.md §5e): the checksummed ghost
+//      exchange's trailer + ACK round on the apply path, and the CG
+//      true-residual-replacement / checkpoint features on the solve path
+//      — what the fault-free run pays for the recovery machinery.
 //
 // With --json <path>, every table row is also appended to a flat JSON
 // document (schema: EXPERIMENTS.md "BENCH_ablation.json").
@@ -387,6 +391,114 @@ int main(int argc, char** argv) {
 #ifdef _OPENMP
     omp_set_num_threads(save_threads);
 #endif
+  }
+
+  std::printf("\n=== Ablation 8: resilience overhead, fault-free runs "
+              "(DESIGN.md §5e) ===\n");
+  {
+    // What the recovery machinery costs when nothing goes wrong. Two
+    // halves, both on the Fig. 4 box:
+    //   (a) apply path — the checksummed ghost exchange's FNV-1a trailer
+    //       and per-message ACK round, 4 slab ranks on the Poisson mesh;
+    //   (b) solve path — CG true-residual replacement and in-memory
+    //       checkpointing. Measured on the *elasticity* PDE on the same
+    //       box: the manufactured Poisson solution is a discrete
+    //       eigenvector of the preconditioned operator and converges in
+    //       one iteration, so it cannot exercise per-iteration features.
+    driver::ProblemSpec pspec;
+    pspec.pde = driver::Pde::kPoisson;
+    pspec.element = mesh::ElementType::kHex8;
+    pspec.box = {.nx = scaled(13), .ny = scaled(13), .nz = scaled(56)};
+    pspec.partitioner = mesh::Partitioner::kSlab;
+    const driver::ProblemSetup psetup = driver::ProblemSetup::build(pspec, 4);
+
+    // The GhostExchange reads HYMV_FAULT_CHECKSUM at operator
+    // construction; toggle it around each run and restore the caller's
+    // setting afterwards.
+    const char* saved_env = std::getenv("HYMV_FAULT_CHECKSUM");
+    const std::string saved_val = saved_env != nullptr ? saved_env : "";
+    std::printf("  %-18s %-11s %-11s %s\n", "mode", "wall (s)", "overhead",
+                "events");
+    double plain_apply_s = 0.0;
+    const int apply_reps = 50;  // the per-apply wall is ~1 ms; average hard
+    for (const bool checksum : {false, true}) {
+      setenv("HYMV_FAULT_CHECKSUM", checksum ? "1" : "0", 1);
+      const AggResult r = run_backend(
+          psetup, {.backend = driver::Backend::kHymv}, apply_reps);
+      if (!checksum) plain_apply_s = r.spmv_wall_s;
+      std::printf("  %-18s %-11.4f %-11s %s\n",
+                  checksum ? "apply+checksum" : "apply", r.spmv_wall_s,
+                  checksum
+                      ? (std::to_string(static_cast<int>(
+                             (r.spmv_wall_s / plain_apply_s - 1.0) * 100.0)) +
+                         "%")
+                            .c_str()
+                      : "-",
+                  "0 (no faults injected)");
+      json.add("\"ablation\": \"resilience\", \"mode\": \"%s\", "
+               "\"wall_s\": %.6g, \"iterations\": 0, \"events\": 0",
+               checksum ? "apply_checksum" : "apply_plain", r.spmv_wall_s);
+    }
+    if (saved_env != nullptr) {
+      setenv("HYMV_FAULT_CHECKSUM", saved_val.c_str(), 1);
+    } else {
+      unsetenv("HYMV_FAULT_CHECKSUM");
+    }
+
+    driver::ProblemSpec espec = pspec;
+    espec.pde = driver::Pde::kElasticity;
+    espec.box.lx = 1.0;
+    espec.box.ly = 1.0;
+    espec.box.lz = 1.0;
+    espec.box.origin = {-0.5, -0.5, 0.0};
+    const driver::ProblemSetup esetup = driver::ProblemSetup::build(espec, 1);
+    simmpi::run(1, [&](simmpi::Comm& comm) {
+      driver::RankContext ctx(comm, esetup);
+      // true-residual replacement restarts the search direction (that is
+      // what lets it repair *arbitrary* iterate drift, not just residual
+      // drift), so a short interval trades CG iterations for robustness —
+      // the 10 vs 50 rows price that trade. Checkpointing only copies
+      // three vectors, so its cadence barely matters.
+      const struct {
+        const char* mode;
+        std::int64_t true_residual_every;
+        std::int64_t checkpoint_every;
+      } modes[] = {
+          {"cg_plain", 0, 0},
+          {"cg_true_resid_10", 10, 0},
+          {"cg_true_resid_50", 50, 0},
+          {"cg_checkpoint_10", 0, 10},
+      };
+      double plain_solve_s = 0.0;
+      for (const auto& m : modes) {
+        driver::SolveOptions so;
+        so.backend = driver::Backend::kHymv;
+        so.true_residual_every = m.true_residual_every;
+        so.checkpoint_every = m.checkpoint_every;
+        const driver::SolveReport rep = driver::solve_problem(comm, ctx, so);
+        if (m.true_residual_every == 0 && m.checkpoint_every == 0) {
+          plain_solve_s = rep.solve_wall_s;
+        }
+        const std::int64_t events =
+            rep.cg.residual_replacements + rep.cg.checkpoints_taken;
+        char pct[32];
+        std::snprintf(pct, sizeof pct, "%+.1f%%",
+                      (rep.solve_wall_s / plain_solve_s - 1.0) * 100.0);
+        std::printf("  %-18s %-11.4f %-11s %lld (in %lld iters)\n", m.mode,
+                    rep.solve_wall_s, plain_solve_s == rep.solve_wall_s
+                                          ? "-" : pct,
+                    static_cast<long long>(events),
+                    static_cast<long long>(rep.cg.iterations));
+        json.add("\"ablation\": \"resilience\", \"mode\": \"%s\", "
+                 "\"wall_s\": %.6g, \"iterations\": %lld, \"events\": %lld",
+                 m.mode, rep.solve_wall_s,
+                 static_cast<long long>(rep.cg.iterations),
+                 static_cast<long long>(events));
+      }
+    });
+    std::printf("  (both features replay exact arithmetic on the no-fault "
+                "path — golden-hash tests\n   pin bitwise neutrality; this "
+                "table prices the wall-clock cost alone)\n");
   }
 
   if (json_path != nullptr) {

@@ -20,6 +20,22 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A payload failed an end-to-end integrity check (checksum mismatch on a
+/// ghost-exchange message after exhausting resends, or an element-matrix
+/// block whose stored bytes no longer hash to their recorded checksum).
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& what) : Error(what) {}
+};
+
+/// A blocking communication operation exceeded its configured deadline.
+/// Raised instead of hanging so dropped messages surface as diagnosable
+/// failures the recovery layer can act on.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 /// Builds the exception message and throws hymv::Error. Out-of-line so the
 /// check macro expands to a single cheap branch at each call site.

@@ -34,7 +34,9 @@
 /// every layout supports it.
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <vector>
 
 #include "hymv/common/aligned.hpp"
 #include "hymv/core/dense_kernels.hpp"
@@ -172,10 +174,34 @@ class ElementMatrixStore {
   [[nodiscard]] std::span<const std::byte> raw_bytes() const;
   [[nodiscard]] std::span<std::byte> raw_bytes();
 
+  // --- integrity checksums -----------------------------------------------
+
+  /// Start tracking a per-element FNV-1a checksum over the canonical
+  /// get() bytes. The hash is layout-independent (kFp32 hashes the widened
+  /// values it actually stores), so it survives convert_to() round-trips of
+  /// the logical contents. Every subsequent set()/try_set() refreshes the
+  /// touched element's hash; enables verify()/scrub().
+  void enable_checksums();
+  [[nodiscard]] bool checksums_enabled() const { return checksums_enabled_; }
+  /// Element ids whose stored bytes no longer reproduce their recorded
+  /// checksum, ascending. Requires enable_checksums().
+  [[nodiscard]] std::vector<std::int64_t> verify() const;
+  /// Repair every corrupted element: `recompute(e, ke)` must fill the
+  /// ndofs² column-major scratch `ke` with element e's true matrix
+  /// (typically by re-running the matrix-free element assembly — the
+  /// graceful-degradation path), after which the element is re-stored and
+  /// its checksum refreshed. Returns the number of elements repaired.
+  std::int64_t scrub(
+      const std::function<void(std::int64_t, std::span<double>)>& recompute);
+
  private:
   /// Shared body of set()/try_set(): returns false on a kSymPacked
-  /// symmetry violation, true otherwise.
+  /// symmetry violation, true otherwise; refreshes the element checksum.
   bool set_impl(std::int64_t e, std::span<const double> ke);
+  /// Layout dispatch of set_impl, without the checksum refresh.
+  bool write_element(std::int64_t e, std::span<const double> ke);
+  /// FNV-1a over element e's canonical get() bytes.
+  [[nodiscard]] std::uint64_t element_hash(std::int64_t e) const;
 
   StoreLayout layout_ = StoreLayout::kPadded;
   std::int64_t num_elements_ = 0;
@@ -184,6 +210,8 @@ class ElementMatrixStore {
   std::int64_t stride_ = 0;
   hymv::aligned_vector<double> data_;   ///< fp64 layouts
   hymv::aligned_vector<float> data32_;  ///< kFp32
+  bool checksums_enabled_ = false;
+  std::vector<std::uint64_t> checksums_;  ///< per-element, when enabled
 };
 
 }  // namespace hymv::core

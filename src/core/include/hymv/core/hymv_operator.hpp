@@ -136,6 +136,23 @@ class HymvOperator final : public pla::LinearOperator {
   /// for callers that reuse the operator's maps for RHS assembly etc.
   [[nodiscard]] DofMaps& mutable_maps() { return maps_; }
   [[nodiscard]] const ElementMatrixStore& store() const { return store_; }
+  /// Mutable store access — fault-injection tests flip stored bits through
+  /// this; production code should only mutate via update_elements().
+  [[nodiscard]] ElementMatrixStore& mutable_store() { return store_; }
+
+  /// Arm per-element store checksums so silent corruption of the stored
+  /// matrices becomes detectable (verify_store) and repairable
+  /// (scrub_store). Call after construction, before faults can land.
+  void enable_store_checksums() { store_.enable_checksums(); }
+  /// Element ids whose stored matrices fail their checksum.
+  [[nodiscard]] std::vector<std::int64_t> verify_store() const {
+    return store_.verify();
+  }
+  /// Repair every corrupted stored matrix by re-running the matrix-free
+  /// element assembly on the kept element geometry — the graceful
+  /// degradation the paper's matrix-free fallback enables. Returns the
+  /// number of element blocks recomputed.
+  std::int64_t scrub_store(const fem::ElementOperator& op);
   [[nodiscard]] const SetupBreakdown& setup_breakdown() const {
     return setup_;
   }

@@ -10,6 +10,20 @@
 
 namespace hymv::core {
 
+namespace {
+/// FNV-1a over a byte range — the store's integrity hash (same function the
+/// ghost exchange and the golden regression tests use).
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= static_cast<std::uint64_t>(bytes[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+}  // namespace
+
 const char* to_string(StoreLayout layout) {
   switch (layout) {
     case StoreLayout::kPadded:
@@ -109,6 +123,17 @@ std::int64_t ElementMatrixStore::emv_traffic_bytes_per_elem() const {
 }
 
 bool ElementMatrixStore::set_impl(std::int64_t e, std::span<const double> ke) {
+  if (!write_element(e, ke)) {
+    return false;
+  }
+  if (checksums_enabled_) {
+    checksums_[static_cast<std::size_t>(e)] = element_hash(e);
+  }
+  return true;
+}
+
+bool ElementMatrixStore::write_element(std::int64_t e,
+                                       std::span<const double> ke) {
   HYMV_CHECK_MSG(e >= 0 && e < num_elements_,
                  "ElementMatrixStore::set: element out of range");
   const auto n = static_cast<std::size_t>(ndofs_);
@@ -184,6 +209,50 @@ void ElementMatrixStore::set(std::int64_t e, std::span<const double> ke) {
 
 bool ElementMatrixStore::try_set(std::int64_t e, std::span<const double> ke) {
   return set_impl(e, ke);
+}
+
+std::uint64_t ElementMatrixStore::element_hash(std::int64_t e) const {
+  const auto n = static_cast<std::size_t>(ndofs_);
+  std::vector<double> ke(n * n);
+  get(e, ke);
+  return fnv1a_bytes(ke.data(), ke.size() * sizeof(double));
+}
+
+void ElementMatrixStore::enable_checksums() {
+  checksums_.resize(static_cast<std::size_t>(num_elements_));
+  for (std::int64_t e = 0; e < num_elements_; ++e) {
+    checksums_[static_cast<std::size_t>(e)] = element_hash(e);
+  }
+  checksums_enabled_ = true;
+}
+
+std::vector<std::int64_t> ElementMatrixStore::verify() const {
+  HYMV_CHECK_MSG(checksums_enabled_,
+                 "ElementMatrixStore::verify: checksums not enabled");
+  std::vector<std::int64_t> corrupted;
+  for (std::int64_t e = 0; e < num_elements_; ++e) {
+    if (element_hash(e) != checksums_[static_cast<std::size_t>(e)]) {
+      corrupted.push_back(e);
+    }
+  }
+  return corrupted;
+}
+
+std::int64_t ElementMatrixStore::scrub(
+    const std::function<void(std::int64_t, std::span<double>)>& recompute) {
+  HYMV_CHECK_MSG(checksums_enabled_,
+                 "ElementMatrixStore::scrub: checksums not enabled");
+  const auto n = static_cast<std::size_t>(ndofs_);
+  std::vector<double> ke(n * n);
+  std::int64_t repaired = 0;
+  for (const std::int64_t e : verify()) {
+    recompute(e, std::span<double>(ke));
+    HYMV_CHECK_MSG(set_impl(e, ke),
+                   "ElementMatrixStore::scrub: recomputed element is not "
+                   "symmetric (sympacked store)");
+    ++repaired;
+  }
+  return repaired;
 }
 
 void ElementMatrixStore::get(std::int64_t e, std::span<double> ke) const {

@@ -676,6 +676,17 @@ void HymvOperator::update_elements(
                  "operators)");
 }
 
+std::int64_t HymvOperator::scrub_store(const fem::ElementOperator& op) {
+  HYMV_CHECK_MSG(op.num_dofs() == store_.ndofs(),
+                 "scrub_store: operator size mismatch");
+  const auto nper = static_cast<std::size_t>(op.num_nodes());
+  return store_.scrub([&](std::int64_t e, std::span<double> ke) {
+    op.element_matrix(
+        std::span<const mesh::Point>(elem_coords_.data() + e * nper, nper),
+        ke);
+  });
+}
+
 std::int64_t HymvOperator::apply_flops() const {
   const auto n = static_cast<std::int64_t>(store_.ndofs());
   return maps_.num_elements() * 2 * n * n;

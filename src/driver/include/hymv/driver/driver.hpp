@@ -167,6 +167,12 @@ struct SpmvReport {
   core::ApplyBreakdown hymv_apply{};
   std::int64_t comm_bytes = 0;
   std::int64_t comm_messages = 0;
+  /// Checksummed-exchange retransmissions during the first timed round
+  /// (0 unless HYMV_FAULT_CHECKSUM armed the protocol and faults fired).
+  std::int64_t comm_resends = 0;
+  /// Element blocks repaired by the post-measurement store scrub (0 unless
+  /// HYMV_STORE_CHECKSUM=1 armed store checksums on the HYMV backend).
+  std::int64_t scrubbed_blocks = 0;
   std::int64_t flops = 0;       ///< analytic flops over all applies
   std::int64_t bytes = 0;       ///< analytic bytes over all applies
 };
@@ -196,6 +202,25 @@ struct SolveOptions {
   std::int64_t max_iters = 20000;
   gpu::Device* device = nullptr;
   core::HymvGpuOptions gpu{};
+
+  // --- resilience policy (env overrides: HYMV_CG_TRUE_RESIDUAL_EVERY,
+  // HYMV_CG_CHECKPOINT_EVERY, HYMV_SOLVE_ATTEMPTS, HYMV_STORE_CHECKSUM) ---
+
+  std::int64_t true_residual_every = 0;  ///< CgOptions passthrough
+  std::int64_t checkpoint_every = 0;     ///< CgOptions passthrough
+  int max_rollbacks = 3;                 ///< CgOptions passthrough
+  /// Whole-solve retries: a non-converged attempt scrubs the element store
+  /// (HYMV backend, when store_checksums is on) and re-enters CG from the
+  /// accumulated iterate. Collective — every rank sees the same CgResult.
+  int max_solve_attempts = 1;
+  /// Arm per-element store checksums on the HYMV backend after setup.
+  bool store_checksums = false;
+  /// Test hook, called before each attempt with (operator, attempt≥1) —
+  /// fault campaigns corrupt backend state between attempts through this.
+  std::function<void(pla::LinearOperator&, int)> attempt_hook;
+  /// CgOptions::fault_hook passthrough (mid-iteration corruption).
+  std::function<void(std::int64_t, pla::DistVector&, pla::DistVector&)>
+      cg_fault_hook;
 };
 
 struct SolveReport {
@@ -205,6 +230,11 @@ struct SolveReport {
   double solve_wall_s = 0.0;  ///< CG wall time (this rank's view)
   double solve_cpu_s = 0.0;   ///< thread-CPU seconds in CG
   double total_modeled_s = 0.0;  ///< setup + solve with GPU time modeled
+
+  // --- recovery visibility -----------------------------------------------
+  int attempts = 1;                  ///< solve attempts performed
+  std::int64_t scrubbed_blocks = 0;  ///< store blocks repaired across retries
+  std::int64_t comm_resends = 0;     ///< checksummed-exchange resends in CG
 };
 
 /// Assemble, constrain, precondition, and CG-solve the problem. Collective.

@@ -1,9 +1,11 @@
 #include "hymv/driver/driver.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
+#include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
 #include "hymv/common/timer.hpp"
 
@@ -52,6 +54,18 @@ ProblemSetup ProblemSetup::build(const ProblemSpec& spec, int nranks) {
 }
 
 namespace {
+
+/// Non-negative integer env knob with validation: warns to stderr and
+/// keeps `fallback` on a negative value (env_int already rejects garbage).
+std::int64_t env_count(const char* name, std::int64_t fallback) {
+  const std::int64_t v = hymv::env_int(name, fallback);
+  if (v < 0) {
+    std::fprintf(stderr, "hymv: ignoring %s=%lld (expected >= 0)\n", name,
+                 static_cast<long long>(v));
+    return fallback;
+  }
+  return v;
+}
 
 /// The element operator (with forcing) for a spec.
 std::unique_ptr<fem::ElementOperator> make_element_op(
@@ -277,6 +291,13 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
         counters_setup1.messages_sent - counters_setup0.messages_sent;
   }
 
+  // HYMV_STORE_CHECKSUM=1 arms the element-store checksums so a corruption
+  // campaign over the measurement is detected (and repaired) afterwards.
+  const bool store_checksums = env_count("HYMV_STORE_CHECKSUM", 0) == 1;
+  if (store_checksums && hymv_cpu != nullptr) {
+    hymv_cpu->enable_store_checksums();
+  }
+
   // Panel width: options.hymv.nrhs (already HYMV_NRHS-resolved inside the
   // HYMV operators' constructors, but resolve here too so every backend —
   // including the lane-loop defaults — honors the env knob uniformly).
@@ -348,6 +369,8 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
       report.comm_bytes = counters1.bytes_sent - counters0.bytes_sent;
       report.comm_messages =
           counters1.messages_sent - counters0.messages_sent;
+      report.comm_resends =
+          counters1.messages_resent - counters0.messages_resent;
     }
     if (hymv_gpu != nullptr) {
       gpu_modeled = std::min(gpu_modeled, hymv_gpu->timings().total_modeled_s);
@@ -365,6 +388,9 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
   report.spmv_modeled_s = (hymv_gpu != nullptr || csr_gpu != nullptr)
                               ? gpu_modeled
                               : report.spmv_wall_s;
+  if (store_checksums && hymv_cpu != nullptr) {
+    report.scrubbed_blocks = hymv_cpu->scrub_store(ctx.element_op());
+  }
   return report;
 }
 
@@ -399,12 +425,51 @@ SolveReport solve_problem(simmpi::Comm& comm, RankContext& ctx,
       break;
   }
 
+  // Resilience policy: env overrides on top of the programmatic options.
+  const std::int64_t true_residual_every =
+      env_count("HYMV_CG_TRUE_RESIDUAL_EVERY", options.true_residual_every);
+  const std::int64_t checkpoint_every =
+      env_count("HYMV_CG_CHECKPOINT_EVERY", options.checkpoint_every);
+  const int max_attempts = static_cast<int>(std::max<std::int64_t>(
+      1, env_count("HYMV_SOLVE_ATTEMPTS", options.max_solve_attempts)));
+  const bool store_checksums =
+      env_count("HYMV_STORE_CHECKSUM", options.store_checksums ? 1 : 0) == 1;
+
+  auto* hymv_op = dynamic_cast<core::HymvOperator*>(a.get());
+  if (store_checksums && hymv_op != nullptr) {
+    hymv_op->enable_store_checksums();
+  }
+
+  const pla::CgOptions cg_options{.rtol = options.rtol,
+                                  .max_iters = options.max_iters,
+                                  .true_residual_every = true_residual_every,
+                                  .checkpoint_every = checkpoint_every,
+                                  .max_rollbacks = options.max_rollbacks,
+                                  .fault_hook = options.cg_fault_hook};
+
   pla::DistVector u(a->layout());
+  const auto counters_solve0 = comm.counters();
   hymv::Timer solve_timer;
   hymv::ThreadCpuTimer cpu_timer;
-  report.cg = pla::cg_solve(comm, ac, *m, b, u,
-                            {.rtol = options.rtol,
-                             .max_iters = options.max_iters});
+  // Solve-with-retry: a failed attempt scrubs the element store (the one
+  // backend state that can silently corrupt) and re-enters CG from the
+  // accumulated iterate. The retry decision reads only the CgResult, which
+  // is identical on every rank — the loop is collective.
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    report.attempts = attempt;
+    if (options.attempt_hook) {
+      options.attempt_hook(*a, attempt);
+    }
+    report.cg = pla::cg_solve(comm, ac, *m, b, u, cg_options);
+    if (report.cg.converged || attempt == max_attempts) {
+      break;
+    }
+    if (store_checksums && hymv_op != nullptr) {
+      report.scrubbed_blocks += hymv_op->scrub_store(ctx.element_op());
+    }
+  }
+  report.comm_resends =
+      comm.counters().messages_resent - counters_solve0.messages_resent;
   report.solve_wall_s = solve_timer.elapsed_s();
   report.solve_cpu_s = cpu_timer.elapsed_s();
 

@@ -19,15 +19,27 @@
 /// garbage-extended files are rejected with a clear error instead of a
 /// partial read.
 
+#include <cstdint>
 #include <string>
 
 #include "hymv/core/element_store.hpp"
 
 namespace hymv::io {
 
-/// Write `store` to `path` in its native layout. Throws hymv::Error on I/O
-/// failure.
+/// Write `store` to `path` in its native layout, durably: the bytes go to
+/// `path + ".tmp"` first and are moved into place with an atomic rename
+/// only after the write completed, so a crash mid-save can never leave a
+/// truncated file under the final name — the previous checkpoint (if any)
+/// survives intact. Throws hymv::Error on I/O failure.
 void save_store(const std::string& path, const core::ElementMatrixStore& store);
+
+namespace testing {
+/// Kill-point for durability tests: the next save_store aborts (throws)
+/// after writing `bytes` payload bytes, simulating a crash mid-write. The
+/// partial temp file is left behind, exactly as a real crash would.
+/// Pass -1 to disarm. One-shot: a triggered kill-point disarms itself.
+void set_save_kill_after(std::int64_t bytes);
+}  // namespace testing
 
 /// Read a store previously written by save_store, in whatever layout it was
 /// saved (version-1 files load as kPadded). Throws on I/O failure, bad

@@ -1,12 +1,24 @@
 #include "hymv/io/store_io.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "hymv/common/error.hpp"
 
 namespace hymv::io {
+
+namespace testing {
+namespace {
+/// -1 = disarmed; otherwise the next save throws after this many payload
+/// bytes have been written (simulated crash; see set_save_kill_after).
+std::int64_t g_save_kill_after = -1;
+}  // namespace
+
+void set_save_kill_after(std::int64_t bytes) { g_save_kill_after = bytes; }
+}  // namespace testing
 
 namespace {
 
@@ -38,21 +50,43 @@ static_assert(sizeof(HeaderV1) == 24 && sizeof(HeaderV2Ext) == 16,
 
 void save_store(const std::string& path,
                 const core::ElementMatrixStore& store) {
-  std::ofstream out(path, std::ios::binary);
-  HYMV_CHECK_MSG(out.good(), "save_store: cannot open " + path);
-  const auto payload = store.raw_bytes();
-  HeaderV1 header;
-  header.ndofs = static_cast<std::uint32_t>(store.ndofs());
-  header.num_elements = store.num_elements();
-  HeaderV2Ext ext;
-  ext.layout = static_cast<std::int32_t>(store.layout());
-  ext.scalar_bytes = store.scalar_bytes();
-  ext.payload_bytes = static_cast<std::int64_t>(payload.size_bytes());
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(&ext), sizeof(ext));
-  out.write(reinterpret_cast<const char*>(payload.data()),
-            static_cast<std::streamsize>(payload.size_bytes()));
-  HYMV_CHECK_MSG(out.good(), "save_store: write failed for " + path);
+  // Durable save: write everything to a temp file, then move it into place
+  // with one atomic rename. A crash anywhere before the rename leaves the
+  // final path untouched (previous checkpoint intact); a crash after it is
+  // a completed save.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    HYMV_CHECK_MSG(out.good(), "save_store: cannot open " + tmp);
+    const auto payload = store.raw_bytes();
+    HeaderV1 header;
+    header.ndofs = static_cast<std::uint32_t>(store.ndofs());
+    header.num_elements = store.num_elements();
+    HeaderV2Ext ext;
+    ext.layout = static_cast<std::int32_t>(store.layout());
+    ext.scalar_bytes = store.scalar_bytes();
+    ext.payload_bytes = static_cast<std::int64_t>(payload.size_bytes());
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(&ext), sizeof(ext));
+    if (testing::g_save_kill_after >= 0) {
+      // Simulated crash: flush a partial payload prefix and bail out,
+      // leaving the temp file exactly as an interrupted process would.
+      const auto partial = std::min<std::int64_t>(
+          testing::g_save_kill_after,
+          static_cast<std::int64_t>(payload.size_bytes()));
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(partial));
+      out.flush();
+      testing::g_save_kill_after = -1;
+      HYMV_THROW("save_store: simulated crash after " +
+                 std::to_string(partial) + " payload bytes (kill-point)");
+    }
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size_bytes()));
+    HYMV_CHECK_MSG(out.good(), "save_store: write failed for " + tmp);
+  }
+  HYMV_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "save_store: cannot move " + tmp + " into place as " + path);
 }
 
 core::ElementMatrixStore load_store(const std::string& path) {

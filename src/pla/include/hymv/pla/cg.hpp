@@ -7,6 +7,7 @@
 /// LinearOperator.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "hymv/pla/dist_multi_vector.hpp"
@@ -20,6 +21,32 @@ struct CgOptions {
   double rtol = 1e-8;        ///< relative residual tolerance ‖r‖/‖b‖
   double atol = 0.0;         ///< absolute residual tolerance
   std::int64_t max_iters = 10000;
+
+  // --- resilience (every knob defaults OFF; with the defaults the
+  // iteration is bitwise identical to the pre-resilience solver) ----------
+
+  /// Every N iterations, replace the recurrence residual with the true
+  /// residual b − A x (one extra operator apply) and restart the search
+  /// direction from the preconditioned residual. Detects and repairs
+  /// recurrence drift from transient data corruption. 0 = never.
+  std::int64_t true_residual_every = 0;
+  /// Every N iterations, snapshot {x, r, p, rz, ‖r‖} in memory so a
+  /// detected fault can roll the iteration back instead of failing the
+  /// solve. 0 = no checkpoints (faults surface as breakdowns).
+  std::int64_t checkpoint_every = 0;
+  /// Rollbacks allowed before the solve reports a breakdown — bounds the
+  /// work a persistent fault can consume.
+  int max_rollbacks = 3;
+  /// A finite ‖r‖ above divergence_factor × best-so-far is treated as a
+  /// fault (rollback) rather than normal non-convergence.
+  double divergence_factor = 1e4;
+  /// Test hook, called at the top of every iteration with (it, x, r) —
+  /// fault campaigns corrupt the iterate mid-stream through this. Must
+  /// behave identically on every rank (recovery decisions are collective).
+  std::function<void(std::int64_t, DistVector&, DistVector&)> fault_hook;
+  /// Panel-solver counterpart of fault_hook.
+  std::function<void(std::int64_t, DistMultiVector&, DistMultiVector&)>
+      fault_hook_multi;
 };
 
 struct CgResult {
@@ -33,6 +60,11 @@ struct CgResult {
   /// non-converged run rather than aborting the caller.
   bool breakdown = false;
   const char* breakdown_reason = "";  ///< static description, "" if none
+
+  // --- recovery visibility (every detection/repair event is counted) -----
+  std::int64_t checkpoints_taken = 0;
+  std::int64_t rollbacks = 0;              ///< checkpoint restores performed
+  std::int64_t residual_replacements = 0;  ///< true-residual recomputations
 };
 
 /// Solve A x = b with preconditioner M, starting from the provided x.

@@ -24,6 +24,26 @@
 
 namespace hymv::pla {
 
+/// End-to-end integrity protection for the ghost exchange. When `checksum`
+/// is on, every data message carries a 16-byte trailer {epoch, FNV-1a
+/// checksum}; the receiver verifies it and answers with a one-byte ACK, or
+/// a NACK that makes the sender retransmit (bounded by `max_retries` failed
+/// attempts per message). Receive waits are bounded by `recv_timeout_s`, so
+/// a dropped message surfaces as a NACK-triggered resend instead of a hang;
+/// exhausting the budget throws hymv::TimeoutError (silence) or
+/// hymv::IntegrityError (persistent corruption). Off by default — the
+/// unprotected path is byte-identical to the pre-protection exchange.
+struct ExchangeProtection {
+  bool checksum = false;
+  int max_retries = 2;          ///< failed attempts allowed per message
+  double recv_timeout_s = 0.25; ///< per-attempt wait bound (seconds)
+
+  /// Resolve from the environment (all validated; bad values warn to
+  /// stderr and keep the default): HYMV_FAULT_CHECKSUM (0/1),
+  /// HYMV_FAULT_MAX_RETRIES (0..1000), HYMV_FAULT_TIMEOUT_MS (> 0).
+  static ExchangeProtection from_env();
+};
+
 /// Communication plan for one set of ghost indices against one Layout.
 /// Construction is collective over the communicator.
 class GhostExchange {
@@ -99,6 +119,27 @@ class GhostExchange {
     return static_cast<int>(send_peers_.size() + recv_peers_.size());
   }
 
+  // --- integrity protection ----------------------------------------------
+
+  /// Install a protection policy (construction resolves
+  /// ExchangeProtection::from_env(), so env-driven campaigns need no code
+  /// change; tests override programmatically). Must not be called while an
+  /// exchange is in flight.
+  void set_protection(const ExchangeProtection& protection) {
+    prot_ = protection;
+  }
+  [[nodiscard]] const ExchangeProtection& protection() const { return prot_; }
+  /// Data retransmissions this plan performed (sender side).
+  [[nodiscard]] std::int64_t resends() const { return resends_; }
+  /// Checksum mismatches this plan detected (receiver side).
+  [[nodiscard]] std::int64_t checksum_failures() const {
+    return checksum_failures_;
+  }
+  /// Receive timeouts this plan recovered from via NACK (receiver side).
+  [[nodiscard]] std::int64_t timeouts_recovered() const {
+    return timeouts_recovered_;
+  }
+
  private:
   /// One neighbor's share of the plan. For send_peers_, `owned_locals` are
   /// the owned-block indices packed for that peer (the LNSM rows); for
@@ -118,6 +159,30 @@ class GhostExchange {
     std::vector<double> panel_buf;  ///< staging for the width-k variants
   };
 
+  /// One protected incoming message: wire buffer (payload + trailer), the
+  /// staging destination for the verified payload, and the posted request.
+  struct ProtRecv {
+    int peer = -1;
+    std::vector<std::byte> wire;
+    double* dst = nullptr;
+    std::size_t count = 0;  ///< payload doubles
+    simmpi::Request req;
+  };
+  /// One protected outgoing message, kept for retransmission.
+  struct ProtSend {
+    int peer = -1;
+    std::vector<std::byte> wire;
+  };
+
+  /// Protected begin: callers fill prot_recvs_ (peer, dst, count) and
+  /// prot_sends_ (peer, wire = raw payload bytes); this appends the
+  /// {epoch, checksum} trailer to each send, sizes the receive wires, and
+  /// posts everything on `data_tag`.
+  void protected_begin(simmpi::Comm& comm, int data_tag);
+  /// Protected end: verify/ACK/NACK protocol with bounded retries; on
+  /// return every ProtRecv's payload has been copied (verified) into dst.
+  void protected_end(simmpi::Comm& comm, int data_tag, int ctrl_tag);
+
   Layout layout_;
   std::vector<std::int64_t> ghosts_;
   std::vector<double> ghost_vals_;
@@ -126,6 +191,13 @@ class GhostExchange {
   std::vector<SendPeer> send_peers_;
   std::vector<RecvPeer> recv_peers_;
   std::vector<simmpi::Request> pending_;
+  ExchangeProtection prot_{};
+  std::uint64_t epoch_ = 0;  ///< current protected phase (stale-dup filter)
+  std::int64_t resends_ = 0;
+  std::int64_t checksum_failures_ = 0;
+  std::int64_t timeouts_recovered_ = 0;
+  std::vector<ProtRecv> prot_recvs_;
+  std::vector<ProtSend> prot_sends_;
 };
 
 }  // namespace hymv::pla

@@ -1,6 +1,7 @@
 #include "hymv/pla/cg.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "hymv/common/error.hpp"
 
@@ -38,12 +39,67 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
   copy(z, p);
   double rz = dot(comm, r, z);
 
-  for (std::int64_t it = 1; it <= options.max_iters; ++it) {
+  // In-memory checkpoint for rollback-and-continue. Every recovery
+  // decision below derives from allreduced scalars (pq, rnorm), so all
+  // ranks take the same branch — rollback is naturally collective.
+  struct Checkpoint {
+    DistVector x, r, p;
+    double rz = 0.0;
+    double rnorm = 0.0;
+    std::int64_t it = 0;
+    explicit Checkpoint(const Layout& layout) : x(layout), r(layout), p(layout) {}
+  };
+  std::optional<Checkpoint> ck;
+  double best_rnorm = rnorm;
+  const auto take_checkpoint = [&](std::int64_t it) {
+    copy(x, ck->x);
+    copy(r, ck->r);
+    copy(p, ck->p);
+    ck->rz = rz;
+    ck->rnorm = rnorm;
+    ck->it = it;
+    ++result.checkpoints_taken;
+  };
+  // `true` = restored, `false` = rollback budget exhausted (breakdown set).
+  const auto roll_back = [&]() {
+    if (result.rollbacks >= options.max_rollbacks) {
+      result.breakdown = true;
+      result.breakdown_reason =
+          "cg_solve: exceeded the rollback budget (persistent fault?)";
+      return false;
+    }
+    copy(ck->x, x);
+    copy(ck->r, r);
+    copy(ck->p, p);
+    rz = ck->rz;
+    rnorm = ck->rnorm;
+    ++result.rollbacks;
+    return true;
+  };
+  if (options.checkpoint_every > 0) {
+    ck.emplace(layout);
+    take_checkpoint(0);
+  }
+
+  std::int64_t it = 1;
+  while (it <= options.max_iters) {
+    if (options.fault_hook) {
+      options.fault_hook(it, x, r);
+    }
     a.apply(comm, p, q);
     const double pq = dot(comm, p, q);
     if (!(pq > 0.0)) {
-      // Indefinite (or NaN-producing) operator: report a breakdown with
-      // the iterate accumulated so far instead of aborting the caller.
+      // Non-finite pq means corrupted state — a rollback can repair it. A
+      // *finite* pq ≤ 0 is a genuinely indefinite operator: deterministic
+      // recomputation from the checkpoint would reproduce it, so report
+      // the breakdown with the iterate accumulated so far.
+      if (ck && !std::isfinite(pq)) {
+        if (!roll_back()) {
+          break;
+        }
+        it = ck->it + 1;
+        continue;
+      }
       result.breakdown = true;
       result.breakdown_reason =
           "cg_solve: operator is not positive definite (p·Ap <= 0)";
@@ -54,15 +110,54 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
     // Fused residual update + norm: one sweep over r instead of two.
     rnorm = std::sqrt(axpy_dot(comm, -alpha, q, r));
     result.iterations = it;
+    if (ck && (!std::isfinite(rnorm) ||
+               rnorm > options.divergence_factor * best_rnorm)) {
+      if (!roll_back()) {
+        break;
+      }
+      it = ck->it + 1;
+      continue;
+    }
     if (rnorm <= target) {
       result.converged = true;
       break;
     }
-    m.apply(comm, r, z);
-    const double rz_new = dot(comm, r, z);
-    const double beta = rz_new / rz;
-    rz = rz_new;
-    xpby(z, beta, p);  // p = z + beta p
+    best_rnorm = std::min(best_rnorm, rnorm);
+    if (options.true_residual_every > 0 &&
+        it % options.true_residual_every == 0) {
+      // Replace the recurrence residual with the true residual b − A x and
+      // restart the search direction — repairs drift a transient fault
+      // injected into x or r has caused.
+      a.apply(comm, x, q);
+      copy(b, r);
+      axpy(-1.0, q, r);
+      rnorm = norm2(comm, r);
+      ++result.residual_replacements;
+      if (ck && !std::isfinite(rnorm)) {
+        if (!roll_back()) {
+          break;
+        }
+        it = ck->it + 1;
+        continue;
+      }
+      if (rnorm <= target) {
+        result.converged = true;
+        break;
+      }
+      m.apply(comm, r, z);
+      copy(z, p);
+      rz = dot(comm, r, z);
+    } else {
+      m.apply(comm, r, z);
+      const double rz_new = dot(comm, r, z);
+      const double beta = rz_new / rz;
+      rz = rz_new;
+      xpby(z, beta, p);  // p = z + beta p
+    }
+    if (ck && it % options.checkpoint_every == 0 && std::isfinite(rnorm)) {
+      take_checkpoint(it);
+    }
+    ++it;
   }
   result.final_residual = rnorm;
   result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
@@ -129,13 +224,113 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     dot_lanes(comm, r, z, rz);
   }
 
-  for (std::int64_t it = 1; it <= options.max_iters && n_active > 0; ++it) {
+  // Panel-granularity checkpoint: one snapshot of the full panel state.
+  // Rollback restores every lane (cheaper bookkeeping than per-lane
+  // checkpoints, and a corrupted panel apply taints all lanes anyway).
+  // Decisions use allreduced per-lane scalars → collective by construction.
+  struct Checkpoint {
+    DistMultiVector x, r, p;
+    std::vector<double> rz, rnorm;
+    std::vector<unsigned char> active;
+    std::vector<CgResult> results;
+    int n_active = 0;
+    std::int64_t it = 0;
+    Checkpoint(const Layout& layout, int width)
+        : x(layout, width), r(layout, width), p(layout, width) {}
+  };
+  std::optional<Checkpoint> ck;
+  std::vector<double> best_rnorm = rnorm;
+  std::int64_t checkpoints_taken = 0;
+  std::int64_t rollbacks = 0;
+  std::int64_t residual_replacements = 0;
+  const auto take_checkpoint = [&](std::int64_t it) {
+    copy(x, ck->x);
+    copy(r, ck->r);
+    copy(p, ck->p);
+    ck->rz = rz;
+    ck->rnorm = rnorm;
+    ck->active = active;
+    ck->results = results;
+    ck->n_active = n_active;
+    ck->it = it;
+    ++checkpoints_taken;
+  };
+  const auto roll_back = [&]() {
+    if (rollbacks >= options.max_rollbacks) {
+      for (std::size_t j = 0; j < ku; ++j) {
+        if (active[j] != 0) {
+          results[j].breakdown = true;
+          results[j].breakdown_reason =
+              "cg_solve_multi: exceeded the rollback budget (persistent "
+              "fault?)";
+          active[j] = 0;
+        }
+      }
+      n_active = 0;
+      return false;
+    }
+    copy(ck->x, x);
+    copy(ck->r, r);
+    copy(ck->p, p);
+    rz = ck->rz;
+    rnorm = ck->rnorm;
+    active = ck->active;
+    results = ck->results;
+    n_active = ck->n_active;
+    ++rollbacks;
+    return true;
+  };
+  if (options.checkpoint_every > 0) {
+    ck.emplace(layout, k);
+    take_checkpoint(0);
+  }
+  // True-residual replacement for the still-active lanes: r_j = b_j − A x_j
+  // (one panel apply serves all of them), restart p_j from M r_j. Deflated
+  // lanes are untouched — they stay frozen bitwise.
+  const auto replace_residuals = [&] {
+    a.apply_multi(comm, x, q);
+    for (std::size_t j = 0; j < ku; ++j) {
+      if (active[j] == 0) {
+        continue;
+      }
+      b.get_lane(static_cast<int>(j), rj);
+      q.get_lane(static_cast<int>(j), zj);
+      axpy(-1.0, zj, rj);
+      r.set_lane(static_cast<int>(j), rj);
+    }
+    norm2_lanes(comm, r, lane_dot);
+    for (std::size_t j = 0; j < ku; ++j) {
+      if (active[j] != 0) {
+        rnorm[j] = lane_dot[j];
+      }
+    }
+    ++residual_replacements;
+  };
+
+  std::int64_t it = 1;
+  while (it <= options.max_iters && n_active > 0) {
+    if (options.fault_hook_multi) {
+      options.fault_hook_multi(it, x, r);
+    }
     // ONE operator traversal serves every lane. Deflated lanes ride along
     // in the panel (their p stopped changing, so this recomputes the same
     // q), which keeps the panel width schedule-stable; the savings of
     // deflation are the vector updates and preconditioner applies.
     a.apply_multi(comm, p, q);
     dot_lanes(comm, p, q, pq);
+    if (ck) {
+      bool corrupt = false;
+      for (std::size_t j = 0; j < ku; ++j) {
+        corrupt = corrupt || (active[j] != 0 && !std::isfinite(pq[j]));
+      }
+      if (corrupt) {
+        if (!roll_back()) {
+          break;
+        }
+        it = ck->it + 1;
+        continue;
+      }
+    }
     for (std::size_t j = 0; j < ku; ++j) {
       if (active[j] == 0) {
         continue;
@@ -160,11 +355,28 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     }
     axpy_lanes(lane_dot, q, r, active);
     norm2_lanes(comm, r, lane_dot);
+    if (ck) {
+      bool corrupt = false;
+      for (std::size_t j = 0; j < ku; ++j) {
+        corrupt = corrupt ||
+                  (active[j] != 0 &&
+                   (!std::isfinite(lane_dot[j]) ||
+                    lane_dot[j] > options.divergence_factor * best_rnorm[j]));
+      }
+      if (corrupt) {
+        if (!roll_back()) {
+          break;
+        }
+        it = ck->it + 1;
+        continue;
+      }
+    }
     for (std::size_t j = 0; j < ku; ++j) {
       if (active[j] == 0) {
         continue;
       }
       rnorm[j] = lane_dot[j];
+      best_rnorm[j] = std::min(best_rnorm[j], rnorm[j]);
       if (rnorm[j] <= target[j]) {
         results[j].converged = true;
         active[j] = 0;
@@ -174,22 +386,53 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     if (n_active == 0) {
       break;
     }
-    precondition();
-    dot_lanes(comm, r, z, rz_new);
-    for (std::size_t j = 0; j < ku; ++j) {
-      if (active[j] == 0) {
-        continue;
+    if (options.true_residual_every > 0 &&
+        it % options.true_residual_every == 0) {
+      replace_residuals();
+      for (std::size_t j = 0; j < ku; ++j) {
+        if (active[j] != 0 && rnorm[j] <= target[j]) {
+          results[j].converged = true;
+          active[j] = 0;
+          --n_active;
+        }
       }
-      beta[j] = rz_new[j] / rz[j];
-      rz[j] = rz_new[j];
+      if (n_active == 0) {
+        break;
+      }
+      precondition();
+      for (std::size_t j = 0; j < ku; ++j) {
+        if (active[j] == 0) {
+          continue;
+        }
+        z.get_lane(static_cast<int>(j), zj);
+        p.set_lane(static_cast<int>(j), zj);
+      }
+      dot_lanes(comm, r, z, rz);
+    } else {
+      precondition();
+      dot_lanes(comm, r, z, rz_new);
+      for (std::size_t j = 0; j < ku; ++j) {
+        if (active[j] == 0) {
+          continue;
+        }
+        beta[j] = rz_new[j] / rz[j];
+        rz[j] = rz_new[j];
+      }
+      xpby_lanes(z, beta, p, active);
     }
-    xpby_lanes(z, beta, p, active);
+    if (ck && it % options.checkpoint_every == 0) {
+      take_checkpoint(it);
+    }
+    ++it;
   }
 
   for (std::size_t j = 0; j < ku; ++j) {
     results[j].final_residual = rnorm[j];
     results[j].relative_residual =
         bnorm[j] > 0.0 ? rnorm[j] / bnorm[j] : rnorm[j];
+    results[j].checkpoints_taken = checkpoints_taken;
+    results[j].rollbacks = rollbacks;
+    results[j].residual_replacements = residual_replacements;
   }
   return results;
 }

@@ -1,7 +1,10 @@
 #include "hymv/pla/ghost_exchange.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
+#include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
 
 namespace hymv::pla {
@@ -11,7 +14,74 @@ constexpr int kForwardTag = 1001;
 constexpr int kReverseTag = 1002;
 constexpr int kForwardPanelTag = 1003;
 constexpr int kReversePanelTag = 1004;
+// Control (ACK/NACK) tags of the checksummed protocol, one per data tag.
+constexpr int kForwardCtrlTag = 1005;
+constexpr int kReverseCtrlTag = 1006;
+constexpr int kForwardPanelCtrlTag = 1007;
+constexpr int kReversePanelCtrlTag = 1008;
+
+/// Wire trailer of a protected data message: {epoch, checksum}, appended
+/// after the payload so a bit-flip anywhere in the message is detected.
+constexpr std::size_t kTrailerBytes = 16;
+
+std::uint64_t fnv1a(const std::byte* data, std::size_t n,
+                    std::uint64_t hash = 1469598103934665603ULL) {
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= static_cast<std::uint64_t>(data[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Checksum of payload ‖ epoch — folding the epoch in means a trailer whose
+/// epoch bits were flipped also fails verification.
+std::uint64_t wire_checksum(const std::byte* payload, std::size_t bytes,
+                            std::uint64_t epoch) {
+  std::byte epoch_bytes[8];
+  std::memcpy(epoch_bytes, &epoch, 8);
+  return fnv1a(epoch_bytes, 8, fnv1a(payload, bytes));
+}
+
+void append_trailer(std::vector<std::byte>& wire, std::uint64_t epoch) {
+  const std::size_t payload = wire.size();
+  const std::uint64_t csum = wire_checksum(wire.data(), payload, epoch);
+  wire.resize(payload + kTrailerBytes);
+  std::memcpy(wire.data() + payload, &epoch, 8);
+  std::memcpy(wire.data() + payload + 8, &csum, 8);
+}
 }  // namespace
+
+ExchangeProtection ExchangeProtection::from_env() {
+  ExchangeProtection prot;
+  const std::int64_t checksum = hymv::env_int("HYMV_FAULT_CHECKSUM", 0);
+  if (checksum != 0 && checksum != 1) {
+    std::fprintf(stderr,
+                 "hymv: ignoring HYMV_FAULT_CHECKSUM=%lld (expected 0 or 1)\n",
+                 static_cast<long long>(checksum));
+  } else {
+    prot.checksum = checksum == 1;
+  }
+  const std::int64_t retries =
+      hymv::env_int("HYMV_FAULT_MAX_RETRIES", prot.max_retries);
+  if (retries < 0 || retries > 1000) {
+    std::fprintf(
+        stderr,
+        "hymv: ignoring HYMV_FAULT_MAX_RETRIES=%lld (expected 0..1000)\n",
+        static_cast<long long>(retries));
+  } else {
+    prot.max_retries = static_cast<int>(retries);
+  }
+  const double timeout_ms =
+      hymv::env_double("HYMV_FAULT_TIMEOUT_MS", prot.recv_timeout_s * 1000.0);
+  if (!(timeout_ms > 0.0)) {
+    std::fprintf(stderr,
+                 "hymv: ignoring HYMV_FAULT_TIMEOUT_MS=%g (expected > 0)\n",
+                 timeout_ms);
+  } else {
+    prot.recv_timeout_s = timeout_ms / 1000.0;
+  }
+  return prot;
+}
 
 GhostExchange::GhostExchange(simmpi::Comm& comm, const Layout& layout,
                              std::vector<std::int64_t> ghosts)
@@ -76,6 +146,174 @@ GhostExchange::GhostExchange(simmpi::Comm& comm, const Layout& layout,
     peer.buf.resize(ids.size());
     send_peers_.push_back(std::move(peer));
   }
+
+  // Env-resolved protection default, so fault campaigns can arm the
+  // checksummed protocol on existing binaries; unset env leaves it off and
+  // the exchange byte-identical to the unprotected implementation.
+  prot_ = ExchangeProtection::from_env();
+}
+
+void GhostExchange::protected_begin(simmpi::Comm& comm, int data_tag) {
+  ++epoch_;
+  for (ProtRecv& r : prot_recvs_) {
+    r.wire.resize(r.count * sizeof(double) + kTrailerBytes);
+    r.req = comm.irecv_bytes(r.peer, data_tag, r.wire.data(), r.wire.size());
+  }
+  for (ProtSend& s : prot_sends_) {
+    append_trailer(s.wire, epoch_);
+    comm.isend_bytes(s.peer, data_tag, s.wire.data(), s.wire.size());
+  }
+}
+
+void GhostExchange::protected_end(simmpi::Comm& comm, int data_tag,
+                                  int ctrl_tag) {
+  constexpr std::byte kAck{0};
+  constexpr std::byte kNack{1};
+  // Event loop over all pending receives and unacknowledged sends. The
+  // sender side must be serviced while our own receives are still pending:
+  // a NACK has to trigger the retransmit even when this rank is itself
+  // waiting on a dropped message, or two mutually-dropped links would
+  // starve each other into timeouts.
+  const double slice_s = std::max(prot_.recv_timeout_s / 4.0, 1e-3);
+  const double ack_budget_s =
+      prot_.recv_timeout_s * static_cast<double>(prot_.max_retries + 3);
+
+  struct RecvState {
+    bool done = false;
+    int attempts = 0;
+    double waited_s = 0.0;
+  };
+  struct SendState {
+    bool acked = false;
+    int attempts = 0;
+    double waited_s = 0.0;
+    std::byte verdict{};
+    simmpi::Request ctrl;
+  };
+  std::vector<RecvState> rstate(prot_recvs_.size());
+  std::vector<SendState> sstate(prot_sends_.size());
+  for (std::size_t i = 0; i < prot_sends_.size(); ++i) {
+    sstate[i].ctrl = comm.irecv_bytes(prot_sends_[i].peer, ctrl_tag,
+                                      &sstate[i].verdict, 1);
+  }
+
+  std::size_t open = prot_recvs_.size() + prot_sends_.size();
+  while (open > 0) {
+    // --- sender side: consume verdicts, retransmit on NACK --------------
+    for (std::size_t i = 0; i < prot_sends_.size(); ++i) {
+      ProtSend& s = prot_sends_[i];
+      SendState& st = sstate[i];
+      if (st.acked || !comm.test(st.ctrl)) {
+        continue;
+      }
+      comm.wait(st.ctrl);  // completed — consume the request
+      if (st.verdict == kAck) {
+        st.acked = true;
+        --open;
+        continue;
+      }
+      if (st.attempts >= prot_.max_retries) {
+        throw hymv::IntegrityError(
+            "GhostExchange: rank " + std::to_string(s.peer) +
+            " still rejects the message after " +
+            std::to_string(prot_.max_retries) + " retransmissions");
+      }
+      ++st.attempts;
+      comm.isend_bytes(s.peer, data_tag, s.wire.data(), s.wire.size());
+      ++resends_;
+      comm.add_resent();
+      st.waited_s = 0.0;
+      st.ctrl = comm.irecv_bytes(s.peer, ctrl_tag, &st.verdict, 1);
+    }
+
+    // --- receiver side: bounded waits, verify, ACK/NACK -----------------
+    bool waited = false;
+    for (std::size_t i = 0; i < prot_recvs_.size(); ++i) {
+      ProtRecv& r = prot_recvs_[i];
+      RecvState& st = rstate[i];
+      if (st.done) {
+        continue;
+      }
+      simmpi::Status status;
+      if (!comm.wait_for(r.req, slice_s, &status)) {
+        waited = true;
+        st.waited_s += slice_s;
+        if (st.waited_s >= prot_.recv_timeout_s) {
+          if (st.attempts >= prot_.max_retries) {
+            throw hymv::TimeoutError(
+                "GhostExchange: no data from rank " + std::to_string(r.peer) +
+                " after " + std::to_string(prot_.max_retries + 1) +
+                " bounded waits (message dropped?)");
+          }
+          ++st.attempts;
+          ++timeouts_recovered_;
+          comm.isend_bytes(r.peer, ctrl_tag, &kNack, 1);
+          st.waited_s = 0.0;
+        }
+        continue;
+      }
+      const std::size_t payload = r.count * sizeof(double);
+      if (status.bytes != r.wire.size()) {
+        // Wrong size: a stale duplicate from an earlier phase of a
+        // different panel width. Discard and repost — no attempt charged.
+        r.req =
+            comm.irecv_bytes(r.peer, data_tag, r.wire.data(), r.wire.size());
+        continue;
+      }
+      std::uint64_t epoch = 0;
+      std::uint64_t csum = 0;
+      std::memcpy(&epoch, r.wire.data() + payload, 8);
+      std::memcpy(&csum, r.wire.data() + payload + 8, 8);
+      if (epoch != epoch_) {
+        // Stale duplicate (late retransmit of an earlier phase): discard.
+        r.req =
+            comm.irecv_bytes(r.peer, data_tag, r.wire.data(), r.wire.size());
+        continue;
+      }
+      if (csum != wire_checksum(r.wire.data(), payload, epoch_)) {
+        ++checksum_failures_;
+        if (st.attempts >= prot_.max_retries) {
+          throw hymv::IntegrityError(
+              "GhostExchange: checksum mismatch from rank " +
+              std::to_string(r.peer) + " persists after " +
+              std::to_string(prot_.max_retries) + " retransmissions");
+        }
+        ++st.attempts;
+        comm.isend_bytes(r.peer, ctrl_tag, &kNack, 1);
+        r.req =
+            comm.irecv_bytes(r.peer, data_tag, r.wire.data(), r.wire.size());
+        st.waited_s = 0.0;
+        continue;
+      }
+      comm.isend_bytes(r.peer, ctrl_tag, &kAck, 1);
+      std::memcpy(r.dst, r.wire.data(), payload);
+      st.done = true;
+      --open;
+    }
+
+    // Only unacknowledged sends left this round: block briefly on one ctrl
+    // request so the loop never spins hot, with an overall deadline.
+    if (!waited) {
+      for (std::size_t i = 0; i < prot_sends_.size(); ++i) {
+        SendState& st = sstate[i];
+        if (st.acked) {
+          continue;
+        }
+        if (!comm.wait_for(st.ctrl, slice_s)) {
+          st.waited_s += slice_s;
+          if (st.waited_s > ack_budget_s) {
+            throw hymv::TimeoutError(
+                "GhostExchange: no acknowledgement from rank " +
+                std::to_string(prot_sends_[i].peer) +
+                " (control message lost?)");
+          }
+        }
+        break;  // completion (request consumed) is handled at the loop top
+      }
+    }
+  }
+  prot_recvs_.clear();
+  prot_sends_.clear();
 }
 
 void GhostExchange::forward_begin(simmpi::Comm& comm,
@@ -84,6 +322,27 @@ void GhostExchange::forward_begin(simmpi::Comm& comm,
                  "forward_begin: owned span size mismatch");
   HYMV_CHECK_MSG(pending_.empty(),
                  "forward_begin: previous exchange still in flight");
+  if (prot_.checksum) {
+    for (RecvPeer& peer : recv_peers_) {
+      ProtRecv r;
+      r.peer = peer.rank;
+      r.dst = ghost_vals_.data() + peer.ghost_offset;
+      r.count = static_cast<std::size_t>(peer.count);
+      prot_recvs_.push_back(std::move(r));
+    }
+    for (SendPeer& peer : send_peers_) {
+      ProtSend s;
+      s.peer = peer.rank;
+      s.wire.resize(peer.owned_locals.size() * sizeof(double));
+      auto* w = reinterpret_cast<double*>(s.wire.data());
+      for (std::size_t i = 0; i < peer.owned_locals.size(); ++i) {
+        w[i] = owned[static_cast<std::size_t>(peer.owned_locals[i])];
+      }
+      prot_sends_.push_back(std::move(s));
+    }
+    protected_begin(comm, kForwardTag);
+    return;
+  }
   // Post receives into slices of the ghost value array.
   for (RecvPeer& peer : recv_peers_) {
     pending_.push_back(comm.irecv(
@@ -102,6 +361,10 @@ void GhostExchange::forward_begin(simmpi::Comm& comm,
 }
 
 void GhostExchange::forward_end(simmpi::Comm& comm) {
+  if (prot_.checksum) {
+    protected_end(comm, kForwardTag, kForwardCtrlTag);
+    return;
+  }
   comm.waitall(pending_);
   pending_.clear();
 }
@@ -118,6 +381,31 @@ void GhostExchange::forward_begin_multi(simmpi::Comm& comm,
   panel_width_ = width;
   ghost_panel_.resize(ghosts_.size() * static_cast<std::size_t>(width));
   const auto w = static_cast<std::size_t>(width);
+  if (prot_.checksum) {
+    for (RecvPeer& peer : recv_peers_) {
+      ProtRecv r;
+      r.peer = peer.rank;
+      r.dst = ghost_panel_.data() +
+              static_cast<std::size_t>(peer.ghost_offset) * w;
+      r.count = static_cast<std::size_t>(peer.count) * w;
+      prot_recvs_.push_back(std::move(r));
+    }
+    for (SendPeer& peer : send_peers_) {
+      ProtSend s;
+      s.peer = peer.rank;
+      s.wire.resize(peer.owned_locals.size() * w * sizeof(double));
+      auto* wp = reinterpret_cast<double*>(s.wire.data());
+      for (std::size_t i = 0; i < peer.owned_locals.size(); ++i) {
+        const auto src = static_cast<std::size_t>(peer.owned_locals[i]) * w;
+        for (std::size_t j = 0; j < w; ++j) {
+          wp[i * w + j] = owned[src + j];
+        }
+      }
+      prot_sends_.push_back(std::move(s));
+    }
+    protected_begin(comm, kForwardPanelTag);
+    return;
+  }
   // One receive per neighbor, width values per ghost DoF, landing directly
   // in the matching slice of the lane-interleaved ghost panel.
   for (RecvPeer& peer : recv_peers_) {
@@ -144,6 +432,10 @@ void GhostExchange::forward_begin_multi(simmpi::Comm& comm,
 }
 
 void GhostExchange::forward_end_multi(simmpi::Comm& comm) {
+  if (prot_.checksum) {
+    protected_end(comm, kForwardPanelTag, kForwardPanelCtrlTag);
+    return;
+  }
   comm.waitall(pending_);
   pending_.clear();
 }
@@ -159,6 +451,29 @@ void GhostExchange::reverse_begin_multi(simmpi::Comm& comm,
                  "reverse_begin_multi: previous exchange still in flight");
   panel_width_ = width;
   const auto w = static_cast<std::size_t>(width);
+  if (prot_.checksum) {
+    for (SendPeer& peer : send_peers_) {
+      peer.panel_buf.resize(peer.owned_locals.size() * w);
+      ProtRecv r;
+      r.peer = peer.rank;
+      r.dst = peer.panel_buf.data();
+      r.count = peer.owned_locals.size() * w;
+      prot_recvs_.push_back(std::move(r));
+    }
+    for (const RecvPeer& peer : recv_peers_) {
+      ProtSend s;
+      s.peer = peer.rank;
+      const auto bytes = static_cast<std::size_t>(peer.count) * w;
+      s.wire.resize(bytes * sizeof(double));
+      std::memcpy(s.wire.data(),
+                  ghost_contrib.data() +
+                      static_cast<std::size_t>(peer.ghost_offset) * w,
+                  bytes * sizeof(double));
+      prot_sends_.push_back(std::move(s));
+    }
+    protected_begin(comm, kReversePanelTag);
+    return;
+  }
   for (SendPeer& peer : send_peers_) {
     peer.panel_buf.resize(peer.owned_locals.size() * w);
     pending_.push_back(comm.irecv(peer.rank, kReversePanelTag,
@@ -181,8 +496,12 @@ void GhostExchange::reverse_end_multi(simmpi::Comm& comm,
   HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) ==
                      layout_.owned() * panel_width_,
                  "reverse_end_multi: owned panel size mismatch");
-  comm.waitall(pending_);
-  pending_.clear();
+  if (prot_.checksum) {
+    protected_end(comm, kReversePanelTag, kReversePanelCtrlTag);
+  } else {
+    comm.waitall(pending_);
+    pending_.clear();
+  }
   for (const SendPeer& peer : send_peers_) {
     for (std::size_t i = 0; i < peer.owned_locals.size(); ++i) {
       const auto dst =
@@ -200,6 +519,28 @@ void GhostExchange::reverse_begin(simmpi::Comm& comm,
                  "reverse_begin: ghost contribution size mismatch");
   HYMV_CHECK_MSG(pending_.empty(),
                  "reverse_begin: previous exchange still in flight");
+  if (prot_.checksum) {
+    // Receives land in the send peers' buffers (roles are mirrored); the
+    // verified payloads are scatter-added in reverse_end.
+    for (SendPeer& peer : send_peers_) {
+      ProtRecv r;
+      r.peer = peer.rank;
+      r.dst = peer.buf.data();
+      r.count = peer.buf.size();
+      prot_recvs_.push_back(std::move(r));
+    }
+    for (const RecvPeer& peer : recv_peers_) {
+      ProtSend s;
+      s.peer = peer.rank;
+      const auto n = static_cast<std::size_t>(peer.count);
+      s.wire.resize(n * sizeof(double));
+      std::memcpy(s.wire.data(), ghost_contrib.data() + peer.ghost_offset,
+                  n * sizeof(double));
+      prot_sends_.push_back(std::move(s));
+    }
+    protected_begin(comm, kReverseTag);
+    return;
+  }
   // Receives land in the send peers' buffers (roles are mirrored).
   for (SendPeer& peer : send_peers_) {
     pending_.push_back(
@@ -216,8 +557,12 @@ void GhostExchange::reverse_begin(simmpi::Comm& comm,
 void GhostExchange::reverse_end(simmpi::Comm& comm, std::span<double> owned) {
   HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) == layout_.owned(),
                  "reverse_end: owned span size mismatch");
-  comm.waitall(pending_);
-  pending_.clear();
+  if (prot_.checksum) {
+    protected_end(comm, kReverseTag, kReverseCtrlTag);
+  } else {
+    comm.waitall(pending_);
+    pending_.clear();
+  }
   for (const SendPeer& peer : send_peers_) {
     for (std::size_t i = 0; i < peer.owned_locals.size(); ++i) {
       owned[static_cast<std::size_t>(peer.owned_locals[i])] += peer.buf[i];

@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -65,6 +66,82 @@ struct TrafficCounters {
   std::int64_t bytes_sent = 0;
   std::int64_t messages_received = 0;
   std::int64_t bytes_received = 0;
+  /// Retransmissions performed by recovery protocols (e.g. the checksummed
+  /// ghost exchange's resend-on-mismatch path); a subset of messages_sent.
+  std::int64_t messages_resent = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+//
+// A FaultPlan describes deterministic faults the runtime injects while the
+// job runs, so recovery code paths (checksummed exchange, CG rollback,
+// store scrubbing) can be exercised reproducibly. Injection happens on the
+// *sender* thread at isend time: because per-sender send order is
+// deterministic, a fault pinned to a source rank fires at exactly the same
+// message on every run with the same plan.
+
+/// Kind of injected fault.
+enum class FaultType : int {
+  kBitFlip,  ///< flip one bit of the delivered payload copy
+  kDrop,     ///< silently discard the message (sender still "succeeds")
+  kDelay,    ///< stall the sender for delay_ms before delivery
+  kCrash,    ///< throw from the victim rank at its at_op-th p2p operation
+};
+
+/// One fault. Message faults (kBitFlip/kDrop/kDelay) match the Nth send
+/// from `src` (required) to `dest` (or any rank when -1) with tag `tag`
+/// (or any tag when kAnyTag). kCrash ignores the message fields and fires
+/// at `rank`'s `at_op`-th point-to-point call (isend or irecv, 1-based).
+struct Fault {
+  FaultType type = FaultType::kBitFlip;
+  int src = -1;            ///< sender rank (message faults; required)
+  int dest = -1;           ///< receiver rank; -1 matches any
+  int tag = kAnyTag;       ///< tag filter; kAnyTag matches any
+  std::int64_t nth = 1;    ///< fire on the Nth matching message (1-based)
+  std::int64_t bit = -1;   ///< kBitFlip: bit index; -1 derives from the seed
+  double delay_ms = 0.0;   ///< kDelay: sender stall
+  int rank = -1;           ///< kCrash: victim rank
+  std::int64_t at_op = 0;  ///< kCrash: 1-based p2p op count on the victim
+};
+
+/// A seeded, deterministic set of faults for one simmpi job.
+struct FaultPlan {
+  std::uint64_t seed = 0;     ///< drives derived choices (e.g. bit index)
+  std::vector<Fault> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+
+  /// Parse a fault spec string. Grammar: faults separated by ';', each
+  ///   type ':' key '=' value (',' key '=' value)*
+  /// with type in {flip, drop, delay, crash} and keys
+  ///   src, dest, tag, nth, bit (flip), ms (delay), rank, op (crash).
+  /// Example:
+  ///   "flip:src=0,dest=1,tag=1001,nth=2,bit=12;crash:rank=1,op=100"
+  /// Strict: unknown types/keys, trailing garbage in numbers, or missing
+  /// required fields throw hymv::Error.
+  static FaultPlan parse(const std::string& spec, std::uint64_t seed = 0);
+
+  /// Build from HYMV_FAULT_SPEC (parsed strictly; a malformed spec throws)
+  /// and HYMV_FAULT_SEED (validated via env_int). Unset env → empty plan.
+  static FaultPlan from_env();
+};
+
+/// Options for simmpi::run. The defaults (no faults, no timeout) leave the
+/// runtime behaviour — including message contents and counters — identical
+/// to the pre-fault-layer runtime.
+struct RunOptions {
+  FaultPlan faults;
+  /// When > 0, every blocking wait() on this job times out after this many
+  /// seconds and throws hymv::TimeoutError instead of hanging — the knob
+  /// that turns dropped messages into diagnosable errors.
+  double recv_timeout_s = 0.0;
+
+  /// Resolve from the environment: HYMV_FAULT_SPEC / HYMV_FAULT_SEED for
+  /// the plan, HYMV_FAULT_RECV_TIMEOUT_MS (validated env_double, must be
+  /// >= 0) for the wait deadline.
+  static RunOptions from_env();
 };
 
 /// Thrown in every rank blocked inside simmpi when some other rank exits
@@ -114,8 +191,16 @@ class Comm {
   Request irecv_bytes(int source, int tag, void* buf, std::size_t capacity);
 
   /// Block until `req` completes; returns receive Status (sends return a
-  /// Status with bytes == bytes sent).
+  /// Status with bytes == bytes sent). Under a job-wide recv timeout
+  /// (RunOptions::recv_timeout_s > 0) throws hymv::TimeoutError when the
+  /// deadline expires.
   Status wait(Request& req);
+
+  /// Bounded wait: true (and `req` consumed, Status in *status if given)
+  /// when the request completed within `timeout_s`; false when the deadline
+  /// expired — the request stays valid and posted, so a later resend can
+  /// still complete it. Throws AbortError if the job aborts meanwhile.
+  bool wait_for(Request& req, double timeout_s, Status* status = nullptr);
 
   /// Nonblocking completion check.
   [[nodiscard]] bool test(Request& req);
@@ -221,8 +306,13 @@ class Comm {
   /// Reset this rank's traffic counters to zero.
   void reset_counters();
 
+  /// Record `n` protocol retransmissions in this rank's counters (called by
+  /// recovery layers such as the checksummed ghost exchange).
+  void add_resent(std::int64_t n = 1);
+
  private:
-  friend void run(int, const std::function<void(Comm&)>&);
+  friend void run(int, const std::function<void(Comm&)>&,
+                  const RunOptions&);
   friend class detail::Context;
   Comm(detail::Context* ctx, int rank) : ctx_(ctx), rank_(rank) {}
 
@@ -238,7 +328,14 @@ class Comm {
 /// Launch `nranks` threads each running `fn(comm)`. Blocks until all ranks
 /// return. If any rank throws, the job is aborted (ranks blocked in simmpi
 /// calls receive AbortError) and the first original exception is rethrown.
+/// This overload resolves RunOptions::from_env(), so fault campaigns can
+/// target existing binaries via HYMV_FAULT_SPEC without code changes; with
+/// the environment unset it behaves exactly as before.
 void run(int nranks, const std::function<void(Comm&)>& fn);
+
+/// run() with explicit fault-injection / timeout options.
+void run(int nranks, const std::function<void(Comm&)>& fn,
+         const RunOptions& options);
 
 // ---------------------------------------------------------------------------
 // template implementations

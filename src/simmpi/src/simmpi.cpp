@@ -1,12 +1,17 @@
 #include "hymv/simmpi/simmpi.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "hymv/common/env.hpp"
 
 namespace simmpi {
 namespace detail {
@@ -54,12 +59,29 @@ struct Mailbox {
   std::int64_t bytes_received = 0;
 };
 
+/// splitmix64: derives deterministic per-fault values from the plan seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// What the matched faults ask isend_bytes to do to one message.
+struct SendFaultAction {
+  bool drop = false;
+  std::int64_t flip_bit = -1;  ///< -1 = no flip
+  double delay_ms = 0.0;
+};
+
 /// Job-wide shared state for one simmpi::run invocation.
 class Context {
  public:
-  explicit Context(int nranks)
-      : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)),
-        sent_(static_cast<std::size_t>(nranks)) {
+  Context(int nranks, const RunOptions& options)
+      : nranks_(nranks), options_(options),
+        mailboxes_(static_cast<std::size_t>(nranks)),
+        sent_(static_cast<std::size_t>(nranks)),
+        fault_hits_(options.faults.faults.size()) {
     for (auto& box : mailboxes_) {
       box = std::make_unique<Mailbox>();
     }
@@ -71,13 +93,75 @@ class Context {
     return *mailboxes_[static_cast<std::size_t>(rank)];
   }
 
+  [[nodiscard]] const RunOptions& options() const { return options_; }
+
   /// Sender-side counters; only written by the owning rank's thread.
   struct SentCounters {
     std::int64_t messages = 0;
     std::int64_t bytes = 0;
+    std::int64_t resent = 0;
+    std::int64_t p2p_ops = 0;  ///< isend+irecv calls (crash-fault clock)
   };
   [[nodiscard]] SentCounters& sent(int rank) {
     return sent_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Advance `rank`'s p2p-op clock and fire any crash fault scheduled for
+  /// this op. Called from isend_bytes/irecv_bytes on the rank's own thread.
+  void note_p2p_op(int rank) {
+    if (options_.faults.empty()) {
+      return;
+    }
+    const std::int64_t op = ++sent(rank).p2p_ops;
+    for (const Fault& f : options_.faults.faults) {
+      if (f.type == FaultType::kCrash && f.rank == rank && f.at_op == op) {
+        HYMV_THROW("simmpi: injected crash on rank " + std::to_string(rank) +
+                   " at p2p op " + std::to_string(op));
+      }
+    }
+  }
+
+  /// Match message faults for one send and consume their Nth-counters.
+  /// Only the sending rank's thread touches a src-pinned fault's counter,
+  /// so the Nth-message bookkeeping is deterministic.
+  SendFaultAction match_send_faults(int src, int dest, int tag,
+                                    std::size_t bytes) {
+    SendFaultAction action;
+    const auto& faults = options_.faults.faults;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const Fault& f = faults[i];
+      if (f.type == FaultType::kCrash || f.src != src ||
+          (f.dest != -1 && f.dest != dest) ||
+          (f.tag != kAnyTag && f.tag != tag)) {
+        continue;
+      }
+      const std::int64_t n =
+          fault_hits_[i].fetch_add(1, std::memory_order_relaxed) + 1;
+      if (n != f.nth) {
+        continue;
+      }
+      switch (f.type) {
+        case FaultType::kBitFlip:
+          if (bytes > 0) {
+            const auto nbits = static_cast<std::uint64_t>(bytes) * 8;
+            action.flip_bit =
+                f.bit >= 0
+                    ? f.bit % static_cast<std::int64_t>(nbits)
+                    : static_cast<std::int64_t>(
+                          mix64(options_.faults.seed + i) % nbits);
+          }
+          break;
+        case FaultType::kDrop:
+          action.drop = true;
+          break;
+        case FaultType::kDelay:
+          action.delay_ms += f.delay_ms;
+          break;
+        case FaultType::kCrash:
+          break;
+      }
+    }
+    return action;
   }
 
   void abort() {
@@ -94,8 +178,10 @@ class Context {
 
  private:
   int nranks_;
+  RunOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<SentCounters> sent_;
+  std::vector<std::atomic<std::int64_t>> fault_hits_;
   std::atomic<bool> aborted_{false};
 };
 
@@ -132,6 +218,39 @@ Request Comm::isend_bytes(int dest, int tag, const void* data,
   HYMV_CHECK_MSG(dest >= 0 && dest < size(), "isend: destination out of range");
   if (ctx_->aborted()) {
     throw AbortError();
+  }
+  // Fault injection (no-op for an empty plan): crash clock, then message
+  // faults. Mutations act on the delivered copy, never the caller's buffer.
+  std::vector<std::byte> mutated;
+  if (!ctx_->options().faults.empty()) {
+    ctx_->note_p2p_op(rank_);
+    const detail::SendFaultAction action =
+        ctx_->match_send_faults(rank_, dest, tag, bytes);
+    if (action.delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(action.delay_ms));
+    }
+    if (action.drop) {
+      // The sender observes a normal completed send (its counters included)
+      // — the message simply never arrives, like a lost packet.
+      if (dest != rank_) {
+        auto& sent = ctx_->sent(rank_);
+        sent.messages += 1;
+        sent.bytes += static_cast<std::int64_t>(bytes);
+      }
+      auto state = std::make_shared<detail::RequestState>();
+      state->done = true;
+      state->status = Status{dest, tag, bytes};
+      state->owner_rank = rank_;
+      return Request(std::move(state));
+    }
+    if (action.flip_bit >= 0 && bytes > 0) {
+      mutated.resize(bytes);
+      std::memcpy(mutated.data(), data, bytes);
+      mutated[static_cast<std::size_t>(action.flip_bit / 8)] ^=
+          static_cast<std::byte>(1U << (action.flip_bit % 8));
+      data = mutated.data();
+    }
   }
   if (dest != rank_) {
     auto& sent = ctx_->sent(rank_);
@@ -179,6 +298,9 @@ Request Comm::irecv_bytes(int source, int tag, void* buf,
   if (ctx_->aborted()) {
     throw AbortError();
   }
+  if (!ctx_->options().faults.empty()) {
+    ctx_->note_p2p_op(rank_);
+  }
   detail::Mailbox& box = ctx_->mailbox(rank_);
   auto state = std::make_shared<detail::RequestState>();
   state->owner_rank = rank_;
@@ -204,13 +326,51 @@ Status Comm::wait(Request& req) {
   detail::RequestState& state = *req.state_;
   detail::Mailbox& box = ctx_->mailbox(state.owner_rank);
   std::unique_lock<std::mutex> lock(box.mutex);
-  box.cv.wait(lock, [&] { return state.done || ctx_->aborted(); });
+  const double timeout_s = ctx_->options().recv_timeout_s;
+  if (timeout_s > 0.0) {
+    const bool completed =
+        box.cv.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                        [&] { return state.done || ctx_->aborted(); });
+    if (!completed) {
+      throw hymv::TimeoutError(
+          "simmpi: wait timed out after " + std::to_string(timeout_s) +
+          " s (message dropped or sender stalled?)");
+    }
+  } else {
+    box.cv.wait(lock, [&] { return state.done || ctx_->aborted(); });
+  }
   if (!state.done) {
     throw AbortError();
   }
   const Status status = state.status;
   req.state_.reset();
   return status;
+}
+
+bool Comm::wait_for(Request& req, double timeout_s, Status* status) {
+  if (!req.valid()) {
+    if (status != nullptr) {
+      *status = Status{};
+    }
+    return true;
+  }
+  detail::RequestState& state = *req.state_;
+  detail::Mailbox& box = ctx_->mailbox(state.owner_rank);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const bool completed =
+      box.cv.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                      [&] { return state.done || ctx_->aborted(); });
+  if (!completed) {
+    return false;  // request stays posted; a resend can still complete it
+  }
+  if (!state.done) {
+    throw AbortError();
+  }
+  if (status != nullptr) {
+    *status = state.status;
+  }
+  req.state_.reset();
+  return true;
 }
 
 bool Comm::test(Request& req) {
@@ -322,6 +482,7 @@ TrafficCounters Comm::counters() const {
   const auto& sent = ctx_->sent(rank_);
   out.messages_sent = sent.messages;
   out.bytes_sent = sent.bytes;
+  out.messages_resent = sent.resent;
   detail::Mailbox& box = ctx_->mailbox(rank_);
   std::lock_guard<std::mutex> lock(box.mutex);
   out.messages_received = box.messages_received;
@@ -333,15 +494,151 @@ void Comm::reset_counters() {
   auto& sent = ctx_->sent(rank_);
   sent.messages = 0;
   sent.bytes = 0;
+  sent.resent = 0;
   detail::Mailbox& box = ctx_->mailbox(rank_);
   std::lock_guard<std::mutex> lock(box.mutex);
   box.messages_received = 0;
   box.bytes_received = 0;
 }
 
+void Comm::add_resent(std::int64_t n) { ctx_->sent(rank_).resent += n; }
+
+// ---------------------------------------------------------------------------
+// Fault-plan parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Strict integer parse: the whole field must be one integer.
+std::int64_t parse_int_field(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  HYMV_CHECK_MSG(errno != ERANGE && end != text.c_str() && *end == '\0',
+                 "FaultPlan: bad integer for '" + key + "': \"" + text + "\"");
+  return value;
+}
+
+double parse_double_field(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  HYMV_CHECK_MSG(errno != ERANGE && end != text.c_str() && *end == '\0',
+                 "FaultPlan: bad number for '" + key + "': \"" + text + "\"");
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) {
+      continue;  // allow a trailing ';'
+    }
+    const std::size_t colon = entry.find(':');
+    HYMV_CHECK_MSG(colon != std::string::npos,
+                   "FaultPlan: missing ':' in fault \"" + entry + "\"");
+    const std::string type = entry.substr(0, colon);
+    Fault fault;
+    if (type == "flip") {
+      fault.type = FaultType::kBitFlip;
+    } else if (type == "drop") {
+      fault.type = FaultType::kDrop;
+    } else if (type == "delay") {
+      fault.type = FaultType::kDelay;
+    } else if (type == "crash") {
+      fault.type = FaultType::kCrash;
+    } else {
+      HYMV_THROW("FaultPlan: unknown fault type \"" + type +
+                 "\" (expected flip|drop|delay|crash)");
+    }
+    for (const std::string& kv : split(entry.substr(colon + 1), ',')) {
+      const std::size_t eq = kv.find('=');
+      HYMV_CHECK_MSG(eq != std::string::npos && eq > 0,
+                     "FaultPlan: expected key=value, got \"" + kv + "\"");
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key == "src") {
+        fault.src = static_cast<int>(parse_int_field(key, value));
+      } else if (key == "dest") {
+        fault.dest = static_cast<int>(parse_int_field(key, value));
+      } else if (key == "tag") {
+        fault.tag = static_cast<int>(parse_int_field(key, value));
+      } else if (key == "nth") {
+        fault.nth = parse_int_field(key, value);
+      } else if (key == "bit" && fault.type == FaultType::kBitFlip) {
+        fault.bit = parse_int_field(key, value);
+      } else if (key == "ms" && fault.type == FaultType::kDelay) {
+        fault.delay_ms = parse_double_field(key, value);
+      } else if (key == "rank" && fault.type == FaultType::kCrash) {
+        fault.rank = static_cast<int>(parse_int_field(key, value));
+      } else if (key == "op" && fault.type == FaultType::kCrash) {
+        fault.at_op = parse_int_field(key, value);
+      } else {
+        HYMV_THROW("FaultPlan: unknown key \"" + key + "\" for fault type \"" +
+                   type + "\"");
+      }
+    }
+    if (fault.type == FaultType::kCrash) {
+      HYMV_CHECK_MSG(fault.rank >= 0 && fault.at_op >= 1,
+                     "FaultPlan: crash faults need rank>=0 and op>=1");
+    } else {
+      HYMV_CHECK_MSG(fault.src >= 0,
+                     "FaultPlan: message faults need a source rank (src=N) — "
+                     "per-sender order is what makes injection deterministic");
+      HYMV_CHECK_MSG(fault.nth >= 1, "FaultPlan: nth must be >= 1");
+      HYMV_CHECK_MSG(fault.delay_ms >= 0.0,
+                     "FaultPlan: delay must be non-negative");
+    }
+    plan.faults.push_back(fault);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("HYMV_FAULT_SPEC");
+  const auto seed =
+      static_cast<std::uint64_t>(hymv::env_int("HYMV_FAULT_SEED", 0));
+  if (spec == nullptr || *spec == '\0') {
+    return FaultPlan{.seed = seed, .faults = {}};
+  }
+  return parse(spec, seed);
+}
+
+RunOptions RunOptions::from_env() {
+  RunOptions options;
+  options.faults = FaultPlan::from_env();
+  const double timeout_ms = hymv::env_double("HYMV_FAULT_RECV_TIMEOUT_MS", 0.0);
+  HYMV_CHECK_MSG(timeout_ms >= 0.0,
+                 "HYMV_FAULT_RECV_TIMEOUT_MS must be >= 0");
+  options.recv_timeout_s = timeout_ms / 1000.0;
+  return options;
+}
+
 void run(int nranks, const std::function<void(Comm&)>& fn) {
+  run(nranks, fn, RunOptions::from_env());
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn,
+         const RunOptions& options) {
   HYMV_CHECK_MSG(nranks > 0, "simmpi::run: nranks must be positive");
-  detail::Context ctx(nranks);
+  detail::Context ctx(nranks, options);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
