@@ -19,69 +19,28 @@
 //   8. resilience overhead (DESIGN.md §5e): the checksummed ghost
 //      exchange's trailer + ACK round on the apply path, and the CG
 //      true-residual-replacement / checkpoint features on the solve path
-//      — what the fault-free run pays for the recovery machinery.
+//      — what the fault-free run pays for the recovery machinery,
+//   9. observability overhead (DESIGN.md §5f): the armed tracer's span
+//      recording on the apply path vs the default disarmed state — the
+//      acceptance bar is < 5% apply-wall overhead when armed.
 //
 // With --json <path>, every table row is also appended to a flat JSON
 // document (schema: EXPERIMENTS.md "BENCH_ablation.json").
 
 #include "bench_common.hpp"
 
-#include <cstdarg>
-#include <cstring>
-#include <string>
+#include "hymv/obs/trace.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
-namespace {
-
-/// Hand-rolled JSON accumulator: a flat array of row objects, each tagged
-/// with its ablation name. Rows are pre-encoded JSON object bodies.
-struct JsonDoc {
-  std::vector<std::string> rows;
-
-  void add(const char* fmt, ...) {
-    char buf[512];
-    va_list ap;
-    va_start(ap, fmt);
-    std::vsnprintf(buf, sizeof buf, fmt, ap);
-    va_end(ap);
-    rows.emplace_back(buf);
-  }
-
-  [[nodiscard]] bool write(const char* path) const {
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-      return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"ablation\",\n  \"rows\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      std::fprintf(f, "    {%s}%s\n", rows[i].c_str(),
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    return true;
-  }
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace bench;
   const int napplies = 10;
 
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
-      return 2;
-    }
-  }
-  JsonDoc json;
+  const char* json_path = parse_json_arg(argc, argv);
+  JsonDoc json("ablation");
 
   driver::ProblemSpec spec;
   spec.pde = driver::Pde::kElasticity;
@@ -501,12 +460,64 @@ int main(int argc, char** argv) {
                 "table prices the wall-clock cost alone)\n");
   }
 
-  if (json_path != nullptr) {
-    if (!json.write(json_path)) {
-      std::fprintf(stderr, "bench_ablation: cannot write %s\n", json_path);
-      return 1;
+  std::printf("\n=== Ablation 9: observability overhead, armed vs disarmed "
+              "tracer (DESIGN.md §5f) ===\n");
+  {
+    // What HYMV_TRACE=1 costs on the apply path. The disarmed tracer is a
+    // single relaxed atomic load per span site; armed, every span writes
+    // one ring-buffer record (plus a thread-CPU clock read). The events
+    // are dropped afterwards (clear()), so this prices recording alone,
+    // not export. Legs alternate disarmed/armed over several short rounds:
+    // a single long A then B measurement folds any machine-load drift
+    // between the two legs straight into the reported overhead, which on a
+    // shared host can dwarf the true cost.
+    driver::ProblemSpec pspec;
+    pspec.pde = driver::Pde::kPoisson;
+    pspec.element = mesh::ElementType::kHex8;
+    pspec.box = {.nx = scaled(13), .ny = scaled(13), .nz = scaled(56)};
+    pspec.partitioner = mesh::Partitioner::kSlab;
+    const driver::ProblemSetup psetup = driver::ProblemSetup::build(pspec, 4);
+    const int apply_reps = 10;
+    const int rounds = 5;
+    std::printf("  %-10s %-11s %s\n", "tracer", "wall (s)", "overhead");
+    double wall_s[2] = {0.0, 0.0};
+    hymv::obs::Tracer& tracer = hymv::obs::Tracer::instance();
+    const bool was_armed = tracer.armed();
+    for (int round = 0; round < rounds; ++round) {
+      for (const bool armed : {false, true}) {
+        if (armed) {
+          tracer.arm();
+        } else {
+          tracer.disarm();
+        }
+        const AggResult r = run_backend(
+            psetup, {.backend = driver::Backend::kHymv}, apply_reps);
+        wall_s[armed ? 1 : 0] += r.spmv_wall_s;
+        tracer.clear();
+      }
     }
-    std::printf("\nwrote %s (%zu rows)\n", json_path, json.rows.size());
+    for (const bool armed : {false, true}) {
+      const double pct = (wall_s[1] / wall_s[0] - 1.0) * 100.0;
+      std::printf("  %-10s %-11.4f %s\n", armed ? "armed" : "disarmed",
+                  wall_s[armed ? 1 : 0],
+                  armed ? (std::to_string(pct).substr(0, 5) + "%").c_str()
+                        : "-");
+      json.add("\"ablation\": \"observability\", \"tracer\": \"%s\", "
+               "\"spmv_wall_s\": %.6g, \"overhead_pct\": %.6g",
+               armed ? "armed" : "disarmed", wall_s[armed ? 1 : 0],
+               armed ? pct : 0.0);
+    }
+    if (was_armed) {
+      tracer.arm();
+    } else {
+      tracer.disarm();
+    }
+    tracer.clear();
+    std::printf("  (requirement: armed overhead < 5%% at default scale — "
+                "spans live on the per-apply path,\n   not per-element, so "
+                "their fixed cost inflates the ratio on scaled-down "
+                "meshes)\n");
   }
-  return 0;
+
+  return json.finish(json_path) ? 0 : 1;
 }

@@ -19,9 +19,13 @@
 /// HYMV_BENCH_SCALE=<f> to scale linear mesh resolution by f.
 
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "hymv/common/env.hpp"
@@ -32,6 +36,71 @@
 namespace bench {
 
 using namespace hymv;
+
+/// Hand-rolled JSON accumulator shared by every bench binary: a flat array
+/// of row objects under a "bench" tag. Rows are pre-encoded JSON object
+/// bodies (`doc.add("\"ranks\": %d, \"spmv_s\": %.6g", p, s)`), so the
+/// schema stays next to the printf that shows the same numbers. The format
+/// is what tools/bench_compare.py consumes and EXPERIMENTS.md documents.
+struct JsonDoc {
+  std::string bench;
+  std::vector<std::string> rows;
+
+  explicit JsonDoc(std::string name) : bench(std::move(name)) {}
+
+  void add(const char* fmt, ...) {
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    rows.emplace_back(buf);
+  }
+
+  [[nodiscard]] bool write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench.c_str());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f, "    {%s}%s\n", rows[i].c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+  /// Write if --json was given; returns false (after a stderr message)
+  /// only on an I/O failure, so mains can `return finish(...) ? 0 : 1`.
+  [[nodiscard]] bool finish(const char* path) const {
+    if (path == nullptr) {
+      return true;
+    }
+    if (!write(path)) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path);
+      return false;
+    }
+    std::printf("wrote %s (%zu rows)\n", path, rows.size());
+    return true;
+  }
+};
+
+/// Parse the standard bench CLI `[--json <path>]`. Returns the path or
+/// nullptr; on any other argument prints usage and exits 2.
+inline const char* parse_json_arg(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return json_path;
+}
 
 /// Linear-resolution scale factor from HYMV_BENCH_SCALE.
 inline double scale_factor() {

@@ -14,9 +14,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const int napplies = 10;
+  const char* json_path = parse_json_arg(argc, argv);
+  JsonDoc json("fig10_roofline");
 
   driver::ProblemSpec spec;
   spec.pde = driver::Pde::kElasticity;
@@ -50,6 +52,11 @@ int main() {
       "rate, yet the worst time-to-solution. Time ordering (lower=better):\n");
   for (const auto& s : samples) {
     std::printf("  %-14s %.4f s\n", s.name.c_str(), s.seconds);
+    json.add(
+        "\"method\": \"%s\", \"flops\": %lld, \"bytes\": %lld, "
+        "\"spmv_wall_s\": %.6g",
+        s.name.c_str(), static_cast<long long>(s.flops),
+        static_cast<long long>(s.bytes), s.seconds);
   }
-  return 0;
+  return json.finish(json_path) ? 0 : 1;
 }

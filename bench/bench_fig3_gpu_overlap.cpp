@@ -26,7 +26,9 @@ const char* engine_name(gpu::Engine e) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = parse_json_arg(argc, argv);
+  JsonDoc json("fig3_gpu_overlap");
   driver::ProblemSpec spec;
   spec.pde = driver::Pde::kElasticity;
   spec.element = mesh::ElementType::kHex20;
@@ -98,6 +100,10 @@ int main() {
     std::printf("engine-busy total %.1f us vs makespan %.1f us -> overlap "
                 "factor %.2fx\n",
                 busy * 1e6, span * 1e6, busy / span);
+    json.add(
+        "\"streams\": 8, \"commands\": %zu, \"makespan_us\": %.6g, "
+        "\"busy_us\": %.6g, \"overlap_factor\": %.6g",
+        timeline.size(), span * 1e6, busy * 1e6, busy / span);
   });
-  return 0;
+  return json.finish(json_path) ? 0 : 1;
 }

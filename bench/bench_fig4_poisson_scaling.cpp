@@ -24,7 +24,8 @@ driver::ProblemSpec poisson_spec(std::int64_t nx, std::int64_t ny,
   return spec;
 }
 
-void run_row(const driver::ProblemSpec& spec, int ranks, int napplies) {
+void run_row(const driver::ProblemSpec& spec, int ranks, int napplies,
+             JsonDoc& json, const char* mode) {
   const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, ranks);
   const AggResult asm_r =
       run_backend(setup, {.backend = driver::Backend::kAssembled}, napplies);
@@ -40,6 +41,14 @@ void run_row(const driver::ProblemSpec& spec, int ranks, int napplies) {
       asm_r.setup_insert_s, asm_r.setup_comm_s, hymv_r.setup_emat_s,
       hymv_r.setup_insert_s, hymv_r.setup_comm_s, asm_r.spmv_modeled_s,
       hymv_r.spmv_modeled_s, mf_r.spmv_modeled_s);
+  json.add(
+      "\"mode\": \"%s\", \"ranks\": %d, \"dofs\": %lld, "
+      "\"asm_setup_s\": %.6g, \"hymv_setup_s\": %.6g, "
+      "\"asm_spmv_s\": %.6g, \"hymv_spmv_s\": %.6g, "
+      "\"mfree_spmv_s\": %.6g, \"hymv_spmv_wall_s\": %.6g",
+      mode, ranks, static_cast<long long>(setup.total_dofs()),
+      asm_r.setup_total_s(), hymv_r.setup_total_s(), asm_r.spmv_modeled_s,
+      hymv_r.spmv_modeled_s, mf_r.spmv_modeled_s, hymv_r.spmv_wall_s);
 }
 
 void summary_note() {
@@ -50,8 +59,10 @@ void summary_note() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int napplies = 10;  // the paper times ten SPMV operations
+  const char* json_path = bench::parse_json_arg(argc, argv);
+  JsonDoc json("fig4_poisson_scaling");
 
   std::printf("=== Fig. 4a: Poisson hex8 WEAK scaling (modeled times, s) "
               "===\n");
@@ -60,7 +71,7 @@ int main() {
   // ~3.1K DoFs per rank: 13x13 layers, 14 element layers per rank.
   for (const int p : {1, 2, 4, 8}) {
     run_row(poisson_spec(scaled(13), scaled(13), scaled(14) * p), p,
-            napplies);
+            napplies, json, "weak");
   }
   summary_note();
 
@@ -68,8 +79,9 @@ int main() {
               "===\n");
   print_scaling_header(true);
   for (const int p : {1, 2, 4, 8}) {
-    run_row(poisson_spec(scaled(13), scaled(13), scaled(56)), p, napplies);
+    run_row(poisson_spec(scaled(13), scaled(13), scaled(56)), p, napplies,
+            json, "strong");
   }
   summary_note();
-  return 0;
+  return json.finish(json_path) ? 0 : 1;
 }

@@ -24,7 +24,8 @@ driver::ProblemSpec elasticity_spec(std::int64_t nx, std::int64_t ny,
   return spec;
 }
 
-void run_row(const driver::ProblemSpec& spec, int ranks, int napplies) {
+void run_row(const driver::ProblemSpec& spec, int ranks, int napplies,
+             JsonDoc& json, const char* mode) {
   const driver::ProblemSetup setup = driver::ProblemSetup::build(spec, ranks);
   const AggResult asm_r =
       run_backend(setup, {.backend = driver::Backend::kAssembled}, napplies);
@@ -39,12 +40,22 @@ void run_row(const driver::ProblemSpec& spec, int ranks, int napplies) {
       asm_r.setup_insert_s, asm_r.setup_comm_s, hymv_r.setup_emat_s,
       hymv_r.setup_insert_s, hymv_r.setup_comm_s, asm_r.spmv_modeled_s,
       hymv_r.spmv_modeled_s, mf_r.spmv_modeled_s);
+  json.add(
+      "\"mode\": \"%s\", \"ranks\": %d, \"dofs\": %lld, "
+      "\"asm_setup_s\": %.6g, \"hymv_setup_s\": %.6g, "
+      "\"asm_spmv_s\": %.6g, \"hymv_spmv_s\": %.6g, "
+      "\"mfree_spmv_s\": %.6g",
+      mode, ranks, static_cast<long long>(setup.total_dofs()),
+      asm_r.setup_total_s(), hymv_r.setup_total_s(), asm_r.spmv_modeled_s,
+      hymv_r.spmv_modeled_s, mf_r.spmv_modeled_s);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int napplies = 10;
+  const char* json_path = parse_json_arg(argc, argv);
+  JsonDoc json("fig5_elasticity_scaling");
 
   std::printf("=== Fig. 5a: Elasticity hex8 WEAK scaling (modeled, s) ===\n");
   std::printf("~3.6K DoFs/rank; setup bars: EMat compute / insert|copy / "
@@ -52,7 +63,7 @@ int main() {
   print_scaling_header(true);
   for (const int p : {1, 2, 4, 8}) {
     run_row(elasticity_spec(scaled(9), scaled(9), scaled(11) * p), p,
-            napplies);
+            napplies, json, "weak");
   }
   std::printf("\n");
 
@@ -60,11 +71,12 @@ int main() {
               "===\n");
   print_scaling_header(true);
   for (const int p : {1, 2, 4, 8}) {
-    run_row(elasticity_spec(scaled(9), scaled(9), scaled(44)), p, napplies);
+    run_row(elasticity_spec(scaled(9), scaled(9), scaled(44)), p, napplies,
+            json, "strong");
   }
   std::printf(
       "\npaper shape: HYMV setup ~5x faster than assembled; EMat compute is\n"
       "a larger share than in the Poisson case; matrix-free SPMV is the\n"
       "most expensive by a wide margin.\n");
-  return 0;
+  return json.finish(json_path) ? 0 : 1;
 }

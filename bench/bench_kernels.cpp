@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "hymv/common/aligned.hpp"
 #include "hymv/common/rng.hpp"
 #include "hymv/core/dense_kernels.hpp"
@@ -135,4 +138,29 @@ BENCHMARK(BM_IluSolve)->Arg(1 << 12)->Arg(1 << 15);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translate the repo-wide
+// `--json <path>` convention into google-benchmark's out flags so every
+// bench binary shares one CLI (see bench_common.hpp).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::string(args[i]) == "--json") {
+      out_flag = std::string("--benchmark_out=") + args[i + 1];
+      fmt_flag = "--benchmark_out_format=json";
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,9 +13,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const int napplies = 10;
+  const char* json_path = parse_json_arg(argc, argv);
+  JsonDoc json("table1_throughput");
 
   std::printf("=== Table I: GFLOP / time / GFLOP-rate of %d SPMVs, "
               "elasticity hex20 ===\n\n",
@@ -59,6 +61,13 @@ int main() {
                     driver::backend_name(m.backend),
                     static_cast<double>(r.flops) / 1e9, r.spmv_modeled_s,
                     r.gflops_modeled);
+        json.add(
+            "\"method\": \"%s\", \"ranks\": %d, \"dofs_per_rank\": "
+            "%lld, \"gflop\": %.6g, \"spmv_s\": %.6g, \"gflops\": %.6g",
+            driver::backend_name(m.backend), p,
+            static_cast<long long>(dofs_per_rank),
+            static_cast<double>(r.flops) / 1e9, r.spmv_modeled_s,
+            r.gflops_modeled);
       }
       std::printf("\n");
     }
@@ -67,5 +76,5 @@ int main() {
               "it on time (regular access); matrix-free does ~70x the flops\n"
               "with the highest rate but the worst time; HYMV-GPU has the\n"
               "best time of all.\n");
-  return 0;
+  return json.finish(json_path) ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace hymv {
@@ -63,7 +64,10 @@ class ThreadCpuTimer {
 /// local copy, ...) the way the paper's setup-breakdown bars do (Fig. 5/7).
 class CumulativeTimer {
  public:
-  /// Begin an interval. Nested starts are an error.
+  /// Begin an interval. Nested starts are an error: a second start() while
+  /// running throws hymv::Error (it would silently discard the earlier
+  /// origin and under-report the phase). stop() without a matching start()
+  /// throws likewise.
   void start();
   /// End the current interval, adding its duration to the total.
   void stop();
@@ -99,13 +103,23 @@ class ScopedTimer {
 
 /// Named collection of phase timers, e.g. {"emat_compute", "local_copy",
 /// "communication"}. Phases are created on first use.
+///
+/// Thread-safety: phase creation and lookup are mutex-guarded, so worker
+/// threads may call phase() concurrently (std::map nodes are stable, the
+/// returned reference survives later insertions). The CumulativeTimer
+/// itself is NOT synchronised — each thread should drive its own phase, or
+/// callers must order start/stop externally. phases() exposes the raw map
+/// and must only be used at quiescence (reporting).
 class PhaseTimers {
  public:
   /// Access (creating if absent) the timer for a named phase.
-  CumulativeTimer& phase(const std::string& name) { return phases_[name]; }
+  CumulativeTimer& phase(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return phases_[name];
+  }
   /// Total seconds recorded for a phase; 0 if the phase never ran.
   [[nodiscard]] double total_s(const std::string& name) const;
-  /// All phases, for reporting.
+  /// All phases, for reporting at quiescence.
   [[nodiscard]] const std::map<std::string, CumulativeTimer>& phases() const {
     return phases_;
   }
@@ -113,6 +127,7 @@ class PhaseTimers {
   void reset();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, CumulativeTimer> phases_;
 };
 

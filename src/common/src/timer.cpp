@@ -41,11 +41,13 @@ void CumulativeTimer::reset() {
 }
 
 double PhaseTimers::total_s(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = phases_.find(name);
   return it == phases_.end() ? 0.0 : it->second.total_s();
 }
 
 void PhaseTimers::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, timer] : phases_) {
     (void)name;
     timer.reset();

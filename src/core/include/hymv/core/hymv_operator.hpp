@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "hymv/common/timer.hpp"
+#include "hymv/obs/metrics.hpp"
 #include "hymv/core/dense_kernels.hpp"
 #include "hymv/core/element_store.hpp"
 #include "hymv/core/maps.hpp"
@@ -59,9 +60,17 @@ struct HymvOptions {
 /// `fallback` on a value outside the panel widths the kernels support.
 [[nodiscard]] int nrhs_from_env(int fallback);
 
-/// Wall-clock decomposition of the setup phase, matching the paper's
-/// stacked setup bars (Fig. 5/7): element-matrix computation vs. the local
-/// copy into the store vs. map construction.
+/// Decomposition of the setup phase, matching the paper's stacked setup
+/// bars (Fig. 5/7): element-matrix computation vs. the local copy into the
+/// store vs. map construction.
+///
+/// This struct is a thin VIEW over the operator's obs::MetricsRegistry
+/// ("setup.*" gauges); setup_breakdown() materialises it. The fields carry
+/// per-thread CPU seconds (under simmpi all ranks time-share one machine,
+/// so wall clock would charge a rank for its neighbors' work) — the
+/// registry also records the wall axis under "setup.*_s" next to these
+/// "setup.*_cpu_s" values, so setup and apply are comparable on either
+/// axis.
 struct SetupBreakdown {
   double emat_compute_s = 0.0;
   double local_copy_s = 0.0;
@@ -78,6 +87,11 @@ struct SetupBreakdown {
 /// reduce_s isolates the legacy kBufferReduce overhead (per-thread buffer
 /// zeroing + the O(nthreads × da_size) collapse) that the colored schedule
 /// eliminates — it is identically zero under kColored/kSerial.
+///
+/// This struct is a thin VIEW over the operator's obs::MetricsRegistry
+/// ("apply.*_s" wall gauges + the "apply.applies" counter);
+/// apply_breakdown() materialises it. The registry additionally carries the
+/// per-thread CPU axis as "apply.*_cpu_s".
 struct ApplyBreakdown {
   double lnsm_s = 0.0;    ///< forward ghost exchange + ghost load
   double emv_s = 0.0;     ///< gather u_e, EMV, scatter-add v_e
@@ -153,15 +167,25 @@ class HymvOperator final : public pla::LinearOperator {
   /// degradation the paper's matrix-free fallback enables. Returns the
   /// number of element blocks recomputed.
   std::int64_t scrub_store(const fem::ElementOperator& op);
-  [[nodiscard]] const SetupBreakdown& setup_breakdown() const {
-    return setup_;
+
+  /// The operator's unified metrics registry: "setup.*" / "apply.*" phase
+  /// gauges on both time axes plus the "apply.applies" counter. The driver
+  /// merges this into the rank's Comm::metrics() so one document covers the
+  /// whole rank.
+  [[nodiscard]] hymv::obs::MetricsRegistry& metrics() {
+    return metrics_.registry;
   }
+  [[nodiscard]] const hymv::obs::MetricsRegistry& metrics() const {
+    return metrics_.registry;
+  }
+  /// Setup phase timings, materialised from the registry (CPU axis — see
+  /// the SetupBreakdown doc).
+  [[nodiscard]] SetupBreakdown setup_breakdown() const;
   /// Per-apply phase timings accumulated since construction or the last
-  /// reset_apply_breakdown().
-  [[nodiscard]] const ApplyBreakdown& apply_breakdown() const {
-    return apply_;
-  }
-  void reset_apply_breakdown() { apply_ = ApplyBreakdown{}; }
+  /// reset_apply_breakdown(), materialised from the registry (wall axis).
+  [[nodiscard]] ApplyBreakdown apply_breakdown() const;
+  /// Zero the "apply.*" metrics (both axes); "setup.*" is untouched.
+  void reset_apply_breakdown();
   [[nodiscard]] const HymvOptions& options() const { return options_; }
   void set_kernel(EmvKernel kernel) { options_.kernel = kernel; }
   void set_overlap(bool overlap) { options_.overlap = overlap; }
@@ -234,14 +258,41 @@ class HymvOperator final : public pla::LinearOperator {
   /// ghost contributions received from neighbors.
   void reduce_v_to_owned(simmpi::Comm& comm, std::span<double> owned_out);
 
-  /// Builds the maps while recording their construction time in `setup`.
+  /// The owned registry plus cached handles to its phase metrics, so the
+  /// hot timing sites never do a name lookup. Pointers target nodes owned
+  /// by `registry` (stable for its lifetime). Every phase records both
+  /// axes: `*_s` wall seconds and `*_cpu_s` per-thread CPU seconds.
+  struct OperatorMetrics {
+    hymv::obs::MetricsRegistry registry;
+    hymv::obs::Gauge* lnsm_s;
+    hymv::obs::Gauge* lnsm_cpu_s;
+    hymv::obs::Gauge* emv_s;
+    hymv::obs::Gauge* emv_cpu_s;
+    hymv::obs::Gauge* reduce_s;
+    hymv::obs::Gauge* reduce_cpu_s;
+    hymv::obs::Gauge* gngm_s;
+    hymv::obs::Gauge* gngm_cpu_s;
+    hymv::obs::Counter* applies;
+    hymv::obs::Gauge* setup_emat_compute_s;
+    hymv::obs::Gauge* setup_emat_compute_cpu_s;
+    hymv::obs::Gauge* setup_local_copy_s;
+    hymv::obs::Gauge* setup_local_copy_cpu_s;
+    hymv::obs::Gauge* setup_maps_s;
+    hymv::obs::Gauge* setup_maps_cpu_s;
+    hymv::obs::Gauge* setup_schedule_s;
+    hymv::obs::Gauge* setup_schedule_cpu_s;
+    OperatorMetrics();
+  };
+
+  /// Builds the maps while recording their construction time in `metrics`.
   static DofMaps build_maps_timed(simmpi::Comm& comm,
                                   const mesh::MeshPartition& part,
-                                  int ndof_per_node, SetupBreakdown& setup);
+                                  int ndof_per_node,
+                                  OperatorMetrics& metrics);
 
   HymvOptions options_;
-  SetupBreakdown setup_;  ///< declared before maps_ so timing can target it
-  ApplyBreakdown apply_;
+  OperatorMetrics metrics_;  ///< declared before maps_ so timing can target it
+  int comm_rank_ = -1;       ///< rank tag for worker-thread trace spans
   DofMaps maps_;
   ElementMatrixStore store_;
   std::vector<mesh::Point> elem_coords_;  ///< kept for update_elements

@@ -9,8 +9,80 @@
 
 #include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
+#include "hymv/obs/trace.hpp"
 
 namespace hymv::core {
+
+namespace {
+
+/// Samples the wall and per-thread-CPU clocks together, so every phase is
+/// recorded on both axes (the two were previously mixed: setup CPU-only,
+/// apply wall-only — not comparable under OpenMP).
+struct DualTimer {
+  hymv::Timer wall;
+  hymv::ThreadCpuTimer cpu;
+  void restart() {
+    wall.restart();
+    cpu.restart();
+  }
+  void add_to(hymv::obs::Gauge* wall_g, hymv::obs::Gauge* cpu_g) const {
+    wall_g->add(wall.elapsed_s());
+    cpu_g->add(cpu.elapsed_s());
+  }
+};
+
+}  // namespace
+
+HymvOperator::OperatorMetrics::OperatorMetrics() {
+  lnsm_s = &registry.gauge("apply.lnsm_s");
+  lnsm_cpu_s = &registry.gauge("apply.lnsm_cpu_s");
+  emv_s = &registry.gauge("apply.emv_s");
+  emv_cpu_s = &registry.gauge("apply.emv_cpu_s");
+  reduce_s = &registry.gauge("apply.reduce_s");
+  reduce_cpu_s = &registry.gauge("apply.reduce_cpu_s");
+  gngm_s = &registry.gauge("apply.gngm_s");
+  gngm_cpu_s = &registry.gauge("apply.gngm_cpu_s");
+  applies = &registry.counter("apply.applies");
+  setup_emat_compute_s = &registry.gauge("setup.emat_compute_s");
+  setup_emat_compute_cpu_s = &registry.gauge("setup.emat_compute_cpu_s");
+  setup_local_copy_s = &registry.gauge("setup.local_copy_s");
+  setup_local_copy_cpu_s = &registry.gauge("setup.local_copy_cpu_s");
+  setup_maps_s = &registry.gauge("setup.maps_s");
+  setup_maps_cpu_s = &registry.gauge("setup.maps_cpu_s");
+  setup_schedule_s = &registry.gauge("setup.schedule_s");
+  setup_schedule_cpu_s = &registry.gauge("setup.schedule_cpu_s");
+}
+
+SetupBreakdown HymvOperator::setup_breakdown() const {
+  SetupBreakdown view;
+  view.emat_compute_s = metrics_.setup_emat_compute_cpu_s->value();
+  view.local_copy_s = metrics_.setup_local_copy_cpu_s->value();
+  view.maps_s = metrics_.setup_maps_cpu_s->value();
+  view.schedule_s = metrics_.setup_schedule_cpu_s->value();
+  return view;
+}
+
+ApplyBreakdown HymvOperator::apply_breakdown() const {
+  ApplyBreakdown view;
+  view.lnsm_s = metrics_.lnsm_s->value();
+  view.emv_s = metrics_.emv_s->value();
+  view.reduce_s = metrics_.reduce_s->value();
+  view.gngm_s = metrics_.gngm_s->value();
+  view.applies = static_cast<int>(metrics_.applies->value());
+  return view;
+}
+
+void HymvOperator::reset_apply_breakdown() {
+  metrics_.lnsm_s->reset();
+  metrics_.lnsm_cpu_s->reset();
+  metrics_.emv_s->reset();
+  metrics_.emv_cpu_s->reset();
+  metrics_.reduce_s->reset();
+  metrics_.reduce_cpu_s->reset();
+  metrics_.gngm_s->reset();
+  metrics_.gngm_cpu_s->reset();
+  metrics_.applies->reset();
+}
 
 int nrhs_from_env(int fallback) {
   const std::int64_t value = hymv::env_int("HYMV_NRHS", fallback);
@@ -26,20 +98,23 @@ int nrhs_from_env(int fallback) {
 DofMaps HymvOperator::build_maps_timed(simmpi::Comm& comm,
                                        const mesh::MeshPartition& part,
                                        int ndof_per_node,
-                                       SetupBreakdown& setup) {
-  // Thread-CPU time: under simmpi the ranks time-share one machine, so
-  // wall clock would charge this rank for its neighbors' work.
-  hymv::ThreadCpuTimer timer;
+                                       OperatorMetrics& metrics) {
+  // The breakdown view reports the CPU axis: under simmpi the ranks
+  // time-share one machine, so wall clock would charge this rank for its
+  // neighbors' work. Both axes land in the registry.
+  HYMV_TRACE_SCOPE("setup.maps", "setup");
+  DualTimer timer;
   DofMaps maps(comm, part, ndof_per_node);
-  setup.maps_s = timer.elapsed_s();
+  timer.add_to(metrics.setup_maps_s, metrics.setup_maps_cpu_s);
   return maps;
 }
 
 void HymvOperator::build_schedules() {
-  hymv::ThreadCpuTimer timer;
+  HYMV_TRACE_SCOPE("setup.schedule", "setup");
+  DualTimer timer;
   indep_sched_ = ElementSchedule(maps_, maps_.independent_elements());
   dep_sched_ = ElementSchedule(maps_, maps_.dependent_elements());
-  setup_.schedule_s = timer.elapsed_s();
+  timer.add_to(metrics_.setup_schedule_s, metrics_.setup_schedule_cpu_s);
 }
 
 HymvOperator::HymvOperator(simmpi::Comm& comm,
@@ -47,7 +122,8 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
                            const fem::ElementOperator& op,
                            HymvOptions options)
     : options_(options),
-      maps_(build_maps_timed(comm, part, op.ndof_per_node(), setup_)),
+      comm_rank_(comm.rank()),
+      maps_(build_maps_timed(comm, part, op.ndof_per_node(), metrics_)),
       store_(part.num_local_elements(), op.num_dofs(),
              store_layout_from_env(options.layout)),
       elem_coords_(part.elem_coords),
@@ -65,24 +141,31 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
   build_schedules();
   // Element-matrix computation + local copy (the HYMV "setup" the paper
   // times against PETSc's global assembly).
-  hymv::ThreadCpuTimer timer;
+  HYMV_TRACE_SCOPE("setup.emat", "setup");
+  DualTimer timer;
   const auto n = static_cast<std::size_t>(op.num_dofs());
   const auto nper = static_cast<std::size_t>(op.num_nodes());
   std::vector<double> ke(n * n);
   double compute_s = 0.0;
+  double compute_cpu_s = 0.0;
   double copy_s = 0.0;
+  double copy_cpu_s = 0.0;
   for (std::int64_t e = 0; e < maps_.num_elements(); ++e) {
     timer.restart();
     op.element_matrix(
         std::span<const mesh::Point>(elem_coords_.data() + e * nper, nper),
         ke);
-    compute_s += timer.elapsed_s();
+    compute_s += timer.wall.elapsed_s();
+    compute_cpu_s += timer.cpu.elapsed_s();
     timer.restart();
     store_.set(e, ke);
-    copy_s += timer.elapsed_s();
+    copy_s += timer.wall.elapsed_s();
+    copy_cpu_s += timer.cpu.elapsed_s();
   }
-  setup_.emat_compute_s = compute_s;
-  setup_.local_copy_s = copy_s;
+  metrics_.setup_emat_compute_s->add(compute_s);
+  metrics_.setup_emat_compute_cpu_s->add(compute_cpu_s);
+  metrics_.setup_local_copy_s->add(copy_s);
+  metrics_.setup_local_copy_cpu_s->add(copy_cpu_s);
 }
 
 HymvOperator::HymvOperator(simmpi::Comm& comm,
@@ -90,7 +173,8 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
                            int ndof_per_node, ElementMatrixStore store,
                            HymvOptions options)
     : options_(options),
-      maps_(build_maps_timed(comm, part, ndof_per_node, setup_)),
+      comm_rank_(comm.rank()),
+      maps_(build_maps_timed(comm, part, ndof_per_node, metrics_)),
       store_(std::move(store)),
       elem_coords_(part.elem_coords),
       u_da_(maps_),
@@ -184,11 +268,16 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
 
   if (options_.schedule == ThreadSchedule::kColored) {
     const std::span<const std::int64_t> order = sched.order();
-    hymv::Timer timer;
+    HYMV_TRACE_SCOPE("emv", "apply");
+    DualTimer timer;
 #ifdef _OPENMP
     if (threading_active()) {
 #pragma omp parallel
       {
+        // Tag workers with this rank so their spans group under the rank's
+        // "process" row; the span itself is free when the tracer is off.
+        hymv::obs::set_current_rank(comm_rank_);
+        HYMV_TRACE_SCOPE("emv_worker", "apply");
         hymv::aligned_vector<double> ue(ws), ve(ws);
         for (int c = 0; c < sched.num_colors(); ++c) {
           const std::span<const ElementSchedule::Block> blocks =
@@ -204,7 +293,7 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
           }
         }
       }
-      apply_.emv_s += timer.elapsed_s();
+      timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
       return;
     }
 #endif
@@ -218,7 +307,7 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
         emv_range(order, blk.begin, blk.end, ue.data(), ve.data());
       }
     }
-    apply_.emv_s += timer.elapsed_s();
+    timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
     return;
   }
 
@@ -229,7 +318,8 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
     if (thread_bufs_.size() < static_cast<std::size_t>(nthreads)) {
       thread_bufs_.resize(static_cast<std::size_t>(nthreads));
     }
-    hymv::Timer timer;
+    HYMV_TRACE_SCOPE("emv", "apply");
+    DualTimer timer;
     // Per-thread accumulation buffers dodge the scatter-add race at the
     // cost of zeroing and collapsing nthreads full DA copies per call —
     // the overhead the colored schedule exists to remove. Kept as the
@@ -239,10 +329,12 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
       thread_bufs_[static_cast<std::size_t>(omp_get_thread_num())].assign(
           v.size(), 0.0);
     }
-    apply_.reduce_s += timer.elapsed_s();
+    timer.add_to(metrics_.reduce_s, metrics_.reduce_cpu_s);
     timer.restart();
 #pragma omp parallel num_threads(nthreads)
     {
+      hymv::obs::set_current_rank(comm_rank_);
+      HYMV_TRACE_SCOPE("emv_worker", "apply");
       auto& buf = thread_bufs_[static_cast<std::size_t>(omp_get_thread_num())];
       hymv::aligned_vector<double> ue(n), ve(n);
 #pragma omp for schedule(static)
@@ -259,7 +351,7 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
         }
       }
     }
-    apply_.emv_s += timer.elapsed_s();
+    timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
     timer.restart();
     // Collapse the thread buffers into v.
 #pragma omp parallel for schedule(static)
@@ -271,7 +363,7 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
       }
       v[static_cast<std::size_t>(i)] += sum;
     }
-    apply_.reduce_s += timer.elapsed_s();
+    timer.add_to(metrics_.reduce_s, metrics_.reduce_cpu_s);
     return;
   }
 #endif
@@ -279,11 +371,12 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
   // kSerial (and any strategy with threading unavailable/disabled): the
   // plain element-order loop (one range, so aligned interleaved runs still
   // batch).
-  hymv::Timer timer;
+  HYMV_TRACE_SCOPE("emv", "apply");
+  DualTimer timer;
   hymv::aligned_vector<double> ue(ws), ve(ws);
   emv_range(elements, 0, static_cast<std::int64_t>(elements.size()),
             ue.data(), ve.data());
-  apply_.emv_s += timer.elapsed_s();
+  timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
 }
 
 void reduce_da_to_owned(simmpi::Comm& comm, DofMaps& maps,
@@ -306,37 +399,41 @@ void HymvOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
   HYMV_CHECK_MSG(x.owned_size() == maps_.n_owned() &&
                      y.owned_size() == maps_.n_owned(),
                  "HymvOperator::apply: vector size mismatch");
+  HYMV_TRACE_SCOPE("apply", "hymv");
   // Stage u into the distributed array and start the LNSM scatter.
   std::copy(x.values().begin(), x.values().end(), u_da_.owned().begin());
   v_da_.fill(0.0);
 
-  hymv::Timer timer;
+  DualTimer timer;
   if (options_.overlap) {
     timer.restart();
     maps_.exchange().forward_begin(comm, x.values());
-    apply_.lnsm_s += timer.elapsed_s();
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
     emv_loop(indep_sched_,  // overlap with communication
              maps_.independent_elements());
     timer.restart();
     maps_.exchange().forward_end(comm);
     u_da_.load_ghosts(maps_.exchange().ghost_values());
-    apply_.lnsm_s += timer.elapsed_s();
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
     emv_loop(dep_sched_, maps_.dependent_elements());
   } else {
     timer.restart();
     maps_.exchange().forward_begin(comm, x.values());
     maps_.exchange().forward_end(comm);
     u_da_.load_ghosts(maps_.exchange().ghost_values());
-    apply_.lnsm_s += timer.elapsed_s();
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
     emv_loop(indep_sched_, maps_.independent_elements());
     emv_loop(dep_sched_, maps_.dependent_elements());
   }
 
   // GNGM: ship ghost contributions back to their owners and accumulate.
   timer.restart();
-  reduce_v_to_owned(comm, y.values());
-  apply_.gngm_s += timer.elapsed_s();
-  ++apply_.applies;
+  {
+    HYMV_TRACE_SCOPE("reduce", "apply");
+    reduce_v_to_owned(comm, y.values());
+  }
+  timer.add_to(metrics_.gngm_s, metrics_.gngm_cpu_s);
+  metrics_.applies->inc();
 }
 
 void HymvOperator::ensure_multi_buffers(int k) {
@@ -429,11 +526,14 @@ void HymvOperator::emv_loop_multi(const ElementSchedule& sched,
 
   if (options_.schedule == ThreadSchedule::kColored) {
     const std::span<const std::int64_t> order = sched.order();
-    hymv::Timer timer;
+    HYMV_TRACE_SCOPE("emv", "apply");
+    DualTimer timer;
 #ifdef _OPENMP
     if (threading_active()) {
 #pragma omp parallel
       {
+        hymv::obs::set_current_rank(comm_rank_);
+        HYMV_TRACE_SCOPE("emv_worker", "apply");
         hymv::aligned_vector<double> ue(ws), ve(ws);
         for (int c = 0; c < sched.num_colors(); ++c) {
           const std::span<const ElementSchedule::Block> blocks =
@@ -448,7 +548,7 @@ void HymvOperator::emv_loop_multi(const ElementSchedule& sched,
           }
         }
       }
-      apply_.emv_s += timer.elapsed_s();
+      timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
       return;
     }
 #endif
@@ -460,7 +560,7 @@ void HymvOperator::emv_loop_multi(const ElementSchedule& sched,
         emv_range_multi(order, blk.begin, blk.end, ku, ue.data(), ve.data());
       }
     }
-    apply_.emv_s += timer.elapsed_s();
+    timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
     return;
   }
 
@@ -468,11 +568,12 @@ void HymvOperator::emv_loop_multi(const ElementSchedule& sched,
   // panel buffers would cost nthreads × da_size × k doubles per apply;
   // the colored schedule is the supported threaded mode): plain
   // element-order traversal.
-  hymv::Timer timer;
+  HYMV_TRACE_SCOPE("emv", "apply");
+  DualTimer timer;
   hymv::aligned_vector<double> ue(ws), ve(ws);
   emv_range_multi(elements, 0, static_cast<std::int64_t>(elements.size()), ku,
                   ue.data(), ve.data());
-  apply_.emv_s += timer.elapsed_s();
+  timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
 }
 
 void HymvOperator::apply_multi(simmpi::Comm& comm,
@@ -484,43 +585,47 @@ void HymvOperator::apply_multi(simmpi::Comm& comm,
   HYMV_CHECK_MSG(x.owned_size() == maps_.n_owned() &&
                      y.owned_size() == maps_.n_owned(),
                  "HymvOperator::apply_multi: vector size mismatch");
+  HYMV_TRACE_SCOPE("apply_multi", "hymv");
   ensure_multi_buffers(k);
   // The panel DA and DistMultiVector share the lane-interleaved layout, so
   // staging is one contiguous copy.
   std::copy(x.values().begin(), x.values().end(), u_mda_->owned().begin());
   v_mda_->fill(0.0);
 
-  hymv::Timer timer;
+  DualTimer timer;
   if (options_.overlap) {
     timer.restart();
     maps_.exchange().forward_begin_multi(comm, x.values(), k);
-    apply_.lnsm_s += timer.elapsed_s();
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
     emv_loop_multi(indep_sched_,  // overlap with communication
                    maps_.independent_elements(), k);
     timer.restart();
     maps_.exchange().forward_end_multi(comm);
     u_mda_->load_ghosts(maps_.exchange().ghost_panel());
-    apply_.lnsm_s += timer.elapsed_s();
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
     emv_loop_multi(dep_sched_, maps_.dependent_elements(), k);
   } else {
     timer.restart();
     maps_.exchange().forward_begin_multi(comm, x.values(), k);
     maps_.exchange().forward_end_multi(comm);
     u_mda_->load_ghosts(maps_.exchange().ghost_panel());
-    apply_.lnsm_s += timer.elapsed_s();
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
     emv_loop_multi(indep_sched_, maps_.independent_elements(), k);
     emv_loop_multi(dep_sched_, maps_.dependent_elements(), k);
   }
 
   // GNGM over whole panels: one message per neighbor per direction.
   timer.restart();
-  v_mda_->store_ghosts(ghost_panel_buf_);
-  maps_.exchange().reverse_begin_multi(comm, ghost_panel_buf_, k);
-  std::copy(v_mda_->owned().begin(), v_mda_->owned().end(),
-            y.values().begin());
-  maps_.exchange().reverse_end_multi(comm, y.values());
-  apply_.gngm_s += timer.elapsed_s();
-  ++apply_.applies;
+  {
+    HYMV_TRACE_SCOPE("reduce", "apply");
+    v_mda_->store_ghosts(ghost_panel_buf_);
+    maps_.exchange().reverse_begin_multi(comm, ghost_panel_buf_, k);
+    std::copy(v_mda_->owned().begin(), v_mda_->owned().end(),
+              y.values().begin());
+    maps_.exchange().reverse_end_multi(comm, y.values());
+  }
+  timer.add_to(metrics_.gngm_s, metrics_.gngm_cpu_s);
+  metrics_.applies->inc();
 }
 
 void HymvOperator::diagonal_loop(const ElementSchedule& sched,

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Unified metrics registry: named counters, gauges, and histograms with one
+/// queryable schema and a single to_json(). The legacy per-subsystem structs
+/// (core::ApplyBreakdown, simmpi::TrafficCounters, pla::CgResult recovery
+/// counters, driver::SolveReport) are thin views over registries — every
+/// subsystem publishes here instead of keeping a private copy.
+///
+/// Unit conventions are carried in the metric NAME suffix and echoed in the
+/// exported JSON so downstream tooling never has to guess:
+///   *_s      wall-clock seconds (hymv::Timer)
+///   *_cpu_s  per-thread CPU seconds (hymv::ThreadCpuTimer)
+///   *_bytes  bytes
+///   (none)   dimensionless count
+///
+/// Thread-safety: metric creation is mutex-guarded; returned references are
+/// stable for the registry's lifetime. Counter/Gauge updates are relaxed
+/// atomics — safe from any thread. Histogram::observe takes a small lock.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace hymv::obs {
+
+/// Monotonically increasing (well, add()-driven) signed 64-bit counter.
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Double-valued metric supporting both set() (point-in-time) and add()
+/// (accumulated seconds/bytes). add() is a CAS loop — callers are phase
+/// boundaries, never per-element hot loops.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Count/sum/min/max summary of observed samples (e.g. per-apply wall time).
+class Histogram {
+ public:
+  void observe(double v);
+  [[nodiscard]] std::int64_t count() const;
+  [[nodiscard]] double sum() const;
+  /// Minimum observed sample; 0 when no samples were observed.
+  [[nodiscard]] double min() const;
+  /// Maximum observed sample; 0 when no samples were observed.
+  [[nodiscard]] double max() const;
+  void reset();
+  /// Fold another histogram's samples into this one (summary-level merge).
+  void merge(const Histogram& other);
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metric registry. Creation is idempotent: the first caller of
+/// counter("x") creates it, later callers get the same node. A name owns its
+/// kind — asking for gauge("x") after counter("x") throws hymv::Error.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Lookup without creating: value of a counter/gauge, or `fallback` when
+  /// the metric was never registered.
+  [[nodiscard]] std::int64_t counter_value(const std::string& name,
+                                           std::int64_t fallback = 0) const;
+  [[nodiscard]] double gauge_value(const std::string& name,
+                                   double fallback = 0.0) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Zero every metric's value; registrations (and references) survive.
+  void reset();
+
+  /// Add every counter/gauge value and merge every histogram from `other`
+  /// into this registry, creating missing metrics.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Deterministic (name-sorted) JSON document:
+  /// {"units":{...},"counters":{...},"gauges":{...},"histograms":{...}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() written to `path` (overwrite). Throws hymv::Error on I/O
+  /// failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hymv::obs

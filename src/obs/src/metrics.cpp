@@ -1,0 +1,234 @@
+#include "hymv/obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::obs {
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  std::int64_t ocount;
+  double osum, omin, omax;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    ocount = other.count_;
+    osum = other.sum_;
+    omin = other.min_;
+    omax = other.max_;
+  }
+  if (ocount == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = omin;
+    max_ = omax;
+  } else {
+    if (omin < min_) min_ = omin;
+    if (omax > max_) max_ = omax;
+  }
+  count_ += ocount;
+  sum_ += osum;
+}
+
+namespace {
+
+// JSON numbers must be finite; non-finite doubles are emitted as null so the
+// document always parses.
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  HYMV_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                 "metric '" + name + "' already registered with another kind");
+  auto node = std::make_unique<Counter>();
+  Counter& ref = *node;
+  counters_.emplace(name, std::move(node));
+  return ref;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  HYMV_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                 "metric '" + name + "' already registered with another kind");
+  auto node = std::make_unique<Gauge>();
+  Gauge& ref = *node;
+  gauges_.emplace(name, std::move(node));
+  return ref;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  HYMV_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                 "metric '" + name + "' already registered with another kind");
+  auto node = std::make_unique<Histogram>();
+  Histogram& ref = *node;
+  histograms_.emplace(name, std::move(node));
+  return ref;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name,
+                                            std::int64_t fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? fallback : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    double fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? fallback : it->second->value();
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+         histograms_.count(name) != 0;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  HYMV_CHECK_MSG(&other != this, "MetricsRegistry::merge_from self");
+  // Snapshot other's nodes under its lock, then publish without holding both
+  // locks at once (merge direction is acyclic in practice, but cheap to be
+  // deadlock-immune).
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, c] : other.counters_)
+      counters.emplace_back(name, c->value());
+    for (const auto& [name, g] : other.gauges_)
+      gauges.emplace_back(name, g->value());
+    for (const auto& [name, h] : other.histograms_)
+      hists.emplace_back(name, h.get());
+  }
+  for (const auto& [name, v] : counters) counter(name).add(v);
+  for (const auto& [name, v] : gauges) gauge(name).add(v);
+  for (const auto& [name, h] : hists) histogram(name).merge(*h);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out += "{\n  \"units\": {\n";
+  out += "    \"*_s\": \"seconds (wall clock)\",\n";
+  out += "    \"*_cpu_s\": \"seconds (per-thread CPU time)\",\n";
+  out += "    \"*_bytes\": \"bytes\",\n";
+  out += "    \"default\": \"count\"\n  },\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    append_double(out, g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(h->count()) +
+           ", \"sum\": ";
+    append_double(out, h->sum());
+    out += ", \"min\": ";
+    append_double(out, h->min());
+    out += ", \"max\": ";
+    append_double(out, h->max());
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  const std::string doc = to_json();
+  std::ofstream f(path, std::ios::trunc);
+  HYMV_CHECK_MSG(f.good(), "cannot open metrics JSON path '" + path + "'");
+  f << doc;
+  f.flush();
+  HYMV_CHECK_MSG(f.good(), "write failed for metrics JSON '" + path + "'");
+}
+
+}  // namespace hymv::obs

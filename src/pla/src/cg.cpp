@@ -4,16 +4,30 @@
 #include <optional>
 
 #include "hymv/common/error.hpp"
+#include "hymv/obs/metrics.hpp"
+#include "hymv/obs/trace.hpp"
 
 namespace hymv::pla {
 
 CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
                   const DistVector& b, DistVector& x,
                   const CgOptions& options) {
+  HYMV_TRACE_SCOPE("cg.solve", "cg");
   const Layout& layout = a.layout();
   HYMV_CHECK_MSG(b.owned_size() == layout.owned() &&
                      x.owned_size() == layout.owned(),
                  "cg_solve: vector/operator layout mismatch");
+
+  // Recovery events land in the per-rank registry; the CgResult fields are
+  // read back as deltas at exit, so the registry is the single source of
+  // truth and multiple solves per job keep accumulating totals.
+  obs::MetricsRegistry& mets = comm.metrics();
+  obs::Counter& c_checkpoints = mets.counter("cg.checkpoints_taken");
+  obs::Counter& c_rollbacks = mets.counter("cg.rollbacks");
+  obs::Counter& c_replacements = mets.counter("cg.residual_replacements");
+  const std::int64_t checkpoints0 = c_checkpoints.value();
+  const std::int64_t rollbacks0 = c_rollbacks.value();
+  const std::int64_t replacements0 = c_replacements.value();
 
   DistVector r(layout), z(layout), p(layout), q(layout);
 
@@ -58,11 +72,12 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
     ck->rz = rz;
     ck->rnorm = rnorm;
     ck->it = it;
-    ++result.checkpoints_taken;
+    c_checkpoints.inc();
+    HYMV_TRACE_INSTANT("cg.checkpoint", "cg");
   };
   // `true` = restored, `false` = rollback budget exhausted (breakdown set).
   const auto roll_back = [&]() {
-    if (result.rollbacks >= options.max_rollbacks) {
+    if (c_rollbacks.value() - rollbacks0 >= options.max_rollbacks) {
       result.breakdown = true;
       result.breakdown_reason =
           "cg_solve: exceeded the rollback budget (persistent fault?)";
@@ -73,7 +88,8 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
     copy(ck->p, p);
     rz = ck->rz;
     rnorm = ck->rnorm;
-    ++result.rollbacks;
+    c_rollbacks.inc();
+    HYMV_TRACE_INSTANT("cg.rollback", "cg");
     return true;
   };
   if (options.checkpoint_every > 0) {
@@ -132,7 +148,8 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
       copy(b, r);
       axpy(-1.0, q, r);
       rnorm = norm2(comm, r);
-      ++result.residual_replacements;
+      c_replacements.inc();
+      HYMV_TRACE_INSTANT("cg.residual_replace", "cg");
       if (ck && !std::isfinite(rnorm)) {
         if (!roll_back()) {
           break;
@@ -161,6 +178,17 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
   }
   result.final_residual = rnorm;
   result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+  result.checkpoints_taken = c_checkpoints.value() - checkpoints0;
+  result.rollbacks = c_rollbacks.value() - rollbacks0;
+  result.residual_replacements = c_replacements.value() - replacements0;
+  mets.counter("cg.solves").inc();
+  mets.counter("cg.iterations").add(result.iterations);
+  if (result.converged) {
+    mets.counter("cg.converged").inc();
+  }
+  if (result.breakdown) {
+    mets.counter("cg.breakdowns").inc();
+  }
   return result;
 }
 
@@ -169,6 +197,7 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
                                      const DistMultiVector& b,
                                      DistMultiVector& x,
                                      const CgOptions& options) {
+  HYMV_TRACE_SCOPE("cg.solve_multi", "cg");
   const Layout& layout = a.layout();
   const int k = b.width();
   HYMV_CHECK_MSG(k >= 1 && x.width() == k,
@@ -240,9 +269,17 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
   };
   std::optional<Checkpoint> ck;
   std::vector<double> best_rnorm = rnorm;
-  std::int64_t checkpoints_taken = 0;
-  std::int64_t rollbacks = 0;
-  std::int64_t residual_replacements = 0;
+
+  // Same registry-backed accounting as cg_solve: the panel solve counts
+  // each recovery event once (not once per lane) and the per-lane results
+  // report the solve-wide deltas, matching the previous local counters.
+  obs::MetricsRegistry& mets = comm.metrics();
+  obs::Counter& c_checkpoints = mets.counter("cg.checkpoints_taken");
+  obs::Counter& c_rollbacks = mets.counter("cg.rollbacks");
+  obs::Counter& c_replacements = mets.counter("cg.residual_replacements");
+  const std::int64_t checkpoints0 = c_checkpoints.value();
+  const std::int64_t rollbacks0 = c_rollbacks.value();
+  const std::int64_t replacements0 = c_replacements.value();
   const auto take_checkpoint = [&](std::int64_t it) {
     copy(x, ck->x);
     copy(r, ck->r);
@@ -253,10 +290,11 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     ck->results = results;
     ck->n_active = n_active;
     ck->it = it;
-    ++checkpoints_taken;
+    c_checkpoints.inc();
+    HYMV_TRACE_INSTANT("cg.checkpoint", "cg");
   };
   const auto roll_back = [&]() {
-    if (rollbacks >= options.max_rollbacks) {
+    if (c_rollbacks.value() - rollbacks0 >= options.max_rollbacks) {
       for (std::size_t j = 0; j < ku; ++j) {
         if (active[j] != 0) {
           results[j].breakdown = true;
@@ -277,7 +315,8 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     active = ck->active;
     results = ck->results;
     n_active = ck->n_active;
-    ++rollbacks;
+    c_rollbacks.inc();
+    HYMV_TRACE_INSTANT("cg.rollback", "cg");
     return true;
   };
   if (options.checkpoint_every > 0) {
@@ -304,7 +343,8 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
         rnorm[j] = lane_dot[j];
       }
     }
-    ++residual_replacements;
+    c_replacements.inc();
+    HYMV_TRACE_INSTANT("cg.residual_replace", "cg");
   };
 
   std::int64_t it = 1;
@@ -426,6 +466,11 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     ++it;
   }
 
+  const std::int64_t checkpoints_taken = c_checkpoints.value() - checkpoints0;
+  const std::int64_t rollbacks = c_rollbacks.value() - rollbacks0;
+  const std::int64_t residual_replacements =
+      c_replacements.value() - replacements0;
+  std::int64_t max_iterations = 0;
   for (std::size_t j = 0; j < ku; ++j) {
     results[j].final_residual = rnorm[j];
     results[j].relative_residual =
@@ -433,7 +478,16 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     results[j].checkpoints_taken = checkpoints_taken;
     results[j].rollbacks = rollbacks;
     results[j].residual_replacements = residual_replacements;
+    max_iterations = std::max(max_iterations, results[j].iterations);
+    if (results[j].converged) {
+      mets.counter("cg.converged").inc();
+    }
+    if (results[j].breakdown) {
+      mets.counter("cg.breakdowns").inc();
+    }
   }
+  mets.counter("cg.solves").inc();
+  mets.counter("cg.iterations").add(max_iterations);
   return results;
 }
 

@@ -6,6 +6,8 @@
 
 #include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
+#include "hymv/obs/metrics.hpp"
+#include "hymv/obs/trace.hpp"
 
 namespace hymv::pla {
 
@@ -222,6 +224,8 @@ void GhostExchange::protected_end(simmpi::Comm& comm, int data_tag,
       comm.isend_bytes(s.peer, data_tag, s.wire.data(), s.wire.size());
       ++resends_;
       comm.add_resent();
+      comm.metrics().counter("exchange.resends").inc();
+      HYMV_TRACE_INSTANT("exchange.retransmit", "exchange");
       st.waited_s = 0.0;
       st.ctrl = comm.irecv_bytes(s.peer, ctrl_tag, &st.verdict, 1);
     }
@@ -247,6 +251,8 @@ void GhostExchange::protected_end(simmpi::Comm& comm, int data_tag,
           }
           ++st.attempts;
           ++timeouts_recovered_;
+          comm.metrics().counter("exchange.timeouts_recovered").inc();
+          HYMV_TRACE_INSTANT("exchange.nack_timeout", "exchange");
           comm.isend_bytes(r.peer, ctrl_tag, &kNack, 1);
           st.waited_s = 0.0;
         }
@@ -272,6 +278,8 @@ void GhostExchange::protected_end(simmpi::Comm& comm, int data_tag,
       }
       if (csum != wire_checksum(r.wire.data(), payload, epoch_)) {
         ++checksum_failures_;
+        comm.metrics().counter("exchange.checksum_failures").inc();
+        HYMV_TRACE_INSTANT("exchange.checksum_fail", "exchange");
         if (st.attempts >= prot_.max_retries) {
           throw hymv::IntegrityError(
               "GhostExchange: checksum mismatch from rank " +
@@ -318,6 +326,7 @@ void GhostExchange::protected_end(simmpi::Comm& comm, int data_tag,
 
 void GhostExchange::forward_begin(simmpi::Comm& comm,
                                   std::span<const double> owned) {
+  HYMV_TRACE_SCOPE("exchange.forward_begin", "exchange");
   HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) == layout_.owned(),
                  "forward_begin: owned span size mismatch");
   HYMV_CHECK_MSG(pending_.empty(),
@@ -361,6 +370,7 @@ void GhostExchange::forward_begin(simmpi::Comm& comm,
 }
 
 void GhostExchange::forward_end(simmpi::Comm& comm) {
+  HYMV_TRACE_SCOPE("exchange.forward_end", "exchange");
   if (prot_.checksum) {
     protected_end(comm, kForwardTag, kForwardCtrlTag);
     return;
@@ -372,6 +382,7 @@ void GhostExchange::forward_end(simmpi::Comm& comm) {
 void GhostExchange::forward_begin_multi(simmpi::Comm& comm,
                                         std::span<const double> owned,
                                         int width) {
+  HYMV_TRACE_SCOPE("exchange.forward_begin", "exchange");
   HYMV_CHECK_MSG(width >= 1, "forward_begin_multi: width must be positive");
   HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) ==
                      layout_.owned() * width,
@@ -432,6 +443,7 @@ void GhostExchange::forward_begin_multi(simmpi::Comm& comm,
 }
 
 void GhostExchange::forward_end_multi(simmpi::Comm& comm) {
+  HYMV_TRACE_SCOPE("exchange.forward_end", "exchange");
   if (prot_.checksum) {
     protected_end(comm, kForwardPanelTag, kForwardPanelCtrlTag);
     return;
@@ -443,6 +455,7 @@ void GhostExchange::forward_end_multi(simmpi::Comm& comm) {
 void GhostExchange::reverse_begin_multi(simmpi::Comm& comm,
                                         std::span<const double> ghost_contrib,
                                         int width) {
+  HYMV_TRACE_SCOPE("exchange.reverse_begin", "exchange");
   HYMV_CHECK_MSG(width >= 1, "reverse_begin_multi: width must be positive");
   HYMV_CHECK_MSG(ghost_contrib.size() ==
                      ghosts_.size() * static_cast<std::size_t>(width),
@@ -491,6 +504,7 @@ void GhostExchange::reverse_begin_multi(simmpi::Comm& comm,
 
 void GhostExchange::reverse_end_multi(simmpi::Comm& comm,
                                       std::span<double> owned) {
+  HYMV_TRACE_SCOPE("exchange.reverse_end", "exchange");
   const auto w = static_cast<std::size_t>(panel_width_);
   HYMV_CHECK_MSG(w >= 1, "reverse_end_multi: no panel exchange in flight");
   HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) ==
@@ -515,6 +529,7 @@ void GhostExchange::reverse_end_multi(simmpi::Comm& comm,
 
 void GhostExchange::reverse_begin(simmpi::Comm& comm,
                                   std::span<const double> ghost_contrib) {
+  HYMV_TRACE_SCOPE("exchange.reverse_begin", "exchange");
   HYMV_CHECK_MSG(ghost_contrib.size() == ghosts_.size(),
                  "reverse_begin: ghost contribution size mismatch");
   HYMV_CHECK_MSG(pending_.empty(),
@@ -555,6 +570,7 @@ void GhostExchange::reverse_begin(simmpi::Comm& comm,
 }
 
 void GhostExchange::reverse_end(simmpi::Comm& comm, std::span<double> owned) {
+  HYMV_TRACE_SCOPE("exchange.reverse_end", "exchange");
   HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) == layout_.owned(),
                  "reverse_end: owned span size mismatch");
   if (prot_.checksum) {

@@ -36,6 +36,10 @@
 
 #include "hymv/common/error.hpp"
 
+namespace hymv::obs {
+class MetricsRegistry;
+}  // namespace hymv::obs
+
 namespace simmpi {
 
 /// Wildcard source for irecv/probe: match a message from any rank.
@@ -61,6 +65,10 @@ struct Status {
 };
 
 /// Per-rank communication accounting, used by the performance model.
+///
+/// This struct is a thin VIEW: the authoritative values live in the rank's
+/// obs::MetricsRegistry under "traffic.*" counters (see Comm::metrics());
+/// Comm::counters() materialises them here for existing callers.
 struct TrafficCounters {
   std::int64_t messages_sent = 0;
   std::int64_t bytes_sent = 0;
@@ -300,7 +308,16 @@ class Comm {
 
   // --- accounting ----------------------------------------------------------
 
-  /// Cumulative traffic sent/received by this rank.
+  /// This rank's unified metrics registry (per job). The runtime publishes
+  /// its traffic accounting here ("traffic.messages_sent", ...); higher
+  /// layers (ghost exchange, CG, driver) publish their own metrics into the
+  /// same registry so one to_json() captures the whole rank. When
+  /// HYMV_METRICS_JSON is set, simmpi::run merges every rank's registry and
+  /// writes the job totals there on successful completion.
+  [[nodiscard]] hymv::obs::MetricsRegistry& metrics() const;
+
+  /// Cumulative traffic sent/received by this rank — a view over the
+  /// "traffic.*" counters in metrics().
   [[nodiscard]] TrafficCounters counters() const;
 
   /// Reset this rank's traffic counters to zero.

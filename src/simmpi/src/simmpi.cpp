@@ -12,6 +12,8 @@
 #include <thread>
 
 #include "hymv/common/env.hpp"
+#include "hymv/obs/metrics.hpp"
+#include "hymv/obs/trace.hpp"
 
 namespace simmpi {
 namespace detail {
@@ -55,8 +57,28 @@ struct Mailbox {
   std::condition_variable cv;
   std::deque<Envelope> unexpected;   // arrival order
   std::deque<PendingRecv> pending;   // post order
-  std::int64_t messages_received = 0;
-  std::int64_t bytes_received = 0;
+};
+
+/// Per-rank observability: the unified registry plus cached handles to the
+/// traffic counters so the message hot path never does a name lookup.
+/// Received-side counters are incremented by the *sender* thread inside
+/// deliver(); they are relaxed atomics, and the mailbox-mutex handoff that
+/// already orders message delivery also orders the counter values.
+struct RankObs {
+  hymv::obs::MetricsRegistry registry;
+  hymv::obs::Counter* messages_sent = nullptr;
+  hymv::obs::Counter* bytes_sent = nullptr;
+  hymv::obs::Counter* messages_received = nullptr;
+  hymv::obs::Counter* bytes_received = nullptr;
+  hymv::obs::Counter* messages_resent = nullptr;
+
+  RankObs() {
+    messages_sent = &registry.counter("traffic.messages_sent");
+    bytes_sent = &registry.counter("traffic.bytes_sent");
+    messages_received = &registry.counter("traffic.messages_received");
+    bytes_received = &registry.counter("traffic.bytes_received");
+    messages_resent = &registry.counter("traffic.messages_resent");
+  }
 };
 
 /// splitmix64: derives deterministic per-fault values from the plan seed.
@@ -80,10 +102,14 @@ class Context {
   Context(int nranks, const RunOptions& options)
       : nranks_(nranks), options_(options),
         mailboxes_(static_cast<std::size_t>(nranks)),
-        sent_(static_cast<std::size_t>(nranks)),
+        rank_obs_(static_cast<std::size_t>(nranks)),
+        p2p_ops_(static_cast<std::size_t>(nranks), 0),
         fault_hits_(options.faults.faults.size()) {
     for (auto& box : mailboxes_) {
       box = std::make_unique<Mailbox>();
+    }
+    for (auto& o : rank_obs_) {
+      o = std::make_unique<RankObs>();
     }
   }
 
@@ -95,15 +121,8 @@ class Context {
 
   [[nodiscard]] const RunOptions& options() const { return options_; }
 
-  /// Sender-side counters; only written by the owning rank's thread.
-  struct SentCounters {
-    std::int64_t messages = 0;
-    std::int64_t bytes = 0;
-    std::int64_t resent = 0;
-    std::int64_t p2p_ops = 0;  ///< isend+irecv calls (crash-fault clock)
-  };
-  [[nodiscard]] SentCounters& sent(int rank) {
-    return sent_[static_cast<std::size_t>(rank)];
+  [[nodiscard]] RankObs& robs(int rank) {
+    return *rank_obs_[static_cast<std::size_t>(rank)];
   }
 
   /// Advance `rank`'s p2p-op clock and fire any crash fault scheduled for
@@ -112,7 +131,7 @@ class Context {
     if (options_.faults.empty()) {
       return;
     }
-    const std::int64_t op = ++sent(rank).p2p_ops;
+    const std::int64_t op = ++p2p_ops_[static_cast<std::size_t>(rank)];
     for (const Fault& f : options_.faults.faults) {
       if (f.type == FaultType::kCrash && f.rank == rank && f.at_op == op) {
         HYMV_THROW("simmpi: injected crash on rank " + std::to_string(rank) +
@@ -180,7 +199,8 @@ class Context {
   int nranks_;
   RunOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<SentCounters> sent_;
+  std::vector<std::unique_ptr<RankObs>> rank_obs_;
+  std::vector<std::int64_t> p2p_ops_;  ///< per-rank, owner-thread-written
   std::vector<std::atomic<std::int64_t>> fault_hits_;
   std::atomic<bool> aborted_{false};
 };
@@ -192,8 +212,8 @@ bool matches(int want_src, int want_tag, int src, int tag) {
          (want_tag == kAnyTag || want_tag == tag);
 }
 
-void deliver(Mailbox& box, int receiver, const PendingRecv& recv, int src,
-             int tag, const void* data, std::size_t bytes) {
+void deliver(RankObs& receiver_obs, int receiver, const PendingRecv& recv,
+             int src, int tag, const void* data, std::size_t bytes) {
   HYMV_CHECK_MSG(bytes <= recv.capacity,
                  "simmpi: received message larger than posted buffer");
   if (bytes > 0) {
@@ -202,8 +222,8 @@ void deliver(Mailbox& box, int receiver, const PendingRecv& recv, int src,
   recv.state->status = Status{src, tag, bytes};
   recv.state->done = true;
   if (src != receiver) {  // self-messages are not network traffic
-    box.messages_received += 1;
-    box.bytes_received += static_cast<std::int64_t>(bytes);
+    receiver_obs.messages_received->inc();
+    receiver_obs.bytes_received->add(static_cast<std::int64_t>(bytes));
   }
 }
 
@@ -234,10 +254,11 @@ Request Comm::isend_bytes(int dest, int tag, const void* data,
       // The sender observes a normal completed send (its counters included)
       // — the message simply never arrives, like a lost packet.
       if (dest != rank_) {
-        auto& sent = ctx_->sent(rank_);
-        sent.messages += 1;
-        sent.bytes += static_cast<std::int64_t>(bytes);
+        detail::RankObs& robs = ctx_->robs(rank_);
+        robs.messages_sent->inc();
+        robs.bytes_sent->add(static_cast<std::int64_t>(bytes));
       }
+      HYMV_TRACE_INSTANT("fault.drop", "simmpi");
       auto state = std::make_shared<detail::RequestState>();
       state->done = true;
       state->status = Status{dest, tag, bytes};
@@ -253,9 +274,9 @@ Request Comm::isend_bytes(int dest, int tag, const void* data,
     }
   }
   if (dest != rank_) {
-    auto& sent = ctx_->sent(rank_);
-    sent.messages += 1;
-    sent.bytes += static_cast<std::int64_t>(bytes);
+    detail::RankObs& robs = ctx_->robs(rank_);
+    robs.messages_sent->inc();
+    robs.bytes_sent->add(static_cast<std::int64_t>(bytes));
   }
   detail::Mailbox& box = ctx_->mailbox(dest);
   {
@@ -263,7 +284,7 @@ Request Comm::isend_bytes(int dest, int tag, const void* data,
     // Try to match the earliest posted receive (FIFO per source/tag).
     for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
       if (detail::matches(it->src, it->tag, rank_, tag)) {
-        detail::deliver(box, dest, *it, rank_, tag, data, bytes);
+        detail::deliver(ctx_->robs(dest), dest, *it, rank_, tag, data, bytes);
         box.pending.erase(it);
         box.cv.notify_all();
         auto state = std::make_shared<detail::RequestState>();
@@ -309,8 +330,8 @@ Request Comm::irecv_bytes(int source, int tag, void* buf,
   for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
     if (detail::matches(source, tag, it->src, it->tag)) {
       detail::PendingRecv recv{source, tag, buf, capacity, state};
-      detail::deliver(box, rank_, recv, it->src, it->tag, it->payload.data(),
-                      it->payload.size());
+      detail::deliver(ctx_->robs(rank_), rank_, recv, it->src, it->tag,
+                      it->payload.data(), it->payload.size());
       box.unexpected.erase(it);
       return Request(std::move(state));
     }
@@ -409,6 +430,7 @@ Status Comm::probe(int source, int tag) {
 }
 
 void Comm::barrier() {
+  HYMV_TRACE_SCOPE("barrier", "simmpi");
   // Dissemination barrier: ceil(log2 p) rounds; round k sends a token to
   // (rank + 2^k) mod p and receives one from (rank - 2^k) mod p.
   const int p = size();
@@ -425,6 +447,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  HYMV_TRACE_SCOPE("bcast", "simmpi");
   // Binomial tree rooted at `root`.
   const int p = size();
   HYMV_CHECK_MSG(root >= 0 && root < p, "bcast: root out of range");
@@ -454,6 +477,7 @@ void Comm::reduce_bytes_inplace(void* data, std::size_t count,
                                 std::size_t elem_size, ReduceOp op, int root,
                                 void (*apply)(void*, const void*, std::size_t,
                                               ReduceOp)) {
+  HYMV_TRACE_SCOPE("reduce", "simmpi");
   // Binomial tree reduction to `root`; `data` holds this rank's contribution
   // on entry and, on the root, the reduced result on exit.
   const int p = size();
@@ -477,31 +501,33 @@ void Comm::reduce_bytes_inplace(void* data, std::size_t count,
   }
 }
 
+hymv::obs::MetricsRegistry& Comm::metrics() const {
+  return ctx_->robs(rank_).registry;
+}
+
 TrafficCounters Comm::counters() const {
+  const detail::RankObs& robs = ctx_->robs(rank_);
   TrafficCounters out;
-  const auto& sent = ctx_->sent(rank_);
-  out.messages_sent = sent.messages;
-  out.bytes_sent = sent.bytes;
-  out.messages_resent = sent.resent;
-  detail::Mailbox& box = ctx_->mailbox(rank_);
-  std::lock_guard<std::mutex> lock(box.mutex);
-  out.messages_received = box.messages_received;
-  out.bytes_received = box.bytes_received;
+  out.messages_sent = robs.messages_sent->value();
+  out.bytes_sent = robs.bytes_sent->value();
+  out.messages_received = robs.messages_received->value();
+  out.bytes_received = robs.bytes_received->value();
+  out.messages_resent = robs.messages_resent->value();
   return out;
 }
 
 void Comm::reset_counters() {
-  auto& sent = ctx_->sent(rank_);
-  sent.messages = 0;
-  sent.bytes = 0;
-  sent.resent = 0;
-  detail::Mailbox& box = ctx_->mailbox(rank_);
-  std::lock_guard<std::mutex> lock(box.mutex);
-  box.messages_received = 0;
-  box.bytes_received = 0;
+  detail::RankObs& robs = ctx_->robs(rank_);
+  robs.messages_sent->reset();
+  robs.bytes_sent->reset();
+  robs.messages_received->reset();
+  robs.bytes_received->reset();
+  robs.messages_resent->reset();
 }
 
-void Comm::add_resent(std::int64_t n) { ctx_->sent(rank_).resent += n; }
+void Comm::add_resent(std::int64_t n) {
+  ctx_->robs(rank_).messages_resent->add(n);
+}
 
 // ---------------------------------------------------------------------------
 // Fault-plan parsing
@@ -644,17 +670,36 @@ void run(int nranks, const std::function<void(Comm&)>& fn,
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      // Tag the rank thread so its trace spans group under this rank's
+      // "process" row in the Chrome-trace export.
+      hymv::obs::set_current_rank(r);
       Comm comm(&ctx, r);
       try {
+        HYMV_TRACE_SCOPE("rank", "simmpi");
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         ctx.abort();
       }
+      hymv::obs::set_current_rank(-1);
     });
   }
   for (auto& t : threads) {
     t.join();
+  }
+  // HYMV_METRICS_JSON: merged job totals across ranks, written when the job
+  // completes (last simmpi::run in a process wins). Skipped on failure so a
+  // partially-populated registry never masquerades as a clean run.
+  const char* metrics_path = std::getenv("HYMV_METRICS_JSON");
+  const bool job_failed =
+      std::any_of(errors.begin(), errors.end(),
+                  [](const std::exception_ptr& e) { return bool(e); });
+  if (metrics_path != nullptr && *metrics_path != '\0' && !job_failed) {
+    hymv::obs::MetricsRegistry merged;
+    for (int r = 0; r < nranks; ++r) {
+      merged.merge_from(ctx.robs(r).registry);
+    }
+    merged.write_json(metrics_path);
   }
   // Prefer the original failure over secondary AbortErrors.
   std::exception_ptr first_abort;

@@ -25,9 +25,11 @@
 #include <memory>
 #include <numeric>
 #include <set>
+#include <string>
 #include <thread>
 #include <tuple>
 
+#include "hymv/common/timer.hpp"
 #include "hymv/core/hymv_operator.hpp"
 #include "hymv/core/matrix_free_operator.hpp"
 #include "hymv/core/schedule.hpp"
@@ -200,6 +202,48 @@ TEST(ElementScheduleTest, StdThreadScatterAddIsRaceFreeAndBitwise) {
       ASSERT_EQ(shared[i], ref[i]) << "dof " << i;
     }
   });
+}
+
+// PhaseTimers::phase() is documented as safe for concurrent first-touch of
+// DIFFERENT phase names (the creation path mutates the shared map, which is
+// why it is mutex-guarded — the bug this regression pins was unguarded
+// operator[] insertion racing node rebalancing). std::thread + std::barrier
+// so ThreadSanitizer sees the synchronization (`ctest -L threading` under
+// HYMV_TSAN). Each thread drives only its OWN CumulativeTimer: the
+// per-timer start/stop state is documented owner-thread-only.
+TEST(PhaseTimersTest, ConcurrentPhaseCreationIsRaceFree) {
+  hymv::PhaseTimers timers;
+  constexpr int kThreads = 8;
+  constexpr int kPhasesPerThread = 32;
+  std::barrier start_fence(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&timers, &start_fence, w]() {
+      start_fence.arrive_and_wait();  // maximize creation overlap
+      for (int i = 0; i < kPhasesPerThread; ++i) {
+        // Unique name per (thread, i): every call takes the creation path.
+        hymv::CumulativeTimer& t = timers.phase(
+            "phase_" + std::to_string(w) + "_" + std::to_string(i));
+        t.start();
+        t.stop();
+        // A shared name too: get-or-create must return the same node.
+        timers.phase("shared");
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  int count = 0;
+  for (const auto& [name, timer] : timers.phases()) {
+    (void)name;
+    EXPECT_GE(timer.total_s(), 0.0);
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kPhasesPerThread + 1);
+  EXPECT_EQ(timers.total_s("missing"), 0.0);
+  timers.reset();
+  EXPECT_EQ(timers.total_s("shared"), 0.0);
 }
 
 TEST(ThreadScheduleTest, EnvOverrideParses) {

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON documents and fail on perf regressions.
+
+Every bench binary writes the same flat schema with ``--json <path>``
+(see bench/bench_common.hpp)::
+
+    {"bench": "fig4_poisson_scaling",
+     "rows": [{"mode": "weak", "ranks": 1, ..., "hymv_spmv_wall_s": 0.012}]}
+
+Rows are matched between baseline and current by their *identity* fields
+(strings and integers); *metric* fields (floats) are then compared. A
+metric regresses when ``current > baseline * (1 + threshold)``; metrics
+where smaller is NOT better (rates, factors, counts that happen to be
+floats) can be skipped with --metrics.
+
+Usage:
+    bench_compare.py baseline.json current.json [current2.json ...]
+                     [--threshold 0.15]
+                     [--metrics hymv_spmv_wall_s,asm_spmv_s]
+                     [--min-out combined.json]
+
+Several current files (repeated runs of the same bench) are min-combined
+per row before comparing: wall-time noise on a shared machine is strictly
+additive, so the per-row minimum over runs is the best available estimate
+of the true cost, and a real regression shifts that minimum too.
+``--min-out`` writes the combined document — use it to refresh a committed
+baseline from the same repeated runs.
+
+Exit status: 0 = no regression, 1 = regression (or metric/row missing
+from current), 2 = bad invocation or unreadable input.
+
+The CI perf-smoke job runs this against bench/baselines/ — see
+EXPERIMENTS.md for how to refresh the committed baselines.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if "rows" not in doc or not isinstance(doc["rows"], list):
+        sys.exit(f"bench_compare: {path}: missing 'rows' array")
+    return doc
+
+
+def identity(row):
+    """Hashable identity: the string/int/bool fields of a row."""
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in row.items()
+            if isinstance(v, (str, bool)) or (isinstance(v, int))
+        )
+    )
+
+
+def metrics_of(row, allowed):
+    out = {}
+    for k, v in row.items():
+        if isinstance(v, bool) or not isinstance(v, float):
+            continue
+        if allowed is not None and k not in allowed:
+            continue
+        out[k] = v
+    return out
+
+
+def min_combine(docs):
+    """Fold repeated runs of one bench into per-row float minimums."""
+    first = docs[0]
+    for doc in docs[1:]:
+        if doc.get("bench") != first.get("bench"):
+            sys.exit(
+                f"bench_compare: current files are different benches "
+                f"({first.get('bench')!r} vs {doc.get('bench')!r})"
+            )
+    rows_by_id = {}
+    order = []
+    for doc in docs:
+        for row in doc["rows"]:
+            rid = identity(row)
+            kept = rows_by_id.get(rid)
+            if kept is None:
+                rows_by_id[rid] = dict(row)
+                order.append(rid)
+                continue
+            for k, v in row.items():
+                if isinstance(v, bool) or not isinstance(v, float):
+                    continue
+                if k in kept and isinstance(kept[k], float):
+                    kept[k] = min(kept[k], v)
+                else:
+                    kept[k] = v
+    out = dict(first)
+    out["rows"] = [rows_by_id[rid] for rid in order]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current", nargs="+")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed relative slowdown before failing (default 0.15)",
+    )
+    ap.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated metric names to gate on (default: every "
+        "float field ending in _s or _ms; smaller is better)",
+    )
+    ap.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-4,
+        help="ignore metrics whose baseline is below this (too noisy)",
+    )
+    ap.add_argument(
+        "--min-out",
+        default=None,
+        help="write the min-combined current document here (for "
+        "refreshing a committed baseline from repeated runs)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = min_combine([load(p) for p in args.current])
+    if base.get("bench") != cur.get("bench"):
+        sys.exit(
+            f"bench_compare: comparing different benches "
+            f"({base.get('bench')!r} vs {cur.get('bench')!r})"
+        )
+    if args.min_out is not None:
+        with open(args.min_out, "w") as f:
+            json.dump(cur, f, indent=2)
+            f.write("\n")
+
+    allowed = None
+    if args.metrics is not None:
+        allowed = {m.strip() for m in args.metrics.split(",") if m.strip()}
+
+    cur_by_id = {}
+    for row in cur["rows"]:
+        cur_by_id[identity(row)] = row
+
+    failures = []
+    compared = 0
+    for row in base["rows"]:
+        rid = identity(row)
+        label = ", ".join(f"{k}={v}" for k, v in rid)
+        cur_row = cur_by_id.get(rid)
+        if cur_row is None:
+            failures.append(f"row missing from current: {label}")
+            continue
+        for name, base_v in metrics_of(row, allowed).items():
+            if allowed is None and not (
+                name.endswith("_s") or name.endswith("_ms")
+            ):
+                continue
+            if name not in cur_row:
+                failures.append(f"{label}: metric {name} missing")
+                continue
+            if base_v < args.min_seconds:
+                continue
+            cur_v = cur_row[name]
+            compared += 1
+            ratio = cur_v / base_v if base_v > 0 else float("inf")
+            marker = ""
+            if cur_v > base_v * (1.0 + args.threshold):
+                marker = "  << REGRESSION"
+                failures.append(
+                    f"{label}: {name} {base_v:.6g} -> {cur_v:.6g} "
+                    f"({(ratio - 1.0) * 100.0:+.1f}%)"
+                )
+            print(
+                f"{label}: {name} {base_v:.6g} -> {cur_v:.6g} "
+                f"({(ratio - 1.0) * 100.0:+.1f}%){marker}"
+            )
+
+    print(
+        f"\nbench_compare: {compared} metrics compared, "
+        f"{len(failures)} failure(s), threshold {args.threshold * 100:.0f}%"
+    )
+    if failures:
+        print("failures:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
