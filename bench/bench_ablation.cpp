@@ -22,7 +22,11 @@
 //      — what the fault-free run pays for the recovery machinery,
 //   9. observability overhead (DESIGN.md §5f): the armed tracer's span
 //      recording on the apply path vs the default disarmed state — the
-//      acceptance bar is < 5% apply-wall overhead when armed.
+//      acceptance bar is < 5% apply-wall overhead when armed,
+//  10. asynchrony (DESIGN.md §5g): the task-graph dependent phase vs the
+//      two-phase forward_end barrier (exchange-wait share of the apply),
+//      and pipelined CG's one fused allreduce per iteration vs standard
+//      CG's three.
 //
 // With --json <path>, every table row is also appended to a flat JSON
 // document (schema: EXPERIMENTS.md "BENCH_ablation.json").
@@ -30,6 +34,9 @@
 #include "bench_common.hpp"
 
 #include "hymv/obs/trace.hpp"
+#include "hymv/pla/cg.hpp"
+#include "hymv/pla/dist_csr.hpp"
+#include "hymv/pla/preconditioner.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -517,6 +524,124 @@ int main(int argc, char** argv) {
                 "spans live on the per-apply path,\n   not per-element, so "
                 "their fixed cost inflates the ratio on scaled-down "
                 "meshes)\n");
+  }
+
+  std::printf("\n=== Ablation 10: async task-graph apply + pipelined CG "
+              "(DESIGN.md §5g) ===\n");
+  {
+    // (a) Apply path, 4 slab ranks on the Fig. 4 Poisson box: the
+    //     exchange-wait share of the apply — lnsm_s (forward_begin +
+    //     forward_end barrier for two-phase; begin + send retirement for
+    //     the task graph) plus taskgraph_wait_s (the traversal's residual
+    //     blocked-on-neighbor time) over total apply wall. The task graph
+    //     converts the all-neighbors barrier into per-peer unlocks, so the
+    //     wait share drops as thread count grows and the dependent phase
+    //     shrinks. Results are bitwise identical (tests/test_taskgraph.cpp).
+    driver::ProblemSpec pspec;
+    pspec.pde = driver::Pde::kPoisson;
+    pspec.element = mesh::ElementType::kHex8;
+    pspec.box = {.nx = scaled(13), .ny = scaled(13), .nz = scaled(56)};
+    pspec.partitioner = mesh::Partitioner::kSlab;
+    const driver::ProblemSetup psetup = driver::ProblemSetup::build(pspec, 4);
+    const int applies = 50;
+#ifdef _OPENMP
+    const int save_threads = omp_get_max_threads();
+    omp_set_num_threads(8);
+#endif
+    std::printf("  %-10s %-12s %-14s %s\n", "mode", "apply (ms)",
+                "exch-wait (ms)", "wait share");
+    simmpi::run(4, [&](simmpi::Comm& comm) {
+      driver::RankContext ctx(comm, psetup);
+      for (const bool taskgraph : {false, true}) {
+        core::HymvOperator op(comm, ctx.part(), ctx.element_op(),
+                              {.taskgraph = taskgraph});
+        pla::DistVector x(op.layout()), y(op.layout());
+        for (std::int64_t i = 0; i < x.owned_size(); ++i) {
+          x[i] = 1.0 + 0.25 * static_cast<double>(i % 7);
+        }
+        op.apply(comm, x, y);  // warm-up
+        op.reset_apply_breakdown();
+        hymv::Timer t;
+        for (int a = 0; a < applies; ++a) {
+          op.apply(comm, x, y);
+        }
+        const double wall_s = comm.allreduce(t.elapsed_s(),
+                                             simmpi::ReduceOp::kMax);
+        const double wait_s = comm.allreduce(
+            op.apply_breakdown().lnsm_s +
+                op.metrics().gauge("apply.taskgraph_wait_s").value(),
+            simmpi::ReduceOp::kMax);
+        if (comm.rank() == 0) {
+          const double share = wait_s / wall_s * 100.0;
+          std::printf("  %-10s %-12.4f %-14.4f %.1f%%\n",
+                      taskgraph ? "taskgraph" : "two-phase",
+                      wall_s * 1e3 / applies, wait_s * 1e3 / applies, share);
+          json.add("\"ablation\": \"taskgraph\", \"mode\": \"%s\", "
+                   "\"apply_ms\": %.6g, \"exchange_wait_ms\": %.6g, "
+                   "\"wait_share_pct\": %.6g",
+                   taskgraph ? "taskgraph" : "two_phase",
+                   wall_s * 1e3 / applies, wait_s * 1e3 / applies, share);
+        }
+      }
+    });
+#ifdef _OPENMP
+    omp_set_num_threads(save_threads);
+#endif
+
+    // (b) Solve path, 4 ranks on a 1D shifted Laplacian big enough that
+    //     the reductions matter: allreduces per iteration, counted by the
+    //     cg.allreduces counter — standard CG performs three (p.q, the
+    //     fused axpy_dot, r.z), pipelined CG fuses them into ONE whose
+    //     communication overlaps the next M+A apply.
+    std::printf("  %-10s %-6s %-12s %-11s %s\n", "cg", "iters", "allreduces",
+                "per iter", "solve (s)");
+    simmpi::run(4, [&](simmpi::Comm& comm) {
+      const pla::Layout layout =
+          pla::Layout::from_owned_count(comm, scaled(30000));
+      const std::int64_t n = layout.global_size;
+      pla::DistCsrMatrix a(layout);
+      for (std::int64_t g = layout.begin; g < layout.end_excl; ++g) {
+        a.add_value(g, g, 2.5);
+        if (g > 0) a.add_value(g, g - 1, -1.0);
+        if (g < n - 1) a.add_value(g, g + 1, -1.0);
+      }
+      a.assemble(comm);
+      pla::DistVector b(layout);
+      for (std::int64_t i = 0; i < layout.owned(); ++i) {
+        b[i] = std::sin(static_cast<double>(layout.begin + i) * 0.01);
+      }
+      pla::IdentityPreconditioner ident;
+      for (const bool pipelined : {false, true}) {
+        pla::DistVector x(layout);
+        hymv::obs::Counter& reds = comm.metrics().counter("cg.allreduces");
+        const std::int64_t before = reds.value();
+        hymv::Timer t;
+        const pla::CgResult r =
+            pla::cg_solve(comm, a, ident, b, x,
+                          {.rtol = 1e-8, .max_iters = 500,
+                           .pipelined = pipelined});
+        const double solve_s = t.elapsed_s();
+        const std::int64_t delta = reds.value() - before;
+        if (comm.rank() == 0) {
+          const double per_iter =
+              static_cast<double>(delta) /
+              static_cast<double>(std::max<std::int64_t>(r.iterations, 1));
+          std::printf("  %-10s %-6lld %-12lld %-11.2f %.4f\n",
+                      pipelined ? "pipelined" : "standard",
+                      static_cast<long long>(r.iterations),
+                      static_cast<long long>(delta), per_iter, solve_s);
+          json.add("\"ablation\": \"pipelined_cg\", \"cg\": \"%s\", "
+                   "\"iterations\": %lld, \"allreduces\": %lld, "
+                   "\"allreduces_per_iter\": %.6g, \"solve_wall_s\": %.6g",
+                   pipelined ? "pipelined" : "standard",
+                   static_cast<long long>(r.iterations),
+                   static_cast<long long>(delta), per_iter, solve_s);
+        }
+      }
+    });
+    std::printf("  (same Krylov space, different rounding: iteration "
+                "counts may differ by a few;\n   simmpi's split allreduce "
+                "keeps the combine order rank-deterministic)\n");
   }
 
   return json.finish(json_path) ? 0 : 1;

@@ -27,6 +27,7 @@
 #include "hymv/core/element_store.hpp"
 #include "hymv/core/maps.hpp"
 #include "hymv/core/schedule.hpp"
+#include "hymv/core/taskgraph.hpp"
 #include "hymv/fem/operators.hpp"
 #include "hymv/pla/operator.hpp"
 
@@ -52,6 +53,15 @@ struct HymvOptions {
   /// The HYMV_NRHS environment variable, when set, overrides this at
   /// operator construction (validated: integers in [1, 64]).
   int nrhs = 1;
+  /// Dependency-driven dependent-phase traversal (see taskgraph.hpp):
+  /// per-neighbor ghost completion unlocks only the element blocks that
+  /// neighbor gates instead of barriering on forward_end. Bitwise identical
+  /// to the two-phase apply (the coloring invariant makes within-color
+  /// block order immaterial). Requires overlap, the colored schedule, and
+  /// an unprotected exchange — apply falls back to two-phase whenever any
+  /// of those is missing. The HYMV_APPLY_TASKGRAPH environment variable
+  /// (0/1), when set, overrides this at operator construction.
+  bool taskgraph = false;
 };
 
 /// Resolve the HYMV_NRHS environment override through the validated
@@ -189,6 +199,9 @@ class HymvOperator final : public pla::LinearOperator {
   [[nodiscard]] const HymvOptions& options() const { return options_; }
   void set_kernel(EmvKernel kernel) { options_.kernel = kernel; }
   void set_overlap(bool overlap) { options_.overlap = overlap; }
+  /// Toggle the task-graph dependent phase (still gated by
+  /// taskgraph_active()'s overlap/schedule/exchange requirements).
+  void set_taskgraph(bool taskgraph) { options_.taskgraph = taskgraph; }
   /// The colored schedules of the independent/dependent element sets.
   [[nodiscard]] const ElementSchedule& independent_schedule() const {
     return indep_sched_;
@@ -254,6 +267,19 @@ class HymvOperator final : public pla::LinearOperator {
   /// use_openmp, and more than one thread available).
   [[nodiscard]] bool threading_active() const;
 
+  /// True when the dependent phase should run the task-graph traversal:
+  /// options say so AND overlap is on AND the schedule is kColored (the
+  /// only mode whose invariant makes within-color reordering bit-exact)
+  /// AND the exchange supports per-neighbor completion.
+  [[nodiscard]] bool taskgraph_active() const;
+
+  /// Dependent-phase task-graph traversal (scalar / k-panel): drives
+  /// dep_graph_.run with emv_range(_multi) block execution and per-peer
+  /// ghost loads into u_da_ / u_mda_. Called between emv_loop(independent)
+  /// and forward_end; records emv/wait metrics.
+  void emv_dep_taskgraph(simmpi::Comm& comm);
+  void emv_dep_taskgraph_multi(simmpi::Comm& comm, int k);
+
   /// GNGM reduction: copy v-DA owned slots into `owned_out` and add the
   /// ghost contributions received from neighbors.
   void reduce_v_to_owned(simmpi::Comm& comm, std::span<double> owned_out);
@@ -272,6 +298,8 @@ class HymvOperator final : public pla::LinearOperator {
     hymv::obs::Gauge* reduce_cpu_s;
     hymv::obs::Gauge* gngm_s;
     hymv::obs::Gauge* gngm_cpu_s;
+    hymv::obs::Gauge* taskgraph_wait_s;     ///< blocked-on-neighbor wall time
+    hymv::obs::Counter* taskgraph_unlocks;  ///< per-neighbor completions
     hymv::obs::Counter* applies;
     hymv::obs::Gauge* setup_emat_compute_s;
     hymv::obs::Gauge* setup_emat_compute_cpu_s;
@@ -307,6 +335,7 @@ class HymvOperator final : public pla::LinearOperator {
   int multi_width_ = 0;
   ElementSchedule indep_sched_;  ///< colored schedule, independent set
   ElementSchedule dep_sched_;    ///< colored schedule, dependent set
+  ApplyTaskGraph dep_graph_;     ///< peer-gating structure of dep_sched_
   std::vector<hymv::aligned_vector<double>> thread_bufs_;  ///< kBufferReduce
 };
 

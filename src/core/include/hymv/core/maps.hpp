@@ -77,6 +77,9 @@ class DofMaps {
 
   /// The LNSM/GNGM communication plan.
   [[nodiscard]] pla::GhostExchange& exchange() { return exchange_; }
+  [[nodiscard]] const pla::GhostExchange& exchange() const {
+    return exchange_;
+  }
 
   /// DA-local index of owned global DoF g.
   [[nodiscard]] std::int64_t owned_local(std::int64_t g) const {
@@ -130,6 +133,13 @@ class DistributedArray {
   /// post is the DA suffix. For width > 1 the spans are lane-interleaved
   /// panels (`width` values per ghost DoF).
   void load_ghosts(std::span<const double> ghost_vals);
+  /// Copy ghost slots [begin, end) — exchange-order indices in DoF units —
+  /// from `ghost_vals` (the FULL exchange-order ghost array, as for
+  /// load_ghosts) into the DA, splitting the run at the pre/post boundary.
+  /// The task-graph apply uses this to land one neighbor's slice as soon as
+  /// that neighbor's message completes.
+  void load_ghost_range(std::span<const double> ghost_vals, std::int64_t begin,
+                        std::int64_t end);
   /// Copy the DA's ghost slots out in exchange order.
   void store_ghosts(std::span<double> ghost_vals) const;
 

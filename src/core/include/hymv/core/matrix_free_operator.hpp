@@ -15,6 +15,7 @@
 #include "hymv/core/dense_kernels.hpp"
 #include "hymv/core/maps.hpp"
 #include "hymv/core/schedule.hpp"
+#include "hymv/core/taskgraph.hpp"
 #include "hymv/fem/operators.hpp"
 #include "hymv/pla/operator.hpp"
 
@@ -45,6 +46,12 @@ class MatrixFreeOperator final : public pla::LinearOperator {
 
   [[nodiscard]] const DofMaps& maps() const { return maps_; }
 
+  /// Toggle the task-graph dependent phase (see taskgraph.hpp). Defaults to
+  /// the HYMV_APPLY_TASKGRAPH environment override (off when unset); gated
+  /// at apply time by overlap + colored schedule + unprotected exchange,
+  /// exactly as in HymvOperator.
+  void set_taskgraph(bool taskgraph) { taskgraph_ = taskgraph; }
+
   /// EMV flops plus the per-apply element-matrix recomputation.
   [[nodiscard]] std::int64_t apply_flops() const override;
   /// Coordinates + element vectors stream; no stored matrix traffic.
@@ -61,10 +68,16 @@ class MatrixFreeOperator final : public pla::LinearOperator {
                       std::span<const std::int64_t> elements, int k);
   void ensure_multi_buffers(int k);
   [[nodiscard]] bool threading_active() const;
+  [[nodiscard]] bool taskgraph_active() const;
+  /// Task-graph twins of the dependent-phase emv loops (recompute-K_e
+  /// variant of HymvOperator::emv_dep_taskgraph).
+  void emv_dep_taskgraph(simmpi::Comm& comm);
+  void emv_dep_taskgraph_multi(simmpi::Comm& comm, int k);
 
   const fem::ElementOperator* op_;
   bool overlap_;
   bool use_openmp_;
+  bool taskgraph_;
   ThreadSchedule schedule_;
   DofMaps maps_;
   std::vector<mesh::Point> elem_coords_;
@@ -77,6 +90,7 @@ class MatrixFreeOperator final : public pla::LinearOperator {
   int multi_width_ = 0;
   ElementSchedule indep_sched_;
   ElementSchedule dep_sched_;
+  ApplyTaskGraph dep_graph_;  ///< peer-gating structure of dep_sched_
 };
 
 }  // namespace hymv::core

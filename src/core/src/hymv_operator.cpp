@@ -42,6 +42,8 @@ HymvOperator::OperatorMetrics::OperatorMetrics() {
   reduce_cpu_s = &registry.gauge("apply.reduce_cpu_s");
   gngm_s = &registry.gauge("apply.gngm_s");
   gngm_cpu_s = &registry.gauge("apply.gngm_cpu_s");
+  taskgraph_wait_s = &registry.gauge("apply.taskgraph_wait_s");
+  taskgraph_unlocks = &registry.counter("apply.taskgraph_unlocks");
   applies = &registry.counter("apply.applies");
   setup_emat_compute_s = &registry.gauge("setup.emat_compute_s");
   setup_emat_compute_cpu_s = &registry.gauge("setup.emat_compute_cpu_s");
@@ -81,6 +83,8 @@ void HymvOperator::reset_apply_breakdown() {
   metrics_.reduce_cpu_s->reset();
   metrics_.gngm_s->reset();
   metrics_.gngm_cpu_s->reset();
+  metrics_.taskgraph_wait_s->reset();
+  metrics_.taskgraph_unlocks->reset();
   metrics_.applies->reset();
 }
 
@@ -114,6 +118,7 @@ void HymvOperator::build_schedules() {
   DualTimer timer;
   indep_sched_ = ElementSchedule(maps_, maps_.independent_elements());
   dep_sched_ = ElementSchedule(maps_, maps_.dependent_elements());
+  dep_graph_ = ApplyTaskGraph(maps_, dep_sched_);
   timer.add_to(metrics_.setup_schedule_s, metrics_.setup_schedule_cpu_s);
 }
 
@@ -138,6 +143,7 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
   options_.schedule = thread_schedule_from_env(options_.schedule);
   options_.layout = store_.layout();  // reflect the env override
   options_.nrhs = nrhs_from_env(options_.nrhs);
+  options_.taskgraph = apply_taskgraph_from_env(options_.taskgraph);
   build_schedules();
   // Element-matrix computation + local copy (the HYMV "setup" the paper
   // times against PETSc's global assembly).
@@ -188,6 +194,7 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
   options_.schedule = thread_schedule_from_env(options_.schedule);
   options_.layout = store_.layout();  // the adopted store dictates layout
   options_.nrhs = nrhs_from_env(options_.nrhs);
+  options_.taskgraph = apply_taskgraph_from_env(options_.taskgraph);
   build_schedules();
 }
 
@@ -199,6 +206,12 @@ bool HymvOperator::threading_active() const {
 #else
   return false;
 #endif
+}
+
+bool HymvOperator::taskgraph_active() const {
+  return options_.taskgraph && options_.overlap &&
+         options_.schedule == ThreadSchedule::kColored &&
+         maps_.exchange().supports_taskgraph();
 }
 
 void HymvOperator::emv_range(std::span<const std::int64_t> order,
@@ -379,6 +392,70 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
   timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
 }
 
+void HymvOperator::emv_dep_taskgraph(simmpi::Comm& comm) {
+  const auto n = static_cast<std::size_t>(store_.ndofs());
+  const std::size_t ws =
+      n * static_cast<std::size_t>(ElementMatrixStore::kBatchElems);
+  const std::span<const std::int64_t> order = dep_sched_.order();
+  pla::GhostExchange& ex = maps_.exchange();
+
+  const auto load_peer = [&](int peer) {
+    const std::int64_t off = ex.recv_peer_ghost_offset(peer);
+    u_da_.load_ghost_range(ex.ghost_values(), off,
+                           off + ex.recv_peer_count(peer));
+  };
+
+  HYMV_TRACE_SCOPE("emv", "apply");
+  DualTimer timer;
+  ApplyTaskGraph::RunStats stats;
+#ifdef _OPENMP
+  if (threading_active()) {
+    // Each ready batch is a set of same-color blocks, so the batch is
+    // conflict-free and runs under the usual colored team; the orchestration
+    // (message drain + unlock bookkeeping) stays on this thread between
+    // batches.
+    const auto run_blocks = [&](int c, std::span<const std::int32_t> ready) {
+      const std::span<const ElementSchedule::Block> blocks =
+          dep_sched_.blocks(c);
+#pragma omp parallel
+      {
+        hymv::obs::set_current_rank(comm_rank_);
+        HYMV_TRACE_SCOPE("emv_worker", "apply");
+        hymv::aligned_vector<double> ue(ws), ve(ws);
+#pragma omp for schedule(dynamic, 1)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(ready.size());
+             ++i) {
+          const ElementSchedule::Block& blk = blocks[static_cast<std::size_t>(
+              ready[static_cast<std::size_t>(i)])];
+          emv_range(order, blk.begin, blk.end, ue.data(), ve.data());
+        }
+      }
+    };
+    stats = dep_graph_.run(comm, ex, run_blocks, load_peer);
+  } else
+#endif
+  {
+    hymv::aligned_vector<double> ue(ws), ve(ws);
+    const auto run_blocks = [&](int c, std::span<const std::int32_t> ready) {
+      const std::span<const ElementSchedule::Block> blocks =
+          dep_sched_.blocks(c);
+      for (const std::int32_t b : ready) {
+        const ElementSchedule::Block& blk =
+            blocks[static_cast<std::size_t>(b)];
+        emv_range(order, blk.begin, blk.end, ue.data(), ve.data());
+      }
+    };
+    stats = dep_graph_.run(comm, ex, run_blocks, load_peer);
+  }
+  // The blocked-on-neighbor share of the traversal is communication, not
+  // element work: report it under its own gauge and keep emv_s comparable
+  // with the two-phase path.
+  metrics_.emv_s->add(timer.wall.elapsed_s() - stats.wait_s);
+  metrics_.emv_cpu_s->add(timer.cpu.elapsed_s());
+  metrics_.taskgraph_wait_s->add(stats.wait_s);
+  metrics_.taskgraph_unlocks->add(stats.unlocks);
+}
+
 void reduce_da_to_owned(simmpi::Comm& comm, DofMaps& maps,
                         const DistributedArray& v,
                         std::span<double> ghost_scratch,
@@ -405,7 +482,21 @@ void HymvOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
   v_da_.fill(0.0);
 
   DualTimer timer;
-  if (options_.overlap) {
+  if (taskgraph_active()) {
+    timer.restart();
+    maps_.exchange().forward_begin(comm, x.values());
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
+    emv_loop(indep_sched_,  // overlap with communication
+             maps_.independent_elements());
+    // Dependency-driven dependent phase: each per-neighbor completion loads
+    // that peer's ghost slice and unlocks only the blocks it gates — no
+    // all-neighbors barrier.
+    emv_dep_taskgraph(comm);
+    timer.restart();
+    maps_.exchange().forward_end(comm);  // retire the sends; receives are
+                                         // already consumed by the traversal
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
+  } else if (options_.overlap) {
     timer.restart();
     maps_.exchange().forward_begin(comm, x.values());
     timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
@@ -576,6 +667,65 @@ void HymvOperator::emv_loop_multi(const ElementSchedule& sched,
   timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
 }
 
+void HymvOperator::emv_dep_taskgraph_multi(simmpi::Comm& comm, int k) {
+  const auto n = static_cast<std::size_t>(store_.ndofs());
+  const auto ku = static_cast<std::size_t>(k);
+  const std::size_t ws =
+      n * static_cast<std::size_t>(ElementMatrixStore::kBatchElems) * ku;
+  const std::span<const std::int64_t> order = dep_sched_.order();
+  pla::GhostExchange& ex = maps_.exchange();
+
+  const auto load_peer = [&](int peer) {
+    const std::int64_t off = ex.recv_peer_ghost_offset(peer);
+    u_mda_->load_ghost_range(ex.ghost_panel(), off,
+                             off + ex.recv_peer_count(peer));
+  };
+
+  HYMV_TRACE_SCOPE("emv", "apply");
+  DualTimer timer;
+  ApplyTaskGraph::RunStats stats;
+#ifdef _OPENMP
+  if (threading_active()) {
+    const auto run_blocks = [&](int c, std::span<const std::int32_t> ready) {
+      const std::span<const ElementSchedule::Block> blocks =
+          dep_sched_.blocks(c);
+#pragma omp parallel
+      {
+        hymv::obs::set_current_rank(comm_rank_);
+        HYMV_TRACE_SCOPE("emv_worker", "apply");
+        hymv::aligned_vector<double> ue(ws), ve(ws);
+#pragma omp for schedule(dynamic, 1)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(ready.size());
+             ++i) {
+          const ElementSchedule::Block& blk = blocks[static_cast<std::size_t>(
+              ready[static_cast<std::size_t>(i)])];
+          emv_range_multi(order, blk.begin, blk.end, ku, ue.data(),
+                          ve.data());
+        }
+      }
+    };
+    stats = dep_graph_.run(comm, ex, run_blocks, load_peer);
+  } else
+#endif
+  {
+    hymv::aligned_vector<double> ue(ws), ve(ws);
+    const auto run_blocks = [&](int c, std::span<const std::int32_t> ready) {
+      const std::span<const ElementSchedule::Block> blocks =
+          dep_sched_.blocks(c);
+      for (const std::int32_t b : ready) {
+        const ElementSchedule::Block& blk =
+            blocks[static_cast<std::size_t>(b)];
+        emv_range_multi(order, blk.begin, blk.end, ku, ue.data(), ve.data());
+      }
+    };
+    stats = dep_graph_.run(comm, ex, run_blocks, load_peer);
+  }
+  metrics_.emv_s->add(timer.wall.elapsed_s() - stats.wait_s);
+  metrics_.emv_cpu_s->add(timer.cpu.elapsed_s());
+  metrics_.taskgraph_wait_s->add(stats.wait_s);
+  metrics_.taskgraph_unlocks->add(stats.unlocks);
+}
+
 void HymvOperator::apply_multi(simmpi::Comm& comm,
                                const pla::DistMultiVector& x,
                                pla::DistMultiVector& y) {
@@ -593,7 +743,17 @@ void HymvOperator::apply_multi(simmpi::Comm& comm,
   v_mda_->fill(0.0);
 
   DualTimer timer;
-  if (options_.overlap) {
+  if (taskgraph_active()) {
+    timer.restart();
+    maps_.exchange().forward_begin_multi(comm, x.values(), k);
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
+    emv_loop_multi(indep_sched_,  // overlap with communication
+                   maps_.independent_elements(), k);
+    emv_dep_taskgraph_multi(comm, k);
+    timer.restart();
+    maps_.exchange().forward_end_multi(comm);  // retire the sends
+    timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);
+  } else if (options_.overlap) {
     timer.restart();
     maps_.exchange().forward_begin_multi(comm, x.values(), k);
     timer.add_to(metrics_.lnsm_s, metrics_.lnsm_cpu_s);

@@ -86,6 +86,34 @@ void DistributedArray::load_ghosts(std::span<const double> ghost_vals) {
               v_.data() + (maps_->n_pre() + maps_->n_owned()) * width_);
 }
 
+void DistributedArray::load_ghost_range(std::span<const double> ghost_vals,
+                                        std::int64_t begin, std::int64_t end) {
+  const auto w = static_cast<std::size_t>(width_);
+  const std::int64_t n_pre = maps_->n_pre();
+  const std::int64_t n_post = maps_->n_post();
+  HYMV_CHECK_MSG(ghost_vals.size() ==
+                     static_cast<std::size_t>(n_pre + n_post) * w,
+                 "DistributedArray::load_ghost_range: size mismatch");
+  HYMV_CHECK_MSG(begin >= 0 && begin <= end && end <= n_pre + n_post,
+                 "DistributedArray::load_ghost_range: range out of bounds");
+  const std::int64_t pre_end = std::min(end, n_pre);
+  if (begin < pre_end) {
+    std::copy_n(ghost_vals.data() + static_cast<std::size_t>(begin) * w,
+                static_cast<std::size_t>(pre_end - begin) * w,
+                v_.data() + static_cast<std::size_t>(begin) * w);
+  }
+  const std::int64_t post_begin = std::max(begin, n_pre);
+  if (post_begin < end) {
+    const auto da_start =
+        static_cast<std::size_t>(n_pre + maps_->n_owned() +
+                                 (post_begin - n_pre)) *
+        w;
+    std::copy_n(ghost_vals.data() + static_cast<std::size_t>(post_begin) * w,
+                static_cast<std::size_t>(end - post_begin) * w,
+                v_.data() + da_start);
+  }
+}
+
 void DistributedArray::store_ghosts(std::span<double> ghost_vals) const {
   const auto w = static_cast<std::size_t>(width_);
   const auto n_pre = static_cast<std::size_t>(maps_->n_pre()) * w;

@@ -19,6 +19,7 @@ MatrixFreeOperator::MatrixFreeOperator(simmpi::Comm& comm,
     : op_(&op),
       overlap_(overlap),
       use_openmp_(use_openmp),
+      taskgraph_(apply_taskgraph_from_env(false)),
       schedule_(thread_schedule_from_env(ThreadSchedule::kColored)),
       maps_(comm, part, op.ndof_per_node()),
       elem_coords_(part.elem_coords),
@@ -27,7 +28,8 @@ MatrixFreeOperator::MatrixFreeOperator(simmpi::Comm& comm,
       ghost_buf_(static_cast<std::size_t>(maps_.n_pre() + maps_.n_post()),
                  0.0),
       indep_sched_(maps_, maps_.independent_elements()),
-      dep_sched_(maps_, maps_.dependent_elements()) {
+      dep_sched_(maps_, maps_.dependent_elements()),
+      dep_graph_(maps_, dep_sched_) {
   HYMV_CHECK_MSG(part.nodes_per_elem == static_cast<int>(op.num_nodes()),
                  "MatrixFreeOperator: element type mismatch");
 }
@@ -39,6 +41,156 @@ bool MatrixFreeOperator::threading_active() const {
 #else
   return false;
 #endif
+}
+
+bool MatrixFreeOperator::taskgraph_active() const {
+  return taskgraph_ && overlap_ && schedule_ == ThreadSchedule::kColored &&
+         maps_.exchange().supports_taskgraph();
+}
+
+void MatrixFreeOperator::emv_dep_taskgraph(simmpi::Comm& comm) {
+  const auto n = static_cast<std::size_t>(op_->num_dofs());
+  const auto nper = static_cast<std::size_t>(op_->num_nodes());
+  const std::span<double> v = v_da_.all();
+  const std::span<const double> u = u_da_.all();
+  const std::span<const std::int64_t> order = dep_sched_.order();
+  pla::GhostExchange& ex = maps_.exchange();
+
+  const auto load_peer = [&](int peer) {
+    const std::int64_t off = ex.recv_peer_ghost_offset(peer);
+    u_da_.load_ghost_range(ex.ghost_values(), off,
+                           off + ex.recv_peer_count(peer));
+  };
+  const auto process = [&](std::int64_t e, std::vector<double>& ke,
+                           double* ue, double* ve) {
+    const auto e2l = maps_.e2l(e);
+    for (std::size_t a = 0; a < n; ++a) {
+      ue[a] = u[static_cast<std::size_t>(e2l[a])];
+    }
+    op_->element_matrix(
+        std::span<const mesh::Point>(elem_coords_.data() + e * nper, nper),
+        ke);
+    emv_simd(ke.data(), n, n, ue, ve);
+    for (std::size_t a = 0; a < n; ++a) {
+      v[static_cast<std::size_t>(e2l[a])] += ve[a];
+    }
+  };
+
+#ifdef _OPENMP
+  if (threading_active()) {
+    const auto run_blocks = [&](int c, std::span<const std::int32_t> ready) {
+      const std::span<const ElementSchedule::Block> blocks =
+          dep_sched_.blocks(c);
+#pragma omp parallel
+      {
+        std::vector<double> ke(n * n);
+        hymv::aligned_vector<double> ue(n), ve(n);
+#pragma omp for schedule(dynamic, 1)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(ready.size());
+             ++i) {
+          const ElementSchedule::Block& blk = blocks[static_cast<std::size_t>(
+              ready[static_cast<std::size_t>(i)])];
+          for (std::int64_t j = blk.begin; j < blk.end; ++j) {
+            process(order[static_cast<std::size_t>(j)], ke, ue.data(),
+                    ve.data());
+          }
+        }
+      }
+    };
+    dep_graph_.run(comm, ex, run_blocks, load_peer);
+    return;
+  }
+#endif
+  std::vector<double> ke(n * n);
+  hymv::aligned_vector<double> ue(n), ve(n);
+  const auto run_blocks = [&](int c, std::span<const std::int32_t> ready) {
+    const std::span<const ElementSchedule::Block> blocks =
+        dep_sched_.blocks(c);
+    for (const std::int32_t b : ready) {
+      const ElementSchedule::Block& blk = blocks[static_cast<std::size_t>(b)];
+      for (std::int64_t j = blk.begin; j < blk.end; ++j) {
+        process(order[static_cast<std::size_t>(j)], ke, ue.data(), ve.data());
+      }
+    }
+  };
+  dep_graph_.run(comm, ex, run_blocks, load_peer);
+}
+
+void MatrixFreeOperator::emv_dep_taskgraph_multi(simmpi::Comm& comm, int k) {
+  const auto n = static_cast<std::size_t>(op_->num_dofs());
+  const auto nper = static_cast<std::size_t>(op_->num_nodes());
+  const auto ku = static_cast<std::size_t>(k);
+  const std::span<double> v = v_mda_->all();
+  const std::span<const double> u = u_mda_->all();
+  const std::span<const std::int64_t> order = dep_sched_.order();
+  pla::GhostExchange& ex = maps_.exchange();
+
+  const auto load_peer = [&](int peer) {
+    const std::int64_t off = ex.recv_peer_ghost_offset(peer);
+    u_mda_->load_ghost_range(ex.ghost_panel(), off,
+                             off + ex.recv_peer_count(peer));
+  };
+  const auto process = [&](std::int64_t e, std::vector<double>& ke,
+                           double* ue, double* ve) {
+    const auto e2l = maps_.e2l(e);
+    for (std::size_t a = 0; a < n; ++a) {
+      const double* src = u.data() + static_cast<std::size_t>(e2l[a]) * ku;
+      double* dst = ue + a * ku;
+      for (std::size_t j = 0; j < ku; ++j) {
+        dst[j] = src[j];
+      }
+    }
+    op_->element_matrix(
+        std::span<const mesh::Point>(elem_coords_.data() + e * nper, nper),
+        ke);
+    emv_multi_simd(ke.data(), n, n, ku, ue, ve);
+    for (std::size_t a = 0; a < n; ++a) {
+      double* dst = v.data() + static_cast<std::size_t>(e2l[a]) * ku;
+      const double* src = ve + a * ku;
+      for (std::size_t j = 0; j < ku; ++j) {
+        dst[j] += src[j];
+      }
+    }
+  };
+
+#ifdef _OPENMP
+  if (threading_active()) {
+    const auto run_blocks = [&](int c, std::span<const std::int32_t> ready) {
+      const std::span<const ElementSchedule::Block> blocks =
+          dep_sched_.blocks(c);
+#pragma omp parallel
+      {
+        std::vector<double> ke(n * n);
+        hymv::aligned_vector<double> ue(n * ku), ve(n * ku);
+#pragma omp for schedule(dynamic, 1)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(ready.size());
+             ++i) {
+          const ElementSchedule::Block& blk = blocks[static_cast<std::size_t>(
+              ready[static_cast<std::size_t>(i)])];
+          for (std::int64_t j = blk.begin; j < blk.end; ++j) {
+            process(order[static_cast<std::size_t>(j)], ke, ue.data(),
+                    ve.data());
+          }
+        }
+      }
+    };
+    dep_graph_.run(comm, ex, run_blocks, load_peer);
+    return;
+  }
+#endif
+  std::vector<double> ke(n * n);
+  hymv::aligned_vector<double> ue(n * ku), ve(n * ku);
+  const auto run_blocks = [&](int c, std::span<const std::int32_t> ready) {
+    const std::span<const ElementSchedule::Block> blocks =
+        dep_sched_.blocks(c);
+    for (const std::int32_t b : ready) {
+      const ElementSchedule::Block& blk = blocks[static_cast<std::size_t>(b)];
+      for (std::int64_t j = blk.begin; j < blk.end; ++j) {
+        process(order[static_cast<std::size_t>(j)], ke, ue.data(), ve.data());
+      }
+    }
+  };
+  dep_graph_.run(comm, ex, run_blocks, load_peer);
 }
 
 void MatrixFreeOperator::emv_loop(const ElementSchedule& sched,
@@ -205,7 +357,12 @@ void MatrixFreeOperator::apply_multi(simmpi::Comm& comm,
   ensure_multi_buffers(k);
   std::copy(x.values().begin(), x.values().end(), u_mda_->owned().begin());
   v_mda_->fill(0.0);
-  if (overlap_) {
+  if (taskgraph_active()) {
+    maps_.exchange().forward_begin_multi(comm, x.values(), k);
+    emv_loop_multi(indep_sched_, maps_.independent_elements(), k);
+    emv_dep_taskgraph_multi(comm, k);
+    maps_.exchange().forward_end_multi(comm);  // retire the sends
+  } else if (overlap_) {
     maps_.exchange().forward_begin_multi(comm, x.values(), k);
     emv_loop_multi(indep_sched_, maps_.independent_elements(), k);
     maps_.exchange().forward_end_multi(comm);
@@ -232,7 +389,12 @@ void MatrixFreeOperator::apply(simmpi::Comm& comm, const pla::DistVector& x,
                  "MatrixFreeOperator::apply: size mismatch");
   std::copy(x.values().begin(), x.values().end(), u_da_.owned().begin());
   v_da_.fill(0.0);
-  if (overlap_) {
+  if (taskgraph_active()) {
+    maps_.exchange().forward_begin(comm, x.values());
+    emv_loop(indep_sched_, maps_.independent_elements());
+    emv_dep_taskgraph(comm);
+    maps_.exchange().forward_end(comm);  // retire the sends
+  } else if (overlap_) {
     maps_.exchange().forward_begin(comm, x.values());
     emv_loop(indep_sched_, maps_.independent_elements());
     maps_.exchange().forward_end(comm);

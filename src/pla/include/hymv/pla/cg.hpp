@@ -22,6 +22,17 @@ struct CgOptions {
   double atol = 0.0;         ///< absolute residual tolerance
   std::int64_t max_iters = 10000;
 
+  /// Pipelined CG (Ghysels & Vanroose): the three per-iteration reductions
+  /// fuse into ONE allreduce whose communication overlaps the next
+  /// preconditioner + operator apply (simmpi's split allreduce keeps the
+  /// combine order rank-deterministic). Same Krylov space, different
+  /// rounding — iteration counts may differ from standard CG by a few (the
+  /// pinning test guards the counts). Checkpoint/rollback and true-residual
+  /// replacement work unchanged. cg_solve_multi has no pipelined variant
+  /// and falls back to the standard panel iteration. The HYMV_CG_PIPELINED
+  /// environment variable (0/1), when set, overrides this at solve entry.
+  bool pipelined = false;
+
   // --- resilience (every knob defaults OFF; with the defaults the
   // iteration is bitwise identical to the pre-resilience solver) ----------
 

@@ -15,10 +15,12 @@
 /// communication with computation (independent-element EMV, diag-block
 /// SpMV), exactly as Algorithm 2 of the paper prescribes.
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "hymv/pla/comm_tags.hpp"
 #include "hymv/pla/dist_vector.hpp"
 #include "hymv/simmpi/simmpi.hpp"
 
@@ -119,6 +121,42 @@ class GhostExchange {
     return static_cast<int>(send_peers_.size() + recv_peers_.size());
   }
 
+  // --- per-neighbor completion (task-graph apply) -------------------------
+  //
+  // Between forward_begin(_multi) and forward_end(_multi), the task-graph
+  // apply retires receives one neighbor at a time instead of barriering on
+  // the whole exchange: each completed receive fills exactly the
+  // [ghost_offset, ghost_offset + count) slice of the ghost array (or
+  // count*width of the panel), so the element blocks gated only by that
+  // peer can run immediately.
+
+  /// Number of neighbor ranks this rank RECEIVES ghost values from.
+  [[nodiscard]] int num_recv_peers() const {
+    return static_cast<int>(recv_peers_.size());
+  }
+  /// First ghost-array index served by recv peer `i` (DoF units; the panel
+  /// variants scale by width).
+  [[nodiscard]] std::int64_t recv_peer_ghost_offset(int i) const {
+    return recv_peers_[static_cast<std::size_t>(i)].ghost_offset;
+  }
+  /// Number of ghost DoFs served by recv peer `i`.
+  [[nodiscard]] std::int64_t recv_peer_count(int i) const {
+    return recv_peers_[static_cast<std::size_t>(i)].count;
+  }
+  /// True when the in-flight forward exchange can retire per neighbor. The
+  /// checksummed protocol verifies and ACKs messages only inside
+  /// forward_end, so the task-graph apply must fall back to two-phase when
+  /// protection is armed.
+  [[nodiscard]] bool supports_taskgraph() const { return !prot_.checksum; }
+  /// Block until one more forward receive lands; returns its recv-peer
+  /// index, or -1 when every forward receive has already been retired.
+  /// Ghost data for that peer's slice is in place on return. Serves the
+  /// scalar and the panel forward alike.
+  int forward_complete_any(simmpi::Comm& comm);
+  /// Nonblocking twin: recv-peer index of one newly completed forward
+  /// receive, or -1 when none is ready right now.
+  int forward_test_any(simmpi::Comm& comm);
+
   // --- integrity protection ----------------------------------------------
 
   /// Install a protection policy (construction resolves
@@ -190,9 +228,18 @@ class GhostExchange {
   int panel_width_ = 0;              ///< width of the in-flight panel op
   std::vector<SendPeer> send_peers_;
   std::vector<RecvPeer> recv_peers_;
-  std::vector<simmpi::Request> pending_;
+  /// Forward receives, parallel to recv_peers_ (entry i completes peer i's
+  /// ghost slice); consumed entries are null. Kept separate from the send
+  /// requests so forward_complete_any can waitany over receives alone.
+  std::vector<simmpi::Request> recv_reqs_;
+  std::vector<simmpi::Request> pending_;  ///< sends + reverse receives
   ExchangeProtection prot_{};
-  std::uint64_t epoch_ = 0;  ///< current protected phase (stale-dup filter)
+  /// Per-data-stream protected-phase counters (stale-dup filter), indexed
+  /// by tags::data_stream_index. One shared counter was an epoch-aliasing
+  /// hazard: a stream's epoch sequence depended on how the OTHER streams
+  /// interleaved, so a stale retransmission on stream A could carry the
+  /// epoch value stream B happened to be on.
+  std::array<std::uint64_t, tags::kNumDataStreams> epochs_{};
   std::int64_t resends_ = 0;
   std::int64_t checksum_failures_ = 0;
   std::int64_t timeouts_recovered_ = 0;

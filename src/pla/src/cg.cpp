@@ -1,17 +1,58 @@
 #include "hymv/pla/cg.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <optional>
+#include <span>
 
+#include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
 #include "hymv/obs/metrics.hpp"
 #include "hymv/obs/trace.hpp"
 
 namespace hymv::pla {
 
+namespace {
+
+/// HYMV_CG_PIPELINED environment override (0/1), resolved at solve entry:
+/// warns to stderr and keeps `fallback` on any other value.
+bool cg_pipelined_from_env(bool fallback) {
+  const std::int64_t value =
+      hymv::env_int("HYMV_CG_PIPELINED", fallback ? 1 : 0);
+  if (value != 0 && value != 1) {
+    std::fprintf(stderr,
+                 "hymv: ignoring HYMV_CG_PIPELINED=%lld (expected 0 or 1)\n",
+                 static_cast<long long>(value));
+    return fallback;
+  }
+  return value == 1;
+}
+
+/// Rank-local partial dot product — the pipelined iteration batches three of
+/// these into one split allreduce. Same index-order accumulation as
+/// pla::dot, so a 1-rank pipelined solve reduces to the serial recurrences.
+double local_dot(const DistVector& x, const DistVector& y) {
+  const auto xs = x.values();
+  const auto ys = y.values();
+  double local = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    local += xs[i] * ys[i];
+  }
+  return local;
+}
+
+CgResult cg_solve_pipelined(simmpi::Comm& comm, LinearOperator& a,
+                            Preconditioner& m, const DistVector& b,
+                            DistVector& x, const CgOptions& options);
+
+}  // namespace
+
 CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
                   const DistVector& b, DistVector& x,
                   const CgOptions& options) {
+  if (cg_pipelined_from_env(options.pipelined)) {
+    return cg_solve_pipelined(comm, a, m, b, x, options);
+  }
   HYMV_TRACE_SCOPE("cg.solve", "cg");
   const Layout& layout = a.layout();
   HYMV_CHECK_MSG(b.owned_size() == layout.owned() &&
@@ -25,6 +66,7 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
   obs::Counter& c_checkpoints = mets.counter("cg.checkpoints_taken");
   obs::Counter& c_rollbacks = mets.counter("cg.rollbacks");
   obs::Counter& c_replacements = mets.counter("cg.residual_replacements");
+  obs::Counter& c_allreduces = mets.counter("cg.allreduces");
   const std::int64_t checkpoints0 = c_checkpoints.value();
   const std::int64_t rollbacks0 = c_rollbacks.value();
   const std::int64_t replacements0 = c_replacements.value();
@@ -37,21 +79,43 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
   axpy(-1.0, q, r);
 
   const double bnorm = norm2(comm, b);
+  c_allreduces.inc();
   const double target =
       std::max(options.atol, options.rtol * (bnorm > 0.0 ? bnorm : 1.0));
 
   CgResult result;
   double rnorm = norm2(comm, r);
-  if (rnorm <= target) {
-    result.converged = true;
+  c_allreduces.inc();
+  // Single epilogue: EVERY exit — including the x0-already-converged return
+  // just below — reads the registry deltas back into the result and
+  // publishes the solve counters. The early return used to skip both, so
+  // "cg.solves"/"cg.converged" undercounted and the recovery fields of a
+  // trivially converged solve stayed unset.
+  const auto publish = [&]() {
     result.final_residual = rnorm;
     result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    result.checkpoints_taken = c_checkpoints.value() - checkpoints0;
+    result.rollbacks = c_rollbacks.value() - rollbacks0;
+    result.residual_replacements = c_replacements.value() - replacements0;
+    mets.counter("cg.solves").inc();
+    mets.counter("cg.iterations").add(result.iterations);
+    if (result.converged) {
+      mets.counter("cg.converged").inc();
+    }
+    if (result.breakdown) {
+      mets.counter("cg.breakdowns").inc();
+    }
+  };
+  if (rnorm <= target) {
+    result.converged = true;
+    publish();
     return result;
   }
 
   m.apply(comm, r, z);
   copy(z, p);
   double rz = dot(comm, r, z);
+  c_allreduces.inc();
 
   // In-memory checkpoint for rollback-and-continue. Every recovery
   // decision below derives from allreduced scalars (pq, rnorm), so all
@@ -104,6 +168,7 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
     }
     a.apply(comm, p, q);
     const double pq = dot(comm, p, q);
+    c_allreduces.inc();
     if (!(pq > 0.0)) {
       // Non-finite pq means corrupted state — a rollback can repair it. A
       // *finite* pq ≤ 0 is a genuinely indefinite operator: deterministic
@@ -125,6 +190,7 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
     axpy(alpha, p, x);
     // Fused residual update + norm: one sweep over r instead of two.
     rnorm = std::sqrt(axpy_dot(comm, -alpha, q, r));
+    c_allreduces.inc();
     result.iterations = it;
     if (ck && (!std::isfinite(rnorm) ||
                rnorm > options.divergence_factor * best_rnorm)) {
@@ -148,6 +214,7 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
       copy(b, r);
       axpy(-1.0, q, r);
       rnorm = norm2(comm, r);
+      c_allreduces.inc();
       c_replacements.inc();
       HYMV_TRACE_INSTANT("cg.residual_replace", "cg");
       if (ck && !std::isfinite(rnorm)) {
@@ -164,9 +231,11 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
       m.apply(comm, r, z);
       copy(z, p);
       rz = dot(comm, r, z);
+      c_allreduces.inc();
     } else {
       m.apply(comm, r, z);
       const double rz_new = dot(comm, r, z);
+      c_allreduces.inc();
       const double beta = rz_new / rz;
       rz = rz_new;
       xpby(z, beta, p);  // p = z + beta p
@@ -176,21 +245,258 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
     }
     ++it;
   }
-  result.final_residual = rnorm;
-  result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-  result.checkpoints_taken = c_checkpoints.value() - checkpoints0;
-  result.rollbacks = c_rollbacks.value() - rollbacks0;
-  result.residual_replacements = c_replacements.value() - replacements0;
-  mets.counter("cg.solves").inc();
-  mets.counter("cg.iterations").add(result.iterations);
-  if (result.converged) {
-    mets.counter("cg.converged").inc();
-  }
-  if (result.breakdown) {
-    mets.counter("cg.breakdowns").inc();
-  }
+  publish();
   return result;
 }
+
+namespace {
+
+/// Ghysels & Vanroose pipelined PCG. The three reductions of a standard
+/// iteration fuse into ONE split allreduce whose messages fly while the
+/// next preconditioner + operator applies (including the apply's ghost
+/// exchange) execute underneath:
+///   gamma = (r,u), delta = (w,u), rr = (r,r)   [one allreduce_start]
+///   mv = M w,  nv = A mv                       [overlapped]
+///   beta  = gamma / gamma_old                  (0 on restart)
+///   alpha = gamma / (delta - beta*gamma/alpha_old)   (gamma/delta on restart)
+///   z = nv + beta z;  q = mv + beta q;  s = w + beta s;  p = u + beta p
+///   x += alpha p;  r -= alpha s;  u -= alpha q;  w -= alpha z
+/// maintaining u = M r and w = A u by recurrence. Convergence tests use the
+/// fused ‖r‖² — it describes the residual of the PREVIOUS update, so the
+/// loop checks before computing the next step, and a converged run performs
+/// exactly iterations + 3 allreduces (2 setup norms + one per loop entry).
+/// Checkpoint/rollback and true-residual replacement mirror cg_solve; a
+/// replacement restarts the four direction recurrences (restart = true).
+CgResult cg_solve_pipelined(simmpi::Comm& comm, LinearOperator& a,
+                            Preconditioner& m, const DistVector& b,
+                            DistVector& x, const CgOptions& options) {
+  HYMV_TRACE_SCOPE("cg.solve_pipelined", "cg");
+  const Layout& layout = a.layout();
+  HYMV_CHECK_MSG(b.owned_size() == layout.owned() &&
+                     x.owned_size() == layout.owned(),
+                 "cg_solve: vector/operator layout mismatch");
+
+  obs::MetricsRegistry& mets = comm.metrics();
+  obs::Counter& c_checkpoints = mets.counter("cg.checkpoints_taken");
+  obs::Counter& c_rollbacks = mets.counter("cg.rollbacks");
+  obs::Counter& c_replacements = mets.counter("cg.residual_replacements");
+  obs::Counter& c_allreduces = mets.counter("cg.allreduces");
+  const std::int64_t checkpoints0 = c_checkpoints.value();
+  const std::int64_t rollbacks0 = c_rollbacks.value();
+  const std::int64_t replacements0 = c_replacements.value();
+
+  DistVector r(layout), u(layout), w(layout), mv(layout), nv(layout),
+      z(layout), q(layout), s(layout), p(layout);
+
+  // r = b - A x
+  a.apply(comm, x, nv);
+  copy(b, r);
+  axpy(-1.0, nv, r);
+
+  const double bnorm = norm2(comm, b);
+  c_allreduces.inc();
+  const double target =
+      std::max(options.atol, options.rtol * (bnorm > 0.0 ? bnorm : 1.0));
+
+  CgResult result;
+  double rnorm = norm2(comm, r);
+  c_allreduces.inc();
+  const auto publish = [&]() {
+    result.final_residual = rnorm;
+    result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    result.checkpoints_taken = c_checkpoints.value() - checkpoints0;
+    result.rollbacks = c_rollbacks.value() - rollbacks0;
+    result.residual_replacements = c_replacements.value() - replacements0;
+    mets.counter("cg.solves").inc();
+    mets.counter("cg.iterations").add(result.iterations);
+    if (result.converged) {
+      mets.counter("cg.converged").inc();
+    }
+    if (result.breakdown) {
+      mets.counter("cg.breakdowns").inc();
+    }
+  };
+  if (rnorm <= target) {
+    result.converged = true;
+    publish();
+    return result;
+  }
+
+  m.apply(comm, r, u);  // u = M r
+  a.apply(comm, u, w);  // w = A u
+
+  struct Checkpoint {
+    DistVector x, r, u, w, z, q, s, p;
+    double gamma_old = 0.0;
+    double alpha_old = 0.0;
+    double rnorm = 0.0;
+    bool restart = true;
+    std::int64_t it = 0;
+    explicit Checkpoint(const Layout& layout)
+        : x(layout), r(layout), u(layout), w(layout), z(layout), q(layout),
+          s(layout), p(layout) {}
+  };
+  std::optional<Checkpoint> ck;
+  double best_rnorm = rnorm;
+  double gamma_old = 0.0;
+  double alpha_old = 0.0;
+  bool restart = true;  // first iteration + after every residual replacement
+  std::int64_t it = 0;
+
+  const auto take_checkpoint = [&]() {
+    copy(x, ck->x);
+    copy(r, ck->r);
+    copy(u, ck->u);
+    copy(w, ck->w);
+    copy(z, ck->z);
+    copy(q, ck->q);
+    copy(s, ck->s);
+    copy(p, ck->p);
+    ck->gamma_old = gamma_old;
+    ck->alpha_old = alpha_old;
+    ck->rnorm = rnorm;
+    ck->restart = restart;
+    ck->it = it;
+    c_checkpoints.inc();
+    HYMV_TRACE_INSTANT("cg.checkpoint", "cg");
+  };
+  const auto roll_back = [&]() {
+    if (c_rollbacks.value() - rollbacks0 >= options.max_rollbacks) {
+      result.breakdown = true;
+      result.breakdown_reason =
+          "cg_solve: exceeded the rollback budget (persistent fault?)";
+      return false;
+    }
+    copy(ck->x, x);
+    copy(ck->r, r);
+    copy(ck->u, u);
+    copy(ck->w, w);
+    copy(ck->z, z);
+    copy(ck->q, q);
+    copy(ck->s, s);
+    copy(ck->p, p);
+    gamma_old = ck->gamma_old;
+    alpha_old = ck->alpha_old;
+    rnorm = ck->rnorm;
+    restart = ck->restart;
+    it = ck->it;
+    c_rollbacks.inc();
+    HYMV_TRACE_INSTANT("cg.rollback", "cg");
+    return true;
+  };
+  if (options.checkpoint_every > 0) {
+    ck.emplace(layout);
+    take_checkpoint();
+  }
+
+  for (;;) {
+    if (options.fault_hook) {
+      options.fault_hook(it + 1, x, r);
+    }
+    // The iteration's one reduction: start it, run M w and A(M w) while its
+    // messages are in flight, then combine (rank order ⇒ deterministic).
+    const double sums[3] = {local_dot(r, u), local_dot(w, u),
+                            local_dot(r, r)};
+    simmpi::AllreduceHandle handle = comm.allreduce_start(sums);
+    m.apply(comm, w, mv);
+    a.apply(comm, mv, nv);
+    double red[3];
+    comm.allreduce_finish(handle, red);
+    c_allreduces.inc();
+    const double gamma = red[0];
+    const double delta = red[1];
+    rnorm = std::sqrt(red[2]);
+
+    if (ck && (!std::isfinite(rnorm) ||
+               rnorm > options.divergence_factor * best_rnorm)) {
+      if (!roll_back()) {
+        break;
+      }
+      continue;
+    }
+    if (rnorm <= target) {
+      result.converged = true;
+      break;
+    }
+    best_rnorm = std::min(best_rnorm, rnorm);
+    if (it >= options.max_iters) {
+      break;
+    }
+
+    const double beta = restart ? 0.0 : gamma / gamma_old;
+    const double denom = restart ? delta : delta - beta * gamma / alpha_old;
+    const double alpha = gamma / denom;
+    if (!(denom > 0.0) || !std::isfinite(alpha)) {
+      // Mirror cg_solve: a non-finite denominator means corrupted state a
+      // rollback can repair; a finite denom <= 0 is genuine indefiniteness.
+      if (ck && (!std::isfinite(denom) || !std::isfinite(alpha))) {
+        if (!roll_back()) {
+          break;
+        }
+        continue;
+      }
+      result.breakdown = true;
+      result.breakdown_reason =
+          "cg_solve: operator is not positive definite (pipelined "
+          "denominator <= 0)";
+      break;
+    }
+
+    if (restart) {
+      copy(nv, z);
+      copy(mv, q);
+      copy(w, s);
+      copy(u, p);
+    } else {
+      xpby(nv, beta, z);
+      xpby(mv, beta, q);
+      xpby(w, beta, s);
+      xpby(u, beta, p);
+    }
+    axpy(alpha, p, x);
+    axpy(-alpha, s, r);
+    axpy(-alpha, q, u);
+    axpy(-alpha, z, w);
+    gamma_old = gamma;
+    alpha_old = alpha;
+    restart = false;
+    ++it;
+    result.iterations = it;
+
+    if (options.true_residual_every > 0 &&
+        it % options.true_residual_every == 0) {
+      // True-residual replacement: recompute r = b − A x, then rebuild the
+      // u/w recurrences and restart the four direction vectors.
+      a.apply(comm, x, nv);
+      copy(b, r);
+      axpy(-1.0, nv, r);
+      rnorm = norm2(comm, r);
+      c_allreduces.inc();
+      c_replacements.inc();
+      HYMV_TRACE_INSTANT("cg.residual_replace", "cg");
+      if (ck && !std::isfinite(rnorm)) {
+        if (!roll_back()) {
+          break;
+        }
+        continue;
+      }
+      if (rnorm <= target) {
+        result.converged = true;
+        break;
+      }
+      m.apply(comm, r, u);
+      a.apply(comm, u, w);
+      restart = true;
+    }
+    if (ck && it % options.checkpoint_every == 0 && std::isfinite(rnorm)) {
+      take_checkpoint();
+    }
+  }
+  publish();
+  return result;
+}
+
+}  // namespace
 
 std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
                                      Preconditioner& m,
@@ -217,12 +523,16 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
 
   // r = b - A x (one panel apply), plus the per-lane norms — the same two
   // reductions a standalone solve performs, folded into one allreduce each.
+  // (No pipelined panel variant: options.pipelined applies to cg_solve
+  // only — the panel iteration keeps the standard reduction structure.)
   a.apply_multi(comm, x, q);
   copy(b, r);
   std::vector<double> minus_one(ku, -1.0);
   axpy_lanes(minus_one, q, r);
+  obs::Counter& c_allreduces = comm.metrics().counter("cg.allreduces");
   norm2_lanes(comm, b, bnorm);
   norm2_lanes(comm, r, rnorm);
+  c_allreduces.add(2);
 
   int n_active = 0;
   for (std::size_t j = 0; j < ku; ++j) {
@@ -251,6 +561,7 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     precondition();
     copy(z, p);
     dot_lanes(comm, r, z, rz);
+    c_allreduces.inc();
   }
 
   // Panel-granularity checkpoint: one snapshot of the full panel state.
@@ -338,6 +649,7 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
       r.set_lane(static_cast<int>(j), rj);
     }
     norm2_lanes(comm, r, lane_dot);
+    c_allreduces.inc();
     for (std::size_t j = 0; j < ku; ++j) {
       if (active[j] != 0) {
         rnorm[j] = lane_dot[j];
@@ -358,6 +670,7 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     // deflation are the vector updates and preconditioner applies.
     a.apply_multi(comm, p, q);
     dot_lanes(comm, p, q, pq);
+    c_allreduces.inc();
     if (ck) {
       bool corrupt = false;
       for (std::size_t j = 0; j < ku; ++j) {
@@ -395,6 +708,7 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
     }
     axpy_lanes(lane_dot, q, r, active);
     norm2_lanes(comm, r, lane_dot);
+    c_allreduces.inc();
     if (ck) {
       bool corrupt = false;
       for (std::size_t j = 0; j < ku; ++j) {
@@ -448,9 +762,11 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
         p.set_lane(static_cast<int>(j), zj);
       }
       dot_lanes(comm, r, z, rz);
+      c_allreduces.inc();
     } else {
       precondition();
       dot_lanes(comm, r, z, rz_new);
+      c_allreduces.inc();
       for (std::size_t j = 0; j < ku; ++j) {
         if (active[j] == 0) {
           continue;

@@ -12,15 +12,16 @@
 namespace hymv::pla {
 
 namespace {
-constexpr int kForwardTag = 1001;
-constexpr int kReverseTag = 1002;
-constexpr int kForwardPanelTag = 1003;
-constexpr int kReversePanelTag = 1004;
-// Control (ACK/NACK) tags of the checksummed protocol, one per data tag.
-constexpr int kForwardCtrlTag = 1005;
-constexpr int kReverseCtrlTag = 1006;
-constexpr int kForwardPanelCtrlTag = 1007;
-constexpr int kReversePanelCtrlTag = 1008;
+// Tags live in the central registry (comm_tags.hpp), aliased here so the
+// message code reads the same as before.
+constexpr int kForwardTag = tags::kForward;
+constexpr int kReverseTag = tags::kReverse;
+constexpr int kForwardPanelTag = tags::kForwardPanel;
+constexpr int kReversePanelTag = tags::kReversePanel;
+constexpr int kForwardCtrlTag = tags::kForwardCtrl;
+constexpr int kReverseCtrlTag = tags::kReverseCtrl;
+constexpr int kForwardPanelCtrlTag = tags::kForwardPanelCtrl;
+constexpr int kReversePanelCtrlTag = tags::kReversePanelCtrl;
 
 /// Wire trailer of a protected data message: {epoch, checksum}, appended
 /// after the payload so a bit-flip anywhere in the message is detected.
@@ -156,13 +157,17 @@ GhostExchange::GhostExchange(simmpi::Comm& comm, const Layout& layout,
 }
 
 void GhostExchange::protected_begin(simmpi::Comm& comm, int data_tag) {
-  ++epoch_;
+  // Each data stream advances its OWN epoch: with one shared counter a
+  // stream's epoch sequence depended on the interleaving of the other
+  // streams, so a stale retransmission could alias a live epoch.
+  const std::uint64_t epoch =
+      ++epochs_[static_cast<std::size_t>(tags::data_stream_index(data_tag))];
   for (ProtRecv& r : prot_recvs_) {
     r.wire.resize(r.count * sizeof(double) + kTrailerBytes);
     r.req = comm.irecv_bytes(r.peer, data_tag, r.wire.data(), r.wire.size());
   }
   for (ProtSend& s : prot_sends_) {
-    append_trailer(s.wire, epoch_);
+    append_trailer(s.wire, epoch);
     comm.isend_bytes(s.peer, data_tag, s.wire.data(), s.wire.size());
   }
 }
@@ -171,6 +176,8 @@ void GhostExchange::protected_end(simmpi::Comm& comm, int data_tag,
                                   int ctrl_tag) {
   constexpr std::byte kAck{0};
   constexpr std::byte kNack{1};
+  const std::uint64_t cur_epoch =
+      epochs_[static_cast<std::size_t>(tags::data_stream_index(data_tag))];
   // Event loop over all pending receives and unacknowledged sends. The
   // sender side must be serviced while our own receives are still pending:
   // a NACK has to trigger the retransmit even when this rank is itself
@@ -270,13 +277,13 @@ void GhostExchange::protected_end(simmpi::Comm& comm, int data_tag,
       std::uint64_t csum = 0;
       std::memcpy(&epoch, r.wire.data() + payload, 8);
       std::memcpy(&csum, r.wire.data() + payload + 8, 8);
-      if (epoch != epoch_) {
+      if (epoch != cur_epoch) {
         // Stale duplicate (late retransmit of an earlier phase): discard.
         r.req =
             comm.irecv_bytes(r.peer, data_tag, r.wire.data(), r.wire.size());
         continue;
       }
-      if (csum != wire_checksum(r.wire.data(), payload, epoch_)) {
+      if (csum != wire_checksum(r.wire.data(), payload, cur_epoch)) {
         ++checksum_failures_;
         comm.metrics().counter("exchange.checksum_failures").inc();
         HYMV_TRACE_INSTANT("exchange.checksum_fail", "exchange");
@@ -329,7 +336,7 @@ void GhostExchange::forward_begin(simmpi::Comm& comm,
   HYMV_TRACE_SCOPE("exchange.forward_begin", "exchange");
   HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) == layout_.owned(),
                  "forward_begin: owned span size mismatch");
-  HYMV_CHECK_MSG(pending_.empty(),
+  HYMV_CHECK_MSG(pending_.empty() && recv_reqs_.empty(),
                  "forward_begin: previous exchange still in flight");
   if (prot_.checksum) {
     for (RecvPeer& peer : recv_peers_) {
@@ -352,9 +359,10 @@ void GhostExchange::forward_begin(simmpi::Comm& comm,
     protected_begin(comm, kForwardTag);
     return;
   }
-  // Post receives into slices of the ghost value array.
+  // Post receives into slices of the ghost value array, tracked per peer so
+  // the task-graph apply can retire them one neighbor at a time.
   for (RecvPeer& peer : recv_peers_) {
-    pending_.push_back(comm.irecv(
+    recv_reqs_.push_back(comm.irecv(
         peer.rank, kForwardTag,
         std::span<double>(ghost_vals_.data() + peer.ghost_offset,
                           static_cast<std::size_t>(peer.count))));
@@ -375,8 +383,20 @@ void GhostExchange::forward_end(simmpi::Comm& comm) {
     protected_end(comm, kForwardTag, kForwardCtrlTag);
     return;
   }
+  // Receives already retired by forward_complete_any are null; wait() on a
+  // null request returns immediately, so waitall covers both paths.
+  comm.waitall(recv_reqs_);
+  recv_reqs_.clear();
   comm.waitall(pending_);
   pending_.clear();
+}
+
+int GhostExchange::forward_complete_any(simmpi::Comm& comm) {
+  return comm.waitany(recv_reqs_);
+}
+
+int GhostExchange::forward_test_any(simmpi::Comm& comm) {
+  return comm.testany(recv_reqs_);
 }
 
 void GhostExchange::forward_begin_multi(simmpi::Comm& comm,
@@ -387,7 +407,7 @@ void GhostExchange::forward_begin_multi(simmpi::Comm& comm,
   HYMV_CHECK_MSG(static_cast<std::int64_t>(owned.size()) ==
                      layout_.owned() * width,
                  "forward_begin_multi: owned panel size mismatch");
-  HYMV_CHECK_MSG(pending_.empty(),
+  HYMV_CHECK_MSG(pending_.empty() && recv_reqs_.empty(),
                  "forward_begin_multi: previous exchange still in flight");
   panel_width_ = width;
   ghost_panel_.resize(ghosts_.size() * static_cast<std::size_t>(width));
@@ -420,7 +440,7 @@ void GhostExchange::forward_begin_multi(simmpi::Comm& comm,
   // One receive per neighbor, width values per ghost DoF, landing directly
   // in the matching slice of the lane-interleaved ghost panel.
   for (RecvPeer& peer : recv_peers_) {
-    pending_.push_back(comm.irecv(
+    recv_reqs_.push_back(comm.irecv(
         peer.rank, kForwardPanelTag,
         std::span<double>(
             ghost_panel_.data() +
@@ -448,6 +468,8 @@ void GhostExchange::forward_end_multi(simmpi::Comm& comm) {
     protected_end(comm, kForwardPanelTag, kForwardPanelCtrlTag);
     return;
   }
+  comm.waitall(recv_reqs_);
+  recv_reqs_.clear();
   comm.waitall(pending_);
   pending_.clear();
 }
@@ -460,7 +482,7 @@ void GhostExchange::reverse_begin_multi(simmpi::Comm& comm,
   HYMV_CHECK_MSG(ghost_contrib.size() ==
                      ghosts_.size() * static_cast<std::size_t>(width),
                  "reverse_begin_multi: ghost panel size mismatch");
-  HYMV_CHECK_MSG(pending_.empty(),
+  HYMV_CHECK_MSG(pending_.empty() && recv_reqs_.empty(),
                  "reverse_begin_multi: previous exchange still in flight");
   panel_width_ = width;
   const auto w = static_cast<std::size_t>(width);
@@ -532,7 +554,7 @@ void GhostExchange::reverse_begin(simmpi::Comm& comm,
   HYMV_TRACE_SCOPE("exchange.reverse_begin", "exchange");
   HYMV_CHECK_MSG(ghost_contrib.size() == ghosts_.size(),
                  "reverse_begin: ghost contribution size mismatch");
-  HYMV_CHECK_MSG(pending_.empty(),
+  HYMV_CHECK_MSG(pending_.empty() && recv_reqs_.empty(),
                  "reverse_begin: previous exchange still in flight");
   if (prot_.checksum) {
     // Receives land in the send peers' buffers (roles are mirrored); the

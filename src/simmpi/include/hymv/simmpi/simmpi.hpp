@@ -46,6 +46,10 @@ namespace simmpi {
 inline constexpr int kAnySource = -1;
 /// Wildcard tag for irecv/probe: match a message with any tag.
 inline constexpr int kAnyTag = -1;
+/// First tag of the runtime-internal tag space (collectives, the split
+/// allreduce). User code must keep its tags strictly below this — the
+/// hymv::pla comm-tag registry static_asserts against it.
+inline constexpr int kInternalTagBase = 1 << 28;
 
 /// Element-wise reduction operators for allreduce/reduce/scan.
 enum class ReduceOp : std::uint8_t {
@@ -180,6 +184,25 @@ class Request {
   std::shared_ptr<detail::RequestState> state_;
 };
 
+/// In-flight handle of a split (overlappable) allreduce — see
+/// Comm::allreduce_start. Movable; must be finished (allreduce_finish) or
+/// destroyed without finishing (the posted receives are then abandoned,
+/// which is only safe when the job is tearing down anyway).
+class AllreduceHandle {
+ public:
+  AllreduceHandle() = default;
+
+  /// True between allreduce_start and allreduce_finish.
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  friend class Comm;
+  std::size_t count_ = 0;       ///< elements per rank contribution
+  std::vector<double> parts_;   ///< size() * count_, rank-major slots
+  std::vector<Request> reqs_;   ///< the size()-1 posted receives
+  bool active_ = false;
+};
+
 /// Per-rank communicator handle. Cheap to copy; all copies refer to the same
 /// job-wide context. A Comm is bound to one rank and must only be used from
 /// that rank's thread.
@@ -215,6 +238,18 @@ class Comm {
 
   /// Wait for every request in `reqs`.
   void waitall(std::span<Request> reqs);
+
+  /// Block until at least one request in `reqs` completes; returns the
+  /// lowest completed index (that request is consumed, its Status stored in
+  /// *status if given), or -1 when every entry is null. The lowest-index
+  /// rule makes the pick deterministic whenever several requests are
+  /// already complete. All requests must have been created by this Comm.
+  /// Under a job-wide recv timeout throws hymv::TimeoutError like wait().
+  int waitany(std::span<Request> reqs, Status* status = nullptr);
+
+  /// Nonblocking waitany: lowest completed index (consumed), or -1 when no
+  /// request has completed yet (also -1 when every entry is null).
+  int testany(std::span<Request> reqs, Status* status = nullptr);
 
   /// Block until a matching message is available; returns its envelope info
   /// without receiving it.
@@ -299,6 +334,23 @@ class Comm {
   template <typename T>
   std::vector<std::vector<T>> alltoallv(
       const std::vector<std::vector<T>>& send);
+
+  /// Start an overlappable sum-allreduce over doubles: posts one receive
+  /// per peer and eagerly sends this rank's contribution, then returns so
+  /// the caller can compute while peer contributions arrive. Unlike
+  /// allreduce() (blocking tree reduce + bcast) this costs O(p^2) messages
+  /// job-wide — fine for the small p of this runtime, and the only way to
+  /// get genuine overlap out of eager point-to-point. At most one split
+  /// allreduce may be in flight per rank at a time relative to ordering
+  /// guarantees the caller needs; back-to-back start/finish pairs are safe
+  /// (FIFO matching per (source, tag) keeps epochs straight).
+  AllreduceHandle allreduce_start(std::span<const double> in);
+
+  /// Complete a split allreduce: waits for all peer contributions and
+  /// combines them in rank order 0..p-1, so every rank computes the same
+  /// floating-point sum bit for bit. `out.size()` must equal the start's
+  /// `in.size()`; `out` may alias the original `in`.
+  void allreduce_finish(AllreduceHandle& handle, std::span<double> out);
 
   /// Exclusive prefix reduction: rank r receives op(values of ranks 0..r-1);
   /// rank 0 receives T{} (the op identity is the caller's concern for

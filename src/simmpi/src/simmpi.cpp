@@ -20,10 +20,12 @@ namespace detail {
 
 namespace {
 
-/// Internal tag space; user code should use tags below (1 << 28).
-constexpr int kBarrierTag = (1 << 28) + 0;
-constexpr int kBcastTag = (1 << 28) + 1;
-constexpr int kReduceTag = (1 << 28) + 2;
+/// Internal tag space; user code should use tags below kInternalTagBase.
+/// (+3..+6 are used by the header collective templates.)
+constexpr int kBarrierTag = kInternalTagBase + 0;
+constexpr int kBcastTag = kInternalTagBase + 1;
+constexpr int kReduceTag = kInternalTagBase + 2;
+constexpr int kSplitAllreduceTag = kInternalTagBase + 7;
 
 }  // namespace
 
@@ -411,6 +413,134 @@ void Comm::waitall(std::span<Request> reqs) {
   for (Request& r : reqs) {
     wait(r);
   }
+}
+
+int Comm::waitany(std::span<Request> reqs, Status* status) {
+  bool any_valid = false;
+  for (const Request& r : reqs) {
+    if (r.valid()) {
+      HYMV_CHECK_MSG(r.state_->owner_rank == rank_,
+                     "waitany: request belongs to another rank");
+      any_valid = true;
+    }
+  }
+  if (!any_valid) {
+    return -1;
+  }
+  // Every request made by this Comm lives in this rank's mailbox, so one cv
+  // wait with an any-done predicate covers the whole span.
+  detail::Mailbox& box = ctx_->mailbox(rank_);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto find_done = [&]() -> int {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].valid() && reqs[i].state_->done) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  int idx = -1;
+  const auto pred = [&] {
+    idx = find_done();
+    return idx >= 0 || ctx_->aborted();
+  };
+  const double timeout_s = ctx_->options().recv_timeout_s;
+  if (timeout_s > 0.0) {
+    const bool completed =
+        box.cv.wait_for(lock, std::chrono::duration<double>(timeout_s), pred);
+    if (!completed) {
+      throw hymv::TimeoutError(
+          "simmpi: waitany timed out after " + std::to_string(timeout_s) +
+          " s (message dropped or sender stalled?)");
+    }
+  } else {
+    box.cv.wait(lock, pred);
+  }
+  if (idx < 0) {
+    throw AbortError();
+  }
+  if (status != nullptr) {
+    *status = reqs[static_cast<std::size_t>(idx)].state_->status;
+  }
+  reqs[static_cast<std::size_t>(idx)].state_.reset();
+  return idx;
+}
+
+int Comm::testany(std::span<Request> reqs, Status* status) {
+  detail::Mailbox& box = ctx_->mailbox(rank_);
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (!reqs[i].valid()) {
+      continue;
+    }
+    HYMV_CHECK_MSG(reqs[i].state_->owner_rank == rank_,
+                   "testany: request belongs to another rank");
+    if (ctx_->aborted() && !reqs[i].state_->done) {
+      throw AbortError();
+    }
+    if (reqs[i].state_->done) {
+      if (status != nullptr) {
+        *status = reqs[i].state_->status;
+      }
+      reqs[i].state_.reset();
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+AllreduceHandle Comm::allreduce_start(std::span<const double> in) {
+  HYMV_TRACE_SCOPE("allreduce_start", "simmpi");
+  const int p = size();
+  const std::size_t n = in.size();
+  AllreduceHandle handle;
+  handle.count_ = n;
+  handle.parts_.assign(static_cast<std::size_t>(p) * n, 0.0);
+  handle.active_ = true;
+  std::copy(in.begin(), in.end(),
+            handle.parts_.begin() + static_cast<std::size_t>(rank_) * n);
+  handle.reqs_.reserve(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) {
+      continue;
+    }
+    handle.reqs_.push_back(irecv(
+        r, detail::kSplitAllreduceTag,
+        std::span<double>(handle.parts_.data() + static_cast<std::size_t>(r) * n,
+                          n)));
+  }
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) {
+      continue;
+    }
+    // Eager send: completes immediately, the request needs no tracking.
+    isend(r, detail::kSplitAllreduceTag, in);
+  }
+  return handle;
+}
+
+void Comm::allreduce_finish(AllreduceHandle& handle, std::span<double> out) {
+  HYMV_TRACE_SCOPE("allreduce_finish", "simmpi");
+  HYMV_CHECK_MSG(handle.active_, "allreduce_finish: no allreduce in flight");
+  HYMV_CHECK_MSG(out.size() == handle.count_,
+                 "allreduce_finish: size mismatch with allreduce_start");
+  waitall(handle.reqs_);
+  // Combine in rank order 0..p-1: every rank sums the identical sequence,
+  // so the result is bitwise identical across ranks (collective decisions
+  // like CG convergence tests stay consistent).
+  const std::size_t n = handle.count_;
+  std::fill(out.begin(), out.end(), 0.0);
+  const int p = size();
+  for (int r = 0; r < p; ++r) {
+    const double* part = handle.parts_.data() + static_cast<std::size_t>(r) * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      out[j] += part[j];
+    }
+  }
+  handle.active_ = false;
+  handle.reqs_.clear();
+  handle.parts_.clear();
+  handle.count_ = 0;
 }
 
 Status Comm::probe(int source, int tag) {

@@ -81,10 +81,12 @@ def min_combine(docs):
                 f"({first.get('bench')!r} vs {doc.get('bench')!r})"
             )
     rows_by_id = {}
+    seen_in = {}  # rid -> number of docs the row appeared in
     order = []
     for doc in docs:
         for row in doc["rows"]:
             rid = identity(row)
+            seen_in[rid] = seen_in.get(rid, 0) + 1
             kept = rows_by_id.get(rid)
             if kept is None:
                 rows_by_id[rid] = dict(row)
@@ -97,6 +99,19 @@ def min_combine(docs):
                     kept[k] = min(kept[k], v)
                 else:
                     kept[k] = v
+    # Every run must produce every row. Silently unioning would let a run
+    # that crashed mid-bench (its later rows missing) slip through: the
+    # surviving runs still supply the row, the comparison "passes", and the
+    # crash goes unnoticed.
+    partial = [rid for rid in order if seen_in[rid] != len(docs)]
+    if partial:
+        labels = "; ".join(
+            ", ".join(f"{k}={v}" for k, v in rid) for rid in partial[:5]
+        )
+        sys.exit(
+            f"bench_compare: {len(partial)} row(s) missing from some of the "
+            f"{len(docs)} current runs (crashed or truncated run?): {labels}"
+        )
     out = dict(first)
     out["rows"] = [rows_by_id[rid] for rid in order]
     return out
@@ -186,6 +201,11 @@ def main():
                 f"({(ratio - 1.0) * 100.0:+.1f}%){marker}"
             )
 
+    if compared == 0 and not failures:
+        # A gate that compared nothing gates nothing — surface it instead of
+        # exiting 0 (e.g. a baseline whose metrics are all below
+        # --min-seconds, or a --metrics filter that matches no field).
+        failures.append("no metrics compared (empty gate)")
     print(
         f"\nbench_compare: {compared} metrics compared, "
         f"{len(failures)} failure(s), threshold {args.threshold * 100:.0f}%"
