@@ -56,12 +56,16 @@ int main() {
     }
 
     // Solve K u = f with CG + Jacobi and verify against the exact solution.
+    // HYMV_BACKEND (e.g. "adaptive") swaps the SPMV backend under the solve.
+    const driver::Backend backend =
+        driver::backend_from_env(driver::Backend::kHymv);
     driver::SolveReport report = driver::solve_problem(
         comm, ctx,
-        {.backend = driver::Backend::kHymv,
+        {.backend = backend,
          .precond = driver::Precond::kJacobi,
          .rtol = 1e-10});
     if (comm.rank() == 0) {
+      std::printf("backend: %s\n", driver::backend_name(backend));
       std::printf("CG: %lld iterations, rel. residual %.2e\n",
                   static_cast<long long>(report.cg.iterations),
                   report.cg.relative_residual);

@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file adaptive_operator.hpp
+/// Per-region adaptive backend selection: the composite operator that picks
+/// — independently for the independent and dependent element regions — one
+/// of three SPMV backends:
+///
+///   * stored      — the stored-EMV traversal (paper Algorithm 2), shared
+///                   code with HymvOperator via StoredEmvSweep;
+///   * matrixfree  — recompute K_e per apply (paper Algorithm 4);
+///   * sell        — locally assemble the region into SELL-C-σ and run the
+///                   chunked SpMV (see sell_backend.hpp).
+///
+/// Selection combines the layout-true apply_bytes()/apply_flops() roofline
+/// model (perf::CpuSpec) with short measured probe applies on deterministic
+/// synthetic input; HYMV_ADAPTIVE_FORCE pins every region, and a decision
+/// file (HYMV_ADAPTIVE_REPLAY) records choices for deterministic replay —
+/// probes are timing-dependent, so replay is what makes an adaptive run
+/// reproducible. Decisions are published to the adaptive.* metrics
+/// namespace and traced.
+///
+/// The distributed skeleton (DA staging, LNSM/GNGM overlap, reduction) is
+/// the HymvOperator two-phase structure verbatim, so with both regions
+/// forced to "stored" the composite is bitwise identical to HymvOperator
+/// for every layout, thread count, and panel width — the golden-hash
+/// equivalence the adaptive tests pin. update_elements() stays adaptive:
+/// the store updates in place and only dirty regions re-assemble
+/// (values-only) their SELL matrices.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hymv/core/hymv_operator.hpp"
+#include "hymv/core/region_backend.hpp"
+#include "hymv/core/sell_backend.hpp"
+#include "hymv/perfmodel/perfmodel.hpp"
+
+namespace hymv::core {
+
+/// Candidate backends, in decision-file / metrics encoding order.
+enum class RegionBackendKind { kStored = 0, kMatrixFree = 1, kSell = 2 };
+[[nodiscard]] const char* to_string(RegionBackendKind kind);
+
+/// Tunables of the adaptive composite.
+struct AdaptiveOptions {
+  /// Stored-path tunables (kernel/layout/schedule/nrhs; the usual env
+  /// overrides resolve inside the embedded HymvOperator). kBufferReduce is
+  /// not a per-region strategy — it is coerced to kColored with a warning.
+  HymvOptions hymv;
+  int sell_c = 8;        ///< SELL chunk height C
+  int sell_sigma = 128;  ///< SELL sorting window σ
+  /// Measured probe applies per candidate per region (min is scored);
+  /// 0 = model-only selection.
+  int probes = 3;
+  /// Force every region to one backend ("stored" | "matrixfree" | "sell");
+  /// empty = autotune.
+  std::string force;
+  /// Decision file: when it exists, decisions are replayed from it
+  /// (deterministic); when set but missing, tuned decisions are recorded
+  /// to it.
+  std::string replay_path;
+
+  /// Resolve environment overrides onto `fallback` through the validated
+  /// env paths: HYMV_SELL_C (int in [1, 256]), HYMV_SELL_SIGMA (int in
+  /// [1, 1048576]), HYMV_ADAPTIVE_PROBES (int in [0, 1000]),
+  /// HYMV_ADAPTIVE_FORCE (backend name), HYMV_ADAPTIVE_REPLAY (path).
+  /// Malformed or out-of-range values warn to stderr and keep the
+  /// fallback, the same contract as HYMV_NRHS.
+  [[nodiscard]] static AdaptiveOptions from_env(AdaptiveOptions fallback);
+};
+
+/// One region's autotuning outcome (kept for tests / reports).
+struct RegionDecision {
+  std::string region;  ///< "independent" | "dependent"
+  RegionBackendKind choice = RegionBackendKind::kStored;
+  std::array<double, 3> model_s{};  ///< modeled apply time per candidate
+  std::array<double, 3> probe_s{};  ///< min measured probe per candidate (0 = unprobed)
+  bool forced = false;
+  bool replayed = false;
+};
+
+class AdaptiveOperator final : public pla::LinearOperator {
+ public:
+  /// Collective setup: builds the embedded stored operator (maps, store,
+  /// schedules), assembles the SELL candidates, autotunes (or replays) one
+  /// backend per region. `op` must outlive the operator (the matrix-free
+  /// candidate recomputes through it).
+  AdaptiveOperator(simmpi::Comm& comm, const mesh::MeshPartition& part,
+                   const fem::ElementOperator& op,
+                   AdaptiveOptions options = {});
+
+  [[nodiscard]] const pla::Layout& layout() const override {
+    return hymv_->layout();
+  }
+  void apply(simmpi::Comm& comm, const pla::DistVector& x,
+             pla::DistVector& y) override;
+  void apply_multi(simmpi::Comm& comm, const pla::DistMultiVector& x,
+                   pla::DistMultiVector& y) override;
+  std::vector<double> diagonal(simmpi::Comm& comm) override;
+  pla::CsrMatrix owned_block(simmpi::Comm& comm) override;
+
+  /// Adaptive update: recompute the stored matrices of `local_elements`
+  /// with `op` (in place, no communication), then re-assemble — values
+  /// only — the SELL matrix of each region that received dirty elements.
+  /// `op` must outlive the operator.
+  void update_elements(std::span<const std::int64_t> local_elements,
+                       const fem::ElementOperator& op);
+
+  [[nodiscard]] const std::array<RegionDecision, 2>& decisions() const {
+    return decisions_;
+  }
+  /// The embedded stored operator (maps, store, setup metrics).
+  [[nodiscard]] const HymvOperator& stored_operator() const { return *hymv_; }
+  [[nodiscard]] HymvOperator& stored_operator() { return *hymv_; }
+  [[nodiscard]] const DofMaps& maps() const { return hymv_->maps(); }
+  [[nodiscard]] const AdaptiveOptions& options() const { return options_; }
+
+  /// adaptive.* decision metrics (model/probe seconds, choices, assembly
+  /// time). The embedded operator's setup./apply. registry is separate —
+  /// the driver merges both.
+  [[nodiscard]] hymv::obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const hymv::obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
+  [[nodiscard]] std::int64_t apply_flops() const override;
+  [[nodiscard]] std::int64_t apply_bytes() const override;
+  [[nodiscard]] std::int64_t apply_flops_multi(int nrhs) const override;
+  [[nodiscard]] std::int64_t apply_bytes_multi(int nrhs) const override;
+
+ private:
+  [[nodiscard]] bool threading_active() const;
+  [[nodiscard]] RegionBackend* backend(int region, RegionBackendKind kind);
+  [[nodiscard]] const RegionBackend* backend(int region,
+                                             RegionBackendKind kind) const;
+  [[nodiscard]] RegionBackend* chosen(int region) {
+    return backend(region, decisions_[static_cast<std::size_t>(region)].choice);
+  }
+  /// Score candidates for `region` (model + probes) and pick, honoring
+  /// force/replay; fills decisions_[region].
+  void tune_region(int region, const std::vector<std::int64_t>& elements);
+  void publish_metrics();
+  void ensure_multi_buffers(int k);
+
+  AdaptiveOptions options_;
+  perf::CpuSpec cpu_spec_;
+  int comm_rank_ = -1;
+  std::unique_ptr<HymvOperator> hymv_;  ///< maps + store + stored schedules
+  const fem::ElementOperator* op_;
+  std::vector<mesh::Point> elem_coords_;
+  /// Candidates per region (0 = independent, 1 = dependent); all three are
+  /// kept alive so probing, replay, and late backend switches need no
+  /// rebuild.
+  std::array<std::unique_ptr<StoredRegionBackend>, 2> stored_;
+  std::array<std::unique_ptr<MatrixFreeRegionBackend>, 2> matrixfree_;
+  std::array<std::unique_ptr<SellRegionBackend>, 2> sell_;
+  std::array<RegionDecision, 2> decisions_;
+  std::vector<std::uint8_t> region_of_;  ///< element → region index
+  DistributedArray u_da_;
+  DistributedArray v_da_;
+  std::vector<double> ghost_buf_;
+  std::unique_ptr<DistributedArray> u_mda_;
+  std::unique_ptr<DistributedArray> v_mda_;
+  std::vector<double> ghost_panel_buf_;
+  int multi_width_ = 0;
+  hymv::obs::MetricsRegistry metrics_;
+};
+
+}  // namespace hymv::core

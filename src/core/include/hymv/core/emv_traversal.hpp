@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file emv_traversal.hpp
+/// The stored-EMV traversal of Algorithm 2, factored out of HymvOperator so
+/// every consumer of the element-matrix store shares ONE sweep: the full
+/// operator (HymvOperator), and the per-region stored backend of the
+/// adaptive composite (StoredRegionBackend). The sweep operates on raw
+/// distributed-array spans and carries no communication or metrics — those
+/// stay with the owning operator.
+///
+/// Bitwise contract: the traversal order, the interleaved-batch decision
+/// (block boundaries + stored element order only, never the executing
+/// thread), and the colored serial-vs-threaded equivalence are exactly the
+/// pre-extraction HymvOperator semantics. Both callers therefore produce
+/// identical bits for identical schedules — the property the adaptive
+/// operator's golden-hash equivalence tests pin.
+
+#include <cstdint>
+#include <span>
+
+#include "hymv/core/element_store.hpp"
+#include "hymv/core/maps.hpp"
+#include "hymv/core/schedule.hpp"
+
+namespace hymv::core {
+
+/// Layout-true EMV sweep over one element-matrix store: gather u_e through
+/// E2L, v_e = K_e u_e, scatter-add v_e (lines 3-6 / 8-11 of Algorithm 2).
+/// Holds non-owning pointers; maps and store must outlive the sweep.
+class StoredEmvSweep {
+ public:
+  StoredEmvSweep() = default;
+  StoredEmvSweep(const DofMaps& maps, const ElementMatrixStore& store)
+      : maps_(&maps), store_(&store) {}
+
+  /// Per-thread workspace (doubles) one range()/range_multi() call needs:
+  /// ndofs × kBatchElems × k, sized for the interleaved batch fast path.
+  [[nodiscard]] std::size_t workspace_size(std::size_t k = 1) const {
+    return static_cast<std::size_t>(store_->ndofs()) *
+           static_cast<std::size_t>(ElementMatrixStore::kBatchElems) * k;
+  }
+
+  /// Gather/EMV/scatter for order[begin, end) — one schedule block (or a
+  /// whole element list). Takes the interleaved batch fast path for aligned
+  /// runs of kBatchElems consecutive elements; the batching decision
+  /// depends only on the range boundaries, so serial and threaded
+  /// traversals of the same schedule stay bitwise identical. ue/ve are
+  /// per-thread workspaces of workspace_size(1) doubles.
+  void range(EmvKernel kernel, std::span<const std::int64_t> order,
+             std::int64_t begin, std::int64_t end, std::span<const double> u,
+             std::span<double> v, double* ue, double* ve) const;
+
+  /// Panel twin of range(): identical traversal and batching decisions,
+  /// panels of k lanes per DoF (u/v are lane-interleaved width-k DAs).
+  /// ue/ve are per-thread workspaces of workspace_size(k) doubles.
+  void range_multi(EmvKernel kernel, std::span<const std::int64_t> order,
+                   std::int64_t begin, std::int64_t end, std::size_t k,
+                   std::span<const double> u, std::span<double> v, double* ue,
+                   double* ve) const;
+
+  /// Color-major block traversal of `sched`: OpenMP team when `threaded`
+  /// (blocks of one color are conflict-free; colors fenced by the implicit
+  /// barrier), the serial execution of the same color-major order
+  /// otherwise — bitwise identical either way, for any thread count.
+  /// `rank_tag` attributes worker trace spans to the owning rank.
+  void colored_loop(EmvKernel kernel, const ElementSchedule& sched,
+                    bool threaded, int rank_tag, std::span<const double> u,
+                    std::span<double> v) const;
+  void colored_loop_multi(EmvKernel kernel, const ElementSchedule& sched,
+                          bool threaded, int rank_tag, std::size_t k,
+                          std::span<const double> u,
+                          std::span<double> v) const;
+
+  /// Plain element-order traversal (the kSerial path): one range, so
+  /// aligned interleaved runs still batch.
+  void serial_loop(EmvKernel kernel, std::span<const std::int64_t> elements,
+                   std::span<const double> u, std::span<double> v) const;
+  void serial_loop_multi(EmvKernel kernel,
+                         std::span<const std::int64_t> elements, std::size_t k,
+                         std::span<const double> u, std::span<double> v) const;
+
+  /// Scatter-add the stored diagonal entries of the schedule's elements
+  /// into v, colored-threaded under the same rules as colored_loop.
+  void diagonal_colored(const ElementSchedule& sched, bool threaded,
+                        std::span<double> v) const;
+  /// Plain element-order diagonal scatter (serial strategies).
+  void diagonal_serial(std::span<const std::int64_t> elements,
+                       std::span<double> v) const;
+
+ private:
+  const DofMaps* maps_ = nullptr;
+  const ElementMatrixStore* store_ = nullptr;
+};
+
+}  // namespace hymv::core

@@ -25,6 +25,7 @@
 #include "hymv/obs/metrics.hpp"
 #include "hymv/core/dense_kernels.hpp"
 #include "hymv/core/element_store.hpp"
+#include "hymv/core/emv_traversal.hpp"
 #include "hymv/core/maps.hpp"
 #include "hymv/core/schedule.hpp"
 #include "hymv/core/taskgraph.hpp"
@@ -323,6 +324,7 @@ class HymvOperator final : public pla::LinearOperator {
   int comm_rank_ = -1;       ///< rank tag for worker-thread trace spans
   DofMaps maps_;
   ElementMatrixStore store_;
+  StoredEmvSweep sweep_;  ///< shared Algorithm-2 traversal over maps_+store_
   std::vector<mesh::Point> elem_coords_;  ///< kept for update_elements
   DistributedArray u_da_;
   DistributedArray v_da_;

@@ -131,6 +131,7 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
       maps_(build_maps_timed(comm, part, op.ndof_per_node(), metrics_)),
       store_(part.num_local_elements(), op.num_dofs(),
              store_layout_from_env(options.layout)),
+      sweep_(maps_, store_),
       elem_coords_(part.elem_coords),
       u_da_(maps_),
       v_da_(maps_),
@@ -182,6 +183,7 @@ HymvOperator::HymvOperator(simmpi::Comm& comm,
       comm_rank_(comm.rank()),
       maps_(build_maps_timed(comm, part, ndof_per_node, metrics_)),
       store_(std::move(store)),
+      sweep_(maps_, store_),
       elem_coords_(part.elem_coords),
       u_da_(maps_),
       v_da_(maps_),
@@ -217,109 +219,19 @@ bool HymvOperator::taskgraph_active() const {
 void HymvOperator::emv_range(std::span<const std::int64_t> order,
                              std::int64_t begin, std::int64_t end, double* ue,
                              double* ve) {
-  constexpr std::int64_t kB = ElementMatrixStore::kBatchElems;
-  const auto n = static_cast<std::size_t>(store_.ndofs());
-  const std::span<double> v = v_da_.all();
-  const std::span<const double> u = u_da_.all();
-
-  std::int64_t i = begin;
-  while (i < end) {
-    const std::int64_t e = order[static_cast<std::size_t>(i)];
-    if (i + kB <= end && store_.full_batch_at(e)) {
-      // Interleaved fast path if the next kB entries are exactly the
-      // aligned batch e..e+kB-1 (schedule blocks list ascending ids, so
-      // this holds for most of the interior).
-      bool run = true;
-      for (std::int64_t l = 1; l < kB; ++l) {
-        run = run && order[static_cast<std::size_t>(i + l)] == e + l;
-      }
-      if (run) {
-        for (std::int64_t l = 0; l < kB; ++l) {
-          const auto e2l = maps_.e2l(e + l);
-          for (std::size_t a = 0; a < n; ++a) {  // lane-interleaved u_e
-            ue[a * static_cast<std::size_t>(kB) +
-               static_cast<std::size_t>(l)] =
-                u[static_cast<std::size_t>(e2l[a])];
-          }
-        }
-        store_.emv_batch(options_.kernel, e, ue, ve);
-        // Lane-ascending scatter: contributions land in the same order the
-        // element-at-a-time path produces them.
-        for (std::int64_t l = 0; l < kB; ++l) {
-          const auto e2l = maps_.e2l(e + l);
-          for (std::size_t a = 0; a < n; ++a) {
-            v[static_cast<std::size_t>(e2l[a])] +=
-                ve[a * static_cast<std::size_t>(kB) +
-                   static_cast<std::size_t>(l)];
-          }
-        }
-        i += kB;
-        continue;
-      }
-    }
-    const auto e2l = maps_.e2l(e);
-    for (std::size_t a = 0; a < n; ++a) {
-      ue[a] = u[static_cast<std::size_t>(e2l[a])];  // extract u_e
-    }
-    store_.emv(options_.kernel, e, ue, ve);
-    for (std::size_t a = 0; a < n; ++a) {
-      v[static_cast<std::size_t>(e2l[a])] += ve[a];  // accumulate v_e
-    }
-    ++i;
-  }
+  sweep_.range(options_.kernel, order, begin, end, u_da_.all(), v_da_.all(),
+               ue, ve);
 }
 
 void HymvOperator::emv_loop(const ElementSchedule& sched,
                             std::span<const std::int64_t> elements) {
-  const auto n = static_cast<std::size_t>(store_.ndofs());
-  // Workspace sized for the interleaved batch path; the single-element
-  // path uses the first n entries.
-  const std::size_t ws =
-      n * static_cast<std::size_t>(ElementMatrixStore::kBatchElems);
-  const std::span<double> v = v_da_.all();
-  const std::span<const double> u = u_da_.all();
-
   if (options_.schedule == ThreadSchedule::kColored) {
-    const std::span<const std::int64_t> order = sched.order();
     HYMV_TRACE_SCOPE("emv", "apply");
     DualTimer timer;
-#ifdef _OPENMP
-    if (threading_active()) {
-#pragma omp parallel
-      {
-        // Tag workers with this rank so their spans group under the rank's
-        // "process" row; the span itself is free when the tracer is off.
-        hymv::obs::set_current_rank(comm_rank_);
-        HYMV_TRACE_SCOPE("emv_worker", "apply");
-        hymv::aligned_vector<double> ue(ws), ve(ws);
-        for (int c = 0; c < sched.num_colors(); ++c) {
-          const std::span<const ElementSchedule::Block> blocks =
-              sched.blocks(c);
-          // No two blocks of one color share a node, so blocks may be
-          // handed out in any order; the implicit barrier fences colors.
-#pragma omp for schedule(dynamic, 1)
-          for (std::int64_t b = 0;
-               b < static_cast<std::int64_t>(blocks.size()); ++b) {
-            const ElementSchedule::Block& blk =
-                blocks[static_cast<std::size_t>(b)];
-            emv_range(order, blk.begin, blk.end, ue.data(), ve.data());
-          }
-        }
-      }
-      timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
-      return;
-    }
-#endif
-    // Serial execution of the same color-major, block-by-block traversal:
-    // each DoF still receives its contributions in color order and the
-    // per-block batching decisions are identical, so this is bitwise
-    // identical to the threaded path above for any thread count.
-    hymv::aligned_vector<double> ue(ws), ve(ws);
-    for (int c = 0; c < sched.num_colors(); ++c) {
-      for (const ElementSchedule::Block& blk : sched.blocks(c)) {
-        emv_range(order, blk.begin, blk.end, ue.data(), ve.data());
-      }
-    }
+    // The shared sweep runs the color-major block traversal (threaded team
+    // or the bitwise-identical serial execution of the same order).
+    sweep_.colored_loop(options_.kernel, sched, threading_active(),
+                        comm_rank_, u_da_.all(), v_da_.all());
     timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
     return;
   }
@@ -327,6 +239,9 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
 #ifdef _OPENMP
   if (options_.schedule == ThreadSchedule::kBufferReduce &&
       threading_active()) {
+    const auto n = static_cast<std::size_t>(store_.ndofs());
+    const std::span<double> v = v_da_.all();
+    const std::span<const double> u = u_da_.all();
     const int nthreads = omp_get_max_threads();
     if (thread_bufs_.size() < static_cast<std::size_t>(nthreads)) {
       thread_bufs_.resize(static_cast<std::size_t>(nthreads));
@@ -386,9 +301,7 @@ void HymvOperator::emv_loop(const ElementSchedule& sched,
   // batch).
   HYMV_TRACE_SCOPE("emv", "apply");
   DualTimer timer;
-  hymv::aligned_vector<double> ue(ws), ve(ws);
-  emv_range(elements, 0, static_cast<std::int64_t>(elements.size()),
-            ue.data(), ve.data());
+  sweep_.serial_loop(options_.kernel, elements, u_da_.all(), v_da_.all());
   timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
 }
 
@@ -541,116 +454,19 @@ void HymvOperator::ensure_multi_buffers(int k) {
 void HymvOperator::emv_range_multi(std::span<const std::int64_t> order,
                                    std::int64_t begin, std::int64_t end,
                                    std::size_t k, double* ue, double* ve) {
-  constexpr std::int64_t kB = ElementMatrixStore::kBatchElems;
-  const auto kBu = static_cast<std::size_t>(kB);
-  const auto n = static_cast<std::size_t>(store_.ndofs());
-  const std::span<double> v = v_mda_->all();
-  const std::span<const double> u = u_mda_->all();
-
-  std::int64_t i = begin;
-  while (i < end) {
-    const std::int64_t e = order[static_cast<std::size_t>(i)];
-    if (i + kB <= end && store_.full_batch_at(e)) {
-      // Same batch condition as emv_range — driven only by the block
-      // boundaries and the stored element order, never by the executing
-      // thread, which is what keeps serial and threaded traversals
-      // bitwise identical at every k.
-      bool run = true;
-      for (std::int64_t l = 1; l < kB; ++l) {
-        run = run && order[static_cast<std::size_t>(i + l)] == e + l;
-      }
-      if (run) {
-        for (std::int64_t l = 0; l < kB; ++l) {
-          const auto e2l = maps_.e2l(e + l);
-          for (std::size_t a = 0; a < n; ++a) {
-            const double* src =
-                u.data() + static_cast<std::size_t>(e2l[a]) * k;
-            double* dst = ue + (a * kBu + static_cast<std::size_t>(l)) * k;
-            for (std::size_t j = 0; j < k; ++j) {
-              dst[j] = src[j];
-            }
-          }
-        }
-        store_.emv_batch_multi(options_.kernel, e, k, ue, ve);
-        for (std::int64_t l = 0; l < kB; ++l) {
-          const auto e2l = maps_.e2l(e + l);
-          for (std::size_t a = 0; a < n; ++a) {
-            double* dst = v.data() + static_cast<std::size_t>(e2l[a]) * k;
-            const double* src =
-                ve + (a * kBu + static_cast<std::size_t>(l)) * k;
-            for (std::size_t j = 0; j < k; ++j) {
-              dst[j] += src[j];
-            }
-          }
-        }
-        i += kB;
-        continue;
-      }
-    }
-    const auto e2l = maps_.e2l(e);
-    for (std::size_t a = 0; a < n; ++a) {  // gather the ndofs × k panel
-      const double* src = u.data() + static_cast<std::size_t>(e2l[a]) * k;
-      double* dst = ue + a * k;
-      for (std::size_t j = 0; j < k; ++j) {
-        dst[j] = src[j];
-      }
-    }
-    store_.emv_multi(options_.kernel, e, k, ue, ve);
-    for (std::size_t a = 0; a < n; ++a) {  // scatter-add the v_e panel
-      double* dst = v.data() + static_cast<std::size_t>(e2l[a]) * k;
-      const double* src = ve + a * k;
-      for (std::size_t j = 0; j < k; ++j) {
-        dst[j] += src[j];
-      }
-    }
-    ++i;
-  }
+  sweep_.range_multi(options_.kernel, order, begin, end, k, u_mda_->all(),
+                     v_mda_->all(), ue, ve);
 }
 
 void HymvOperator::emv_loop_multi(const ElementSchedule& sched,
                                   std::span<const std::int64_t> elements,
                                   int k) {
-  const auto n = static_cast<std::size_t>(store_.ndofs());
   const auto ku = static_cast<std::size_t>(k);
-  const std::size_t ws =
-      n * static_cast<std::size_t>(ElementMatrixStore::kBatchElems) * ku;
-
   if (options_.schedule == ThreadSchedule::kColored) {
-    const std::span<const std::int64_t> order = sched.order();
     HYMV_TRACE_SCOPE("emv", "apply");
     DualTimer timer;
-#ifdef _OPENMP
-    if (threading_active()) {
-#pragma omp parallel
-      {
-        hymv::obs::set_current_rank(comm_rank_);
-        HYMV_TRACE_SCOPE("emv_worker", "apply");
-        hymv::aligned_vector<double> ue(ws), ve(ws);
-        for (int c = 0; c < sched.num_colors(); ++c) {
-          const std::span<const ElementSchedule::Block> blocks =
-              sched.blocks(c);
-#pragma omp for schedule(dynamic, 1)
-          for (std::int64_t b = 0;
-               b < static_cast<std::int64_t>(blocks.size()); ++b) {
-            const ElementSchedule::Block& blk =
-                blocks[static_cast<std::size_t>(b)];
-            emv_range_multi(order, blk.begin, blk.end, ku, ue.data(),
-                            ve.data());
-          }
-        }
-      }
-      timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
-      return;
-    }
-#endif
-    // Serial color-major traversal — bitwise identical to the threaded
-    // path above, exactly as in emv_loop.
-    hymv::aligned_vector<double> ue(ws), ve(ws);
-    for (int c = 0; c < sched.num_colors(); ++c) {
-      for (const ElementSchedule::Block& blk : sched.blocks(c)) {
-        emv_range_multi(order, blk.begin, blk.end, ku, ue.data(), ve.data());
-      }
-    }
+    sweep_.colored_loop_multi(options_.kernel, sched, threading_active(),
+                              comm_rank_, ku, u_mda_->all(), v_mda_->all());
     timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
     return;
   }
@@ -661,9 +477,8 @@ void HymvOperator::emv_loop_multi(const ElementSchedule& sched,
   // element-order traversal.
   HYMV_TRACE_SCOPE("emv", "apply");
   DualTimer timer;
-  hymv::aligned_vector<double> ue(ws), ve(ws);
-  emv_range_multi(elements, 0, static_cast<std::int64_t>(elements.size()), ku,
-                  ue.data(), ve.data());
+  sweep_.serial_loop_multi(options_.kernel, elements, ku, u_mda_->all(),
+                           v_mda_->all());
   timer.add_to(metrics_.emv_s, metrics_.emv_cpu_s);
 }
 
@@ -790,47 +605,13 @@ void HymvOperator::apply_multi(simmpi::Comm& comm,
 
 void HymvOperator::diagonal_loop(const ElementSchedule& sched,
                                  std::span<const std::int64_t> elements) {
-  const auto n = static_cast<std::size_t>(store_.ndofs());
-  const std::span<double> v = v_da_.all();
-  const auto scatter_diag = [&](std::int64_t e) {
-    const auto e2l = maps_.e2l(e);
-    for (std::size_t a = 0; a < n; ++a) {
-      v[static_cast<std::size_t>(e2l[a])] +=
-          store_.at(e, static_cast<int>(a), static_cast<int>(a));
-    }
-  };
-
   if (options_.schedule == ThreadSchedule::kColored) {
-#ifdef _OPENMP
-    if (threading_active()) {
-      const std::span<const std::int64_t> order = sched.order();
-#pragma omp parallel
-      for (int c = 0; c < sched.num_colors(); ++c) {
-        const std::span<const ElementSchedule::Block> blocks = sched.blocks(c);
-        // Blocks, not elements, are the conflict-free unit of one color.
-#pragma omp for schedule(static)
-        for (std::int64_t b = 0;
-             b < static_cast<std::int64_t>(blocks.size()); ++b) {
-          const ElementSchedule::Block& blk =
-              blocks[static_cast<std::size_t>(b)];
-          for (std::int64_t i = blk.begin; i < blk.end; ++i) {
-            scatter_diag(order[static_cast<std::size_t>(i)]);
-          }
-        }
-      }
-      return;
-    }
-#endif
-    for (const std::int64_t e : sched.order()) {
-      scatter_diag(e);
-    }
+    sweep_.diagonal_colored(sched, threading_active(), v_da_.all());
     return;
   }
   // kSerial / kBufferReduce: the diagonal scatter is too small to warrant
   // thread buffers — run the plain element-order loop.
-  for (const std::int64_t e : elements) {
-    scatter_diag(e);
-  }
+  sweep_.diagonal_serial(elements, v_da_.all());
 }
 
 std::vector<double> HymvOperator::diagonal(simmpi::Comm& comm) {

@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 
+#include "hymv/core/adaptive_operator.hpp"
 #include "hymv/core/assembly.hpp"
 #include "hymv/core/gpu_operator.hpp"
 #include "hymv/core/hymv_operator.hpp"
@@ -45,12 +46,20 @@ enum class Backend : int {
   kMatrixFree,    ///< Algorithm 4 baseline
   kHymvGpu,       ///< Algorithm 3 on the simulated device
   kAssembledGpu,  ///< PETSc-GPU (cuSPARSE) equivalent
+  kAdaptive,      ///< per-region autotuned composite (stored/matrixfree/SELL)
 };
 
 /// Preconditioner for solve_problem.
 enum class Precond : int { kNone, kJacobi, kBlockJacobi };
 
 [[nodiscard]] const char* backend_name(Backend backend);
+
+/// Resolve the HYMV_BACKEND environment override
+/// ("assembled" | "hymv" | "matrix-free" | "hymv-gpu" | "assembled-gpu" |
+/// "adaptive" — the backend_name() vocabulary). Unset returns `fallback`;
+/// an unknown value warns to stderr and returns `fallback`, the same
+/// contract as HYMV_STORE_LAYOUT.
+[[nodiscard]] Backend backend_from_env(Backend fallback);
 
 /// Full description of one experiment's problem.
 struct ProblemSpec {
@@ -150,6 +159,29 @@ struct SetupReport {
            gpu_upload_virtual_s;
   }
 };
+
+/// One constructed backend plus everything the harnesses need alongside the
+/// type-erased operator: the setup-phase breakdown and non-owning typed
+/// views for backend-specific hooks (phase metrics, checksums, GPU timing).
+/// build_backend is the single construction path — make_backend,
+/// measure_spmv, and solve_problem all go through it.
+struct BuiltBackend {
+  std::unique_ptr<pla::LinearOperator> op;
+  SetupReport setup;
+  core::HymvOperator* hymv_cpu = nullptr;
+  core::AdaptiveOperator* adaptive = nullptr;
+  core::HymvGpuOperator* hymv_gpu = nullptr;
+  core::GpuCsrOperator* csr_gpu = nullptr;
+};
+
+/// Build `backend` over a rank context with the paper's setup-phase
+/// breakdown. GPU backends require `device`; kAdaptive resolves its
+/// AdaptiveOptions (SELL C/σ, probes, force, replay) from the environment
+/// on top of `hymv_options`. Collective.
+BuiltBackend build_backend(simmpi::Comm& comm, const RankContext& ctx,
+                           Backend backend, gpu::Device* device = nullptr,
+                           const core::HymvGpuOptions& gpu_options = {},
+                           const core::HymvOptions& hymv_options = {});
 
 /// Per-rank SPMV measurement over `napplies` products.
 struct SpmvReport {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "hymv/common/env.hpp"
@@ -25,8 +27,30 @@ const char* backend_name(Backend backend) {
       return "hymv-gpu";
     case Backend::kAssembledGpu:
       return "assembled-gpu";
+    case Backend::kAdaptive:
+      return "adaptive";
   }
   return "unknown";
+}
+
+Backend backend_from_env(Backend fallback) {
+  const char* value = std::getenv("HYMV_BACKEND");
+  if (value == nullptr) {
+    return fallback;
+  }
+  constexpr Backend kAll[] = {Backend::kAssembled,   Backend::kHymv,
+                              Backend::kMatrixFree,  Backend::kHymvGpu,
+                              Backend::kAssembledGpu, Backend::kAdaptive};
+  for (const Backend b : kAll) {
+    if (std::strcmp(value, backend_name(b)) == 0) {
+      return b;
+    }
+  }
+  std::fprintf(stderr,
+               "hymv: ignoring HYMV_BACKEND='%s' (expected assembled|hymv|"
+               "matrix-free|hymv-gpu|assembled-gpu|adaptive); using '%s'\n",
+               value, backend_name(fallback));
+  return fallback;
 }
 
 ProblemSetup ProblemSetup::build(const ProblemSpec& spec, int nranks) {
@@ -142,29 +166,53 @@ double RankContext::error_inf(simmpi::Comm& comm,
   return comm.allreduce(local, simmpi::ReduceOp::kMax);
 }
 
-std::unique_ptr<pla::LinearOperator> make_backend(
-    simmpi::Comm& comm, const RankContext& ctx, Backend backend,
-    gpu::Device* device, const core::HymvGpuOptions& gpu_options,
-    const core::HymvOptions& hymv_options) {
+BuiltBackend build_backend(simmpi::Comm& comm, const RankContext& ctx,
+                           Backend backend, gpu::Device* device,
+                           const core::HymvGpuOptions& gpu_options,
+                           const core::HymvOptions& hymv_options) {
   const mesh::MeshPartition& part = ctx.part();
   const fem::ElementOperator& op = ctx.element_op();
+  BuiltBackend built;
   switch (backend) {
     case Backend::kAssembled: {
       auto setup = core::build_assembled_matrix(comm, part, op);
-      return std::move(setup.matrix);
+      built.setup.emat_compute_s = setup.emat_compute_s;
+      built.setup.assembly_s = setup.assembly_s;
+      built.op = std::move(setup.matrix);
+      return built;
     }
-    case Backend::kHymv:
-      return std::make_unique<core::HymvOperator>(comm, part, op,
-                                                  hymv_options);
+    case Backend::kHymv: {
+      auto hymv = std::make_unique<core::HymvOperator>(comm, part, op,
+                                                       hymv_options);
+      built.setup.emat_compute_s = hymv->setup_breakdown().emat_compute_s;
+      built.setup.local_copy_s = hymv->setup_breakdown().local_copy_s;
+      built.setup.maps_s = hymv->setup_breakdown().maps_s;
+      built.hymv_cpu = hymv.get();
+      built.op = std::move(hymv);
+      return built;
+    }
     case Backend::kMatrixFree:
-      return std::make_unique<core::MatrixFreeOperator>(comm, part, op);
-    case Backend::kHymvGpu:
-      HYMV_CHECK_MSG(device != nullptr, "make_backend: GPU device required");
-      return std::make_unique<core::HymvGpuOperator>(comm, part, op, *device,
-                                                     gpu_options);
+      built.op = std::make_unique<core::MatrixFreeOperator>(comm, part, op);
+      return built;
+    case Backend::kHymvGpu: {
+      HYMV_CHECK_MSG(device != nullptr, "build_backend: GPU device required");
+      auto gpu_op = std::make_unique<core::HymvGpuOperator>(
+          comm, part, op, *device, gpu_options);
+      built.setup.emat_compute_s =
+          gpu_op->host_op().setup_breakdown().emat_compute_s;
+      built.setup.local_copy_s =
+          gpu_op->host_op().setup_breakdown().local_copy_s;
+      built.setup.maps_s = gpu_op->host_op().setup_breakdown().maps_s;
+      built.setup.gpu_upload_virtual_s = gpu_op->setup_upload_virtual_s();
+      built.hymv_gpu = gpu_op.get();
+      built.op = std::move(gpu_op);
+      return built;
+    }
     case Backend::kAssembledGpu: {
-      HYMV_CHECK_MSG(device != nullptr, "make_backend: GPU device required");
+      HYMV_CHECK_MSG(device != nullptr, "build_backend: GPU device required");
       auto setup = core::build_assembled_matrix(comm, part, op);
+      built.setup.emat_compute_s = setup.emat_compute_s;
+      built.setup.assembly_s = setup.assembly_s;
       // The wrapper needs the assembled matrix alive: bundle them.
       struct Bundle : pla::LinearOperator {
         std::unique_ptr<pla::DistCsrMatrix> matrix;
@@ -191,10 +239,38 @@ std::unique_ptr<pla::LinearOperator> make_backend(
       bundle->matrix = std::move(setup.matrix);
       bundle->gpu = std::make_unique<core::GpuCsrOperator>(
           comm, *bundle->matrix, *device);
-      return bundle;
+      built.setup.gpu_upload_virtual_s =
+          bundle->gpu->setup_upload_virtual_s();
+      built.csr_gpu = bundle->gpu.get();
+      built.op = std::move(bundle);
+      return built;
+    }
+    case Backend::kAdaptive: {
+      core::AdaptiveOptions aopts;
+      aopts.hymv = hymv_options;
+      auto adaptive = std::make_unique<core::AdaptiveOperator>(
+          comm, part, op, core::AdaptiveOptions::from_env(aopts));
+      const core::HymvOperator& stored = adaptive->stored_operator();
+      built.setup.emat_compute_s = stored.setup_breakdown().emat_compute_s;
+      built.setup.local_copy_s = stored.setup_breakdown().local_copy_s;
+      built.setup.maps_s = stored.setup_breakdown().maps_s;
+      // SELL candidate assembly is the adaptive path's extra setup cost.
+      built.setup.assembly_s =
+          adaptive->metrics().gauge_value("adaptive.sell.assembly_s");
+      built.adaptive = adaptive.get();
+      built.op = std::move(adaptive);
+      return built;
     }
   }
-  HYMV_THROW("make_backend: unknown backend");
+  HYMV_THROW("build_backend: unknown backend");
+}
+
+std::unique_ptr<pla::LinearOperator> make_backend(
+    simmpi::Comm& comm, const RankContext& ctx, Backend backend,
+    gpu::Device* device, const core::HymvGpuOptions& gpu_options,
+    const core::HymvOptions& hymv_options) {
+  return build_backend(comm, ctx, backend, device, gpu_options, hymv_options)
+      .op;
 }
 
 SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
@@ -204,88 +280,14 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
   report.napplies = napplies;
 
   const auto counters_setup0 = comm.counters();
-  std::unique_ptr<pla::LinearOperator> op;
-  core::HymvOperator* hymv_cpu = nullptr;
-  core::HymvGpuOperator* hymv_gpu = nullptr;
-  core::GpuCsrOperator* csr_gpu = nullptr;
-
-  // Backend-specific setup with the paper's phase breakdown.
-  switch (backend) {
-    case Backend::kAssembled: {
-      auto setup = core::build_assembled_matrix(comm, ctx.part(),
-                                                ctx.element_op());
-      report.setup.emat_compute_s = setup.emat_compute_s;
-      report.setup.assembly_s = setup.assembly_s;
-      op = std::move(setup.matrix);
-      break;
-    }
-    case Backend::kHymv: {
-      auto hymv = std::make_unique<core::HymvOperator>(
-          comm, ctx.part(), ctx.element_op(), options.hymv);
-      report.setup.emat_compute_s = hymv->setup_breakdown().emat_compute_s;
-      report.setup.local_copy_s = hymv->setup_breakdown().local_copy_s;
-      report.setup.maps_s = hymv->setup_breakdown().maps_s;
-      hymv_cpu = hymv.get();
-      op = std::move(hymv);
-      break;
-    }
-    case Backend::kMatrixFree: {
-      op = std::make_unique<core::MatrixFreeOperator>(comm, ctx.part(),
-                                                      ctx.element_op());
-      break;
-    }
-    case Backend::kHymvGpu: {
-      HYMV_CHECK_MSG(options.device != nullptr,
-                     "measure_spmv: GPU device required");
-      auto gpu_op = std::make_unique<core::HymvGpuOperator>(
-          comm, ctx.part(), ctx.element_op(), *options.device, options.gpu);
-      report.setup.emat_compute_s =
-          gpu_op->host_op().setup_breakdown().emat_compute_s;
-      report.setup.local_copy_s =
-          gpu_op->host_op().setup_breakdown().local_copy_s;
-      report.setup.maps_s = gpu_op->host_op().setup_breakdown().maps_s;
-      report.setup.gpu_upload_virtual_s = gpu_op->setup_upload_virtual_s();
-      hymv_gpu = gpu_op.get();
-      op = std::move(gpu_op);
-      break;
-    }
-    case Backend::kAssembledGpu: {
-      HYMV_CHECK_MSG(options.device != nullptr,
-                     "measure_spmv: GPU device required");
-      auto setup = core::build_assembled_matrix(comm, ctx.part(),
-                                                ctx.element_op());
-      report.setup.emat_compute_s = setup.emat_compute_s;
-      report.setup.assembly_s = setup.assembly_s;
-      auto gpu_op = std::make_unique<core::GpuCsrOperator>(
-          comm, *setup.matrix, *options.device);
-      report.setup.gpu_upload_virtual_s = gpu_op->setup_upload_virtual_s();
-      // Keep the CSR alive alongside the GPU wrapper.
-      struct Bundle : pla::LinearOperator {
-        std::unique_ptr<pla::DistCsrMatrix> matrix;
-        std::unique_ptr<core::GpuCsrOperator> gpu;
-        const pla::Layout& layout() const override { return gpu->layout(); }
-        void apply(simmpi::Comm& c, const pla::DistVector& x,
-                   pla::DistVector& y) override {
-          gpu->apply(c, x, y);
-        }
-        std::vector<double> diagonal(simmpi::Comm& c) override {
-          return gpu->diagonal(c);
-        }
-        std::int64_t apply_flops() const override {
-          return gpu->apply_flops();
-        }
-        std::int64_t apply_bytes() const override {
-          return gpu->apply_bytes();
-        }
-      };
-      auto bundle = std::make_unique<Bundle>();
-      bundle->matrix = std::move(setup.matrix);
-      bundle->gpu = std::move(gpu_op);
-      csr_gpu = bundle->gpu.get();
-      op = std::move(bundle);
-      break;
-    }
-  }
+  // One construction path for all backends (setup breakdown + typed views).
+  BuiltBackend built = build_backend(comm, ctx, backend, options.device,
+                                     options.gpu, options.hymv);
+  report.setup = built.setup;
+  std::unique_ptr<pla::LinearOperator>& op = built.op;
+  core::HymvOperator* const hymv_cpu = built.hymv_cpu;
+  core::HymvGpuOperator* const hymv_gpu = built.hymv_gpu;
+  core::GpuCsrOperator* const csr_gpu = built.csr_gpu;
   {
     const auto counters_setup1 = comm.counters();
     report.setup.comm_bytes =
@@ -419,6 +421,11 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
     mets.merge_from(hymv_cpu->metrics());
   } else if (hymv_gpu != nullptr) {
     mets.merge_from(hymv_gpu->host_op().metrics());
+  } else if (built.adaptive != nullptr) {
+    // Both registries: adaptive.* decisions plus the embedded stored
+    // operator's setup.* phases.
+    mets.merge_from(built.adaptive->metrics());
+    mets.merge_from(built.adaptive->stored_operator().metrics());
   }
   return report;
 }
@@ -530,6 +537,9 @@ SolveReport solve_problem(simmpi::Comm& comm, RankContext& ctx,
     mets.merge_from(hymv_op->metrics());
   } else if (auto* gpu_op = dynamic_cast<core::HymvGpuOperator*>(a.get())) {
     mets.merge_from(gpu_op->host_op().metrics());
+  } else if (auto* ad = dynamic_cast<core::AdaptiveOperator*>(a.get())) {
+    mets.merge_from(ad->metrics());
+    mets.merge_from(ad->stored_operator().metrics());
   }
   return report;
 }

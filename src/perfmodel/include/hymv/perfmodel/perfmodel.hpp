@@ -86,6 +86,30 @@ struct RooflineSample {
     std::span<const RooflineSample> samples);
 
 // ---------------------------------------------------------------------------
+// Host roofline spec (adaptive-backend scoring)
+// ---------------------------------------------------------------------------
+
+/// Peak rates of the executing host, the two-parameter roofline the
+/// adaptive operator's autotuner scores region backends against. Defaults
+/// are conservative single-socket numbers; calibrate via the environment
+/// (or measure_host_emv_gflops) for sharper model scores — the measured
+/// probe applies correct any residual model error.
+struct CpuSpec {
+  double peak_flops_per_s = 2.0e10;  ///< dense compute ceiling (20 GF/s)
+  double mem_bytes_per_s = 1.5e10;   ///< streaming ceiling (15 GB/s)
+
+  /// Resolve HYMV_CPU_PEAK_GFLOPS / HYMV_CPU_MEM_GBPS overrides through
+  /// the validated env_double path; non-positive values warn to stderr and
+  /// keep the defaults.
+  [[nodiscard]] static CpuSpec from_env();
+};
+
+/// Roofline time of one apply: max(compute, memory) — the score the
+/// adaptive autotuner combines with measured probes.
+[[nodiscard]] double modeled_apply_s(const CpuSpec& spec, std::int64_t flops,
+                                     std::int64_t bytes);
+
+// ---------------------------------------------------------------------------
 // Calibration
 // ---------------------------------------------------------------------------
 

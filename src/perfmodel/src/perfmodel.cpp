@@ -1,9 +1,11 @@
 #include "hymv/perfmodel/perfmodel.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "hymv/common/aligned.hpp"
+#include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
 #include "hymv/common/rng.hpp"
 #include "hymv/common/timer.hpp"
@@ -81,6 +83,35 @@ double measure_host_emv_gflops(int n, int batches) {
   const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
                        static_cast<double>(batches);
   return flops / seconds / 1e9;
+}
+
+CpuSpec CpuSpec::from_env() {
+  CpuSpec spec;
+  const double peak =
+      env_double("HYMV_CPU_PEAK_GFLOPS", spec.peak_flops_per_s / 1e9);
+  if (peak > 0.0) {
+    spec.peak_flops_per_s = peak * 1e9;
+  } else {
+    std::fprintf(stderr,
+                 "hymv: HYMV_CPU_PEAK_GFLOPS must be > 0, keeping %.1f\n",
+                 spec.peak_flops_per_s / 1e9);
+  }
+  const double bw = env_double("HYMV_CPU_MEM_GBPS", spec.mem_bytes_per_s / 1e9);
+  if (bw > 0.0) {
+    spec.mem_bytes_per_s = bw * 1e9;
+  } else {
+    std::fprintf(stderr, "hymv: HYMV_CPU_MEM_GBPS must be > 0, keeping %.1f\n",
+                 spec.mem_bytes_per_s / 1e9);
+  }
+  return spec;
+}
+
+double modeled_apply_s(const CpuSpec& spec, std::int64_t flops,
+                       std::int64_t bytes) {
+  const double compute_s =
+      static_cast<double>(flops) / spec.peak_flops_per_s;
+  const double memory_s = static_cast<double>(bytes) / spec.mem_bytes_per_s;
+  return std::max(compute_s, memory_s);
 }
 
 }  // namespace hymv::perf

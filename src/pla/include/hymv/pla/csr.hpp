@@ -44,11 +44,23 @@ class CsrMatrix {
   [[nodiscard]] const std::vector<double>& values() const { return vals_; }
   [[nodiscard]] std::vector<double>& values() { return vals_; }
 
-  /// y = A x (serial). x has num_cols() entries, y has num_rows().
+  /// y = A x. x has num_cols() entries, y has num_rows(). Rows above an
+  /// internal threshold are OpenMP row-parallel; each row keeps its serial
+  /// ascending-column accumulation and exactly one writer, so the result is
+  /// bitwise identical for every thread count.
   void spmv(std::span<const double> x, std::span<double> y) const;
 
-  /// y += A x.
+  /// y += A x. Same threading and determinism contract as spmv().
   void spmv_add(std::span<const double> x, std::span<double> y) const;
+
+  /// Panel kernels over k lane-interleaved right-hand sides (lane j of
+  /// entry i at x[i*k + j], k in [1, 64]): each matrix value is loaded once
+  /// and feeds k MACs. Per-lane results are bitwise identical to k serial
+  /// spmv()/spmv_add() calls.
+  void spmv_multi(std::span<const double> x, std::span<double> y,
+                  int k) const;
+  void spmv_add_multi(std::span<const double> x, std::span<double> y,
+                      int k) const;
 
   /// Diagonal entries (0 where a row has no diagonal).
   [[nodiscard]] std::vector<double> diagonal() const;

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file sell.hpp
+/// SELL-C-σ sparse matrix (Kreutzer et al., arXiv:1112.5588): rows are
+/// sorted by length inside windows of σ rows, grouped into chunks of C
+/// rows, and each chunk is stored column-of-chunk-major, padded to the
+/// chunk's longest row. One SIMD lane = one row, so the SpMV vectorizes
+/// across the C rows of a chunk with unit-stride value/column loads —
+/// the assembled-region kernel of the adaptive operator.
+///
+/// Determinism: every row's dot product accumulates in ascending column
+/// order with the loop bounded by the TRUE row length (padded slots are
+/// never touched arithmetically — no 0 × garbage hazards), and each row is
+/// written by exactly one thread. The result is therefore bitwise identical
+/// across every C, σ, and thread count, and matches CsrMatrix::spmv up to
+/// FMA contraction (the compiler may fuse the two kernels differently; the
+/// accumulation order itself is the same).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hymv/pla/csr.hpp"
+
+namespace hymv::pla {
+
+class SellMatrix {
+ public:
+  SellMatrix() = default;
+
+  /// Convert a CSR matrix (sorted, unique columns per row) to SELL-C-σ.
+  /// `c` is the chunk height (rows per chunk), `sigma` the sorting window
+  /// (σ = 1 disables sorting; σ ≥ nrows sorts globally). The length sort is
+  /// stable (ties keep ascending row order), so the format is fully
+  /// deterministic. `use_openmp` threads the chunk loop of the kernels.
+  SellMatrix(const CsrMatrix& csr, int c, int sigma, bool use_openmp = true);
+
+  [[nodiscard]] std::int64_t num_rows() const { return nrows_; }
+  [[nodiscard]] std::int64_t num_cols() const { return ncols_; }
+  [[nodiscard]] std::int64_t num_nonzeros() const { return nnz_; }
+  [[nodiscard]] int chunk_height() const { return c_; }
+  [[nodiscard]] int sigma() const { return sigma_; }
+  /// Stored value slots including chunk padding (≥ nnz). The padding ratio
+  /// slots/nnz is the σ-knob's quality metric (1.0 = no waste).
+  [[nodiscard]] std::int64_t stored_slots() const {
+    return static_cast<std::int64_t>(vals_.size());
+  }
+  /// Storage footprint in bytes (values + columns + row bookkeeping).
+  [[nodiscard]] std::int64_t bytes() const;
+  /// Modeled cache-level bytes one spmv streams (stored slots + x/y
+  /// vector traffic) — the SELL term of the adaptive perfmodel score.
+  [[nodiscard]] std::int64_t apply_traffic_bytes() const;
+
+  /// y = A x. x has num_cols() entries, y num_rows(). Bitwise identical to
+  /// CsrMatrix::spmv for any C/σ/thread count (see file comment).
+  void spmv(std::span<const double> x, std::span<double> y) const;
+  /// y += A x.
+  void spmv_add(std::span<const double> x, std::span<double> y) const;
+  /// Scatter variant: y[row_map[r]] += (A x)[r] — the region backend's
+  /// compacted rows land directly in the distributed array without a dense
+  /// intermediate. row_map must have num_rows() entries with distinct
+  /// targets (each row still has exactly one writer).
+  void spmv_scatter_add(std::span<const double> x, std::span<double> y,
+                        std::span<const std::int64_t> row_map) const;
+
+  /// Panel kernels over k lane-interleaved right-hand sides (entry i of
+  /// lane j at x[i*k + j]): the matrix is streamed ONCE per panel, the
+  /// k-lane inner loop vectorizes. Same determinism contract per lane.
+  void spmv_add_multi(std::span<const double> x, std::span<double> y,
+                      int k) const;
+  void spmv_scatter_add_multi(std::span<const double> x, std::span<double> y,
+                              std::span<const std::int64_t> row_map,
+                              int k) const;
+
+  /// Re-encode values from a CSR with the IDENTICAL sparsity pattern the
+  /// matrix was built from (the incremental re-assembly fast path: dirty
+  /// regions refresh values without re-sorting or re-chunking). Checked
+  /// against the kept row lengths.
+  void refill_values(const CsrMatrix& csr);
+
+ private:
+  std::int64_t nrows_ = 0;
+  std::int64_t ncols_ = 0;
+  std::int64_t nnz_ = 0;
+  int c_ = 1;
+  int sigma_ = 1;
+  bool use_openmp_ = true;
+  std::vector<std::int64_t> chunk_ptr_;   ///< nchunks+1 slot offsets
+  std::vector<std::int64_t> row_of_slot_; ///< nchunks*C lane → row (-1 pad)
+  std::vector<std::int64_t> rowlen_;      ///< true length per original row
+  std::vector<std::int64_t> cols_;        ///< chunk-major column indices
+  std::vector<double> vals_;              ///< chunk-major values
+};
+
+}  // namespace hymv::pla

@@ -7,6 +7,14 @@
 
 namespace hymv::pla {
 
+namespace {
+
+/// Below this the fork/join overhead of an OpenMP row loop beats the work;
+/// the preconditioner's small per-rank blocks stay serial.
+constexpr std::int64_t kOmpMinRows = 512;
+
+}  // namespace
+
 CsrMatrix CsrMatrix::from_triplets(std::int64_t nrows, std::int64_t ncols,
                                    std::vector<Triplet> triplets) {
   CsrMatrix m;
@@ -39,6 +47,9 @@ void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   HYMV_CHECK_MSG(static_cast<std::int64_t>(x.size()) == ncols_ &&
                      static_cast<std::int64_t>(y.size()) == nrows_,
                  "CsrMatrix::spmv: size mismatch");
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (nrows_ >= kOmpMinRows)
+#endif
   for (std::int64_t r = 0; r < nrows_; ++r) {
     double sum = 0.0;
     for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
@@ -54,6 +65,9 @@ void CsrMatrix::spmv_add(std::span<const double> x, std::span<double> y) const {
   HYMV_CHECK_MSG(static_cast<std::int64_t>(x.size()) == ncols_ &&
                      static_cast<std::int64_t>(y.size()) == nrows_,
                  "CsrMatrix::spmv_add: size mismatch");
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (nrows_ >= kOmpMinRows)
+#endif
   for (std::int64_t r = 0; r < nrows_; ++r) {
     double sum = 0.0;
     for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
@@ -62,6 +76,72 @@ void CsrMatrix::spmv_add(std::span<const double> x, std::span<double> y) const {
              x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
     }
     y[static_cast<std::size_t>(r)] += sum;
+  }
+}
+
+void CsrMatrix::spmv_multi(std::span<const double> x, std::span<double> y,
+                           int k) const {
+  HYMV_CHECK_MSG(k >= 1 && k <= 64,
+                 "CsrMatrix::spmv_multi: panel width out of range");
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(x.size()) == ncols_ * k &&
+                     static_cast<std::int64_t>(y.size()) == nrows_ * k,
+                 "CsrMatrix::spmv_multi: size mismatch");
+  const auto ku = static_cast<std::size_t>(k);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (nrows_ >= kOmpMinRows)
+#endif
+  for (std::int64_t r = 0; r < nrows_; ++r) {
+    double acc[64] = {};
+    for (std::int64_t p = row_ptr_[static_cast<std::size_t>(r)];
+         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+      const double a = vals_[static_cast<std::size_t>(p)];
+      const double* xs =
+          x.data() +
+          static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(p)]) * ku;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+      for (std::size_t l = 0; l < ku; ++l) {
+        acc[l] += a * xs[l];
+      }
+    }
+    double* ys = y.data() + static_cast<std::size_t>(r) * ku;
+    for (std::size_t l = 0; l < ku; ++l) {
+      ys[l] = acc[l];
+    }
+  }
+}
+
+void CsrMatrix::spmv_add_multi(std::span<const double> x, std::span<double> y,
+                               int k) const {
+  HYMV_CHECK_MSG(k >= 1 && k <= 64,
+                 "CsrMatrix::spmv_add_multi: panel width out of range");
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(x.size()) == ncols_ * k &&
+                     static_cast<std::int64_t>(y.size()) == nrows_ * k,
+                 "CsrMatrix::spmv_add_multi: size mismatch");
+  const auto ku = static_cast<std::size_t>(k);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (nrows_ >= kOmpMinRows)
+#endif
+  for (std::int64_t r = 0; r < nrows_; ++r) {
+    double acc[64] = {};
+    for (std::int64_t p = row_ptr_[static_cast<std::size_t>(r)];
+         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
+      const double a = vals_[static_cast<std::size_t>(p)];
+      const double* xs =
+          x.data() +
+          static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(p)]) * ku;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+      for (std::size_t l = 0; l < ku; ++l) {
+        acc[l] += a * xs[l];
+      }
+    }
+    double* ys = y.data() + static_cast<std::size_t>(r) * ku;
+    for (std::size_t l = 0; l < ku; ++l) {
+      ys[l] += acc[l];
+    }
   }
 }
 

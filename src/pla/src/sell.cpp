@@ -1,0 +1,305 @@
+#include "hymv/pla/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hymv/common/error.hpp"
+
+namespace hymv::pla {
+
+SellMatrix::SellMatrix(const CsrMatrix& csr, int c, int sigma,
+                       bool use_openmp)
+    : nrows_(csr.num_rows()),
+      ncols_(csr.num_cols()),
+      nnz_(csr.num_nonzeros()),
+      c_(c),
+      sigma_(sigma),
+      use_openmp_(use_openmp) {
+  HYMV_CHECK_MSG(c >= 1, "SellMatrix: chunk height C must be >= 1");
+  HYMV_CHECK_MSG(sigma >= 1, "SellMatrix: sorting window sigma must be >= 1");
+  const std::vector<std::int64_t>& rp = csr.row_ptr();
+
+  rowlen_.resize(static_cast<std::size_t>(nrows_));
+  for (std::int64_t r = 0; r < nrows_; ++r) {
+    rowlen_[static_cast<std::size_t>(r)] =
+        rp[static_cast<std::size_t>(r + 1)] - rp[static_cast<std::size_t>(r)];
+  }
+
+  // σ-window permutation: rows sorted by descending length inside each
+  // window of `sigma` rows; the sort is stable so equal lengths keep
+  // ascending row order — the format is a pure function of the pattern.
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(nrows_));
+  std::iota(perm.begin(), perm.end(), std::int64_t{0});
+  for (std::int64_t w = 0; w < nrows_; w += sigma_) {
+    const auto begin = perm.begin() + w;
+    const auto end = perm.begin() + std::min<std::int64_t>(w + sigma_, nrows_);
+    std::stable_sort(begin, end, [&](std::int64_t a, std::int64_t b) {
+      return rowlen_[static_cast<std::size_t>(a)] >
+             rowlen_[static_cast<std::size_t>(b)];
+    });
+  }
+
+  const std::int64_t nchunks = (nrows_ + c_ - 1) / c_;
+  chunk_ptr_.assign(static_cast<std::size_t>(nchunks + 1), 0);
+  row_of_slot_.assign(static_cast<std::size_t>(nchunks * c_), -1);
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    std::int64_t width = 0;
+    for (int lane = 0; lane < c_; ++lane) {
+      const std::int64_t i = ch * c_ + lane;
+      if (i >= nrows_) {
+        break;
+      }
+      const std::int64_t r = perm[static_cast<std::size_t>(i)];
+      row_of_slot_[static_cast<std::size_t>(i)] = r;
+      width = std::max(width, rowlen_[static_cast<std::size_t>(r)]);
+    }
+    chunk_ptr_[static_cast<std::size_t>(ch + 1)] =
+        chunk_ptr_[static_cast<std::size_t>(ch)] + width * c_;
+  }
+
+  // Chunk-major fill: slot (ch, j, lane) at chunk_ptr[ch] + j*C + lane.
+  // Padded slots keep value 0 / column 0 but are never read by the kernels
+  // (loops are bounded by the true row length).
+  const auto total =
+      static_cast<std::size_t>(chunk_ptr_[static_cast<std::size_t>(nchunks)]);
+  vals_.assign(total, 0.0);
+  cols_.assign(total, 0);
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    for (int lane = 0; lane < c_; ++lane) {
+      const std::int64_t i = ch * c_ + lane;
+      if (i >= nrows_) {
+        break;
+      }
+      const std::int64_t r = row_of_slot_[static_cast<std::size_t>(i)];
+      const std::int64_t off = rp[static_cast<std::size_t>(r)];
+      for (std::int64_t j = 0; j < rowlen_[static_cast<std::size_t>(r)];
+           ++j) {
+        const auto slot = static_cast<std::size_t>(base + j * c_ + lane);
+        vals_[slot] = csr.values()[static_cast<std::size_t>(off + j)];
+        cols_[slot] = csr.col_idx()[static_cast<std::size_t>(off + j)];
+      }
+    }
+  }
+}
+
+std::int64_t SellMatrix::bytes() const {
+  return static_cast<std::int64_t>(vals_.size()) * 8 +
+         static_cast<std::int64_t>(cols_.size()) * 8 +
+         static_cast<std::int64_t>(chunk_ptr_.size() + row_of_slot_.size() +
+                                   rowlen_.size()) *
+             8;
+}
+
+std::int64_t SellMatrix::apply_traffic_bytes() const {
+  // Streamed per spmv: every stored slot's value + column index (padding
+  // included — it moves through the cache even though it is skipped
+  // arithmetically only when a whole tail is short), x reads ~ one per
+  // column, y read-modify-write + row bookkeeping per row.
+  return stored_slots() * 16 + ncols_ * 8 + nrows_ * 24;
+}
+
+namespace {
+
+/// Per-row dot product in ascending column order, bounded by the true row
+/// length — the accumulation order CsrMatrix::spmv uses, which is what
+/// makes the result a pure function of the pattern: bitwise identical
+/// across C, σ, and thread count (CSR agreement is up to FMA contraction).
+inline double row_dot(const double* vals, const std::int64_t* cols,
+                      std::int64_t base, int c, int lane, std::int64_t len,
+                      std::span<const double> x) {
+  double acc = 0.0;
+  for (std::int64_t j = 0; j < len; ++j) {
+    const auto slot = static_cast<std::size_t>(base + j * c + lane);
+    acc += vals[slot] * x[static_cast<std::size_t>(cols[slot])];
+  }
+  return acc;
+}
+
+}  // namespace
+
+void SellMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  const std::int64_t nchunks =
+      static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (use_openmp_)
+#endif
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    for (int lane = 0; lane < c_; ++lane) {
+      const std::int64_t r =
+          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
+      if (r < 0) {
+        continue;
+      }
+      y[static_cast<std::size_t>(r)] =
+          row_dot(vals_.data(), cols_.data(), base, c_, lane,
+                  rowlen_[static_cast<std::size_t>(r)], x);
+    }
+  }
+}
+
+void SellMatrix::spmv_add(std::span<const double> x,
+                          std::span<double> y) const {
+  const std::int64_t nchunks =
+      static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (use_openmp_)
+#endif
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    for (int lane = 0; lane < c_; ++lane) {
+      const std::int64_t r =
+          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
+      if (r < 0) {
+        continue;
+      }
+      y[static_cast<std::size_t>(r)] +=
+          row_dot(vals_.data(), cols_.data(), base, c_, lane,
+                  rowlen_[static_cast<std::size_t>(r)], x);
+    }
+  }
+}
+
+void SellMatrix::spmv_scatter_add(std::span<const double> x,
+                                  std::span<double> y,
+                                  std::span<const std::int64_t> row_map) const {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(row_map.size()) == nrows_,
+                 "SellMatrix::spmv_scatter_add: row_map size mismatch");
+  const std::int64_t nchunks =
+      static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (use_openmp_)
+#endif
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    for (int lane = 0; lane < c_; ++lane) {
+      const std::int64_t r =
+          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
+      if (r < 0) {
+        continue;
+      }
+      y[static_cast<std::size_t>(row_map[static_cast<std::size_t>(r)])] +=
+          row_dot(vals_.data(), cols_.data(), base, c_, lane,
+                  rowlen_[static_cast<std::size_t>(r)], x);
+    }
+  }
+}
+
+void SellMatrix::spmv_add_multi(std::span<const double> x,
+                                std::span<double> y, int k) const {
+  HYMV_CHECK_MSG(k >= 1 && k <= 64,
+                 "SellMatrix::spmv_add_multi: panel width out of range");
+  const auto ku = static_cast<std::size_t>(k);
+  const std::int64_t nchunks =
+      static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (use_openmp_)
+#endif
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    for (int lane = 0; lane < c_; ++lane) {
+      const std::int64_t r =
+          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
+      if (r < 0) {
+        continue;
+      }
+      double acc[64] = {};
+      for (std::int64_t j = 0; j < rowlen_[static_cast<std::size_t>(r)];
+           ++j) {
+        const auto slot = static_cast<std::size_t>(base + j * c_ + lane);
+        const double a = vals_[slot];
+        const double* xs =
+            x.data() + static_cast<std::size_t>(cols_[slot]) * ku;
+        // The matrix value is loaded once for all k lanes — the panel
+        // arithmetic-intensity win, vectorized over the lane axis.
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+        for (std::size_t l = 0; l < ku; ++l) {
+          acc[l] += a * xs[l];
+        }
+      }
+      double* ys = y.data() + static_cast<std::size_t>(r) * ku;
+      for (std::size_t l = 0; l < ku; ++l) {
+        ys[l] += acc[l];
+      }
+    }
+  }
+}
+
+void SellMatrix::spmv_scatter_add_multi(
+    std::span<const double> x, std::span<double> y,
+    std::span<const std::int64_t> row_map, int k) const {
+  HYMV_CHECK_MSG(static_cast<std::int64_t>(row_map.size()) == nrows_,
+                 "SellMatrix::spmv_scatter_add_multi: row_map size mismatch");
+  HYMV_CHECK_MSG(k >= 1 && k <= 64,
+                 "SellMatrix::spmv_scatter_add_multi: panel width out of "
+                 "range");
+  const auto ku = static_cast<std::size_t>(k);
+  const std::int64_t nchunks =
+      static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (use_openmp_)
+#endif
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    for (int lane = 0; lane < c_; ++lane) {
+      const std::int64_t r =
+          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
+      if (r < 0) {
+        continue;
+      }
+      double acc[64] = {};
+      for (std::int64_t j = 0; j < rowlen_[static_cast<std::size_t>(r)];
+           ++j) {
+        const auto slot = static_cast<std::size_t>(base + j * c_ + lane);
+        const double a = vals_[slot];
+        const double* xs =
+            x.data() + static_cast<std::size_t>(cols_[slot]) * ku;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+        for (std::size_t l = 0; l < ku; ++l) {
+          acc[l] += a * xs[l];
+        }
+      }
+      double* ys =
+          y.data() +
+          static_cast<std::size_t>(row_map[static_cast<std::size_t>(r)]) * ku;
+      for (std::size_t l = 0; l < ku; ++l) {
+        ys[l] += acc[l];
+      }
+    }
+  }
+}
+
+void SellMatrix::refill_values(const CsrMatrix& csr) {
+  HYMV_CHECK_MSG(csr.num_rows() == nrows_ && csr.num_nonzeros() == nnz_,
+                 "SellMatrix::refill_values: pattern mismatch");
+  const std::vector<std::int64_t>& rp = csr.row_ptr();
+  const std::int64_t nchunks =
+      static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    for (int lane = 0; lane < c_; ++lane) {
+      const std::int64_t r =
+          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
+      if (r < 0) {
+        continue;
+      }
+      const std::int64_t len = rowlen_[static_cast<std::size_t>(r)];
+      HYMV_CHECK_MSG(rp[static_cast<std::size_t>(r + 1)] -
+                             rp[static_cast<std::size_t>(r)] ==
+                         len,
+                     "SellMatrix::refill_values: row length changed");
+      const std::int64_t off = rp[static_cast<std::size_t>(r)];
+      for (std::int64_t j = 0; j < len; ++j) {
+        vals_[static_cast<std::size_t>(base + j * c_ + lane)] =
+            csr.values()[static_cast<std::size_t>(off + j)];
+      }
+    }
+  }
+}
+
+}  // namespace hymv::pla
