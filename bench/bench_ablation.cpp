@@ -31,13 +31,21 @@
 //      backend (and the composite pinned to each candidate) vs the
 //      autotuned AdaptiveOperator on a structured hex box and a jittered,
 //      renumbered tet mesh — the autotuned pick must land within 5% of the
-//      best single backend.
+//      best single backend,
+//  12. hardware-adaptive kernel layer (DESIGN.md §5i): forced ISA level
+//      (scalar / avx2 / avx512 / auto) × NUMA first-touch on/off on the
+//      Fig. 4 Poisson box and a Fig. 5-family elasticity box — every level
+//      is bitwise-identical by construction, only wall time moves, and the
+//      auto (runtime-dispatched) row must land within 2% of the explicitly
+//      forced detected level.
 //
 // With --json <path>, every table row is also appended to a flat JSON
 // document (schema: EXPERIMENTS.md "BENCH_ablation.json").
 
 #include "bench_common.hpp"
 
+#include "hymv/common/isa.hpp"
+#include "hymv/common/numa.hpp"
 #include "hymv/obs/trace.hpp"
 #include "hymv/pla/cg.hpp"
 #include "hymv/pla/dist_csr.hpp"
@@ -750,6 +758,127 @@ int main(int argc, char** argv) {
     std::printf("  (per-region choices and model/probe scores are published "
                 "under adaptive.* —\n   HYMV_ADAPTIVE_REPLAY records them "
                 "for deterministic replay)\n");
+  }
+
+  std::printf("\n=== Ablation 12: runtime ISA dispatch x NUMA first-touch "
+              "(DESIGN.md §5i, 8 threads) ===\n");
+  {
+    // The hardware-adaptive layer's two knobs swept independently. The EMV
+    // and assembled-SPMV kernels dispatch through per-ISA function tables,
+    // and every level produces bitwise-identical results (tests/test_isa
+    // pins that) — so only wall time may move across rows. First-touch
+    // changes WHERE container pages land, never what they contain. "auto"
+    // rows leave the dispatch at the detected level; the acceptance bar is
+    // auto within 2% of the explicitly forced detected level, i.e. the
+    // runtime table indirection costs nothing against a compile-time pick.
+    driver::ProblemSpec poisson;
+    poisson.pde = driver::Pde::kPoisson;
+    poisson.element = mesh::ElementType::kHex8;
+    poisson.box = {.nx = scaled(13), .ny = scaled(13), .nz = scaled(26)};
+    poisson.partitioner = mesh::Partitioner::kSlab;
+
+    driver::ProblemSpec elasticity;
+    elasticity.pde = driver::Pde::kElasticity;
+    elasticity.element = mesh::ElementType::kHex8;
+    elasticity.box = {.nx = scaled(9), .ny = scaled(9), .nz = scaled(22)};
+    elasticity.partitioner = mesh::Partitioner::kSlab;
+
+    // The Poisson box runs the stored-EMV stream (the per-ISA panel
+    // microkernels), the elasticity box the assembled CSR path (the
+    // cross-row block kernels) — together they cover both table families.
+    const struct {
+      const char* name;
+      const driver::ProblemSpec* spec;
+      driver::Backend backend;
+      const char* backend_name;
+    } cases[] = {
+        {"poisson-fig4", &poisson, driver::Backend::kHymv, "hymv"},
+        {"elasticity-fig5", &elasticity, driver::Backend::kAssembled,
+         "assembled"},
+    };
+
+#ifdef _OPENMP
+    const int save_threads = omp_get_max_threads();
+    omp_set_num_threads(8);
+#endif
+    const bool save_ft = numa::first_touch_enabled();
+    const int detected = static_cast<int>(isa::detected());
+    for (const auto& c : cases) {
+      const driver::ProblemSetup setup =
+          driver::ProblemSetup::build(*c.spec, 4);
+      std::printf("  --- %s (%lld elements, 4 ranks, %s backend) ---\n",
+                  c.name, static_cast<long long>(setup.total_elements),
+                  c.backend_name);
+      double forced_detected_s = 0.0;
+      double auto_ft_on_s = 0.0;
+      double auto_ft_off_s = 0.0;
+      for (const bool ft : {true, false}) {
+        numa::set_first_touch(ft);
+        // Forced levels in ascending order, then the runtime default.
+        for (int li = 0; li <= detected + 1; ++li) {
+          const bool is_auto = li > detected;
+          if (is_auto) {
+            isa::reset();  // back to the detect-or-HYMV_ISA default
+          } else {
+            isa::force(static_cast<isa::IsaLevel>(li));
+          }
+          const char* isa_name =
+              is_auto ? "auto" : isa::to_string(isa::active()).data();
+          // Min of two measurements per cell: the 2% acceptance bar is
+          // tighter than single-shot wall noise on a shared host, and
+          // noise is strictly additive (same reasoning as the CI gate's
+          // min-combining in tools/bench_compare.py).
+          AggResult r = run_backend(
+              setup,
+              {.backend = c.backend,
+               .hymv = {.kernel = core::EmvKernel::kAvx}},
+              4 * napplies);
+          const AggResult r2 = run_backend(
+              setup,
+              {.backend = c.backend,
+               .hymv = {.kernel = core::EmvKernel::kAvx}},
+              4 * napplies);
+          if (r2.spmv_wall_s < r.spmv_wall_s) {
+            r = r2;
+          }
+          std::printf("  isa=%-7s first_touch=%-3s spmv=%.4f s  "
+                      "(%.2f GFLOP/s analytic)\n",
+                      isa_name, ft ? "on" : "off", r.spmv_wall_s,
+                      static_cast<double>(r.flops) / r.spmv_wall_s / 1e9);
+          json.add("\"ablation\": \"isa_numa\", \"mesh\": \"%s\", "
+                   "\"backend\": \"%s\", \"isa\": \"%s\", "
+                   "\"first_touch\": %d, \"spmv_wall_s\": %.6g",
+                   c.name, c.backend_name, isa_name, ft ? 1 : 0,
+                   r.spmv_wall_s);
+          if (ft) {
+            if (is_auto) {
+              auto_ft_on_s = r.spmv_wall_s;
+            } else if (li == detected) {
+              forced_detected_s = r.spmv_wall_s;
+            }
+          } else if (is_auto) {
+            auto_ft_off_s = r.spmv_wall_s;
+          }
+        }
+      }
+      isa::reset();
+      const double auto_vs_forced = auto_ft_on_s / forced_detected_s;
+      const double ft_speedup = auto_ft_off_s / auto_ft_on_s;
+      std::printf("  auto/forced-%s = %.3f  (acceptance: <= 1.02)   "
+                  "first-touch speedup = %.3fx\n",
+                  isa::to_string(static_cast<isa::IsaLevel>(detected)).data(),
+                  auto_vs_forced, ft_speedup);
+      json.add("\"ablation\": \"isa_numa_summary\", \"mesh\": \"%s\", "
+               "\"auto_vs_forced\": %.6g, \"first_touch_speedup\": %.6g",
+               c.name, auto_vs_forced, ft_speedup);
+    }
+    numa::set_first_touch(save_ft);
+#ifdef _OPENMP
+    omp_set_num_threads(save_threads);
+#endif
+    std::printf("  (the active level and NUMA decisions are published "
+                "under isa.* / numa.* metrics;\n   HYMV_ISA / "
+                "HYMV_FIRST_TOUCH / HYMV_PIN_THREADS set them per run)\n");
   }
 
   return json.finish(json_path) ? 0 : 1;

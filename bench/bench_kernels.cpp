@@ -6,10 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
+
 #include "hymv/common/aligned.hpp"
+#include "hymv/common/isa.hpp"
 #include "hymv/common/rng.hpp"
 #include "hymv/core/dense_kernels.hpp"
 #include "hymv/pla/csr.hpp"
@@ -136,28 +141,134 @@ void BM_IluSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_IluSolve)->Arg(1 << 12)->Arg(1 << 15);
 
-}  // namespace
+/// Best-of-reps wall seconds per call. Calibrates the inner repeat so a
+/// rep runs >= ~2 ms (steady_clock granularity and SMT noise both drown
+/// below that), then keeps the fastest rep — wall noise on a shared
+/// machine is strictly additive.
+template <typename Fn>
+double best_seconds_per_call(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  const auto once = [&fn](int iters) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < iters; ++i) {
+      fn();
+    }
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  const double probe = std::max(once(1), 1e-9);
+  const int iters =
+      static_cast<int>(std::clamp(2e-3 / probe, 1.0, 100000.0));
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    best = std::min(best, once(iters) / iters);
+  }
+  return best;
+}
 
-// Custom main instead of BENCHMARK_MAIN(): translate the repo-wide
-// `--json <path>` convention into google-benchmark's out flags so every
-// bench binary shares one CLI (see bench_common.hpp).
-int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag, fmt_flag;
-  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
-    if (std::string(args[i]) == "--json") {
-      out_flag = std::string("--benchmark_out=") + args[i + 1];
-      fmt_flag = "--benchmark_out_format=json";
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      args.push_back(out_flag.data());
-      args.push_back(fmt_flag.data());
-      break;
+/// The `--json` mode: a compact per-ISA sweep of the runtime-dispatched
+/// kernels written in the repo-wide flat JsonDoc schema (bench: "kernels",
+/// identity fields kernel/isa/n, metrics gflops/gbytes_per_s) so
+/// tools/bench_compare.py can diff runs. Each forced level plus the
+/// runtime default ("auto") gets a row; the google-benchmark suite stays
+/// the interactive/no-flag mode.
+int run_isa_sweep(const char* json_path) {
+  namespace isa = hymv::isa;
+  bench::JsonDoc json("kernels");
+  const int detected = static_cast<int>(isa::detected());
+  std::printf("=== per-ISA kernel sweep (detected: %s) ===\n",
+              std::string(isa::to_string(isa::detected())).c_str());
+  for (int li = 0; li <= detected + 1; ++li) {
+    const bool is_auto = li > detected;
+    if (is_auto) {
+      isa::reset();
+    } else {
+      isa::force(static_cast<isa::IsaLevel>(li));
+    }
+    const std::string isa_name =
+        is_auto ? "auto" : std::string(isa::to_string(isa::active()));
+
+    // Dispatched dense EMV (the kAvx flavor routes through the table).
+    for (const std::size_t n : {std::size_t{8}, std::size_t{24},
+                                std::size_t{60}, std::size_t{81}}) {
+      EmvFixture fx(n);
+      const double s = best_seconds_per_call([&fx] {
+        for (std::size_t b = 0; b < fx.nbatch; ++b) {
+          hymv::core::emv(hymv::core::EmvKernel::kAvx,
+                          fx.ke.data() + b * fx.ld * fx.n, fx.ld, fx.n,
+                          fx.u.data() + b * fx.n, fx.v.data() + b * fx.n);
+        }
+      });
+      const double flops = 2.0 * static_cast<double>(n) *
+                           static_cast<double>(n) *
+                           static_cast<double>(fx.nbatch);
+      const double bytes = 8.0 *
+                           (static_cast<double>(fx.ld * n) +
+                            2.0 * static_cast<double>(n)) *
+                           static_cast<double>(fx.nbatch);
+      std::printf("  emv  isa=%-7s n=%-3zu %8.2f GFLOP/s %8.2f GB/s\n",
+                  isa_name.c_str(), n, flops / s / 1e9, bytes / s / 1e9);
+      json.add("\"kernel\": \"emv\", \"isa\": \"%s\", \"n\": %lld, "
+               "\"gflops\": %.6g, \"gbytes_per_s\": %.6g",
+               isa_name.c_str(), static_cast<long long>(n), flops / s / 1e9,
+               bytes / s / 1e9);
+    }
+
+    // Dispatched CSR SpMV (cross-row block kernels), banded vs shuffled.
+    for (const bool shuffled : {false, true}) {
+      const std::int64_t n = 1 << 14;
+      const int nnz_per_row = 27;
+      hymv::Xoshiro256 rng(11);
+      std::vector<hymv::pla::Triplet> trip;
+      trip.reserve(static_cast<std::size_t>(n * nnz_per_row));
+      for (std::int64_t r = 0; r < n; ++r) {
+        for (int k = 0; k < nnz_per_row; ++k) {
+          const std::int64_t c =
+              shuffled ? static_cast<std::int64_t>(rng.uniform_int(
+                             static_cast<std::uint64_t>(n)))
+                       : std::clamp<std::int64_t>(r + k - nnz_per_row / 2,
+                                                  0, n - 1);
+          trip.push_back({r, c, 1.0});
+        }
+      }
+      const auto m =
+          hymv::pla::CsrMatrix::from_triplets(n, n, std::move(trip));
+      std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+      std::vector<double> y(static_cast<std::size_t>(n));
+      const double s = best_seconds_per_call([&m, &x, &y] { m.spmv(x, y); });
+      const double nnz = static_cast<double>(m.num_nonzeros());
+      const double flops = 2.0 * nnz;
+      const double bytes =
+          16.0 * nnz + 16.0 * static_cast<double>(n) +
+          8.0 * static_cast<double>(n + 1);  // vals+cols, x+y, row_ptr
+      const char* kernel = shuffled ? "csr-shuffled" : "csr-banded";
+      std::printf("  %-12s isa=%-7s n=%-6lld %6.2f GFLOP/s %8.2f GB/s\n",
+                  kernel, isa_name.c_str(), static_cast<long long>(n),
+                  flops / s / 1e9, bytes / s / 1e9);
+      json.add("\"kernel\": \"%s\", \"isa\": \"%s\", \"n\": %lld, "
+               "\"gflops\": %.6g, \"gbytes_per_s\": %.6g",
+               kernel, isa_name.c_str(), static_cast<long long>(n),
+               flops / s / 1e9, bytes / s / 1e9);
     }
   }
-  int new_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&new_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+  isa::reset();
+  return json.finish(json_path) ? 0 : 1;
+}
+
+}  // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): with the repo-wide
+// `--json <path>` flag the binary runs the hand-rolled per-ISA dispatch
+// sweep and writes the flat JsonDoc schema tools/bench_compare.py
+// consumes (identity: kernel/isa/n; metrics: gflops/gbytes_per_s).
+// Without it, the google-benchmark suite runs as before.
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return run_isa_sweep(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();

@@ -45,9 +45,18 @@ struct AlignedAllocator {
 
   void deallocate(T* p, std::size_t) noexcept { std::free(p); }
 
+  /// constexpr so the statelessness contract is checkable at compile time
+  /// (tests/test_isa.cpp static_asserts it).
   template <typename U>
-  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+  constexpr bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
     return true;
+  }
+
+  /// C++17 does not synthesize != from == for allocators; without this,
+  /// container move-assignment between rebound allocators fails to compile.
+  template <typename U>
+  constexpr bool operator!=(const AlignedAllocator<U, Align>&) const noexcept {
+    return false;
   }
 
  private:
@@ -60,6 +69,51 @@ struct AlignedAllocator {
 /// Vector of T whose data() is 64-byte aligned.
 template <typename T>
 using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// AlignedAllocator variant whose value-less construct() is a no-op, so
+/// vector::resize(n) leaves trivial elements UNINITIALIZED instead of
+/// serially zero-filling them. This is the NUMA first-touch enabler: the
+/// owner zero-fills afterwards via numa::first_touch_fill, which places
+/// each page on the thread that will stream it (std::vector's own resize
+/// would fault every page on the constructing thread). Explicit
+/// construct(args...) still value-constructs, so vector(n, x) works.
+template <typename T, std::size_t Align = kSimdAlign>
+struct AlignedNoInitAllocator : AlignedAllocator<T, Align> {
+  using value_type = T;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedNoInitAllocator<U, Align>;
+  };
+
+  AlignedNoInitAllocator() noexcept = default;
+  template <typename U>
+  AlignedNoInitAllocator(const AlignedNoInitAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  void construct(U*) noexcept {}  // default-construct: leave uninitialized
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(static_cast<Args&&>(args)...);
+  }
+
+  template <typename U>
+  constexpr bool operator==(
+      const AlignedNoInitAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  constexpr bool operator!=(
+      const AlignedNoInitAllocator<U, Align>&) const noexcept {
+    return false;
+  }
+};
+
+/// Aligned vector whose resize() does NOT touch new elements (pair every
+/// resize with a numa::first_touch_fill or a full overwrite).
+template <typename T>
+using aligned_uninit_vector = std::vector<T, AlignedNoInitAllocator<T>>;
 
 /// Round `n` up to the next multiple of `multiple` (used to pad element
 /// matrix leading dimensions to the SIMD width).

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file isa.hpp
+/// Runtime ISA detection and dispatch support (DESIGN.md §5i).
+///
+/// One binary, three dispatch levels: the kernel headers build per-ISA
+/// function tables (portable FMA / AVX2 / AVX-512 entries, compiled via GCC
+/// `target` attributes so every entry exists regardless of the global
+/// -march flags) and index them with `isa::active_index()`, a cached
+/// CPUID-based probe. `HYMV_ISA` forces a lower level (validated, clamped
+/// to what the CPU supports) — the ablation and the dispatch-equivalence
+/// tests run the same binary at every level.
+///
+/// Determinism contract: every table's entries implement the SAME
+/// per-output accumulation chain (ascending index, one fused — or one
+/// mul+add — step per term), so the chains are independent per output and
+/// the result is bitwise invariant under vector width. Switching levels
+/// must never change a single bit; tests/test_isa.cpp pins this.
+
+#include <atomic>
+#include <string_view>
+
+/// True when this build can carry explicit AVX2/AVX-512 table entries.
+/// GCC and clang on x86-64 both support the `target` function attribute and
+/// expose <immintrin.h> unconditionally, so the entries compile even when
+/// the global flags are plain -O2; other architectures collapse every table
+/// to the portable FMA entry.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(HYMV_DISABLE_ISA_DISPATCH)
+#define HYMV_ISA_X86 1
+#else
+#define HYMV_ISA_X86 0
+#endif
+
+#if HYMV_ISA_X86
+#define HYMV_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#define HYMV_TARGET_AVX512 __attribute__((target("avx512f,avx2,fma")))
+#else
+#define HYMV_TARGET_AVX2
+#define HYMV_TARGET_AVX512
+#endif
+
+/// Pins fp-contract OFF for one scalar table entry. Needed where a kernel's
+/// bitwise canon is the UNFUSED mul+add chain: contraction of `s += a * b`
+/// is compiler-discretionary (GCC fuses only parts of an unrolled loop),
+/// so the portable entry must forbid it explicitly to stay bit-identical
+/// to vector entries built from separate mul/add intrinsics. GCC takes the
+/// attribute on the declaration; clang only honors an in-body pragma, hence
+/// the second macro placed as the first statement of the function.
+#if defined(__clang__)
+#define HYMV_NOCONTRACT
+#define HYMV_NOCONTRACT_BODY _Pragma("clang fp contract(off)")
+#elif defined(__GNUC__)
+#define HYMV_NOCONTRACT __attribute__((optimize("fp-contract=off")))
+#define HYMV_NOCONTRACT_BODY
+#else
+#define HYMV_NOCONTRACT
+#define HYMV_NOCONTRACT_BODY
+#endif
+
+namespace hymv::isa {
+
+/// Dispatch levels, ordered: a level implies all lower ones. The numeric
+/// value indexes the per-ISA function tables.
+enum class IsaLevel : int {
+  kScalar = 0,  ///< portable std::fma chains (also the non-x86 fallback)
+  kAvx2 = 1,    ///< 256-bit FMA intrinsics
+  kAvx512 = 2,  ///< 512-bit masked intrinsics
+};
+
+inline constexpr int kNumIsaLevels = 3;
+
+[[nodiscard]] std::string_view to_string(IsaLevel level);
+
+/// Highest level the executing CPU supports (CPUID, cached after the first
+/// call). Independent of any HYMV_ISA override.
+[[nodiscard]] IsaLevel detected();
+
+/// The level dispatch actually uses: `detected()` clamped by a validated
+/// HYMV_ISA override (scalar|avx2|avx512). An override above what the CPU
+/// supports warns to stderr and clamps down; an unknown value warns and is
+/// ignored. Cached after the first call.
+[[nodiscard]] IsaLevel active();
+
+/// Force the active level from code (tests, the ablation bench). Values
+/// above `detected()` clamp down; returns the level actually installed.
+IsaLevel force(IsaLevel level);
+
+/// Drop the cached active level so the next `active()` re-reads HYMV_ISA.
+void reset();
+
+namespace detail {
+/// Cached active level; -1 = not resolved yet. Relaxed atomics suffice: the
+/// resolved value is identical no matter which thread computes it first.
+extern std::atomic<int> g_active;
+int resolve_active();  // slow path: detect + env override + cache
+}  // namespace detail
+
+/// Table index of the active level — the hot-path accessor the kernel
+/// dispatchers call. One relaxed load after the first resolution.
+[[nodiscard]] inline int active_index() {
+  const int cached = detail::g_active.load(std::memory_order_relaxed);
+  return cached >= 0 ? cached : detail::resolve_active();
+}
+
+}  // namespace hymv::isa

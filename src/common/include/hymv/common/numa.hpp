@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file numa.hpp
+/// NUMA-aware placement helpers (DESIGN.md §5i).
+///
+/// On ccNUMA machines, pages land on the socket of the thread that FIRST
+/// writes them — so a serially zero-filled array lives entirely on socket 0
+/// and every remote thread streams it over the interconnect (the first-touch
+/// pathology of Schubert et al., arXiv:1101.0091). The fix is structural:
+/// allocate without touching (AlignedNoInitAllocator), then zero-fill with
+/// the same static thread distribution the compute sweeps use.
+///
+/// Three knobs, all resolved once per process:
+///   HYMV_FIRST_TOUCH   (default 1) — parallel first-touch initialization
+///   HYMV_PIN_THREADS   (default 0) — pin OpenMP threads round-robin to
+///                      cores; SKIPPED when OMP_PLACES/OMP_PROC_BIND is set
+///                      so user-level affinity always wins
+///   HYMV_TRIAD_PROBE   (default 1) — allow the measured STREAM-triad
+///                      bandwidth to feed perf::CpuSpec
+///
+/// First-touch changes WHERE pages live, never WHAT the arrays contain:
+/// the fill writes the same value serially or in parallel, so every result
+/// stays bitwise identical with the knob on or off.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hymv::numa {
+
+/// HYMV_FIRST_TOUCH resolved once (default on). Parallel zero-fill is used
+/// only when OpenMP is active and the array is large enough to matter.
+[[nodiscard]] bool first_touch_enabled();
+
+/// Test/ablation hook: override the first-touch policy for this process.
+void set_first_touch(bool enabled);
+
+/// Zero-fill `n` elements with the first-touch policy: a static-scheduled
+/// parallel sweep when enabled (pages fault on the thread owning the same
+/// slice in later static sweeps), a serial fill otherwise. Small arrays
+/// (under one page per thread) always fill serially.
+void first_touch_fill(double* p, std::size_t n, double value = 0.0);
+void first_touch_fill(float* p, std::size_t n, float value = 0.0f);
+void first_touch_fill(std::int64_t* p, std::size_t n,
+                      std::int64_t value = 0);
+
+/// Pin OpenMP threads round-robin over online CPUs when HYMV_PIN_THREADS
+/// is set and no user affinity (OMP_PLACES / OMP_PROC_BIND) is present.
+/// Idempotent; returns the number of threads pinned (0 = pinning skipped).
+int pin_threads_from_env();
+
+/// True when pin_threads_from_env() actually pinned this process's threads.
+[[nodiscard]] bool threads_pinned();
+
+/// Measured STREAM-triad bandwidth in bytes/s (a[i] = b[i] + s·c[i] over
+/// arrays far larger than LLC, threaded + first-touch placed, best of a few
+/// reps). Probed once per process on first call (~10-20 ms), then cached.
+/// Returns 0 when HYMV_TRIAD_PROBE=0.
+[[nodiscard]] double measured_triad_bytes_per_s();
+
+/// Snapshot of the resolved NUMA decisions for metrics publication. The
+/// triad field reports the cached measurement only — calling report() never
+/// triggers the probe.
+struct Report {
+  bool first_touch = false;
+  bool pinned = false;
+  int pinned_threads = 0;
+  double triad_bytes_per_s = 0.0;  ///< 0 = not (yet) measured
+};
+[[nodiscard]] Report report();
+
+}  // namespace hymv::numa

@@ -10,15 +10,27 @@
 /// the vectorization claim:
 ///   * kScalar — plain row-scan reference
 ///   * kSimd   — column-major accumulation with `omp simd` (compiler vec.)
-///   * kAvx    — explicit AVX-512/AVX2 intrinsics when available
+///   * kAvx    — explicit intrinsics, RUNTIME-dispatched per ISA level
 ///
-/// All kernels require: ld >= n, ke 64-byte aligned, columns padded with
-/// zeros from n to ld.
+/// The kAvx flavor (and the panel kernels' explicit variants) no longer
+/// hard-codes one ISA at compile time: each family carries a per-ISA
+/// function table {portable-FMA, AVX2, AVX-512} indexed by
+/// isa::active_index() (DESIGN.md §5i). Every entry of a table implements
+/// the IDENTICAL per-output accumulation chain (ascending c, one fused
+/// multiply-add per term), and chains for distinct outputs never mix — so
+/// the result is bitwise invariant under the dispatch level, which the
+/// `isa`-labeled test suite pins against golden hashes.
+///
+/// All kernels require: ld >= n with ld a multiple of 8, ke 64-byte
+/// aligned, columns padded with zeros from n to ld (the explicit kernels
+/// read full SIMD tiles across the zero padding and mask only the stores).
 
 #include <cmath>
 #include <cstddef>
 
-#if defined(__AVX512F__) || defined(__AVX2__)
+#include "hymv/common/isa.hpp"
+
+#if HYMV_ISA_X86
 #include <immintrin.h>
 #endif
 
@@ -31,9 +43,11 @@ enum class EmvKernel : int {
   kAvx,
 };
 
-/// True when the kAvx flavor is backed by real intrinsics in this build.
+/// True when the kAvx flavor's dispatch tables carry real AVX2/AVX-512
+/// entries in this build (x86-64 with a target-attribute-capable compiler).
+/// Whether they are *taken* at runtime is isa::active()'s call.
 constexpr bool avx_kernel_available() {
-#if defined(__AVX512F__) || defined(__AVX2__)
+#if HYMV_ISA_X86
   return true;
 #else
   return false;
@@ -70,15 +84,62 @@ inline void emv_simd(const double* ke, std::size_t ld, std::size_t n,
   }
 }
 
-/// Explicit AVX column accumulation. Processes full SIMD lanes over the
-/// padded leading dimension (padding columns are zero, so running to ld is
-/// safe and branch-free). Falls back to emv_simd without AVX support.
-inline void emv_avx(const double* ke, std::size_t ld, std::size_t n,
-                    const double* u, double* v) {
-#if defined(__AVX512F__)
+namespace detail {
+
+using DenseEmvFn = void (*)(const double*, std::size_t, std::size_t,
+                            const double*, double*);
+
+/// Portable table entry: the same per-row ascending-c chain as the AVX
+/// entries with every step explicitly fused, so the chain is bitwise
+/// identical to one SIMD lane of the wide variants.
+inline void emv_dense_fma(const double* ke, std::size_t ld, std::size_t n,
+                          const double* u, double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      sum = std::fma(ke[c * ld + r], u[c], sum);
+    }
+    v[r] = sum;
+  }
+}
+
+#if HYMV_ISA_X86
+
+/// Store mask for the final <4-lane row tile (AVX2 has no mask registers;
+/// maskstore takes a sign-bit vector).
+HYMV_TARGET_AVX2 inline __m256i avx2_tail_mask(std::size_t rem) {
+  return _mm256_setr_epi64x(rem > 0 ? -1 : 0, rem > 1 ? -1 : 0,
+                            rem > 2 ? -1 : 0, rem > 3 ? -1 : 0);
+}
+
+/// AVX2 entry: full 4-lane loads over the zero-padded leading dimension
+/// (ld is a multiple of 8, so the tile never runs past the column), tail
+/// handled by a masked STORE only — the same shape as the AVX-512 entry,
+/// replacing the old duplicated scalar-tail loop.
+HYMV_TARGET_AVX2 inline void emv_dense_avx2(const double* ke, std::size_t ld,
+                                            std::size_t n, const double* u,
+                                            double* v) {
+  constexpr std::size_t kLanes = 4;
+  for (std::size_t r = 0; r < n; r += kLanes) {
+    const std::size_t rem = n - r;
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const __m256d col = _mm256_load_pd(ke + c * ld + r);
+      acc = _mm256_fmadd_pd(col, _mm256_set1_pd(u[c]), acc);
+    }
+    if (rem >= kLanes) {
+      _mm256_storeu_pd(v + r, acc);
+    } else {
+      _mm256_maskstore_pd(v + r, avx2_tail_mask(rem), acc);
+    }
+  }
+}
+
+/// AVX-512 entry: 8-lane column accumulation, masked tail store.
+HYMV_TARGET_AVX512 inline void emv_dense_avx512(const double* ke,
+                                                std::size_t ld, std::size_t n,
+                                                const double* u, double* v) {
   constexpr std::size_t kLanes = 8;
-  // v is caller storage of n doubles; accumulate into a padded register tile
-  // via masked tail handling on the final store.
   for (std::size_t r = 0; r < n; r += kLanes) {
     const std::size_t rem = n - r;
     const __mmask8 mask =
@@ -90,27 +151,25 @@ inline void emv_avx(const double* ke, std::size_t ld, std::size_t n,
     }
     _mm512_mask_storeu_pd(v + r, mask, acc);
   }
-#elif defined(__AVX2__)
-  constexpr std::size_t kLanes = 4;
-  const std::size_t full = n / kLanes * kLanes;
-  for (std::size_t r = 0; r < full; r += kLanes) {
-    __m256d acc = _mm256_setzero_pd();
-    for (std::size_t c = 0; c < n; ++c) {
-      const __m256d col = _mm256_load_pd(ke + c * ld + r);
-      acc = _mm256_fmadd_pd(col, _mm256_set1_pd(u[c]), acc);
-    }
-    _mm256_storeu_pd(v + r, acc);
-  }
-  for (std::size_t r = full; r < n; ++r) {
-    double sum = 0.0;
-    for (std::size_t c = 0; c < n; ++c) {
-      sum += ke[c * ld + r] * u[c];
-    }
-    v[r] = sum;
-  }
-#else
-  emv_simd(ke, ld, n, u, v);
-#endif
+}
+
+inline constexpr DenseEmvFn kDenseEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_dense_fma, &emv_dense_avx2, &emv_dense_avx512};
+
+#else  // !HYMV_ISA_X86
+
+inline constexpr DenseEmvFn kDenseEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_dense_fma, &emv_dense_fma, &emv_dense_fma};
+
+#endif  // HYMV_ISA_X86
+
+}  // namespace detail
+
+/// Explicit-SIMD column accumulation, dispatched at runtime on the active
+/// ISA level (HYMV_ISA / CPUID). All levels produce identical bits.
+inline void emv_avx(const double* ke, std::size_t ld, std::size_t n,
+                    const double* u, double* v) {
+  detail::kDenseEmvTable[hymv::isa::active_index()](ke, ld, n, u, v);
 }
 
 /// Dispatch on kernel flavor.
@@ -168,12 +227,54 @@ inline void emv_f32_simd(const float* ke, std::size_t ld, std::size_t n,
   }
 }
 
-/// fp32 explicit AVX column accumulation: load 8 (resp. 4) floats, widen to
-/// doubles with a cvt, fma into double accumulators. Same tile/mask shape
-/// as emv_avx. Falls back to emv_f32_simd without AVX support.
-inline void emv_f32_avx(const float* ke, std::size_t ld, std::size_t n,
+namespace detail {
+
+using F32EmvFn = void (*)(const float*, std::size_t, std::size_t,
+                          const double*, double*);
+
+/// Portable fp32 entry: fused chain with exact float→double widening.
+inline void emv_f32_fma(const float* ke, std::size_t ld, std::size_t n,
                         const double* u, double* v) {
-#if defined(__AVX512F__)
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      sum = std::fma(static_cast<double>(ke[c * ld + r]), u[c], sum);
+    }
+    v[r] = sum;
+  }
+}
+
+#if HYMV_ISA_X86
+
+HYMV_TARGET_AVX2 inline void emv_f32_avx2(const float* ke, std::size_t ld,
+                                          std::size_t n, const double* u,
+                                          double* v) {
+  constexpr std::size_t kLanes = 4;
+  for (std::size_t r = 0; r < n; r += kLanes) {
+    const std::size_t rem = n - r;
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const __m256d col = _mm256_cvtps_pd(_mm_loadu_ps(ke + c * ld + r));
+      acc = _mm256_fmadd_pd(col, _mm256_set1_pd(u[c]), acc);
+    }
+    if (rem >= kLanes) {
+      _mm256_storeu_pd(v + r, acc);
+    } else {
+      _mm256_maskstore_pd(v + r, avx2_tail_mask(rem), acc);
+    }
+  }
+}
+
+// GCC 12's <avx512fintrin.h> implements _mm512_cvtps_pd by merging into an
+// undefined vector, which -Wmaybe-uninitialized flags through the inline —
+// a header artifact, not a real read of uninitialized data.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+HYMV_TARGET_AVX512 inline void emv_f32_avx512(const float* ke, std::size_t ld,
+                                              std::size_t n, const double* u,
+                                              double* v) {
   constexpr std::size_t kLanes = 8;
   for (std::size_t r = 0; r < n; r += kLanes) {
     const std::size_t rem = n - r;
@@ -181,33 +282,34 @@ inline void emv_f32_avx(const float* ke, std::size_t ld, std::size_t n,
         rem >= kLanes ? 0xFF : static_cast<__mmask8>((1u << rem) - 1u);
     __m512d acc = _mm512_setzero_pd();
     for (std::size_t c = 0; c < n; ++c) {
-      const __m512d col =
-          _mm512_cvtps_pd(_mm256_loadu_ps(ke + c * ld + r));
+      const __m512d col = _mm512_cvtps_pd(_mm256_loadu_ps(ke + c * ld + r));
       acc = _mm512_fmadd_pd(col, _mm512_set1_pd(u[c]), acc);
     }
     _mm512_mask_storeu_pd(v + r, mask, acc);
   }
-#elif defined(__AVX2__)
-  constexpr std::size_t kLanes = 4;
-  const std::size_t full = n / kLanes * kLanes;
-  for (std::size_t r = 0; r < full; r += kLanes) {
-    __m256d acc = _mm256_setzero_pd();
-    for (std::size_t c = 0; c < n; ++c) {
-      const __m256d col = _mm256_cvtps_pd(_mm_loadu_ps(ke + c * ld + r));
-      acc = _mm256_fmadd_pd(col, _mm256_set1_pd(u[c]), acc);
-    }
-    _mm256_storeu_pd(v + r, acc);
-  }
-  for (std::size_t r = full; r < n; ++r) {
-    double sum = 0.0;
-    for (std::size_t c = 0; c < n; ++c) {
-      sum += static_cast<double>(ke[c * ld + r]) * u[c];
-    }
-    v[r] = sum;
-  }
-#else
-  emv_f32_simd(ke, ld, n, u, v);
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
 #endif
+
+inline constexpr F32EmvFn kF32EmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_f32_fma, &emv_f32_avx2, &emv_f32_avx512};
+
+#else  // !HYMV_ISA_X86
+
+inline constexpr F32EmvFn kF32EmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_f32_fma, &emv_f32_fma, &emv_f32_fma};
+
+#endif  // HYMV_ISA_X86
+
+}  // namespace detail
+
+/// fp32 explicit column accumulation: load 8 (resp. 4) floats, widen to
+/// doubles with a cvt, fma into double accumulators. Same tile/mask shape
+/// as emv_avx; runtime-dispatched on the active ISA level.
+inline void emv_f32_avx(const float* ke, std::size_t ld, std::size_t n,
+                        const double* u, double* v) {
+  detail::kF32EmvTable[hymv::isa::active_index()](ke, ld, n, u, v);
 }
 
 /// Dispatch on kernel flavor, fp32 storage.
@@ -279,21 +381,30 @@ inline void emv_interleaved_batch_simd(const double* keb, std::size_t n,
   }
 }
 
-/// Explicit AVX batch kernel: one full-width register per matrix entry,
-/// no masks, no tails — the layout exists so this loop is this simple.
-inline void emv_interleaved_batch_avx(const double* keb, std::size_t n,
-                                      const double* ub, double* vb) {
-#if defined(__AVX512F__)
+namespace detail {
+
+using IlvEmvFn = void (*)(const double*, std::size_t, const double*, double*);
+
+/// Portable batch entry: per-(r, lane) fused chain over c — one scalar lane
+/// of the wide variants.
+inline void emv_ilv_fma(const double* keb, std::size_t n, const double* ub,
+                        double* vb) {
   for (std::size_t r = 0; r < n; ++r) {
-    __m512d acc = _mm512_setzero_pd();
-    for (std::size_t c = 0; c < n; ++c) {
-      const __m512d ke = _mm512_load_pd(keb + (c * n + r) * kIlvLanes);
-      const __m512d uc = _mm512_loadu_pd(ub + c * kIlvLanes);
-      acc = _mm512_fmadd_pd(ke, uc, acc);
+    for (std::size_t l = 0; l < kIlvLanes; ++l) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        sum = std::fma(keb[(c * n + r) * kIlvLanes + l],
+                       ub[c * kIlvLanes + l], sum);
+      }
+      vb[r * kIlvLanes + l] = sum;
     }
-    _mm512_storeu_pd(vb + r * kIlvLanes, acc);
   }
-#elif defined(__AVX2__)
+}
+
+#if HYMV_ISA_X86
+
+HYMV_TARGET_AVX2 inline void emv_ilv_avx2(const double* keb, std::size_t n,
+                                          const double* ub, double* vb) {
   for (std::size_t r = 0; r < n; ++r) {
     __m256d acc0 = _mm256_setzero_pd();
     __m256d acc1 = _mm256_setzero_pd();
@@ -308,9 +419,40 @@ inline void emv_interleaved_batch_avx(const double* keb, std::size_t n,
     _mm256_storeu_pd(vb + r * kIlvLanes, acc0);
     _mm256_storeu_pd(vb + r * kIlvLanes + 4, acc1);
   }
-#else
-  emv_interleaved_batch_simd(keb, n, ub, vb);
-#endif
+}
+
+HYMV_TARGET_AVX512 inline void emv_ilv_avx512(const double* keb,
+                                              std::size_t n, const double* ub,
+                                              double* vb) {
+  for (std::size_t r = 0; r < n; ++r) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t c = 0; c < n; ++c) {
+      const __m512d ke = _mm512_load_pd(keb + (c * n + r) * kIlvLanes);
+      const __m512d uc = _mm512_loadu_pd(ub + c * kIlvLanes);
+      acc = _mm512_fmadd_pd(ke, uc, acc);
+    }
+    _mm512_storeu_pd(vb + r * kIlvLanes, acc);
+  }
+}
+
+inline constexpr IlvEmvFn kIlvEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_ilv_fma, &emv_ilv_avx2, &emv_ilv_avx512};
+
+#else  // !HYMV_ISA_X86
+
+inline constexpr IlvEmvFn kIlvEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_ilv_fma, &emv_ilv_fma, &emv_ilv_fma};
+
+#endif  // HYMV_ISA_X86
+
+}  // namespace detail
+
+/// Explicit batch kernel: one full-width register per matrix entry, no
+/// masks, no tails — the layout exists so this loop is this simple.
+/// Runtime-dispatched on the active ISA level.
+inline void emv_interleaved_batch_avx(const double* keb, std::size_t n,
+                                      const double* ub, double* vb) {
+  detail::kIlvEmvTable[hymv::isa::active_index()](keb, n, ub, vb);
 }
 
 /// Dispatch on kernel flavor, interleaved batch.
@@ -442,11 +584,13 @@ inline void emv_sym(EmvKernel kernel, const double* kp, std::size_t n,
 // panel — the whole point: arithmetic intensity grows ~k while matrix
 // traffic stays flat.
 //
-// The inner `omp simd` loop runs over the k contiguous lanes of one output
-// entry, so vector width comes from the panel itself — no padding, masks,
-// or per-layout intrinsics needed. kAvx therefore maps to the simd panel
-// kernel in every dispatch below: the lane dimension already vectorizes
-// perfectly and explicit intrinsics have nothing left to add.
+// The kSimd flavor's inner `omp simd` loop runs over the k contiguous
+// lanes of one output entry, so vector width comes from the panel itself.
+// The kAvx flavor routes through register-blocked per-ISA microkernels
+// (k-lane × row-tile accumulators, masked lane tails, software prefetch of
+// the next element column) that keep several output rows live in registers
+// while one column streams through — same ascending-c fused chain per
+// output, so kSimd and kAvx stay bitwise identical at every dispatch level.
 // ---------------------------------------------------------------------------
 
 /// Reference panel kernel: per-lane row dots (emv_scalar per lane).
@@ -484,18 +628,271 @@ inline void emv_multi_simd(const double* ke, std::size_t ld, std::size_t n,
   }
 }
 
-/// Dispatch on kernel flavor, panel variant (kAvx → simd, see above).
+namespace detail {
+
+using MultiEmvFn = void (*)(const double*, std::size_t, std::size_t,
+                            std::size_t, const double*, double*);
+
+/// Software-prefetch distance (columns ahead) for the panel microkernels:
+/// far enough to cover an L2 miss at typical n (30-90 doubles per column),
+/// near enough not to thrash the L1 at small n.
+inline constexpr std::size_t kPanelPrefetchCols = 4;
+
+/// Portable panel entry: per-(r, j) fused chain over c — exactly one SIMD
+/// lane of the register-blocked variants below.
+inline void emv_multi_fma(const double* ke, std::size_t ld, std::size_t n,
+                          std::size_t k, const double* u, double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        sum = std::fma(ke[c * ld + r], u[c * k + j], sum);
+      }
+      v[r * k + j] = sum;
+    }
+  }
+}
+
+#if HYMV_ISA_X86
+
+/// AVX2 register-blocked panel microkernel: 4 k-lanes × 4 rows of
+/// accumulators live in registers while one column streams through; the
+/// lane tail is masked (maskload/maskstore), the row tail falls back to a
+/// single-accumulator loop. Each (r, j) output is one ascending-c fma
+/// chain — the bitwise canon shared by the whole table.
+HYMV_TARGET_AVX2 inline void emv_multi_avx2(const double* ke, std::size_t ld,
+                                            std::size_t n, std::size_t k,
+                                            const double* u, double* v) {
+  constexpr std::size_t kJ = 4;
+  for (std::size_t jb = 0; jb < k; jb += kJ) {
+    const std::size_t jrem = k - jb;
+    const bool full_j = jrem >= kJ;
+    const __m256i jmask = avx2_tail_mask(jrem);
+    std::size_t r0 = 0;
+    for (; r0 + 4 <= n; r0 += 4) {
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < n; ++c) {
+        const double* col = ke + c * ld + r0;
+        if (c + kPanelPrefetchCols < n) {
+          _mm_prefetch(reinterpret_cast<const char*>(
+                           ke + (c + kPanelPrefetchCols) * ld + r0),
+                       _MM_HINT_T0);
+        }
+        const __m256d uv =
+            full_j ? _mm256_loadu_pd(u + c * k + jb)
+                   : _mm256_maskload_pd(u + c * k + jb, jmask);
+        acc0 = _mm256_fmadd_pd(_mm256_set1_pd(col[0]), uv, acc0);
+        acc1 = _mm256_fmadd_pd(_mm256_set1_pd(col[1]), uv, acc1);
+        acc2 = _mm256_fmadd_pd(_mm256_set1_pd(col[2]), uv, acc2);
+        acc3 = _mm256_fmadd_pd(_mm256_set1_pd(col[3]), uv, acc3);
+      }
+      if (full_j) {
+        _mm256_storeu_pd(v + (r0 + 0) * k + jb, acc0);
+        _mm256_storeu_pd(v + (r0 + 1) * k + jb, acc1);
+        _mm256_storeu_pd(v + (r0 + 2) * k + jb, acc2);
+        _mm256_storeu_pd(v + (r0 + 3) * k + jb, acc3);
+      } else {
+        _mm256_maskstore_pd(v + (r0 + 0) * k + jb, jmask, acc0);
+        _mm256_maskstore_pd(v + (r0 + 1) * k + jb, jmask, acc1);
+        _mm256_maskstore_pd(v + (r0 + 2) * k + jb, jmask, acc2);
+        _mm256_maskstore_pd(v + (r0 + 3) * k + jb, jmask, acc3);
+      }
+    }
+    for (; r0 < n; ++r0) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < n; ++c) {
+        const __m256d uv =
+            full_j ? _mm256_loadu_pd(u + c * k + jb)
+                   : _mm256_maskload_pd(u + c * k + jb, jmask);
+        acc = _mm256_fmadd_pd(_mm256_set1_pd(ke[c * ld + r0]), uv, acc);
+      }
+      if (full_j) {
+        _mm256_storeu_pd(v + r0 * k + jb, acc);
+      } else {
+        _mm256_maskstore_pd(v + r0 * k + jb, jmask, acc);
+      }
+    }
+  }
+}
+
+/// AVX-512 register-blocked panel microkernel: 8 k-lanes × 4 rows of
+/// accumulators, masked lane tail, software prefetch of the next element
+/// column. Same ascending-c fma chain per (r, j) output.
+HYMV_TARGET_AVX512 inline void emv_multi_avx512(const double* ke,
+                                                std::size_t ld, std::size_t n,
+                                                std::size_t k, const double* u,
+                                                double* v) {
+  constexpr std::size_t kJ = 8;
+  for (std::size_t jb = 0; jb < k; jb += kJ) {
+    const std::size_t jrem = k - jb;
+    const __mmask8 m =
+        jrem >= kJ ? 0xFF : static_cast<__mmask8>((1u << jrem) - 1u);
+    std::size_t r0 = 0;
+    for (; r0 + 4 <= n; r0 += 4) {
+      __m512d acc0 = _mm512_setzero_pd();
+      __m512d acc1 = _mm512_setzero_pd();
+      __m512d acc2 = _mm512_setzero_pd();
+      __m512d acc3 = _mm512_setzero_pd();
+      for (std::size_t c = 0; c < n; ++c) {
+        const double* col = ke + c * ld + r0;
+        if (c + kPanelPrefetchCols < n) {
+          _mm_prefetch(reinterpret_cast<const char*>(
+                           ke + (c + kPanelPrefetchCols) * ld + r0),
+                       _MM_HINT_T0);
+        }
+        const __m512d uv = _mm512_maskz_loadu_pd(m, u + c * k + jb);
+        acc0 = _mm512_fmadd_pd(_mm512_set1_pd(col[0]), uv, acc0);
+        acc1 = _mm512_fmadd_pd(_mm512_set1_pd(col[1]), uv, acc1);
+        acc2 = _mm512_fmadd_pd(_mm512_set1_pd(col[2]), uv, acc2);
+        acc3 = _mm512_fmadd_pd(_mm512_set1_pd(col[3]), uv, acc3);
+      }
+      _mm512_mask_storeu_pd(v + (r0 + 0) * k + jb, m, acc0);
+      _mm512_mask_storeu_pd(v + (r0 + 1) * k + jb, m, acc1);
+      _mm512_mask_storeu_pd(v + (r0 + 2) * k + jb, m, acc2);
+      _mm512_mask_storeu_pd(v + (r0 + 3) * k + jb, m, acc3);
+    }
+    for (; r0 < n; ++r0) {
+      __m512d acc = _mm512_setzero_pd();
+      for (std::size_t c = 0; c < n; ++c) {
+        const __m512d uv = _mm512_maskz_loadu_pd(m, u + c * k + jb);
+        acc = _mm512_fmadd_pd(_mm512_set1_pd(ke[c * ld + r0]), uv, acc);
+      }
+      _mm512_mask_storeu_pd(v + r0 * k + jb, m, acc);
+    }
+  }
+}
+
+inline constexpr MultiEmvFn kMultiEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_multi_fma, &emv_multi_avx2, &emv_multi_avx512};
+
+#else  // !HYMV_ISA_X86
+
+inline constexpr MultiEmvFn kMultiEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_multi_fma, &emv_multi_fma, &emv_multi_fma};
+
+#endif  // HYMV_ISA_X86
+
+}  // namespace detail
+
+/// Dispatch on kernel flavor, panel variant. kAvx routes through the
+/// register-blocked per-ISA table (bitwise-identical to the fma-contracted
+/// simd sweep: both are ascending-c fused chains per output).
 inline void emv_multi(EmvKernel kernel, const double* ke, std::size_t ld,
                       std::size_t n, std::size_t k, const double* u,
                       double* v) {
-  if (kernel == EmvKernel::kScalar) {
-    emv_multi_scalar(ke, ld, n, k, u, v);
-    return;
+  switch (kernel) {
+    case EmvKernel::kScalar:
+      emv_multi_scalar(ke, ld, n, k, u, v);
+      return;
+    case EmvKernel::kSimd:
+      emv_multi_simd(ke, ld, n, k, u, v);
+      return;
+    case EmvKernel::kAvx:
+      detail::kMultiEmvTable[hymv::isa::active_index()](ke, ld, n, k, u, v);
+      return;
   }
-  emv_multi_simd(ke, ld, n, k, u, v);
 }
 
-/// fp32-storage panel kernel (double accumulation, like emv_f32_*).
+namespace detail {
+
+using F32MultiEmvFn = void (*)(const float*, std::size_t, std::size_t,
+                               std::size_t, const double*, double*);
+
+/// Portable fp32 panel entry (double accumulation, fused chain per output).
+inline void emv_f32_multi_fma(const float* ke, std::size_t ld, std::size_t n,
+                              std::size_t k, const double* u, double* v) {
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        sum = std::fma(static_cast<double>(ke[c * ld + r]), u[c * k + j],
+                       sum);
+      }
+      v[r * k + j] = sum;
+    }
+  }
+}
+
+#if HYMV_ISA_X86
+
+/// AVX2 fp32 panel microkernel: the broadcast widens one float to a double
+/// splat; otherwise identical blocking to emv_multi_avx2.
+HYMV_TARGET_AVX2 inline void emv_f32_multi_avx2(const float* ke,
+                                                std::size_t ld, std::size_t n,
+                                                std::size_t k, const double* u,
+                                                double* v) {
+  constexpr std::size_t kJ = 4;
+  for (std::size_t jb = 0; jb < k; jb += kJ) {
+    const std::size_t jrem = k - jb;
+    const bool full_j = jrem >= kJ;
+    const __m256i jmask = avx2_tail_mask(jrem);
+    for (std::size_t r = 0; r < n; ++r) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < n; ++c) {
+        if (c + kPanelPrefetchCols < n) {
+          _mm_prefetch(reinterpret_cast<const char*>(
+                           ke + (c + kPanelPrefetchCols) * ld + r),
+                       _MM_HINT_T0);
+        }
+        const __m256d uv =
+            full_j ? _mm256_loadu_pd(u + c * k + jb)
+                   : _mm256_maskload_pd(u + c * k + jb, jmask);
+        const __m256d a =
+            _mm256_set1_pd(static_cast<double>(ke[c * ld + r]));
+        acc = _mm256_fmadd_pd(a, uv, acc);
+      }
+      if (full_j) {
+        _mm256_storeu_pd(v + r * k + jb, acc);
+      } else {
+        _mm256_maskstore_pd(v + r * k + jb, jmask, acc);
+      }
+    }
+  }
+}
+
+HYMV_TARGET_AVX512 inline void emv_f32_multi_avx512(
+    const float* ke, std::size_t ld, std::size_t n, std::size_t k,
+    const double* u, double* v) {
+  constexpr std::size_t kJ = 8;
+  for (std::size_t jb = 0; jb < k; jb += kJ) {
+    const std::size_t jrem = k - jb;
+    const __mmask8 m =
+        jrem >= kJ ? 0xFF : static_cast<__mmask8>((1u << jrem) - 1u);
+    for (std::size_t r = 0; r < n; ++r) {
+      __m512d acc = _mm512_setzero_pd();
+      for (std::size_t c = 0; c < n; ++c) {
+        if (c + kPanelPrefetchCols < n) {
+          _mm_prefetch(reinterpret_cast<const char*>(
+                           ke + (c + kPanelPrefetchCols) * ld + r),
+                       _MM_HINT_T0);
+        }
+        const __m512d uv = _mm512_maskz_loadu_pd(m, u + c * k + jb);
+        const __m512d a =
+            _mm512_set1_pd(static_cast<double>(ke[c * ld + r]));
+        acc = _mm512_fmadd_pd(a, uv, acc);
+      }
+      _mm512_mask_storeu_pd(v + r * k + jb, m, acc);
+    }
+  }
+}
+
+inline constexpr F32MultiEmvFn kF32MultiEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_f32_multi_fma, &emv_f32_multi_avx2, &emv_f32_multi_avx512};
+
+#else  // !HYMV_ISA_X86
+
+inline constexpr F32MultiEmvFn kF32MultiEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_f32_multi_fma, &emv_f32_multi_fma, &emv_f32_multi_fma};
+
+#endif  // HYMV_ISA_X86
+
+}  // namespace detail
+
+/// fp32-storage panel kernel (double accumulation, like emv_f32_*). kAvx
+/// routes through the per-ISA microkernel table.
 inline void emv_f32_multi(EmvKernel kernel, const float* ke, std::size_t ld,
                           std::size_t n, std::size_t k, const double* u,
                           double* v) {
@@ -509,6 +906,10 @@ inline void emv_f32_multi(EmvKernel kernel, const float* ke, std::size_t ld,
         v[r * k + j] = sum;
       }
     }
+    return;
+  }
+  if (kernel == EmvKernel::kAvx) {
+    detail::kF32MultiEmvTable[hymv::isa::active_index()](ke, ld, n, k, u, v);
     return;
   }
   for (std::size_t i = 0; i < n * k; ++i) {
@@ -528,9 +929,135 @@ inline void emv_f32_multi(EmvKernel kernel, const float* ke, std::size_t ld,
   }
 }
 
+namespace detail {
+
+using SymMultiEmvFn = void (*)(const double*, std::size_t, std::size_t,
+                               const double*, double*);
+
+/// Portable symmetric panel entry: the same column sweep as the simd
+/// kernel with explicitly fused updates — every v[i] chain receives its
+/// terms in ascending-u order.
+inline void emv_sym_multi_fma(const double* kp, std::size_t n, std::size_t k,
+                              const double* u, double* v) {
+  for (std::size_t i = 0; i < n * k; ++i) {
+    v[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* col = kp + sym_packed_index(0, c);
+    const double* uc = u + c * k;
+    double* vc = v + c * k;
+    for (std::size_t r = 0; r < c; ++r) {
+      const double a = col[r];
+      const double* ur = u + r * k;
+      double* vr = v + r * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        vr[j] = std::fma(a, uc[j], vr[j]);
+      }
+      for (std::size_t j = 0; j < k; ++j) {
+        vc[j] = std::fma(a, ur[j], vc[j]);
+      }
+    }
+    const double d = col[c];
+    for (std::size_t j = 0; j < k; ++j) {
+      vc[j] = std::fma(d, uc[j], vc[j]);
+    }
+  }
+}
+
+#if HYMV_ISA_X86
+
+/// AVX2 symmetric panel microkernel: the v[c] chain stays in a register
+/// across the whole stored column (r ascending, then the diagonal — the
+/// same term order as the sweep), v[r] updates are masked read-modify-write.
+HYMV_TARGET_AVX2 inline void emv_sym_multi_avx2(const double* kp,
+                                                std::size_t n, std::size_t k,
+                                                const double* u, double* v) {
+  constexpr std::size_t kJ = 4;
+  for (std::size_t i = 0; i < n * k; ++i) {
+    v[i] = 0.0;
+  }
+  for (std::size_t jb = 0; jb < k; jb += kJ) {
+    const std::size_t jrem = k - jb;
+    const bool full_j = jrem >= kJ;
+    const __m256i jmask = avx2_tail_mask(jrem);
+    for (std::size_t c = 0; c < n; ++c) {
+      const double* col = kp + sym_packed_index(0, c);
+      const __m256d uc =
+          full_j ? _mm256_loadu_pd(u + c * k + jb)
+                 : _mm256_maskload_pd(u + c * k + jb, jmask);
+      __m256d vc = _mm256_setzero_pd();
+      for (std::size_t r = 0; r < c; ++r) {
+        const __m256d a = _mm256_set1_pd(col[r]);
+        __m256d vr = full_j ? _mm256_loadu_pd(v + r * k + jb)
+                            : _mm256_maskload_pd(v + r * k + jb, jmask);
+        vr = _mm256_fmadd_pd(a, uc, vr);
+        if (full_j) {
+          _mm256_storeu_pd(v + r * k + jb, vr);
+        } else {
+          _mm256_maskstore_pd(v + r * k + jb, jmask, vr);
+        }
+        const __m256d ur =
+            full_j ? _mm256_loadu_pd(u + r * k + jb)
+                   : _mm256_maskload_pd(u + r * k + jb, jmask);
+        vc = _mm256_fmadd_pd(a, ur, vc);
+      }
+      vc = _mm256_fmadd_pd(_mm256_set1_pd(col[c]), uc, vc);
+      if (full_j) {
+        _mm256_storeu_pd(v + c * k + jb, vc);
+      } else {
+        _mm256_maskstore_pd(v + c * k + jb, jmask, vc);
+      }
+    }
+  }
+}
+
+HYMV_TARGET_AVX512 inline void emv_sym_multi_avx512(const double* kp,
+                                                    std::size_t n,
+                                                    std::size_t k,
+                                                    const double* u,
+                                                    double* v) {
+  constexpr std::size_t kJ = 8;
+  for (std::size_t i = 0; i < n * k; ++i) {
+    v[i] = 0.0;
+  }
+  for (std::size_t jb = 0; jb < k; jb += kJ) {
+    const std::size_t jrem = k - jb;
+    const __mmask8 m =
+        jrem >= kJ ? 0xFF : static_cast<__mmask8>((1u << jrem) - 1u);
+    for (std::size_t c = 0; c < n; ++c) {
+      const double* col = kp + sym_packed_index(0, c);
+      const __m512d uc = _mm512_maskz_loadu_pd(m, u + c * k + jb);
+      __m512d vc = _mm512_setzero_pd();
+      for (std::size_t r = 0; r < c; ++r) {
+        const __m512d a = _mm512_set1_pd(col[r]);
+        __m512d vr = _mm512_maskz_loadu_pd(m, v + r * k + jb);
+        vr = _mm512_fmadd_pd(a, uc, vr);
+        _mm512_mask_storeu_pd(v + r * k + jb, m, vr);
+        const __m512d ur = _mm512_maskz_loadu_pd(m, u + r * k + jb);
+        vc = _mm512_fmadd_pd(a, ur, vc);
+      }
+      vc = _mm512_fmadd_pd(_mm512_set1_pd(col[c]), uc, vc);
+      _mm512_mask_storeu_pd(v + c * k + jb, m, vc);
+    }
+  }
+}
+
+inline constexpr SymMultiEmvFn kSymMultiEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_sym_multi_fma, &emv_sym_multi_avx2, &emv_sym_multi_avx512};
+
+#else  // !HYMV_ISA_X86
+
+inline constexpr SymMultiEmvFn kSymMultiEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_sym_multi_fma, &emv_sym_multi_fma, &emv_sym_multi_fma};
+
+#endif  // HYMV_ISA_X86
+
+}  // namespace detail
+
 /// Symmetric-packed panel kernel: each stored upper entry (r, c) feeds both
 /// v[r] += K·u[c] and the mirrored v[c] += K·u[r] across all lanes before
-/// moving on — the triangle is streamed once per panel.
+/// moving on — the triangle is streamed once per panel. kAvx routes through
+/// the per-ISA microkernel table.
 inline void emv_sym_multi(EmvKernel kernel, const double* kp, std::size_t n,
                           std::size_t k, const double* u, double* v) {
   if (kernel == EmvKernel::kScalar) {
@@ -546,6 +1073,10 @@ inline void emv_sym_multi(EmvKernel kernel, const double* kp, std::size_t n,
         v[r * k + j] = sum;
       }
     }
+    return;
+  }
+  if (kernel == EmvKernel::kAvx) {
+    detail::kSymMultiEmvTable[hymv::isa::active_index()](kp, n, k, u, v);
     return;
   }
   for (std::size_t i = 0; i < n * k; ++i) {
@@ -573,6 +1104,117 @@ inline void emv_sym_multi(EmvKernel kernel, const double* kp, std::size_t n,
   }
 }
 
+namespace detail {
+
+using IlvMultiEmvFn = void (*)(const double*, std::size_t, std::size_t,
+                               const double*, double*);
+
+/// Portable interleaved panel entry: per-((r, l), j) fused chain over c,
+/// the same nesting as the simd sweep.
+inline void emv_ilv_multi_fma(const double* keb, std::size_t n, std::size_t k,
+                              const double* ub, double* vb) {
+  for (std::size_t i = 0; i < n * kIlvLanes * k; ++i) {
+    vb[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* entry = keb + (c * n + r) * kIlvLanes;
+      for (std::size_t l = 0; l < kIlvLanes; ++l) {
+        const double a = entry[l];
+        const double* uc = ub + (c * kIlvLanes + l) * k;
+        double* out = vb + (r * kIlvLanes + l) * k;
+        for (std::size_t j = 0; j < k; ++j) {
+          out[j] = std::fma(a, uc[j], out[j]);
+        }
+      }
+    }
+  }
+}
+
+#if HYMV_ISA_X86
+
+/// AVX2 interleaved panel microkernel: vectorizes the k lanes of one
+/// (entry, batch-lane) update, prefetching the next stored entries (they
+/// are contiguous in chunk-major order).
+HYMV_TARGET_AVX2 inline void emv_ilv_multi_avx2(const double* keb,
+                                                std::size_t n, std::size_t k,
+                                                const double* ub, double* vb) {
+  constexpr std::size_t kJ = 4;
+  for (std::size_t i = 0; i < n * kIlvLanes * k; ++i) {
+    vb[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* entry = keb + (c * n + r) * kIlvLanes;
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       entry + kIlvLanes * kPanelPrefetchCols),
+                   _MM_HINT_T0);
+      for (std::size_t l = 0; l < kIlvLanes; ++l) {
+        const __m256d a = _mm256_set1_pd(entry[l]);
+        const double* uc = ub + (c * kIlvLanes + l) * k;
+        double* out = vb + (r * kIlvLanes + l) * k;
+        for (std::size_t jb = 0; jb < k; jb += kJ) {
+          const std::size_t jrem = k - jb;
+          if (jrem >= kJ) {
+            __m256d o = _mm256_loadu_pd(out + jb);
+            o = _mm256_fmadd_pd(a, _mm256_loadu_pd(uc + jb), o);
+            _mm256_storeu_pd(out + jb, o);
+          } else {
+            const __m256i jmask = avx2_tail_mask(jrem);
+            __m256d o = _mm256_maskload_pd(out + jb, jmask);
+            o = _mm256_fmadd_pd(a, _mm256_maskload_pd(uc + jb, jmask), o);
+            _mm256_maskstore_pd(out + jb, jmask, o);
+          }
+        }
+      }
+    }
+  }
+}
+
+HYMV_TARGET_AVX512 inline void emv_ilv_multi_avx512(const double* keb,
+                                                    std::size_t n,
+                                                    std::size_t k,
+                                                    const double* ub,
+                                                    double* vb) {
+  constexpr std::size_t kJ = 8;
+  for (std::size_t i = 0; i < n * kIlvLanes * k; ++i) {
+    vb[i] = 0.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* entry = keb + (c * n + r) * kIlvLanes;
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       entry + kIlvLanes * kPanelPrefetchCols),
+                   _MM_HINT_T0);
+      for (std::size_t l = 0; l < kIlvLanes; ++l) {
+        const __m512d a = _mm512_set1_pd(entry[l]);
+        const double* uc = ub + (c * kIlvLanes + l) * k;
+        double* out = vb + (r * kIlvLanes + l) * k;
+        for (std::size_t jb = 0; jb < k; jb += kJ) {
+          const std::size_t jrem = k - jb;
+          const __mmask8 m =
+              jrem >= kJ ? 0xFF : static_cast<__mmask8>((1u << jrem) - 1u);
+          __m512d o = _mm512_maskz_loadu_pd(m, out + jb);
+          o = _mm512_fmadd_pd(a, _mm512_maskz_loadu_pd(m, uc + jb), o);
+          _mm512_mask_storeu_pd(out + jb, m, o);
+        }
+      }
+    }
+  }
+}
+
+inline constexpr IlvMultiEmvFn kIlvMultiEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_ilv_multi_fma, &emv_ilv_multi_avx2, &emv_ilv_multi_avx512};
+
+#else  // !HYMV_ISA_X86
+
+inline constexpr IlvMultiEmvFn kIlvMultiEmvTable[hymv::isa::kNumIsaLevels] = {
+    &emv_ilv_multi_fma, &emv_ilv_multi_fma, &emv_ilv_multi_fma};
+
+#endif  // HYMV_ISA_X86
+
+}  // namespace detail
+
 /// Interleaved-batch panel kernel: the batch panel carries the k lanes of
 /// batch element l's entry a at ub[(a*kIlvLanes + l)*k + j] — i.e. the DA's
 /// lane-interleaved runs, gathered per batch element. Each stored matrix
@@ -594,6 +1236,10 @@ inline void emv_interleaved_batch_multi(EmvKernel kernel, const double* keb,
         }
       }
     }
+    return;
+  }
+  if (kernel == EmvKernel::kAvx) {
+    detail::kIlvMultiEmvTable[hymv::isa::active_index()](keb, n, k, ub, vb);
     return;
   }
   for (std::size_t i = 0; i < n * kIlvLanes * k; ++i) {

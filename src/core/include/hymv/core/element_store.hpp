@@ -208,8 +208,10 @@ class ElementMatrixStore {
   int ndofs_ = 0;
   int ld_ = 0;
   std::int64_t stride_ = 0;
-  hymv::aligned_vector<double> data_;   ///< fp64 layouts
-  hymv::aligned_vector<float> data32_;  ///< kFp32
+  /// No-init allocator so the constructor can first-touch-place the blocks
+  /// with the EMV sweeps' thread distribution (numa.hpp) before assembly.
+  hymv::aligned_uninit_vector<double> data_;   ///< fp64 layouts
+  hymv::aligned_uninit_vector<float> data32_;  ///< kFp32
   bool checksums_enabled_ = false;
   std::vector<std::uint64_t> checksums_;  ///< per-element, when enabled
 };

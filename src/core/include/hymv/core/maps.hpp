@@ -22,6 +22,7 @@
 
 #include "hymv/common/aligned.hpp"
 #include "hymv/common/error.hpp"
+#include "hymv/common/numa.hpp"
 #include "hymv/mesh/distributed.hpp"
 #include "hymv/pla/dist_vector.hpp"
 #include "hymv/pla/ghost_exchange.hpp"
@@ -111,10 +112,13 @@ class DofMaps {
 class DistributedArray {
  public:
   explicit DistributedArray(const DofMaps& maps, int width = 1)
-      : maps_(&maps),
-        width_(width),
-        v_(static_cast<std::size_t>(maps.da_size() * width), 0.0) {
+      : maps_(&maps), width_(width) {
     HYMV_CHECK_MSG(width >= 1, "DistributedArray: width must be >= 1");
+    // First-touch placement: the no-init resize leaves pages unmapped; the
+    // parallel zero fill faults each page on the thread that streams the
+    // same static slice in the scatter/gather sweeps (DESIGN.md §5i).
+    v_.resize(static_cast<std::size_t>(maps.da_size() * width));
+    numa::first_touch_fill(v_.data(), v_.size(), 0.0);
   }
 
   [[nodiscard]] int width() const { return width_; }
@@ -148,7 +152,7 @@ class DistributedArray {
  private:
   const DofMaps* maps_;
   int width_ = 1;
-  hymv::aligned_vector<double> v_;
+  hymv::aligned_uninit_vector<double> v_;
 };
 
 }  // namespace hymv::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hymv/common/error.hpp"
+#include "hymv/common/numa.hpp"
 
 namespace hymv::core {
 
@@ -85,16 +86,22 @@ ElementMatrixStore::ElementMatrixStore(std::int64_t num_elements, int ndofs,
           static_cast<std::int64_t>(hymv::round_up_to(sym_packed_size(n), 8));
       break;
   }
+  // First-touch placement: the no-init resize leaves the pages unmapped and
+  // the parallel zero fill faults each one on the thread that owns the same
+  // static slice in the element sweeps (DESIGN.md §5i). The assembly fill
+  // that follows only rewrites already-placed pages.
   if (layout_ == StoreLayout::kFp32) {
-    data32_.assign(static_cast<std::size_t>(num_elements_ * stride_), 0.0f);
+    data32_.resize(static_cast<std::size_t>(num_elements_ * stride_));
+    numa::first_touch_fill(data32_.data(), data32_.size(), 0.0f);
   } else if (layout_ == StoreLayout::kInterleaved) {
     // Whole batches, the final one zero-padded in its unused lanes.
     const std::int64_t batches =
         (num_elements_ + kBatchElems - 1) / kBatchElems;
-    data_.assign(static_cast<std::size_t>(batches * stride_ * kBatchElems),
-                 0.0);
+    data_.resize(static_cast<std::size_t>(batches * stride_ * kBatchElems));
+    numa::first_touch_fill(data_.data(), data_.size(), 0.0);
   } else {
-    data_.assign(static_cast<std::size_t>(num_elements_ * stride_), 0.0);
+    data_.resize(static_cast<std::size_t>(num_elements_ * stride_));
+    numa::first_touch_fill(data_.data(), data_.size(), 0.0);
   }
 }
 

@@ -9,6 +9,8 @@
 
 #include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
+#include "hymv/common/isa.hpp"
+#include "hymv/common/numa.hpp"
 #include "hymv/common/timer.hpp"
 #include "hymv/obs/metrics.hpp"
 #include "hymv/obs/trace.hpp"
@@ -91,6 +93,22 @@ std::int64_t env_count(const char* name, std::int64_t fallback) {
     return fallback;
   }
   return v;
+}
+
+/// Publish the hardware-adaptation state — active/detected dispatch level,
+/// NUMA placement, measured bandwidth — as idempotent gauges (set, not add:
+/// safe to publish from every measurement and solve). The triad gauge only
+/// reports a probe another consumer already paid for; it never triggers one.
+void publish_hw_metrics(hymv::obs::MetricsRegistry& mets) {
+  mets.gauge("isa.level")
+      .set(static_cast<double>(static_cast<int>(hymv::isa::active())));
+  mets.gauge("isa.detected")
+      .set(static_cast<double>(static_cast<int>(hymv::isa::detected())));
+  const hymv::numa::Report nr = hymv::numa::report();
+  mets.gauge("numa.first_touch").set(nr.first_touch ? 1.0 : 0.0);
+  mets.gauge("numa.pinned_threads")
+      .set(static_cast<double>(nr.pinned_threads));
+  mets.gauge("numa.triad_gbps").set(nr.triad_bytes_per_s / 1e9);
 }
 
 /// The element operator (with forcing) for a spec.
@@ -279,6 +297,10 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
   SpmvReport report;
   report.napplies = napplies;
 
+  // Opt-in thread pinning must precede backend construction so the
+  // first-touch fills fault pages from their final cores (numa.hpp).
+  numa::pin_threads_from_env();
+
   const auto counters_setup0 = comm.counters();
   // One construction path for all backends (setup breakdown + typed views).
   BuiltBackend built = build_backend(comm, ctx, backend, options.device,
@@ -410,6 +432,7 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
   // operator's own registry (apply.*/setup.*, both time axes) in before the
   // operator dies — each operator instance is merged exactly once.
   obs::MetricsRegistry& mets = comm.metrics();
+  publish_hw_metrics(mets);
   mets.counter("spmv.measurements").inc();
   mets.counter("spmv.applies").add(napplies);
   mets.counter("spmv.flops").add(report.flops);
@@ -439,6 +462,10 @@ SolveReport solve_problem(simmpi::Comm& comm, RankContext& ctx,
       options.device != nullptr ? options.device->host_exec_seconds() : 0.0;
   const double vt0 =
       options.device != nullptr ? options.device->virtual_time() : 0.0;
+
+  // Opt-in thread pinning must precede backend construction so the
+  // first-touch fills fault pages from their final cores (numa.hpp).
+  numa::pin_threads_from_env();
 
   hymv::Timer setup_timer;
   std::unique_ptr<pla::LinearOperator> a =
@@ -525,6 +552,7 @@ SolveReport solve_problem(simmpi::Comm& comm, RankContext& ctx,
   // job-cumulative view of every solve; cg.* counters were already bumped
   // inside cg_solve.
   obs::MetricsRegistry& mets = comm.metrics();
+  publish_hw_metrics(mets);
   mets.counter("solve.solves").inc();
   mets.counter("solve.attempts").add(report.attempts);
   mets.counter("solve.scrubbed_blocks").add(report.scrubbed_blocks);

@@ -7,6 +7,7 @@
 #include "hymv/common/aligned.hpp"
 #include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
+#include "hymv/common/numa.hpp"
 #include "hymv/common/rng.hpp"
 #include "hymv/common/timer.hpp"
 #include "hymv/core/dense_kernels.hpp"
@@ -95,6 +96,14 @@ CpuSpec CpuSpec::from_env() {
     std::fprintf(stderr,
                  "hymv: HYMV_CPU_PEAK_GFLOPS must be > 0, keeping %.1f\n",
                  spec.peak_flops_per_s / 1e9);
+  }
+  // Memory ceiling precedence: explicit HYMV_CPU_MEM_GBPS > measured STREAM
+  // triad (numa.hpp; one cached ~10 ms probe, HYMV_TRIAD_PROBE=0 disables)
+  // > the compiled-in default. The probe only steers adaptive *decisions* —
+  // every backend is bitwise-identical, so this never changes results.
+  const double triad = hymv::numa::measured_triad_bytes_per_s();
+  if (triad > 0.0) {
+    spec.mem_bytes_per_s = triad;
   }
   const double bw = env_double("HYMV_CPU_MEM_GBPS", spec.mem_bytes_per_s / 1e9);
   if (bw > 0.0) {

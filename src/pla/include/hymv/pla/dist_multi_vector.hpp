@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "hymv/common/aligned.hpp"
+#include "hymv/common/numa.hpp"
 #include "hymv/pla/dist_vector.hpp"
 #include "hymv/simmpi/simmpi.hpp"
 
@@ -26,9 +28,13 @@ class DistMultiVector {
  public:
   DistMultiVector() = default;
   DistMultiVector(const Layout& layout, int width)
-      : layout_(layout),
-        width_(width),
-        v_(static_cast<std::size_t>(layout.owned() * width), 0.0) {}
+      : layout_(layout), width_(width) {
+    // First-touch placement: the no-init resize leaves pages unmapped; the
+    // parallel zero fill faults each page on the thread that streams the
+    // same static slice in the lane kernels (DESIGN.md §5i).
+    v_.resize(static_cast<std::size_t>(layout.owned() * width));
+    numa::first_touch_fill(v_.data(), v_.size(), 0.0);
+  }
 
   [[nodiscard]] const Layout& layout() const { return layout_; }
   /// Number of lanes (right-hand sides) k.
@@ -56,7 +62,7 @@ class DistMultiVector {
  private:
   Layout layout_;
   int width_ = 0;
-  std::vector<double> v_;
+  hymv::aligned_uninit_vector<double> v_;
 };
 
 /// Per-lane global dot products: out[j] = Σ_i x(i,j)·y(i,j), all k lanes

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "hymv/common/aligned.hpp"
 #include "hymv/pla/csr.hpp"
 
 namespace hymv::pla {
@@ -88,8 +89,11 @@ class SellMatrix {
   std::vector<std::int64_t> chunk_ptr_;   ///< nchunks+1 slot offsets
   std::vector<std::int64_t> row_of_slot_; ///< nchunks*C lane → row (-1 pad)
   std::vector<std::int64_t> rowlen_;      ///< true length per original row
-  std::vector<std::int64_t> cols_;        ///< chunk-major column indices
-  std::vector<double> vals_;              ///< chunk-major values
+  /// The two streamed arrays use the no-init allocator so the constructor
+  /// can first-touch-place their pages with the kernels' static thread
+  /// distribution (numa.hpp) before the serial pattern fill.
+  aligned_uninit_vector<std::int64_t> cols_;  ///< chunk-major column indices
+  aligned_uninit_vector<double> vals_;        ///< chunk-major values
 };
 
 }  // namespace hymv::pla

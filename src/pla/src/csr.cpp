@@ -4,6 +4,11 @@
 #include <cmath>
 
 #include "hymv/common/error.hpp"
+#include "hymv/common/isa.hpp"
+
+#if HYMV_ISA_X86
+#include <immintrin.h>
+#endif
 
 namespace hymv::pla {
 
@@ -12,6 +17,215 @@ namespace {
 /// Below this the fork/join overhead of an OpenMP row loop beats the work;
 /// the preconditioner's small per-rank blocks stay serial.
 constexpr std::int64_t kOmpMinRows = 512;
+
+// ---------------------------------------------------------------------------
+// Per-ISA row-block kernels (DESIGN.md §5i)
+//
+// Accumulation canon: CSR's single-vector dot products are UNFUSED chains —
+// `sum += v·x` is a multiply THEN an add per term, the shape the
+// pre-dispatch compiled loop had and the golden hashes froze. fp-contract
+// is pinned off on EVERY block entry — contraction is otherwise
+// compiler-discretionary, and GCC fuses adjacent mul/add *intrinsics* just
+// as readily as scalar expressions — and the vector entries use separate
+// mul/add intrinsics. The panel kernels use the FUSED chain, matching the omp-simd
+// lane loop they replace. One lane = one row (or one RHS lane), chains of
+// distinct outputs never mix, so results are bitwise invariant across
+// dispatch level and thread count.
+// ---------------------------------------------------------------------------
+
+/// Rows per dispatched block (one AVX-512 register of fp64 lanes).
+constexpr int kCsrBlockRows = 8;
+
+/// Dot products for <= kCsrBlockRows consecutive rows. offs[i]/lens[i]
+/// delimit row i's slot range (lens zero-padded to kCsrBlockRows); out[i]
+/// receives row i's unfused mul+add chain (0 for padded lanes).
+using CsrBlockFn = void (*)(const double* vals, const std::int64_t* cols,
+                            const std::int64_t* offs, const std::int64_t* lens,
+                            const double* x, double* out);
+
+HYMV_NOCONTRACT void csr_block_scalar(const double* vals,
+                                      const std::int64_t* cols,
+                                      const std::int64_t* offs,
+                                      const std::int64_t* lens,
+                                      const double* x, double* out) {
+  HYMV_NOCONTRACT_BODY
+  for (int i = 0; i < kCsrBlockRows; ++i) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < lens[i]; ++j) {
+      const auto slot = static_cast<std::size_t>(offs[i] + j);
+      sum += vals[slot] * x[static_cast<std::size_t>(cols[slot])];
+    }
+    out[i] = sum;
+  }
+}
+
+#if HYMV_ISA_X86
+
+/// AVX2 entry: two 4-lane halves, one row per lane. Rows start at unrelated
+/// offsets, so values and columns are gathered via offs+j slot vectors
+/// (unlike SELL, whose chunk-major layout gives unit-stride loads — the
+/// reason SELL remains the preferred assembled backend).
+HYMV_TARGET_AVX2 HYMV_NOCONTRACT void csr_block_avx2(const double* vals,
+                                     const std::int64_t* cols,
+                                     const std::int64_t* offs,
+                                     const std::int64_t* lens, const double* x,
+                                     double* out) {
+  for (int h = 0; h < 2; ++h) {
+    const std::int64_t* oh = offs + 4 * h;
+    const std::int64_t* lh = lens + 4 * h;
+    const __m256i offv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(oh));
+    const __m256i lenv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lh));
+    const std::int64_t maxlen =
+        std::max(std::max(lh[0], lh[1]), std::max(lh[2], lh[3]));
+    __m256d acc = _mm256_setzero_pd();
+    for (std::int64_t j = 0; j < maxlen; ++j) {
+      const __m256i jm = _mm256_cmpgt_epi64(lenv, _mm256_set1_epi64x(j));
+      const __m256d mpd = _mm256_castsi256_pd(jm);
+      const __m256i slot = _mm256_add_epi64(offv, _mm256_set1_epi64x(j));
+      const __m256d valv =
+          _mm256_mask_i64gather_pd(_mm256_setzero_pd(), vals, slot, mpd, 8);
+      const __m256i colv = _mm256_mask_i64gather_epi64(
+          _mm256_setzero_si256(), reinterpret_cast<const long long*>(cols),
+          slot, jm, 8);
+      const __m256d xv =
+          _mm256_mask_i64gather_pd(_mm256_setzero_pd(), x, colv, mpd, 8);
+      // Separate mul + add (NOT fmadd): the unfused CSR canon.
+      acc = _mm256_blendv_pd(acc, _mm256_add_pd(acc, _mm256_mul_pd(valv, xv)),
+                             mpd);
+    }
+    _mm256_storeu_pd(out + 4 * h, acc);
+  }
+}
+
+/// AVX-512 entry: one full 8-row block with native masking.
+HYMV_TARGET_AVX512 HYMV_NOCONTRACT void csr_block_avx512(const double* vals,
+                                         const std::int64_t* cols,
+                                         const std::int64_t* offs,
+                                         const std::int64_t* lens,
+                                         const double* x, double* out) {
+  const __m512i offv = _mm512_loadu_si512(reinterpret_cast<const void*>(offs));
+  const __m512i lenv = _mm512_loadu_si512(reinterpret_cast<const void*>(lens));
+  std::int64_t maxlen = 0;
+  for (int i = 0; i < kCsrBlockRows; ++i) {
+    maxlen = std::max(maxlen, lens[i]);
+  }
+  __m512d acc = _mm512_setzero_pd();
+  for (std::int64_t j = 0; j < maxlen; ++j) {
+    const __mmask8 m = _mm512_cmpgt_epi64_mask(lenv, _mm512_set1_epi64(j));
+    const __m512i slot = _mm512_add_epi64(offv, _mm512_set1_epi64(j));
+    const __m512d valv =
+        _mm512_mask_i64gather_pd(_mm512_setzero_pd(), m, slot, vals, 8);
+    const __m512i colv =
+        _mm512_mask_i64gather_epi64(_mm512_setzero_si512(), m, slot, cols, 8);
+    const __m512d xv =
+        _mm512_mask_i64gather_pd(_mm512_setzero_pd(), m, colv, x, 8);
+    acc = _mm512_mask_add_pd(acc, m, acc, _mm512_mul_pd(valv, xv));
+  }
+  _mm512_storeu_pd(out, acc);
+}
+
+constexpr CsrBlockFn kCsrBlockTable[hymv::isa::kNumIsaLevels] = {
+    &csr_block_scalar, &csr_block_avx2, &csr_block_avx512};
+
+#else  // !HYMV_ISA_X86
+
+constexpr CsrBlockFn kCsrBlockTable[hymv::isa::kNumIsaLevels] = {
+    &csr_block_scalar, &csr_block_scalar, &csr_block_scalar};
+
+#endif  // HYMV_ISA_X86
+
+/// One row's k-lane panel accumulation: acc[l] += sum_p vals[p]·x[col_p·k+l],
+/// fused chain per lane. acc is the caller's zeroed 64-lane buffer; lanes
+/// >= k stay zero (full-width stores into it are in bounds).
+using CsrRowPanelFn = void (*)(const double* vals, const std::int64_t* cols,
+                               std::int64_t lo, std::int64_t hi,
+                               const double* x, std::size_t k, double* acc);
+
+void csr_row_panel_fma(const double* vals, const std::int64_t* cols,
+                       std::int64_t lo, std::int64_t hi, const double* x,
+                       std::size_t k, double* acc) {
+  for (std::int64_t p = lo; p < hi; ++p) {
+    const double a = vals[static_cast<std::size_t>(p)];
+    const double* xs =
+        x + static_cast<std::size_t>(cols[static_cast<std::size_t>(p)]) * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      acc[l] = std::fma(a, xs[l], acc[l]);
+    }
+  }
+}
+
+#if HYMV_ISA_X86
+
+HYMV_TARGET_AVX2 void csr_row_panel_avx2(const double* vals,
+                                         const std::int64_t* cols,
+                                         std::int64_t lo, std::int64_t hi,
+                                         const double* x, std::size_t k,
+                                         double* acc) {
+  for (std::size_t jb = 0; jb < k; jb += 4) {
+    const std::size_t rem = k - jb;
+    const __m256i jm = _mm256_setr_epi64x(rem > 0 ? -1 : 0, rem > 1 ? -1 : 0,
+                                          rem > 2 ? -1 : 0, rem > 3 ? -1 : 0);
+    const bool full = rem >= 4;
+    __m256d accv = _mm256_setzero_pd();
+    for (std::int64_t p = lo; p < hi; ++p) {
+      const __m256d a = _mm256_set1_pd(vals[static_cast<std::size_t>(p)]);
+      const double* xs =
+          x +
+          static_cast<std::size_t>(cols[static_cast<std::size_t>(p)]) * k + jb;
+      const __m256d xv =
+          full ? _mm256_loadu_pd(xs) : _mm256_maskload_pd(xs, jm);
+      accv = _mm256_fmadd_pd(a, xv, accv);
+    }
+    _mm256_storeu_pd(acc + jb, accv);
+  }
+}
+
+HYMV_TARGET_AVX512 void csr_row_panel_avx512(const double* vals,
+                                             const std::int64_t* cols,
+                                             std::int64_t lo, std::int64_t hi,
+                                             const double* x, std::size_t k,
+                                             double* acc) {
+  for (std::size_t jb = 0; jb < k; jb += 8) {
+    const std::size_t rem = k - jb;
+    const __mmask8 m =
+        rem >= 8 ? 0xFF : static_cast<__mmask8>((1u << rem) - 1u);
+    __m512d accv = _mm512_setzero_pd();
+    for (std::int64_t p = lo; p < hi; ++p) {
+      const __m512d a = _mm512_set1_pd(vals[static_cast<std::size_t>(p)]);
+      const double* xs =
+          x +
+          static_cast<std::size_t>(cols[static_cast<std::size_t>(p)]) * k + jb;
+      const __m512d xv = _mm512_maskz_loadu_pd(m, xs);
+      accv = _mm512_fmadd_pd(a, xv, accv);
+    }
+    _mm512_storeu_pd(acc + jb, accv);
+  }
+}
+
+constexpr CsrRowPanelFn kCsrRowPanelTable[hymv::isa::kNumIsaLevels] = {
+    &csr_row_panel_fma, &csr_row_panel_avx2, &csr_row_panel_avx512};
+
+#else  // !HYMV_ISA_X86
+
+constexpr CsrRowPanelFn kCsrRowPanelTable[hymv::isa::kNumIsaLevels] = {
+    &csr_row_panel_fma, &csr_row_panel_fma, &csr_row_panel_fma};
+
+#endif  // HYMV_ISA_X86
+
+/// Software-prefetch the next row block's value/column streams.
+inline void prefetch_rows(const double* vals, const std::int64_t* cols,
+                          std::int64_t slot) {
+#if HYMV_ISA_X86
+  _mm_prefetch(reinterpret_cast<const char*>(vals + slot), _MM_HINT_T0);
+  _mm_prefetch(reinterpret_cast<const char*>(cols + slot), _MM_HINT_T0);
+#else
+  (void)vals;
+  (void)cols;
+  (void)slot;
+#endif
+}
 
 }  // namespace
 
@@ -47,17 +261,29 @@ void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   HYMV_CHECK_MSG(static_cast<std::int64_t>(x.size()) == ncols_ &&
                      static_cast<std::int64_t>(y.size()) == nrows_,
                  "CsrMatrix::spmv: size mismatch");
+  const std::int64_t nblocks =
+      (nrows_ + kCsrBlockRows - 1) / kCsrBlockRows;
+  const CsrBlockFn block = kCsrBlockTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (nrows_ >= kOmpMinRows)
 #endif
-  for (std::int64_t r = 0; r < nrows_; ++r) {
-    double sum = 0.0;
-    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
-         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-      sum += vals_[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    const std::int64_t r0 = b * kCsrBlockRows;
+    const int cnt =
+        static_cast<int>(std::min<std::int64_t>(kCsrBlockRows, nrows_ - r0));
+    std::int64_t offs[kCsrBlockRows] = {};
+    std::int64_t lens[kCsrBlockRows] = {};
+    for (int i = 0; i < cnt; ++i) {
+      offs[i] = row_ptr_[static_cast<std::size_t>(r0 + i)];
+      lens[i] = row_ptr_[static_cast<std::size_t>(r0 + i) + 1] - offs[i];
     }
-    y[static_cast<std::size_t>(r)] = sum;
+    prefetch_rows(vals_.data(), col_idx_.data(),
+                  row_ptr_[static_cast<std::size_t>(r0 + cnt)]);
+    double out[kCsrBlockRows];
+    block(vals_.data(), col_idx_.data(), offs, lens, x.data(), out);
+    for (int i = 0; i < cnt; ++i) {
+      y[static_cast<std::size_t>(r0 + i)] = out[i];
+    }
   }
 }
 
@@ -65,17 +291,29 @@ void CsrMatrix::spmv_add(std::span<const double> x, std::span<double> y) const {
   HYMV_CHECK_MSG(static_cast<std::int64_t>(x.size()) == ncols_ &&
                      static_cast<std::int64_t>(y.size()) == nrows_,
                  "CsrMatrix::spmv_add: size mismatch");
+  const std::int64_t nblocks =
+      (nrows_ + kCsrBlockRows - 1) / kCsrBlockRows;
+  const CsrBlockFn block = kCsrBlockTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (nrows_ >= kOmpMinRows)
 #endif
-  for (std::int64_t r = 0; r < nrows_; ++r) {
-    double sum = 0.0;
-    for (std::int64_t k = row_ptr_[static_cast<std::size_t>(r)];
-         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-      sum += vals_[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    const std::int64_t r0 = b * kCsrBlockRows;
+    const int cnt =
+        static_cast<int>(std::min<std::int64_t>(kCsrBlockRows, nrows_ - r0));
+    std::int64_t offs[kCsrBlockRows] = {};
+    std::int64_t lens[kCsrBlockRows] = {};
+    for (int i = 0; i < cnt; ++i) {
+      offs[i] = row_ptr_[static_cast<std::size_t>(r0 + i)];
+      lens[i] = row_ptr_[static_cast<std::size_t>(r0 + i) + 1] - offs[i];
     }
-    y[static_cast<std::size_t>(r)] += sum;
+    prefetch_rows(vals_.data(), col_idx_.data(),
+                  row_ptr_[static_cast<std::size_t>(r0 + cnt)]);
+    double out[kCsrBlockRows];
+    block(vals_.data(), col_idx_.data(), offs, lens, x.data(), out);
+    for (int i = 0; i < cnt; ++i) {
+      y[static_cast<std::size_t>(r0 + i)] += out[i];
+    }
   }
 }
 
@@ -87,24 +325,17 @@ void CsrMatrix::spmv_multi(std::span<const double> x, std::span<double> y,
                      static_cast<std::int64_t>(y.size()) == nrows_ * k,
                  "CsrMatrix::spmv_multi: size mismatch");
   const auto ku = static_cast<std::size_t>(k);
+  const CsrRowPanelFn panel = kCsrRowPanelTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (nrows_ >= kOmpMinRows)
 #endif
   for (std::int64_t r = 0; r < nrows_; ++r) {
+    // The matrix value is loaded once for all k lanes — the panel
+    // arithmetic-intensity win, vectorized over the lane axis by the
+    // dispatched microkernel.
     double acc[64] = {};
-    for (std::int64_t p = row_ptr_[static_cast<std::size_t>(r)];
-         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
-      const double a = vals_[static_cast<std::size_t>(p)];
-      const double* xs =
-          x.data() +
-          static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(p)]) * ku;
-#ifdef _OPENMP
-#pragma omp simd
-#endif
-      for (std::size_t l = 0; l < ku; ++l) {
-        acc[l] += a * xs[l];
-      }
-    }
+    panel(vals_.data(), col_idx_.data(), row_ptr_[static_cast<std::size_t>(r)],
+          row_ptr_[static_cast<std::size_t>(r) + 1], x.data(), ku, acc);
     double* ys = y.data() + static_cast<std::size_t>(r) * ku;
     for (std::size_t l = 0; l < ku; ++l) {
       ys[l] = acc[l];
@@ -120,24 +351,14 @@ void CsrMatrix::spmv_add_multi(std::span<const double> x, std::span<double> y,
                      static_cast<std::int64_t>(y.size()) == nrows_ * k,
                  "CsrMatrix::spmv_add_multi: size mismatch");
   const auto ku = static_cast<std::size_t>(k);
+  const CsrRowPanelFn panel = kCsrRowPanelTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (nrows_ >= kOmpMinRows)
 #endif
   for (std::int64_t r = 0; r < nrows_; ++r) {
     double acc[64] = {};
-    for (std::int64_t p = row_ptr_[static_cast<std::size_t>(r)];
-         p < row_ptr_[static_cast<std::size_t>(r) + 1]; ++p) {
-      const double a = vals_[static_cast<std::size_t>(p)];
-      const double* xs =
-          x.data() +
-          static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(p)]) * ku;
-#ifdef _OPENMP
-#pragma omp simd
-#endif
-      for (std::size_t l = 0; l < ku; ++l) {
-        acc[l] += a * xs[l];
-      }
-    }
+    panel(vals_.data(), col_idx_.data(), row_ptr_[static_cast<std::size_t>(r)],
+          row_ptr_[static_cast<std::size_t>(r) + 1], x.data(), ku, acc);
     double* ys = y.data() + static_cast<std::size_t>(r) * ku;
     for (std::size_t l = 0; l < ku; ++l) {
       ys[l] += acc[l];

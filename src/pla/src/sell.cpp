@@ -1,9 +1,16 @@
 #include "hymv/pla/sell.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "hymv/common/error.hpp"
+#include "hymv/common/isa.hpp"
+#include "hymv/common/numa.hpp"
+
+#if HYMV_ISA_X86
+#include <immintrin.h>
+#endif
 
 namespace hymv::pla {
 
@@ -62,8 +69,14 @@ SellMatrix::SellMatrix(const CsrMatrix& csr, int c, int sigma,
   // (loops are bounded by the true row length).
   const auto total =
       static_cast<std::size_t>(chunk_ptr_[static_cast<std::size_t>(nchunks)]);
-  vals_.assign(total, 0.0);
-  cols_.assign(total, 0);
+  // First-touch placement: resize leaves the pages untouched (no-init
+  // allocator), the parallel zero-fill faults each page on the thread that
+  // owns the same static slice in the spmv chunk loop. The serial pattern
+  // fill below only rewrites already-placed pages.
+  vals_.resize(total);
+  cols_.resize(total);
+  numa::first_touch_fill(vals_.data(), total, 0.0);
+  numa::first_touch_fill(cols_.data(), total, std::int64_t{0});
   for (std::int64_t ch = 0; ch < nchunks; ++ch) {
     const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
     for (int lane = 0; lane < c_; ++lane) {
@@ -101,19 +114,202 @@ std::int64_t SellMatrix::apply_traffic_bytes() const {
 
 namespace {
 
-/// Per-row dot product in ascending column order, bounded by the true row
-/// length — the accumulation order CsrMatrix::spmv uses, which is what
-/// makes the result a pure function of the pattern: bitwise identical
-/// across C, σ, and thread count (CSR agreement is up to FMA contraction).
-inline double row_dot(const double* vals, const std::int64_t* cols,
-                      std::int64_t base, int c, int lane, std::int64_t len,
-                      std::span<const double> x) {
-  double acc = 0.0;
-  for (std::int64_t j = 0; j < len; ++j) {
-    const auto slot = static_cast<std::size_t>(base + j * c + lane);
-    acc += vals[slot] * x[static_cast<std::size_t>(cols[slot])];
+// ---------------------------------------------------------------------------
+// Per-ISA chunk kernels (DESIGN.md §5i)
+//
+// Accumulation canon: each row's dot product is one ascending-j chain of
+// FUSED multiply-adds bounded by the true row length — the chain the
+// compiler already contracts the portable loop into on FMA hosts, and the
+// order CsrMatrix agrees with up to contraction. Chains of distinct rows
+// never mix, so every entry below (scalar fma / AVX2 / AVX-512) produces
+// identical bits, which is what keeps SELL results invariant across C, σ,
+// thread count, AND dispatch level.
+// ---------------------------------------------------------------------------
+
+/// Lanes per dispatched block (one AVX-512 register of fp64 lanes; chunks
+/// taller than this are processed in blocks).
+constexpr int kSellBlockLanes = 8;
+
+/// Dot products for <= kSellBlockLanes lanes of one chunk. vp/cp point at
+/// the block's first slot (vals + base + lane0); slot j of lane i is at
+/// [j * stride + i]. lens is padded with zeros to kSellBlockLanes entries;
+/// out[i] receives lane i's dot (0 for padded lanes).
+using SellBlockFn = void (*)(const double* vp, const std::int64_t* cp,
+                             std::int64_t stride, const std::int64_t* lens,
+                             const double* x, double* out);
+
+void sell_block_fma(const double* vp, const std::int64_t* cp,
+                    std::int64_t stride, const std::int64_t* lens,
+                    const double* x, double* out) {
+  for (int i = 0; i < kSellBlockLanes; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < lens[i]; ++j) {
+      const auto slot = static_cast<std::size_t>(j * stride + i);
+      acc = std::fma(vp[slot], x[cp[slot]], acc);
+    }
+    out[i] = acc;
   }
-  return acc;
+}
+
+#if HYMV_ISA_X86
+
+/// AVX2 entry: two 4-lane halves. Value/column loads are unit-stride
+/// (chunk-major storage), x is gathered; lanes past their row length are
+/// masked out of loads, gathers, and the blended accumulate.
+HYMV_TARGET_AVX2 void sell_block_avx2(const double* vp,
+                                      const std::int64_t* cp,
+                                      std::int64_t stride,
+                                      const std::int64_t* lens,
+                                      const double* x, double* out) {
+  for (int h = 0; h < 2; ++h) {
+    const double* vph = vp + 4 * h;
+    const std::int64_t* cph = cp + 4 * h;
+    const std::int64_t* lh = lens + 4 * h;
+    const __m256i lenv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lh));
+    const std::int64_t maxlen =
+        std::max(std::max(lh[0], lh[1]), std::max(lh[2], lh[3]));
+    __m256d acc = _mm256_setzero_pd();
+    for (std::int64_t j = 0; j < maxlen; ++j) {
+      const __m256i jm = _mm256_cmpgt_epi64(lenv, _mm256_set1_epi64x(j));
+      const __m256d mpd = _mm256_castsi256_pd(jm);
+      const __m256d valv = _mm256_maskload_pd(vph + j * stride, jm);
+      const __m256i colv = _mm256_maskload_epi64(
+          reinterpret_cast<const long long*>(cph + j * stride), jm);
+      const __m256d xv =
+          _mm256_mask_i64gather_pd(_mm256_setzero_pd(), x, colv, mpd, 8);
+      acc = _mm256_blendv_pd(acc, _mm256_fmadd_pd(valv, xv, acc), mpd);
+    }
+    _mm256_storeu_pd(out + 4 * h, acc);
+  }
+}
+
+/// AVX-512 entry: one full 8-lane block with native masking.
+HYMV_TARGET_AVX512 void sell_block_avx512(const double* vp,
+                                          const std::int64_t* cp,
+                                          std::int64_t stride,
+                                          const std::int64_t* lens,
+                                          const double* x, double* out) {
+  const __m512i lenv =
+      _mm512_loadu_si512(reinterpret_cast<const void*>(lens));
+  std::int64_t maxlen = 0;
+  for (int i = 0; i < kSellBlockLanes; ++i) {
+    maxlen = std::max(maxlen, lens[i]);
+  }
+  __m512d acc = _mm512_setzero_pd();
+  for (std::int64_t j = 0; j < maxlen; ++j) {
+    const __mmask8 m =
+        _mm512_cmpgt_epi64_mask(lenv, _mm512_set1_epi64(j));
+    const __m512d valv = _mm512_maskz_loadu_pd(m, vp + j * stride);
+    const __m512i colv = _mm512_maskz_loadu_epi64(m, cp + j * stride);
+    const __m512d xv =
+        _mm512_mask_i64gather_pd(_mm512_setzero_pd(), m, colv, x, 8);
+    acc = _mm512_mask3_fmadd_pd(valv, xv, acc, m);
+  }
+  _mm512_storeu_pd(out, acc);
+}
+
+constexpr SellBlockFn kSellBlockTable[hymv::isa::kNumIsaLevels] = {
+    &sell_block_fma, &sell_block_avx2, &sell_block_avx512};
+
+#else  // !HYMV_ISA_X86
+
+constexpr SellBlockFn kSellBlockTable[hymv::isa::kNumIsaLevels] = {
+    &sell_block_fma, &sell_block_fma, &sell_block_fma};
+
+#endif  // HYMV_ISA_X86
+
+/// One row's k-lane panel accumulation: acc[l] += sum_j vals[j]·x[col_j·k+l]
+/// with the matrix value broadcast across the lane axis. vp/cp point at the
+/// row's first slot; slot j at [j * stride]. acc is the caller's zeroed
+/// 64-lane buffer; lanes >= k stay zero.
+using SellRowPanelFn = void (*)(const double* vp, const std::int64_t* cp,
+                                std::int64_t stride, std::int64_t len,
+                                const double* x, std::size_t k, double* acc);
+
+void sell_row_panel_fma(const double* vp, const std::int64_t* cp,
+                        std::int64_t stride, std::int64_t len,
+                        const double* x, std::size_t k, double* acc) {
+  for (std::int64_t j = 0; j < len; ++j) {
+    const double a = vp[j * stride];
+    const double* xs = x + static_cast<std::size_t>(cp[j * stride]) * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      acc[l] = std::fma(a, xs[l], acc[l]);
+    }
+  }
+}
+
+#if HYMV_ISA_X86
+
+HYMV_TARGET_AVX2 void sell_row_panel_avx2(const double* vp,
+                                          const std::int64_t* cp,
+                                          std::int64_t stride,
+                                          std::int64_t len, const double* x,
+                                          std::size_t k, double* acc) {
+  for (std::size_t jb = 0; jb < k; jb += 4) {
+    const std::size_t rem = k - jb;
+    const __m256i jm = _mm256_setr_epi64x(rem > 0 ? -1 : 0, rem > 1 ? -1 : 0,
+                                          rem > 2 ? -1 : 0, rem > 3 ? -1 : 0);
+    const bool full = rem >= 4;
+    __m256d accv = _mm256_setzero_pd();
+    for (std::int64_t j = 0; j < len; ++j) {
+      const __m256d a = _mm256_set1_pd(vp[j * stride]);
+      const double* xs =
+          x + static_cast<std::size_t>(cp[j * stride]) * k + jb;
+      const __m256d xv =
+          full ? _mm256_loadu_pd(xs) : _mm256_maskload_pd(xs, jm);
+      accv = _mm256_fmadd_pd(a, xv, accv);
+    }
+    // acc is the 64-lane scratch buffer, so the full-width store stays in
+    // bounds; masked-out lanes only ever receive zeros.
+    _mm256_storeu_pd(acc + jb, accv);
+  }
+}
+
+HYMV_TARGET_AVX512 void sell_row_panel_avx512(const double* vp,
+                                              const std::int64_t* cp,
+                                              std::int64_t stride,
+                                              std::int64_t len,
+                                              const double* x, std::size_t k,
+                                              double* acc) {
+  for (std::size_t jb = 0; jb < k; jb += 8) {
+    const std::size_t rem = k - jb;
+    const __mmask8 m =
+        rem >= 8 ? 0xFF : static_cast<__mmask8>((1u << rem) - 1u);
+    __m512d accv = _mm512_setzero_pd();
+    for (std::int64_t j = 0; j < len; ++j) {
+      const __m512d a = _mm512_set1_pd(vp[j * stride]);
+      const double* xs =
+          x + static_cast<std::size_t>(cp[j * stride]) * k + jb;
+      const __m512d xv = _mm512_maskz_loadu_pd(m, xs);
+      accv = _mm512_fmadd_pd(a, xv, accv);
+    }
+    _mm512_storeu_pd(acc + jb, accv);
+  }
+}
+
+constexpr SellRowPanelFn kSellRowPanelTable[hymv::isa::kNumIsaLevels] = {
+    &sell_row_panel_fma, &sell_row_panel_avx2, &sell_row_panel_avx512};
+
+#else  // !HYMV_ISA_X86
+
+constexpr SellRowPanelFn kSellRowPanelTable[hymv::isa::kNumIsaLevels] = {
+    &sell_row_panel_fma, &sell_row_panel_fma, &sell_row_panel_fma};
+
+#endif  // HYMV_ISA_X86
+
+/// Software-prefetch the next chunk's value/column streams (no-op compile
+/// on non-x86; prefetches never fault, so no bounds guard is needed).
+inline void prefetch_chunk(const double* vals, const std::int64_t* cols,
+                           std::int64_t base) {
+#if HYMV_ISA_X86
+  _mm_prefetch(reinterpret_cast<const char*>(vals + base), _MM_HINT_T0);
+  _mm_prefetch(reinterpret_cast<const char*>(cols + base), _MM_HINT_T0);
+#else
+  (void)vals;
+  (void)cols;
+  (void)base;
+#endif
 }
 
 }  // namespace
@@ -121,20 +317,31 @@ inline double row_dot(const double* vals, const std::int64_t* cols,
 void SellMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   const std::int64_t nchunks =
       static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+  const SellBlockFn block = kSellBlockTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (use_openmp_)
 #endif
   for (std::int64_t ch = 0; ch < nchunks; ++ch) {
     const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
-    for (int lane = 0; lane < c_; ++lane) {
-      const std::int64_t r =
-          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
-      if (r < 0) {
-        continue;
+    prefetch_chunk(vals_.data(), cols_.data(),
+                   chunk_ptr_[static_cast<std::size_t>(ch) + 1]);
+    for (int lb = 0; lb < c_; lb += kSellBlockLanes) {
+      const int cnt = std::min(kSellBlockLanes, c_ - lb);
+      const std::int64_t* rows =
+          row_of_slot_.data() + static_cast<std::size_t>(ch * c_ + lb);
+      std::int64_t lens[kSellBlockLanes] = {};
+      for (int i = 0; i < cnt; ++i) {
+        lens[i] =
+            rows[i] >= 0 ? rowlen_[static_cast<std::size_t>(rows[i])] : 0;
       }
-      y[static_cast<std::size_t>(r)] =
-          row_dot(vals_.data(), cols_.data(), base, c_, lane,
-                  rowlen_[static_cast<std::size_t>(r)], x);
+      double out[kSellBlockLanes];
+      block(vals_.data() + base + lb, cols_.data() + base + lb, c_, lens,
+            x.data(), out);
+      for (int i = 0; i < cnt; ++i) {
+        if (rows[i] >= 0) {
+          y[static_cast<std::size_t>(rows[i])] = out[i];
+        }
+      }
     }
   }
 }
@@ -143,20 +350,31 @@ void SellMatrix::spmv_add(std::span<const double> x,
                           std::span<double> y) const {
   const std::int64_t nchunks =
       static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+  const SellBlockFn block = kSellBlockTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (use_openmp_)
 #endif
   for (std::int64_t ch = 0; ch < nchunks; ++ch) {
     const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
-    for (int lane = 0; lane < c_; ++lane) {
-      const std::int64_t r =
-          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
-      if (r < 0) {
-        continue;
+    prefetch_chunk(vals_.data(), cols_.data(),
+                   chunk_ptr_[static_cast<std::size_t>(ch) + 1]);
+    for (int lb = 0; lb < c_; lb += kSellBlockLanes) {
+      const int cnt = std::min(kSellBlockLanes, c_ - lb);
+      const std::int64_t* rows =
+          row_of_slot_.data() + static_cast<std::size_t>(ch * c_ + lb);
+      std::int64_t lens[kSellBlockLanes] = {};
+      for (int i = 0; i < cnt; ++i) {
+        lens[i] =
+            rows[i] >= 0 ? rowlen_[static_cast<std::size_t>(rows[i])] : 0;
       }
-      y[static_cast<std::size_t>(r)] +=
-          row_dot(vals_.data(), cols_.data(), base, c_, lane,
-                  rowlen_[static_cast<std::size_t>(r)], x);
+      double out[kSellBlockLanes];
+      block(vals_.data() + base + lb, cols_.data() + base + lb, c_, lens,
+            x.data(), out);
+      for (int i = 0; i < cnt; ++i) {
+        if (rows[i] >= 0) {
+          y[static_cast<std::size_t>(rows[i])] += out[i];
+        }
+      }
     }
   }
 }
@@ -168,20 +386,32 @@ void SellMatrix::spmv_scatter_add(std::span<const double> x,
                  "SellMatrix::spmv_scatter_add: row_map size mismatch");
   const std::int64_t nchunks =
       static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+  const SellBlockFn block = kSellBlockTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (use_openmp_)
 #endif
   for (std::int64_t ch = 0; ch < nchunks; ++ch) {
     const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
-    for (int lane = 0; lane < c_; ++lane) {
-      const std::int64_t r =
-          row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
-      if (r < 0) {
-        continue;
+    prefetch_chunk(vals_.data(), cols_.data(),
+                   chunk_ptr_[static_cast<std::size_t>(ch) + 1]);
+    for (int lb = 0; lb < c_; lb += kSellBlockLanes) {
+      const int cnt = std::min(kSellBlockLanes, c_ - lb);
+      const std::int64_t* rows =
+          row_of_slot_.data() + static_cast<std::size_t>(ch * c_ + lb);
+      std::int64_t lens[kSellBlockLanes] = {};
+      for (int i = 0; i < cnt; ++i) {
+        lens[i] =
+            rows[i] >= 0 ? rowlen_[static_cast<std::size_t>(rows[i])] : 0;
       }
-      y[static_cast<std::size_t>(row_map[static_cast<std::size_t>(r)])] +=
-          row_dot(vals_.data(), cols_.data(), base, c_, lane,
-                  rowlen_[static_cast<std::size_t>(r)], x);
+      double out[kSellBlockLanes];
+      block(vals_.data() + base + lb, cols_.data() + base + lb, c_, lens,
+            x.data(), out);
+      for (int i = 0; i < cnt; ++i) {
+        if (rows[i] >= 0) {
+          y[static_cast<std::size_t>(
+              row_map[static_cast<std::size_t>(rows[i])])] += out[i];
+        }
+      }
     }
   }
 }
@@ -193,33 +423,27 @@ void SellMatrix::spmv_add_multi(std::span<const double> x,
   const auto ku = static_cast<std::size_t>(k);
   const std::int64_t nchunks =
       static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+  const SellRowPanelFn panel =
+      kSellRowPanelTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (use_openmp_)
 #endif
   for (std::int64_t ch = 0; ch < nchunks; ++ch) {
     const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    prefetch_chunk(vals_.data(), cols_.data(),
+                   chunk_ptr_[static_cast<std::size_t>(ch) + 1]);
     for (int lane = 0; lane < c_; ++lane) {
       const std::int64_t r =
           row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
       if (r < 0) {
         continue;
       }
+      // The matrix value is loaded once for all k lanes — the panel
+      // arithmetic-intensity win, vectorized over the lane axis by the
+      // dispatched microkernel.
       double acc[64] = {};
-      for (std::int64_t j = 0; j < rowlen_[static_cast<std::size_t>(r)];
-           ++j) {
-        const auto slot = static_cast<std::size_t>(base + j * c_ + lane);
-        const double a = vals_[slot];
-        const double* xs =
-            x.data() + static_cast<std::size_t>(cols_[slot]) * ku;
-        // The matrix value is loaded once for all k lanes — the panel
-        // arithmetic-intensity win, vectorized over the lane axis.
-#ifdef _OPENMP
-#pragma omp simd
-#endif
-        for (std::size_t l = 0; l < ku; ++l) {
-          acc[l] += a * xs[l];
-        }
-      }
+      panel(vals_.data() + base + lane, cols_.data() + base + lane, c_,
+            rowlen_[static_cast<std::size_t>(r)], x.data(), ku, acc);
       double* ys = y.data() + static_cast<std::size_t>(r) * ku;
       for (std::size_t l = 0; l < ku; ++l) {
         ys[l] += acc[l];
@@ -239,11 +463,15 @@ void SellMatrix::spmv_scatter_add_multi(
   const auto ku = static_cast<std::size_t>(k);
   const std::int64_t nchunks =
       static_cast<std::int64_t>(chunk_ptr_.size()) - 1;
+  const SellRowPanelFn panel =
+      kSellRowPanelTable[hymv::isa::active_index()];
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (use_openmp_)
 #endif
   for (std::int64_t ch = 0; ch < nchunks; ++ch) {
     const std::int64_t base = chunk_ptr_[static_cast<std::size_t>(ch)];
+    prefetch_chunk(vals_.data(), cols_.data(),
+                   chunk_ptr_[static_cast<std::size_t>(ch) + 1]);
     for (int lane = 0; lane < c_; ++lane) {
       const std::int64_t r =
           row_of_slot_[static_cast<std::size_t>(ch * c_ + lane)];
@@ -251,19 +479,8 @@ void SellMatrix::spmv_scatter_add_multi(
         continue;
       }
       double acc[64] = {};
-      for (std::int64_t j = 0; j < rowlen_[static_cast<std::size_t>(r)];
-           ++j) {
-        const auto slot = static_cast<std::size_t>(base + j * c_ + lane);
-        const double a = vals_[slot];
-        const double* xs =
-            x.data() + static_cast<std::size_t>(cols_[slot]) * ku;
-#ifdef _OPENMP
-#pragma omp simd
-#endif
-        for (std::size_t l = 0; l < ku; ++l) {
-          acc[l] += a * xs[l];
-        }
-      }
+      panel(vals_.data() + base + lane, cols_.data() + base + lane, c_,
+            rowlen_[static_cast<std::size_t>(r)], x.data(), ku, acc);
       double* ys =
           y.data() +
           static_cast<std::size_t>(row_map[static_cast<std::size_t>(r)]) * ku;
