@@ -20,4 +20,23 @@ namespace hymv {
 /// with a one-line stderr warning.
 [[nodiscard]] double env_double(const std::string& name, double fallback);
 
+/// Read a duration environment variable, returned in milliseconds. The
+/// value is a non-negative number with an optional unit suffix: "ms"
+/// (default when no suffix), "s", or "m" (minutes) — e.g. "250", "250ms",
+/// "1.5s", "2m". Returns `fallback_ms` when unset; negative values,
+/// non-finite results, unknown suffixes, and trailing garbage are rejected
+/// with a one-line stderr warning. Used by the HYMV_SVC_* service knobs.
+[[nodiscard]] double env_duration_ms(const std::string& name,
+                                     double fallback_ms);
+
+/// Read a byte-size environment variable. The value is a non-negative
+/// integer with an optional binary-scale suffix: "K"/"KB"/"KiB" (1024),
+/// "M"/"MB"/"MiB" (1024²), "G"/"GB"/"GiB" (1024³), or a bare "B"
+/// (case-insensitive) — e.g. "268435456", "256M", "1GiB". Returns
+/// `fallback` when unset; negative values, fractional values, unknown
+/// suffixes, trailing garbage, and sizes that overflow std::int64_t are
+/// rejected with a one-line stderr warning. Used by the HYMV_SVC_* knobs.
+[[nodiscard]] std::int64_t env_size_bytes(const std::string& name,
+                                          std::int64_t fallback);
+
 }  // namespace hymv

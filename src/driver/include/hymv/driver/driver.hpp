@@ -178,6 +178,14 @@ struct BuiltBackend {
 /// breakdown. GPU backends require `device`; kAdaptive resolves its
 /// AdaptiveOptions (SELL C/σ, probes, force, replay) from the environment
 /// on top of `hymv_options`. Collective.
+///
+/// Thread-safety: safe to call concurrently from distinct simmpi jobs that
+/// share one immutable ProblemSetup (each job holds its own RankContext) —
+/// construction only reads the setup and the environment, runtime ISA
+/// dispatch resolves through thread-safe function-local statics, and all
+/// mutable state is confined to the calling job's simmpi context and the
+/// returned BuiltBackend. svc::SolveService workers rely on this for
+/// concurrent cold builds; test_service pins it under TSan.
 BuiltBackend build_backend(simmpi::Comm& comm, const RankContext& ctx,
                            Backend backend, gpu::Device* device = nullptr,
                            const core::HymvGpuOptions& gpu_options = {},

@@ -18,6 +18,7 @@
 /// stable for the registry's lifetime. Counter/Gauge updates are relaxed
 /// atomics — safe from any thread. Histogram::observe takes a small lock.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -64,7 +65,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Count/sum/min/max summary of observed samples (e.g. per-apply wall time).
+/// Count/sum/min/max summary of observed samples (e.g. per-apply wall time)
+/// plus a fixed geometric bucket array supporting quantile estimation.
+///
+/// Buckets: 8 per decade over [1e-9, 1e9) (144 buckets total); samples
+/// below the range (including zero and negatives) land in the first
+/// bucket, samples above in the last. quantile() interpolates linearly
+/// inside the selected bucket and clamps to the exact observed [min, max],
+/// so the estimate's relative error is bounded by one bucket width
+/// (10^(1/8) ≈ 1.33×) and is exact at q=0 and q=1. Buckets merge
+/// additively, so job-wide percentiles survive MetricsRegistry::merge_from.
 class Histogram {
  public:
   void observe(double v);
@@ -74,16 +84,27 @@ class Histogram {
   [[nodiscard]] double min() const;
   /// Maximum observed sample; 0 when no samples were observed.
   [[nodiscard]] double max() const;
+  /// Estimated q-quantile (q clamped to [0, 1]) of the observed samples;
+  /// 0 when no samples were observed. to_json() exports p50/p95/p99.
+  [[nodiscard]] double quantile(double q) const;
   void reset();
-  /// Fold another histogram's samples into this one (summary-level merge).
+  /// Fold another histogram's samples into this one (bucket-level merge:
+  /// quantiles of the merged histogram reflect both sample sets).
   void merge(const Histogram& other);
 
+  /// Geometric bucket layout (see class doc).
+  static constexpr int kBucketsPerDecade = 8;
+  static constexpr int kNumBuckets = 144;  ///< 18 decades from 1e-9
+
  private:
+  [[nodiscard]] double quantile_locked(double q) const;
+
   mutable std::mutex mu_;
   std::int64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::array<std::int64_t, kNumBuckets> buckets_{};
 };
 
 /// Named metric registry. Creation is idempotent: the first caller of

@@ -1,5 +1,6 @@
 #include "hymv/obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -9,6 +10,31 @@
 #include "hymv/common/error.hpp"
 
 namespace hymv::obs {
+
+namespace {
+
+/// Lower edge of bucket i: kBucketLo * 10^(i / kBucketsPerDecade).
+constexpr double kBucketLo = 1e-9;
+
+double bucket_lower(int i) {
+  return kBucketLo *
+         std::pow(10.0, static_cast<double>(i) /
+                            static_cast<double>(Histogram::kBucketsPerDecade));
+}
+
+/// Bucket index of sample v (clamped into [0, kNumBuckets - 1]; zero and
+/// negative samples land in bucket 0).
+int bucket_of(double v) {
+  if (!(v > kBucketLo)) {
+    return 0;
+  }
+  const int i = static_cast<int>(std::floor(
+      std::log10(v / kBucketLo) *
+      static_cast<double>(Histogram::kBucketsPerDecade)));
+  return std::min(std::max(i, 0), Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
 
 void Histogram::observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -21,6 +47,7 @@ void Histogram::observe(double v) {
   }
   ++count_;
   sum_ += v;
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
 }
 
 std::int64_t Histogram::count() const {
@@ -43,23 +70,59 @@ double Histogram::max() const {
   return max_;
 }
 
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Nearest-rank target over the bucket counts, linearly interpolated
+  // inside the bucket that crosses it, clamped to the observed extremes
+  // (which makes q=0 / q=1 exact and single-sample histograms degenerate
+  // to that sample).
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const auto n = static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    if (n <= 0.0) {
+      continue;
+    }
+    if (cum + n >= target) {
+      const double frac = std::min(std::max((target - cum) / n, 0.0), 1.0);
+      const double lo = bucket_lower(i);
+      const double hi = bucket_lower(i + 1);
+      const double v = lo + (hi - lo) * frac;
+      return std::min(std::max(v, min_), max_);
+    }
+    cum += n;
+  }
+  return max_;
+}
+
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   count_ = 0;
   sum_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
+  buckets_.fill(0);
 }
 
 void Histogram::merge(const Histogram& other) {
   std::int64_t ocount;
   double osum, omin, omax;
+  std::array<std::int64_t, kNumBuckets> obuckets;
   {
     std::lock_guard<std::mutex> lock(other.mu_);
     ocount = other.count_;
     osum = other.sum_;
     omin = other.min_;
     omax = other.max_;
+    obuckets = other.buckets_;
   }
   if (ocount == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -72,6 +135,9 @@ void Histogram::merge(const Histogram& other) {
   }
   count_ += ocount;
   sum_ += osum;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += obuckets[i];
+  }
 }
 
 namespace {
@@ -215,6 +281,12 @@ std::string MetricsRegistry::to_json() const {
     append_double(out, h->min());
     out += ", \"max\": ";
     append_double(out, h->max());
+    out += ", \"p50\": ";
+    append_double(out, h->quantile(0.50));
+    out += ", \"p95\": ";
+    append_double(out, h->quantile(0.95));
+    out += ", \"p99\": ";
+    append_double(out, h->quantile(0.99));
     out += "}";
   }
   out += first ? "}\n" : "\n  }\n";

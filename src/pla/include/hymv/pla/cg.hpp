@@ -58,6 +58,19 @@ struct CgOptions {
   /// Panel-solver counterpart of fault_hook.
   std::function<void(std::int64_t, DistMultiVector&, DistMultiVector&)>
       fault_hook_multi;
+
+  // --- cooperative cancellation (default off: bitwise-identical) ---------
+
+  /// Polled at the top of every iteration with the iteration number.
+  /// Returning true stops the solve immediately: the best iterate so far is
+  /// left in x and the result reports canceled=true (converged stays
+  /// false). Lanes of cg_solve_multi that already converged before the stop
+  /// keep their converged result — only still-active lanes are marked
+  /// canceled. The callback MUST return the same answer on every rank (the
+  /// stop decision is collective); deadline checks against a wall clock are
+  /// safe only on single-rank jobs or with a rank-0 broadcast. The
+  /// SolveService uses this for per-request deadlines and watchdog kills.
+  std::function<bool(std::int64_t)> should_stop;
 };
 
 struct CgResult {
@@ -71,6 +84,9 @@ struct CgResult {
   /// non-converged run rather than aborting the caller.
   bool breakdown = false;
   const char* breakdown_reason = "";  ///< static description, "" if none
+  /// True when CgOptions::should_stop ended the iteration before the lane
+  /// converged (deadline/cancellation, not a numerical event).
+  bool canceled = false;
 
   // --- recovery visibility (every detection/repair event is counted) -----
   std::int64_t checkpoints_taken = 0;

@@ -163,6 +163,10 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
 
   std::int64_t it = 1;
   while (it <= options.max_iters) {
+    if (options.should_stop && options.should_stop(it)) {
+      result.canceled = true;
+      break;
+    }
     if (options.fault_hook) {
       options.fault_hook(it, x, r);
     }
@@ -390,6 +394,10 @@ CgResult cg_solve_pipelined(simmpi::Comm& comm, LinearOperator& a,
   }
 
   for (;;) {
+    if (options.should_stop && options.should_stop(it + 1)) {
+      result.canceled = true;
+      break;
+    }
     if (options.fault_hook) {
       options.fault_hook(it + 1, x, r);
     }
@@ -661,6 +669,16 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
 
   std::int64_t it = 1;
   while (it <= options.max_iters && n_active > 0) {
+    if (options.should_stop && options.should_stop(it)) {
+      // Deflated lanes keep their converged result; only still-active
+      // lanes are marked canceled.
+      for (std::size_t j = 0; j < ku; ++j) {
+        if (active[j] != 0) {
+          results[j].canceled = true;
+        }
+      }
+      break;
+    }
     if (options.fault_hook_multi) {
       options.fault_hook_multi(it, x, r);
     }

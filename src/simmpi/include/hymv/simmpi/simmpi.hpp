@@ -150,6 +150,12 @@ struct RunOptions {
   /// that turns dropped messages into diagnosable errors.
   double recv_timeout_s = 0.0;
 
+  /// When true (default) and HYMV_METRICS_JSON is set, the job's merged
+  /// metrics are written there at job end. Callers running many concurrent
+  /// jobs in one process (the svc::SolveService) set this false so the
+  /// jobs don't race on one output file.
+  bool write_metrics_json = true;
+
   /// Resolve from the environment: HYMV_FAULT_SPEC / HYMV_FAULT_SEED for
   /// the plan, HYMV_FAULT_RECV_TIMEOUT_MS (validated env_double, must be
   /// >= 0) for the wait deadline.

@@ -824,7 +824,8 @@ void run(int nranks, const std::function<void(Comm&)>& fn,
   const bool job_failed =
       std::any_of(errors.begin(), errors.end(),
                   [](const std::exception_ptr& e) { return bool(e); });
-  if (metrics_path != nullptr && *metrics_path != '\0' && !job_failed) {
+  if (options.write_metrics_json && metrics_path != nullptr &&
+      *metrics_path != '\0' && !job_failed) {
     hymv::obs::MetricsRegistry merged;
     for (int r = 0; r < nranks; ++r) {
       merged.merge_from(ctx.robs(r).registry);

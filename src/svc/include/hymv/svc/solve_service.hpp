@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file solve_service.hpp
+/// Resilient multi-tenant solve service: a long-lived in-process front end
+/// over driver-style problem solves, built for the paper's "many load
+/// cases on a fixed mesh" production shape (§V-F). Callers submit
+/// SolveRequests from any thread; the service
+///
+///   * admits or rejects each request immediately (bounded queue depth,
+///     per-tenant in-flight quotas — submit() never blocks),
+///   * coalesces compatible single-RHS requests for the same problem into
+///     one cg_solve_multi panel (one element-matrix traversal per
+///     iteration serves every lane),
+///   * caches warm setups (mesh partition + element-matrix store) keyed by
+///     a hash of the problem definition, with LRU eviction under a byte
+///     budget and an optional disk tier via io::save_store,
+///   * enforces per-request deadlines with cooperative cancellation at CG
+///     iteration granularity (CgOptions::should_stop),
+///   * degrades gracefully under overload: lowest-priority queued work is
+///     shed first, panels fall back to k=1 when batching would blow a
+///     deadline, and a watchdog fails stuck requests loudly instead of
+///     letting them hang,
+///   * retries failed attempts with exponential backoff, scrubbing the
+///     element store between attempts when checksums are armed (the PR 4
+///     fault-tolerance path).
+///
+/// Every request terminates in exactly one Outcome and is counted in the
+/// service's MetricsRegistry under `svc.<tenant>.*`; nothing here is on
+/// any default path — a process that never constructs a SolveService is
+/// bitwise identical to one built before this file existed.
+///
+/// Execution model: each worker thread runs each solve batch as its own
+/// single-rank simmpi::run job (per-job Context makes concurrent jobs
+/// safe), with RunOptions resolved from the environment so HYMV_FAULT_*
+/// campaigns flow through, and write_metrics_json disabled so concurrent
+/// jobs never race on HYMV_METRICS_JSON.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <string>
+
+#include "hymv/core/element_store.hpp"
+#include "hymv/driver/driver.hpp"
+#include "hymv/obs/metrics.hpp"
+
+namespace hymv::svc {
+
+/// Terminal state of a request. Every submitted request reaches exactly
+/// one of these; there is no "hung" state (the watchdog guarantees it).
+enum class Outcome : int {
+  kSolved,          ///< converged within deadline; solution verified
+  kRejected,        ///< never admitted (queue full, quota, shutdown)
+  kShed,            ///< admitted, then dropped for higher-priority work
+  kDeadlineMissed,  ///< canceled mid-solve by its own deadline
+  kFailed,          ///< breakdown / retries exhausted / watchdog kill
+};
+
+[[nodiscard]] const char* outcome_name(Outcome outcome);
+
+/// One tenant-attributed solve of a driver problem. Requests with the
+/// same problem (spec/backend/layout/precond/rtol/max_iters) differ only
+/// by `rhs_scale` and are eligible for panel coalescing.
+struct SolveRequest {
+  std::string tenant = "default";
+  driver::ProblemSpec spec;
+  driver::Backend backend = driver::Backend::kHymv;
+  core::StoreLayout layout = core::StoreLayout::kPadded;
+  driver::Precond precond = driver::Precond::kJacobi;
+  /// Load-case scale: the lane solves A x = rhs_scale · b. Linearity makes
+  /// the solution rhs_scale · u, so accuracy is still checked against the
+  /// analytic solution (err_inf is reported on x / rhs_scale). Must be a
+  /// finite non-zero value.
+  double rhs_scale = 1.0;
+  /// Higher values are popped first and survive shedding longer.
+  int priority = 0;
+  /// Wall-clock budget from admission to completion. 0 = use the service
+  /// default; negative = no deadline.
+  double deadline_ms = 0.0;
+  double rtol = 1e-3;
+  std::int64_t max_iters = 20000;
+  /// Whole-solve attempts (1 = no retry). Between attempts the service
+  /// scrubs the element store (when checksums are armed) and backs off
+  /// exponentially.
+  int max_attempts = 1;
+};
+
+/// What the submit() future resolves to.
+struct SolveResponse {
+  Outcome outcome = Outcome::kFailed;
+  /// Static machine-readable cause for non-solved outcomes: "queue_full",
+  /// "tenant_quota", "shutting_down", "shed_for_priority", "deadline",
+  /// "watchdog_timeout", "not_converged", "breakdown", "exception".
+  std::string reason;
+  pla::CgResult cg;
+  double err_inf = 0.0;  ///< ‖x/rhs_scale − u_exact‖∞ (kSolved only)
+  bool cache_hit = false;    ///< warm store reuse (memory or disk tier)
+  bool batched = false;      ///< solved as part of a >1-lane panel
+  int panel_lanes = 1;       ///< panel width the request ran at
+  int attempts = 0;          ///< solve attempts consumed (0 if never ran)
+  std::uint64_t problem_key = 0;  ///< coalescing/cache hash
+  double queue_ms = 0.0;  ///< admission → execution start
+  double solve_ms = 0.0;  ///< execution start → completion
+  double total_ms = 0.0;  ///< admission → completion
+};
+
+/// Service policy. Every field has an HYMV_SVC_* environment override
+/// resolved by from_env() (validated parsers; invalid values warn and keep
+/// the default).
+struct ServiceOptions {
+  int workers = 2;             ///< HYMV_SVC_WORKERS
+  /// simmpi ranks per solve job (HYMV_SVC_RANKS, clamped to [1, 8]).
+  /// 1 is cheapest; >1 exercises real ghost exchanges and allreduces, so
+  /// message-level fault campaigns (HYMV_FAULT_SPEC flips/drops/delays)
+  /// reach the service's solves. The deadline/cancel stop decision is made
+  /// collective with one extra tiny allreduce per CG iteration, so ranks
+  /// never disagree about stopping.
+  int ranks = 1;
+  int queue_capacity = 64;     ///< HYMV_SVC_QUEUE_CAPACITY (0 rejects all)
+  int tenant_inflight = 16;    ///< HYMV_SVC_TENANT_INFLIGHT (queued+running)
+  int max_panel = 8;           ///< HYMV_SVC_MAX_PANEL, clamped to [1, 64]
+  double batch_window_ms = 2.0;       ///< HYMV_SVC_BATCH_WINDOW_MS
+  std::int64_t cache_capacity_bytes =  ///< HYMV_SVC_CACHE_BYTES
+      std::int64_t{256} << 20;
+  double default_deadline_ms = -1.0;  ///< HYMV_SVC_DEADLINE_MS (<0 = none)
+  double watchdog_ms = 30000.0;       ///< HYMV_SVC_WATCHDOG_MS (<=0 = off)
+  double backoff_base_ms = 1.0;       ///< HYMV_SVC_BACKOFF_MS
+  std::string cache_dir;              ///< HYMV_SVC_CACHE_DIR ("" = no disk)
+  /// Arm element-store checksums so retries can scrub corrupted blocks
+  /// (also armed when HYMV_STORE_CHECKSUM=1).
+  bool store_checksums = false;
+  /// Test/bench fault-injection hook, mirroring
+  /// driver::SolveOptions::attempt_hook: called on every rank of the solve
+  /// job with the freshly built (unconstrained) operator and the 1-based
+  /// attempt number, after checksum arming and before the attempt's CG.
+  /// Harnesses use it to corrupt the element store on attempt 1 only and
+  /// watch the service's retry + scrub path recover; no environment
+  /// override (it is a function), never set in production.
+  std::function<void(pla::LinearOperator&, int)> attempt_hook;
+
+  static ServiceOptions from_env();
+};
+
+/// Long-lived multi-tenant solve front end. Construction starts the
+/// worker + watchdog threads; destruction (or shutdown()) stops admitting,
+/// fails all queued work, and joins every thread. All public methods are
+/// thread-safe.
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions options = {});
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Submit a request. NEVER blocks: the request is either admitted (the
+  /// future resolves when the solve terminates) or the future is already
+  /// resolved with kRejected/kShed and a reason. May shed a
+  /// strictly-lower-priority queued request to make room.
+  std::future<SolveResponse> submit(SolveRequest request);
+
+  /// Stop admitting, reject all queued requests with "shutting_down",
+  /// cancel running solves, and join every thread. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  /// Coalescing/cache key of a request (exposed for tests).
+  [[nodiscard]] static std::uint64_t problem_key(const SolveRequest& request);
+
+  /// Service metrics: `svc.<tenant>.{submitted,admitted,rejected,shed,
+  /// solved,failed,deadline_missed,retries}` counters,
+  /// `svc.<tenant>.{latency_ms,queue_ms,solve_ms}` histograms, and global
+  /// `svc.{queue_depth,batches,panel_lanes,degraded_to_k1,
+  /// watchdog_cancels,cache.hits,cache.misses,cache.disk_hits,
+  /// cache.evictions,cache.bytes,cache.entries}`.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Number of requests currently queued (for tests and load shedding
+  /// decisions by callers).
+  [[nodiscard]] int queue_depth() const;
+
+ private:
+  struct Impl;
+  // Declared before impl_: worker threads reach the registry through Impl,
+  // so it must outlive (and be constructed before) the implementation.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hymv::svc

@@ -1,0 +1,993 @@
+#include "hymv/svc/solve_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "hymv/common/env.hpp"
+#include "hymv/common/error.hpp"
+#include "hymv/io/store_io.hpp"
+#include "hymv/simmpi/simmpi.hpp"
+
+namespace hymv::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// FNV-1a, folding raw bytes of trivially-copyable values.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  template <typename T>
+  void add(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof v);
+  }
+};
+
+/// Panel runs cost slightly more wall time per iteration than k=1 (wider
+/// vector updates); the deadline filter inflates the EWMA estimate by this
+/// factor before deciding a lane can afford to join a batch.
+constexpr double kPanelPenalty = 1.25;
+
+}  // namespace
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kSolved:
+      return "solved";
+    case Outcome::kRejected:
+      return "rejected";
+    case Outcome::kShed:
+      return "shed";
+    case Outcome::kDeadlineMissed:
+      return "deadline_missed";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+ServiceOptions ServiceOptions::from_env() {
+  ServiceOptions o;
+  o.workers = static_cast<int>(
+      std::max<std::int64_t>(1, env_int("HYMV_SVC_WORKERS", o.workers)));
+  o.ranks = static_cast<int>(std::min<std::int64_t>(
+      8, std::max<std::int64_t>(1, env_int("HYMV_SVC_RANKS", o.ranks))));
+  o.queue_capacity = static_cast<int>(std::max<std::int64_t>(
+      0, env_int("HYMV_SVC_QUEUE_CAPACITY", o.queue_capacity)));
+  o.tenant_inflight = static_cast<int>(std::max<std::int64_t>(
+      0, env_int("HYMV_SVC_TENANT_INFLIGHT", o.tenant_inflight)));
+  o.max_panel = static_cast<int>(std::min<std::int64_t>(
+      64, std::max<std::int64_t>(1, env_int("HYMV_SVC_MAX_PANEL",
+                                            o.max_panel))));
+  o.batch_window_ms =
+      env_duration_ms("HYMV_SVC_BATCH_WINDOW_MS", o.batch_window_ms);
+  o.cache_capacity_bytes =
+      env_size_bytes("HYMV_SVC_CACHE_BYTES", o.cache_capacity_bytes);
+  o.default_deadline_ms =
+      env_duration_ms("HYMV_SVC_DEADLINE_MS", o.default_deadline_ms);
+  o.watchdog_ms = env_duration_ms("HYMV_SVC_WATCHDOG_MS", o.watchdog_ms);
+  o.backoff_base_ms = env_duration_ms("HYMV_SVC_BACKOFF_MS", o.backoff_base_ms);
+  if (const char* dir = std::getenv("HYMV_SVC_CACHE_DIR");
+      dir != nullptr && *dir != '\0') {
+    o.cache_dir = dir;
+  }
+  if (env_int("HYMV_STORE_CHECKSUM", 0) == 1) {
+    o.store_checksums = true;
+  }
+  return o;
+}
+
+std::uint64_t SolveService::problem_key(const SolveRequest& r) {
+  Fnv f;
+  f.add(static_cast<int>(r.spec.pde));
+  f.add(static_cast<int>(r.spec.element));
+  f.add(r.spec.box.nx);
+  f.add(r.spec.box.ny);
+  f.add(r.spec.box.nz);
+  f.add(r.spec.box.lx);
+  f.add(r.spec.box.ly);
+  f.add(r.spec.box.lz);
+  f.add(r.spec.box.origin);
+  f.add(r.spec.unstructured);
+  f.add(r.spec.jitter);
+  f.add(r.spec.seed);
+  f.add(static_cast<int>(r.spec.partitioner));
+  f.add(r.spec.young);
+  f.add(r.spec.poisson_ratio);
+  f.add(r.spec.density);
+  f.add(r.spec.gravity);
+  f.add(static_cast<int>(r.backend));
+  f.add(static_cast<int>(r.layout));
+  f.add(static_cast<int>(r.precond));
+  f.add(r.rtol);
+  f.add(r.max_iters);
+  return f.h;
+}
+
+namespace {
+
+/// An admitted request waiting in (or popped from) the queue.
+struct Pending {
+  SolveRequest req;
+  std::promise<SolveResponse> promise;
+  Clock::time_point admitted;
+  std::optional<Clock::time_point> deadline;
+  std::uint64_t key = 0;
+  std::int64_t seq = 0;
+  bool done = false;  ///< promise fulfilled (single-fulfilment guard)
+};
+
+/// Watchdog registration of a batch in flight.
+struct RunningBatch {
+  std::shared_ptr<std::atomic<bool>> cancel;
+  std::shared_ptr<std::atomic<bool>> watchdog_fired;
+  Clock::time_point started;
+};
+
+/// Warm-cache entry. The shared_ptrs make eviction safe against a
+/// concurrent hit: a worker that copied the entry keeps the data alive
+/// while the LRU moves on. `stores` holds one element-matrix store per
+/// job rank (empty for non-HYMV backends, where only the setup is warm).
+struct CacheEntry {
+  std::shared_ptr<const driver::ProblemSetup> setup;
+  std::vector<std::shared_ptr<const core::ElementMatrixStore>> stores;
+  std::int64_t bytes = 0;
+
+  [[nodiscard]] bool empty() const { return setup == nullptr; }
+  [[nodiscard]] bool has_stores() const {
+    return !stores.empty() &&
+           std::all_of(stores.begin(), stores.end(),
+                       [](const auto& s) { return s != nullptr; });
+  }
+};
+
+/// Outcome of one lane of one executed attempt.
+struct LaneResult {
+  pla::CgResult cg;
+  double err_inf = 0.0;
+  bool cache_hit = false;
+  bool deadline_stop = false;  ///< the panel deadline fired the stop
+};
+
+}  // namespace
+
+struct SolveService::Impl {
+  explicit Impl(ServiceOptions o, obs::MetricsRegistry* m)
+      : opt(std::move(o)), mets(m) {}
+
+  ServiceOptions opt;
+  obs::MetricsRegistry* mets;
+
+  // --- queue + admission (guarded by mu) ---------------------------------
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::unique_ptr<Pending>> queue;
+  std::map<std::string, int> tenant_inflight;  // queued + executing
+  bool stopping = false;
+  std::int64_t next_seq = 0;
+
+  std::vector<std::thread> workers;
+  std::thread watchdog;
+
+  // --- running-batch registry for the watchdog ---------------------------
+  std::mutex run_mu;
+  std::list<std::shared_ptr<RunningBatch>> running;
+
+  // --- warm cache (guarded by cache_mu) ----------------------------------
+  std::mutex cache_mu;
+  std::list<std::uint64_t> lru;  // front = most recently used
+  std::map<std::uint64_t, std::pair<CacheEntry, std::list<std::uint64_t>::iterator>>
+      cache;
+  std::int64_t cache_bytes = 0;
+
+  // --- per-key solve-time estimate for the degradation ladder ------------
+  std::mutex ewma_mu;
+  std::map<std::uint64_t, double> ewma_ms;
+
+  // -----------------------------------------------------------------------
+
+  obs::Counter& tenant_counter(const std::string& tenant, const char* what) {
+    return mets->counter("svc." + tenant + "." + what);
+  }
+  obs::Histogram& tenant_histogram(const std::string& tenant,
+                                   const char* what) {
+    return mets->histogram("svc." + tenant + "." + what);
+  }
+
+  void finish(Pending& p, SolveResponse&& response) {
+    if (p.done) {
+      return;
+    }
+    p.done = true;
+    const Clock::time_point now = Clock::now();
+    response.total_ms = ms_between(p.admitted, now);
+    response.problem_key = p.key;
+    switch (response.outcome) {
+      case Outcome::kSolved:
+        tenant_counter(p.req.tenant, "solved").inc();
+        break;
+      case Outcome::kRejected:
+        tenant_counter(p.req.tenant, "rejected").inc();
+        break;
+      case Outcome::kShed:
+        tenant_counter(p.req.tenant, "shed").inc();
+        break;
+      case Outcome::kDeadlineMissed:
+        tenant_counter(p.req.tenant, "deadline_missed").inc();
+        break;
+      case Outcome::kFailed:
+        tenant_counter(p.req.tenant, "failed").inc();
+        break;
+    }
+    tenant_histogram(p.req.tenant, "latency_ms").observe(response.total_ms);
+    tenant_histogram(p.req.tenant, "queue_ms").observe(response.queue_ms);
+    tenant_histogram(p.req.tenant, "solve_ms").observe(response.solve_ms);
+    p.promise.set_value(std::move(response));
+  }
+
+  /// finish() for a request that was admitted (tenant_inflight holds a
+  /// slot for it): also releases the slot. Callers must NOT hold `mu`.
+  void finish_admitted(Pending& p, SolveResponse&& response) {
+    finish(p, std::move(response));
+    std::lock_guard<std::mutex> lock(mu);
+    --tenant_inflight[p.req.tenant];
+  }
+
+  double ewma_for(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(ewma_mu);
+    auto it = ewma_ms.find(key);
+    return it == ewma_ms.end() ? 0.0 : it->second;
+  }
+
+  void ewma_update(std::uint64_t key, double sample_ms) {
+    std::lock_guard<std::mutex> lock(ewma_mu);
+    double& e = ewma_ms[key];
+    e = e == 0.0 ? sample_ms : 0.7 * e + 0.3 * sample_ms;
+  }
+
+  // --- cache -------------------------------------------------------------
+
+  CacheEntry cache_lookup(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(cache_mu);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      mets->counter("svc.cache.misses").inc();
+      return {};
+    }
+    lru.erase(it->second.second);
+    lru.push_front(key);
+    it->second.second = lru.begin();
+    mets->counter("svc.cache.hits").inc();
+    return it->second.first;  // shared_ptr copies keep data eviction-safe
+  }
+
+  void cache_insert(std::uint64_t key, CacheEntry entry) {
+    if (opt.cache_capacity_bytes <= 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(cache_mu);
+    if (cache.count(key) != 0) {
+      return;  // another worker won the race; keep the established entry
+    }
+    cache_bytes += entry.bytes;
+    lru.push_front(key);
+    cache.emplace(key, std::make_pair(std::move(entry), lru.begin()));
+    while (cache_bytes > opt.cache_capacity_bytes && cache.size() > 1) {
+      const std::uint64_t victim = lru.back();
+      auto vit = cache.find(victim);
+      cache_bytes -= vit->second.first.bytes;
+      cache.erase(vit);
+      lru.pop_back();
+      mets->counter("svc.cache.evictions").inc();
+    }
+    mets->gauge("svc.cache.bytes").set(static_cast<double>(cache_bytes));
+    mets->gauge("svc.cache.entries").set(static_cast<double>(cache.size()));
+  }
+
+  [[nodiscard]] std::string disk_path(std::uint64_t key, int rank) const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%016llx_r%d",
+                  static_cast<unsigned long long>(key), rank);
+    return opt.cache_dir + "/hymv_store_" + buf + ".bin";
+  }
+
+  /// Disk tier: a memory miss may still find the per-rank element stores
+  /// on disk (setup is rebuilt — the mesh is cheap next to quadrature).
+  /// Returns all `nranks` stores or nothing.
+  std::vector<std::shared_ptr<const core::ElementMatrixStore>> disk_load(
+      std::uint64_t key, core::StoreLayout layout, int nranks) {
+    std::vector<std::shared_ptr<const core::ElementMatrixStore>> stores;
+    if (opt.cache_dir.empty()) {
+      return stores;
+    }
+    try {
+      for (int r = 0; r < nranks; ++r) {
+        stores.push_back(std::make_shared<const core::ElementMatrixStore>(
+            io::load_store(disk_path(key, r), layout)));
+      }
+      mets->counter("svc.cache.disk_hits").inc();
+      return stores;
+    } catch (const std::exception&) {
+      return {};  // absent or unreadable: treat as a plain miss
+    }
+  }
+
+  void disk_save(std::uint64_t key, int rank,
+                 const core::ElementMatrixStore& store) {
+    if (opt.cache_dir.empty()) {
+      return;
+    }
+    try {
+      io::save_store(disk_path(key, rank), store);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hymv svc: disk cache save failed: %s\n", e.what());
+    }
+  }
+
+  // --- batching ----------------------------------------------------------
+
+  /// Pop the best queued request: highest priority, FIFO within a
+  /// priority. Requires `mu` held and a non-empty queue.
+  std::unique_ptr<Pending> pop_best_locked() {
+    auto best = queue.begin();
+    for (auto it = std::next(queue.begin()); it != queue.end(); ++it) {
+      if ((*it)->req.priority > (*best)->req.priority ||
+          ((*it)->req.priority == (*best)->req.priority &&
+           (*it)->seq < (*best)->seq)) {
+        best = it;
+      }
+    }
+    std::unique_ptr<Pending> p = std::move(*best);
+    queue.erase(best);
+    return p;
+  }
+
+  /// Move every queued request compatible with the leader into `batch`,
+  /// up to max_panel lanes, skipping partners whose deadline the batched
+  /// solve-time estimate would blow (degradation ladder: they run k=1
+  /// later instead of missing inside a panel). Requires `mu` held.
+  void collect_partners_locked(std::vector<std::unique_ptr<Pending>>& batch) {
+    const Pending& leader = *batch.front();
+    const double est_batched_ms = ewma_for(leader.key) * kPanelPenalty;
+    for (auto it = queue.begin();
+         it != queue.end() &&
+         batch.size() < static_cast<std::size_t>(opt.max_panel);) {
+      if ((*it)->key != leader.key) {
+        ++it;
+        continue;
+      }
+      if ((*it)->deadline && est_batched_ms > 0.0) {
+        const double remaining =
+            ms_between(Clock::now(), *(*it)->deadline);
+        if (remaining < est_batched_ms) {
+          mets->counter("svc.degraded_to_k1").inc();
+          ++it;
+          continue;
+        }
+      }
+      batch.push_back(std::move(*it));
+      it = queue.erase(it);
+    }
+  }
+
+  // --- execution ---------------------------------------------------------
+
+  void worker_loop() {
+    for (;;) {
+      std::vector<std::unique_ptr<Pending>> batch;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return stopping || !queue.empty(); });
+        if (stopping) {
+          return;  // shutdown() already drained the queue
+        }
+        batch.push_back(pop_best_locked());
+        collect_partners_locked(batch);
+        // Batch window: briefly hold the panel open for more compatible
+        // arrivals — unless the leader's deadline is too tight to spend
+        // any of it waiting.
+        const Pending& leader = *batch.front();
+        bool window_ok = opt.batch_window_ms > 0.0 && opt.max_panel > 1;
+        if (window_ok && leader.deadline) {
+          const double remaining =
+              ms_between(Clock::now(), *leader.deadline);
+          window_ok = remaining > 4.0 * opt.batch_window_ms;
+          if (!window_ok) {
+            mets->counter("svc.degraded_to_k1").inc();
+          }
+        }
+        if (window_ok &&
+            batch.size() < static_cast<std::size_t>(opt.max_panel)) {
+          const auto until =
+              Clock::now() + std::chrono::duration<double, std::milli>(
+                                 opt.batch_window_ms);
+          while (!stopping &&
+                 batch.size() < static_cast<std::size_t>(opt.max_panel) &&
+                 cv.wait_until(lk, until) != std::cv_status::timeout) {
+            collect_partners_locked(batch);
+          }
+          collect_partners_locked(batch);
+        }
+        mets->gauge("svc.queue_depth")
+            .set(static_cast<double>(queue.size()));
+      }
+      execute_batch(std::move(batch));
+    }
+  }
+
+  void execute_batch(std::vector<std::unique_ptr<Pending>> batch) {
+    const Clock::time_point exec_start = Clock::now();
+    const std::uint64_t key = batch.front()->key;
+    mets->counter("svc.batches").inc();
+    mets->counter("svc.panel_lanes")
+        .add(static_cast<std::int64_t>(batch.size()));
+    const bool batched = batch.size() > 1;
+    const int panel_lanes = static_cast<int>(batch.size());
+
+    auto rb = std::make_shared<RunningBatch>();
+    rb->cancel = std::make_shared<std::atomic<bool>>(false);
+    rb->watchdog_fired = std::make_shared<std::atomic<bool>>(false);
+    rb->started = exec_start;
+    {
+      std::lock_guard<std::mutex> lock(run_mu);
+      running.push_back(rb);
+    }
+
+    // Lanes still needing a (re)attempt. Indices into `batch`.
+    std::vector<std::size_t> pending_lanes(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      pending_lanes[i] = i;
+    }
+
+    auto make_response = [&](const Pending& p) {
+      SolveResponse r;
+      r.batched = batched;
+      r.panel_lanes = panel_lanes;
+      r.queue_ms = ms_between(p.admitted, exec_start);
+      r.solve_ms = ms_between(exec_start, Clock::now());
+      return r;
+    };
+
+    for (int attempt = 1; !pending_lanes.empty(); ++attempt) {
+      // Drop lanes whose deadline already expired before this attempt.
+      std::vector<std::size_t> lanes;
+      for (std::size_t i : pending_lanes) {
+        Pending& p = *batch[i];
+        if (p.deadline && Clock::now() >= *p.deadline) {
+          SolveResponse r = make_response(p);
+          r.outcome = Outcome::kDeadlineMissed;
+          r.reason = "deadline";
+          r.attempts = attempt - 1;
+          finish_admitted(p, std::move(r));
+        } else {
+          lanes.push_back(i);
+        }
+      }
+      pending_lanes.clear();
+      if (lanes.empty()) {
+        break;
+      }
+
+      std::vector<LaneResult> results;
+      bool job_threw = false;
+      std::string job_error;
+      try {
+        results = run_attempt(batch, lanes, key, *rb, attempt);
+      } catch (const std::exception& e) {
+        job_threw = true;
+        job_error = e.what();
+      }
+
+      for (std::size_t j = 0; j < lanes.size(); ++j) {
+        Pending& p = *batch[lanes[j]];
+        const bool attempts_left = attempt < p.req.max_attempts;
+        if (job_threw) {
+          if (attempts_left && !rb->cancel->load(std::memory_order_relaxed)) {
+            tenant_counter(p.req.tenant, "retries").inc();
+            pending_lanes.push_back(lanes[j]);
+            continue;
+          }
+          SolveResponse r = make_response(p);
+          r.outcome = Outcome::kFailed;
+          r.reason = "exception";
+          r.attempts = attempt;
+          finish_admitted(p, std::move(r));
+          if (j == 0) {
+            std::fprintf(stderr, "hymv svc: attempt %d failed: %s\n", attempt,
+                         job_error.c_str());
+          }
+          continue;
+        }
+        const LaneResult& lr = results[j];
+        SolveResponse r = make_response(p);
+        r.cg = lr.cg;
+        r.err_inf = lr.err_inf;
+        r.cache_hit = lr.cache_hit;
+        r.attempts = attempt;
+        if (lr.cg.converged) {
+          r.outcome = Outcome::kSolved;
+          finish_admitted(p, std::move(r));
+        } else if (lr.cg.canceled) {
+          if (rb->watchdog_fired->load(std::memory_order_relaxed)) {
+            r.outcome = Outcome::kFailed;
+            r.reason = "watchdog_timeout";
+          } else if (lr.deadline_stop ||
+                     (p.deadline && Clock::now() >= *p.deadline)) {
+            r.outcome = Outcome::kDeadlineMissed;
+            r.reason = "deadline";
+          } else {
+            r.outcome = Outcome::kFailed;
+            r.reason = "shutting_down";
+          }
+          finish_admitted(p, std::move(r));
+        } else if (attempts_left) {
+          tenant_counter(p.req.tenant, "retries").inc();
+          pending_lanes.push_back(lanes[j]);
+        } else {
+          r.outcome = Outcome::kFailed;
+          r.reason = lr.cg.breakdown ? "breakdown" : "not_converged";
+          finish_admitted(p, std::move(r));
+        }
+      }
+
+      if (!pending_lanes.empty()) {
+        // Exponential backoff before the retry, clipped so we never sleep
+        // through a retrying lane's deadline.
+        double sleep_ms =
+            opt.backoff_base_ms * std::pow(2.0, static_cast<double>(attempt - 1));
+        for (std::size_t i : pending_lanes) {
+          const Pending& p = *batch[i];
+          if (p.deadline) {
+            sleep_ms = std::min(
+                sleep_ms, std::max(0.0, ms_between(Clock::now(), *p.deadline)));
+          }
+        }
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait_for(lk,
+                    std::chrono::duration<double, std::milli>(sleep_ms),
+                    [&] { return stopping; });
+        if (stopping) {
+          for (std::size_t i : pending_lanes) {
+            Pending& p = *batch[i];
+            SolveResponse r = make_response(p);
+            r.outcome = Outcome::kFailed;
+            r.reason = "shutting_down";
+            r.attempts = attempt;
+            lk.unlock();
+            finish_admitted(p, std::move(r));
+            lk.lock();
+          }
+          pending_lanes.clear();
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(run_mu);
+      running.remove(rb);
+    }
+    ewma_update(key, ms_between(exec_start, Clock::now()));
+  }
+
+  /// One solve attempt over `lanes` of `batch`, as its own simmpi job
+  /// (opt.ranks ranks; per-job Context makes concurrent jobs safe).
+  /// Throws what the job throws (TimeoutError from dropped messages,
+  /// IntegrityError from checksum failures, ...).
+  std::vector<LaneResult> run_attempt(
+      const std::vector<std::unique_ptr<Pending>>& batch,
+      const std::vector<std::size_t>& lanes, std::uint64_t key,
+      RunningBatch& rb, int attempt) {
+    const SolveRequest& proto = batch[lanes.front()]->req;
+    const int nranks = opt.ranks;
+
+    CacheEntry entry = cache_lookup(key);
+    std::vector<std::shared_ptr<const core::ElementMatrixStore>> warm_stores;
+    if (entry.has_stores() &&
+        entry.stores.size() == static_cast<std::size_t>(nranks)) {
+      warm_stores = entry.stores;
+    } else if (auto disk = disk_load(key, proto.layout, nranks);
+               !disk.empty()) {
+      warm_stores = std::move(disk);
+    }
+    const bool cache_hit = !warm_stores.empty();
+
+    std::shared_ptr<const driver::ProblemSetup> setup = entry.setup;
+    if (setup == nullptr) {
+      setup = std::make_shared<const driver::ProblemSetup>(
+          driver::ProblemSetup::build(proto.spec, nranks));
+    }
+
+    // Panel deadline: the cooperative stop fires only when EVERY lane's
+    // deadline has passed (converged lanes deflate on their own; a lane
+    // with no deadline keeps the panel alive until convergence).
+    std::optional<Clock::time_point> panel_deadline;
+    bool all_have_deadlines = true;
+    for (std::size_t i : lanes) {
+      if (!batch[i]->deadline) {
+        all_have_deadlines = false;
+        break;
+      }
+      panel_deadline = panel_deadline
+                           ? std::max(*panel_deadline, *batch[i]->deadline)
+                           : *batch[i]->deadline;
+    }
+    if (!all_have_deadlines) {
+      panel_deadline.reset();
+    }
+
+    const int k = static_cast<int>(lanes.size());
+    std::vector<LaneResult> results(static_cast<std::size_t>(k));
+    std::vector<std::shared_ptr<const core::ElementMatrixStore>>
+        stores_to_cache(static_cast<std::size_t>(nranks));
+    auto deadline_stop = std::make_shared<std::atomic<bool>>(false);
+
+    simmpi::RunOptions run_options = simmpi::RunOptions::from_env();
+    run_options.write_metrics_json = false;  // concurrent jobs, one env path
+
+    simmpi::run(nranks, [&](simmpi::Comm& comm) {
+      driver::RankContext ctx(comm, *setup);
+      const int rank = comm.rank();
+
+      core::HymvOptions hymv_options;
+      hymv_options.layout = proto.layout;
+      std::unique_ptr<pla::LinearOperator> a;
+      core::HymvOperator* hymv = nullptr;
+      if (proto.backend == driver::Backend::kHymv && cache_hit) {
+        // Warm path: restart from this rank's cached element-matrix store
+        // — no quadrature, no emat compute.
+        auto op = std::make_unique<core::HymvOperator>(
+            comm, ctx.part(), setup->spec.ndof_per_node(),
+            core::ElementMatrixStore(
+                *warm_stores[static_cast<std::size_t>(rank)]),
+            hymv_options);
+        hymv = op.get();
+        a = std::move(op);
+      } else {
+        driver::BuiltBackend built = driver::build_backend(
+            comm, ctx, proto.backend, nullptr, {}, hymv_options);
+        a = std::move(built.op);
+        hymv = built.hymv_cpu;
+      }
+      if (opt.store_checksums && hymv != nullptr) {
+        hymv->enable_store_checksums();
+      }
+      // After checksum arming, so injected corruption is detectable and
+      // the post-attempt scrub can repair it.
+      if (opt.attempt_hook) {
+        opt.attempt_hook(*a, attempt);
+      }
+
+      pla::ConstrainedOperator ac(*a, ctx.constraints());
+      pla::DistVector b = ctx.assemble_rhs(comm);
+      pla::apply_constraints_to_rhs(comm, *a, ctx.constraints(), b);
+
+      std::unique_ptr<pla::Preconditioner> m;
+      switch (proto.precond) {
+        case driver::Precond::kNone:
+          m = std::make_unique<pla::IdentityPreconditioner>();
+          break;
+        case driver::Precond::kJacobi:
+          m = std::make_unique<pla::JacobiPreconditioner>(comm, ac);
+          break;
+        case driver::Precond::kBlockJacobi:
+          m = std::make_unique<pla::BlockJacobiPreconditioner>(comm, ac);
+          break;
+      }
+
+      pla::CgOptions cg_options;
+      cg_options.rtol = proto.rtol;
+      cg_options.max_iters = proto.max_iters;
+      // The stop decision must be identical on every rank (breaking out of
+      // a collective loop unilaterally would deadlock the others), so each
+      // rank contributes its local view and a tiny allreduce (a sum) makes
+      // the call. Single-rank jobs reduce locally — no messages. The vote
+      // weights must not alias under summation: cancel=1 sums to at most 8
+      // (the rank cap), far below the deadline weight of 1024. And the
+      // thresholds are >= 1.0, not > 0.0: a low-mantissa-bit flip fault on
+      // a 0.0 vote payload yields a denormal on one rank only, and a > 0.0
+      // test would make that rank stop unilaterally and deadlock the rest.
+      cg_options.should_stop = [&, rank](std::int64_t) {
+        double local = 0.0;
+        if (rb.cancel->load(std::memory_order_relaxed)) {
+          local += 1.0;
+        }
+        if (panel_deadline && Clock::now() >= *panel_deadline) {
+          local += 1024.0;
+        }
+        double global = 0.0;
+        simmpi::AllreduceHandle h =
+            comm.allreduce_start(std::span<const double>(&local, 1));
+        comm.allreduce_finish(h, std::span<double>(&global, 1));
+        if (global >= 1024.0 && rank == 0) {
+          deadline_stop->store(true, std::memory_order_relaxed);
+        }
+        return global >= 1.0;
+      };
+
+      std::vector<pla::CgResult> cg(static_cast<std::size_t>(k));
+      pla::DistMultiVector x_panel;
+      pla::DistVector x_single(a->layout());
+      if (k == 1) {
+        pla::DistVector bj(a->layout());
+        pla::copy(b, bj);
+        const double s = batch[lanes[0]]->req.rhs_scale;
+        for (std::int64_t d = 0; d < bj.owned_size(); ++d) {
+          bj[d] *= s;
+        }
+        cg[0] = pla::cg_solve(comm, ac, *m, bj, x_single, cg_options);
+      } else {
+        pla::DistMultiVector b_panel(a->layout(), k);
+        x_panel = pla::DistMultiVector(a->layout(), k);
+        pla::DistVector bj(a->layout());
+        for (int j = 0; j < k; ++j) {
+          pla::copy(b, bj);
+          const double s =
+              batch[lanes[static_cast<std::size_t>(j)]]->req.rhs_scale;
+          for (std::int64_t d = 0; d < bj.owned_size(); ++d) {
+            bj[d] *= s;
+          }
+          b_panel.set_lane(j, bj);
+        }
+        cg = pla::cg_solve_multi(comm, ac, *m, b_panel, x_panel, cg_options);
+      }
+
+      // error_inf is collective — every rank walks the same lane loop, but
+      // only rank 0 writes the shared results array.
+      pla::DistVector xj(a->layout());
+      for (int j = 0; j < k; ++j) {
+        LaneResult lr;
+        lr.cg = cg[static_cast<std::size_t>(j)];
+        lr.cache_hit = cache_hit;
+        lr.deadline_stop = deadline_stop->load(std::memory_order_relaxed);
+        if (lr.cg.converged) {
+          if (k == 1) {
+            pla::copy(x_single, xj);
+          } else {
+            x_panel.get_lane(j, xj);
+          }
+          const double s =
+              batch[lanes[static_cast<std::size_t>(j)]]->req.rhs_scale;
+          for (std::int64_t d = 0; d < xj.owned_size(); ++d) {
+            xj[d] /= s;
+          }
+          lr.err_inf = ctx.error_inf(comm, xj);
+        }
+        if (rank == 0) {
+          results[static_cast<std::size_t>(j)] = lr;
+        }
+      }
+
+      // A lane that failed to converge may be a corrupted store: scrub
+      // this rank's blocks (detect + recompute) so the retry starts clean.
+      const bool any_unconverged = std::any_of(
+          cg.begin(), cg.end(),
+          [](const pla::CgResult& c) { return !c.converged; });
+      if (any_unconverged && opt.store_checksums && hymv != nullptr) {
+        const std::int64_t scrubbed = hymv->scrub_store(ctx.element_op());
+        if (scrubbed > 0) {
+          mets->counter("svc.scrubbed_blocks").add(scrubbed);
+        }
+      }
+
+      if (!cache_hit && hymv != nullptr) {
+        stores_to_cache[static_cast<std::size_t>(rank)] =
+            std::make_shared<const core::ElementMatrixStore>(hymv->store());
+      }
+    }, run_options);
+
+    if (entry.empty()) {
+      CacheEntry fresh;
+      fresh.setup = setup;
+      const bool built_stores = std::all_of(
+          stores_to_cache.begin(), stores_to_cache.end(),
+          [](const auto& s) { return s != nullptr; });
+      if (built_stores) {
+        fresh.stores = stores_to_cache;
+      } else if (!warm_stores.empty()) {
+        fresh.stores = warm_stores;  // disk hit promoted to memory
+      }
+      // Footprint: the dominant store payload plus a coarse mesh estimate.
+      fresh.bytes = setup->total_nodes * 64 + setup->total_elements * 32;
+      for (const auto& s : fresh.stores) {
+        fresh.bytes += s->bytes();
+      }
+      cache_insert(key, std::move(fresh));
+      if (built_stores) {
+        for (int r = 0; r < nranks; ++r) {
+          disk_save(key, r, *stores_to_cache[static_cast<std::size_t>(r)]);
+        }
+      }
+    }
+    return results;
+  }
+
+  void watchdog_loop() {
+    const auto period = std::chrono::duration<double, std::milli>(
+        std::min(opt.watchdog_ms / 4.0, 50.0));
+    std::unique_lock<std::mutex> lk(mu);
+    while (!cv.wait_for(lk, period, [&] { return stopping; })) {
+      lk.unlock();
+      const Clock::time_point now = Clock::now();
+      {
+        std::lock_guard<std::mutex> lock(run_mu);
+        for (const auto& rb : running) {
+          if (ms_between(rb->started, now) > opt.watchdog_ms &&
+              !rb->cancel->load(std::memory_order_relaxed)) {
+            rb->watchdog_fired->store(true, std::memory_order_relaxed);
+            rb->cancel->store(true, std::memory_order_relaxed);
+            mets->counter("svc.watchdog_cancels").inc();
+            std::fprintf(stderr,
+                         "hymv svc: WATCHDOG canceling batch stuck for more "
+                         "than %.0f ms\n",
+                         opt.watchdog_ms);
+          }
+        }
+      }
+      lk.lock();
+    }
+  }
+};
+
+SolveService::SolveService(ServiceOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options), &metrics_)) {
+  for (int w = 0; w < impl_->opt.workers; ++w) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+  if (impl_->opt.watchdog_ms > 0.0) {
+    impl_->watchdog = std::thread([this] { impl_->watchdog_loop(); });
+  }
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+int SolveService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return static_cast<int>(impl_->queue.size());
+}
+
+std::future<SolveResponse> SolveService::submit(SolveRequest request) {
+  auto p = std::make_unique<Pending>();
+  p->req = std::move(request);
+  std::future<SolveResponse> future = p->promise.get_future();
+  impl_->tenant_counter(p->req.tenant, "submitted").inc();
+
+  auto reject = [&](const char* reason) {
+    SolveResponse r;
+    r.outcome = Outcome::kRejected;
+    r.reason = reason;
+    p->key = SolveService::problem_key(p->req);
+    p->admitted = Clock::now();
+    impl_->finish(*p, std::move(r));
+    return std::move(future);
+  };
+
+  if (!(std::isfinite(p->req.rhs_scale)) || p->req.rhs_scale == 0.0) {
+    return reject("bad_request");
+  }
+
+  std::unique_ptr<Pending> shed_victim;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopping) {
+      return reject("shutting_down");
+    }
+    if (impl_->opt.tenant_inflight > 0 &&
+        impl_->tenant_inflight[p->req.tenant] >= impl_->opt.tenant_inflight) {
+      return reject("tenant_quota");
+    }
+    if (static_cast<int>(impl_->queue.size()) >= impl_->opt.queue_capacity) {
+      // Overload: shed the lowest-priority queued request if it is
+      // strictly below the newcomer; otherwise the newcomer bounces.
+      auto victim = impl_->queue.end();
+      for (auto it = impl_->queue.begin(); it != impl_->queue.end(); ++it) {
+        if (victim == impl_->queue.end() ||
+            (*it)->req.priority < (*victim)->req.priority ||
+            ((*it)->req.priority == (*victim)->req.priority &&
+             (*it)->seq > (*victim)->seq)) {
+          victim = it;
+        }
+      }
+      if (victim == impl_->queue.end() ||
+          (*victim)->req.priority >= p->req.priority) {
+        return reject("queue_full");
+      }
+      shed_victim = std::move(*victim);
+      impl_->queue.erase(victim);
+      --impl_->tenant_inflight[shed_victim->req.tenant];
+    }
+    p->admitted = Clock::now();
+    double deadline_ms = p->req.deadline_ms;
+    if (deadline_ms == 0.0) {
+      deadline_ms = impl_->opt.default_deadline_ms;
+    }
+    if (deadline_ms > 0.0) {
+      p->deadline = p->admitted +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(deadline_ms));
+    }
+    p->key = SolveService::problem_key(p->req);
+    p->seq = impl_->next_seq++;
+    ++impl_->tenant_inflight[p->req.tenant];
+    impl_->tenant_counter(p->req.tenant, "admitted").inc();
+    impl_->queue.push_back(std::move(p));
+    impl_->mets->gauge("svc.queue_depth")
+        .set(static_cast<double>(impl_->queue.size()));
+  }
+  if (shed_victim != nullptr) {
+    SolveResponse r;
+    r.outcome = Outcome::kShed;
+    r.reason = "shed_for_priority";
+    r.queue_ms = ms_between(shed_victim->admitted, Clock::now());
+    impl_->finish(*shed_victim, std::move(r));
+  }
+  impl_->cv.notify_all();
+  return future;
+}
+
+void SolveService::shutdown() {
+  std::deque<std::unique_ptr<Pending>> drained;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopping) {
+      return;
+    }
+    impl_->stopping = true;
+    drained.swap(impl_->queue);
+    for (const auto& p : drained) {
+      --impl_->tenant_inflight[p->req.tenant];
+    }
+    impl_->mets->gauge("svc.queue_depth").set(0.0);
+  }
+  for (auto& p : drained) {
+    SolveResponse r;
+    r.outcome = Outcome::kRejected;
+    r.reason = "shutting_down";
+    r.queue_ms = ms_between(p->admitted, Clock::now());
+    impl_->finish(*p, std::move(r));
+  }
+  // Cancel in-flight batches (cooperative: they stop at the next CG
+  // iteration) and wake every sleeping thread.
+  {
+    std::lock_guard<std::mutex> lock(impl_->run_mu);
+    for (const auto& rb : impl_->running) {
+      rb->cancel->store(true, std::memory_order_relaxed);
+    }
+  }
+  impl_->cv.notify_all();
+  for (auto& t : impl_->workers) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (impl_->watchdog.joinable()) {
+    impl_->watchdog.join();
+  }
+}
+
+}  // namespace hymv::svc

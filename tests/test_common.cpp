@@ -274,4 +274,73 @@ TEST(Env, RejectsEmptyValue) {
   ::unsetenv("HYMV_TEST_EMPTY");
 }
 
+TEST(Env, DurationParsesUnits) {
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_UNSET_VAR_XYZ", 7.5), 7.5);
+  ::setenv("HYMV_TEST_DUR", "250", 1);
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 0.0), 250.0);
+  ::setenv("HYMV_TEST_DUR", "250ms", 1);
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 0.0), 250.0);
+  ::setenv("HYMV_TEST_DUR", "1.5s", 1);
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 0.0), 1500.0);
+  ::setenv("HYMV_TEST_DUR", "2m", 1);
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 0.0), 120000.0);
+  ::setenv("HYMV_TEST_DUR", "0.25S", 1);  // suffixes are case-insensitive
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 0.0), 250.0);
+  ::setenv("HYMV_TEST_DUR", "10ms \t", 1);  // trailing whitespace is fine
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 0.0), 10.0);
+  ::unsetenv("HYMV_TEST_DUR");
+}
+
+TEST(Env, DurationRejectsGarbageNegativeAndUnknownUnits) {
+  ::setenv("HYMV_TEST_DUR", "250xs", 1);
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 9.0), 9.0);
+  ::setenv("HYMV_TEST_DUR", "250ms junk", 1);
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 9.0), 9.0);
+  ::setenv("HYMV_TEST_DUR", "-5s", 1);
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 9.0), 9.0);
+  ::setenv("HYMV_TEST_DUR", "ms", 1);  // no number at all
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 9.0), 9.0);
+  ::setenv("HYMV_TEST_DUR", "1e400s", 1);  // overflows double
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 9.0), 9.0);
+  ::setenv("HYMV_TEST_DUR", "", 1);
+  EXPECT_DOUBLE_EQ(hymv::env_duration_ms("HYMV_TEST_DUR", 9.0), 9.0);
+  ::unsetenv("HYMV_TEST_DUR");
+}
+
+TEST(Env, SizeParsesBinarySuffixes) {
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_UNSET_VAR_XYZ", 77), 77);
+  ::setenv("HYMV_TEST_SIZE", "4096", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 0), 4096);
+  ::setenv("HYMV_TEST_SIZE", "4096B", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 0), 4096);
+  ::setenv("HYMV_TEST_SIZE", "16K", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 0), 16384);
+  ::setenv("HYMV_TEST_SIZE", "256M", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 0),
+            std::int64_t{256} << 20);
+  ::setenv("HYMV_TEST_SIZE", "2GiB", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 0), std::int64_t{2} << 30);
+  ::setenv("HYMV_TEST_SIZE", "1gb", 1);  // case-insensitive
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 0), std::int64_t{1} << 30);
+  ::unsetenv("HYMV_TEST_SIZE");
+}
+
+TEST(Env, SizeRejectsGarbageNegativeFractionalAndOverflow) {
+  ::setenv("HYMV_TEST_SIZE", "256X", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 5), 5);
+  ::setenv("HYMV_TEST_SIZE", "256M extra", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 5), 5);
+  ::setenv("HYMV_TEST_SIZE", "-1G", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 5), 5);
+  ::setenv("HYMV_TEST_SIZE", "1.5G", 1);  // integers only
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 5), 5);
+  ::setenv("HYMV_TEST_SIZE", "99999999999999999999G", 1);
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 5), 5);
+  ::setenv("HYMV_TEST_SIZE", "9999999999G", 1);  // scale overflow
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 5), 5);
+  ::setenv("HYMV_TEST_SIZE", "G", 1);  // no number at all
+  EXPECT_EQ(hymv::env_size_bytes("HYMV_TEST_SIZE", 5), 5);
+  ::unsetenv("HYMV_TEST_SIZE");
+}
+
 }  // namespace

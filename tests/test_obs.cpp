@@ -174,6 +174,81 @@ TEST(MetricsTest, ToJsonIsDeterministicAndCarriesUnits) {
   expect_balanced(json);
 }
 
+TEST(MetricsTest, QuantileOfKnownDistribution) {
+  obs::Histogram h;
+  // Uniform over {0.001, 0.002, ..., 1.000} (seconds scale). Log-bucketed
+  // estimates carry up to one bucket width (10^(1/8) ~ 1.33x) of relative
+  // error, so assert within 35%.
+  for (int i = 1; i <= 1000; ++i) {
+    h.observe(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_NEAR(h.quantile(0.50), 0.500, 0.35 * 0.500);
+  EXPECT_NEAR(h.quantile(0.95), 0.950, 0.35 * 0.950);
+  EXPECT_NEAR(h.quantile(0.99), 0.990, 0.35 * 0.990);
+  // Endpoints are clamped to the observed extremes, so they are exact.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.000);
+  // Out-of-range q clamps rather than throwing.
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(MetricsTest, QuantileDegenerateCases) {
+  obs::Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0) << "empty histogram reports 0";
+
+  obs::Histogram single;
+  single.observe(0.125);
+  EXPECT_DOUBLE_EQ(single.quantile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 0.125);
+
+  // Samples at/below the bucket floor (zero, negative) clamp into the first
+  // bucket and the [min, max] clamp keeps estimates within observed range.
+  obs::Histogram low;
+  low.observe(0.0);
+  low.observe(-2.0);
+  EXPECT_GE(low.quantile(0.5), -2.0);
+  EXPECT_LE(low.quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, QuantileSurvivesMerge) {
+  obs::Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.observe(1e-3);   // 100 fast samples
+  for (int i = 0; i < 100; ++i) b.observe(1.0);    // 100 slow samples
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200);
+  // Median sits at the boundary of the two populations; p99 must reflect
+  // the slow half that only ever lived in b.
+  EXPECT_NEAR(a.quantile(0.99), 1.0, 0.35);
+  EXPECT_NEAR(a.quantile(0.25), 1e-3, 0.35 * 1e-3);
+  EXPECT_DOUBLE_EQ(a.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(a.max(), 1.0);
+}
+
+TEST(MetricsTest, ToJsonCarriesQuantiles) {
+  obs::MetricsRegistry reg;
+  for (int i = 1; i <= 10; ++i) {
+    reg.histogram("lat_s").observe(static_cast<double>(i));
+  }
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  expect_balanced(json);
+
+  // Registry-level merge_from also folds buckets, not just count/sum.
+  obs::MetricsRegistry other;
+  other.histogram("lat_s").observe(100.0);
+  reg.merge_from(other);
+  EXPECT_EQ(reg.histogram("lat_s").count(), 11);
+  EXPECT_NEAR(reg.histogram("lat_s").quantile(1.0), 100.0, 1e-12);
+}
+
 TEST(MetricsTest, WriteJsonRoundTripAndFailure) {
   obs::MetricsRegistry reg;
   reg.counter("n").add(3);

@@ -145,6 +145,16 @@ def main():
         help="write the min-combined current document here (for "
         "refreshing a committed baseline from repeated runs)",
     )
+    ap.add_argument(
+        "--require-row",
+        action="append",
+        default=[],
+        metavar="K=V[,K=V...]",
+        help="fail unless at least one current row matches every K=V pair "
+        "(string comparison, case-insensitive; repeatable). With --metrics, "
+        "every matching row must also carry each gated metric. Guards "
+        "against a bench that silently dropped a configuration.",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -168,6 +178,34 @@ def main():
         cur_by_id[identity(row)] = row
 
     failures = []
+    for spec in args.require_row:
+        pairs = []
+        for item in spec.split(","):
+            if "=" not in item:
+                sys.exit(f"bench_compare: bad --require-row {spec!r} "
+                         f"(expected K=V[,K=V...])")
+            k, v = item.split("=", 1)
+            pairs.append((k.strip(), v.strip()))
+        matches = [
+            row
+            for row in cur["rows"]
+            if all(
+                k in row and str(row[k]).lower() == v.lower()
+                for k, v in pairs
+            )
+        ]
+        if not matches:
+            failures.append(f"--require-row {spec}: no current row matches")
+            continue
+        print(f"--require-row {spec}: {len(matches)} row(s)")
+        if allowed is not None:
+            for row in matches:
+                for name in sorted(allowed):
+                    if name not in row:
+                        failures.append(
+                            f"--require-row {spec}: metric {name} missing"
+                        )
+
     compared = 0
     for row in base["rows"]:
         rid = identity(row)
@@ -201,7 +239,7 @@ def main():
                 f"({(ratio - 1.0) * 100.0:+.1f}%){marker}"
             )
 
-    if compared == 0 and not failures:
+    if compared == 0 and not failures and not args.require_row:
         # A gate that compared nothing gates nothing — surface it instead of
         # exiting 0 (e.g. a baseline whose metrics are all below
         # --min-seconds, or a --metrics filter that matches no field).

@@ -1,0 +1,164 @@
+/// hymv_served: command-line front end over svc::SolveService.
+///
+/// Reads a tiny request script from stdin (one directive per line) and
+/// drives a long-lived service instance, printing one line per terminal
+/// outcome. With --demo N it instead submits N requests across four
+/// tenants and drains — a smoke-testable stand-in for a driver process.
+///
+/// Directives (unknown keys warn and are skipped; the service itself
+/// rejects malformed requests with a reason instead of crashing):
+///
+///   solve [tenant=T] [n=N] [pde=poisson|elasticity] [scale=S]
+///         [priority=P] [deadline=MS] [rtol=R] [attempts=K]
+///   drain            # wait for every outstanding request, print outcomes
+///   metrics          # dump the service MetricsRegistry as JSON
+///   # comment / blank lines ignored
+///
+/// Service policy comes from the HYMV_SVC_* environment (see README);
+/// EOF drains outstanding work, shuts down, and exits 0 if nothing was
+/// left hanging (a hung request would hang the drain — the watchdog
+/// guarantees it cannot).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hymv/svc/solve_service.hpp"
+
+namespace {
+
+using namespace hymv;
+
+struct Outstanding {
+  std::string tenant;
+  std::future<svc::SolveResponse> future;
+};
+
+svc::SolveRequest parse_solve(std::istringstream& line) {
+  svc::SolveRequest r;
+  r.spec.pde = driver::Pde::kPoisson;
+  std::int64_t n = 5;
+  std::string kv;
+  while (line >> kv) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "hymv_served: ignoring token '%s'\n", kv.c_str());
+      continue;
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    try {
+      if (key == "tenant") {
+        r.tenant = val;
+      } else if (key == "n") {
+        n = std::stoll(val);
+      } else if (key == "pde") {
+        r.spec.pde = val == "elasticity" ? driver::Pde::kElasticity
+                                         : driver::Pde::kPoisson;
+      } else if (key == "scale") {
+        r.rhs_scale = std::stod(val);
+      } else if (key == "priority") {
+        r.priority = std::stoi(val);
+      } else if (key == "deadline") {
+        r.deadline_ms = std::stod(val);
+      } else if (key == "rtol") {
+        r.rtol = std::stod(val);
+      } else if (key == "attempts") {
+        r.max_attempts = std::stoi(val);
+      } else {
+        std::fprintf(stderr, "hymv_served: ignoring key '%s'\n", key.c_str());
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "hymv_served: bad value in '%s'\n", kv.c_str());
+    }
+  }
+  r.spec.box = {n, n, n, 1.0, 1.0, 1.0, {0.0, 0.0, 0.0}};
+  return r;
+}
+
+void print_response(const std::string& tenant, const svc::SolveResponse& r) {
+  std::printf(
+      "%-8s %-15s reason=%-16s iters=%-5lld err=%.3e lanes=%d "
+      "attempts=%d cache=%d queue=%.2fms solve=%.2fms total=%.2fms\n",
+      tenant.c_str(), svc::outcome_name(r.outcome),
+      r.reason.empty() ? "-" : r.reason.c_str(),
+      static_cast<long long>(r.cg.iterations), r.err_inf, r.panel_lanes,
+      r.attempts, r.cache_hit ? 1 : 0, r.queue_ms, r.solve_ms, r.total_ms);
+}
+
+int drain(svc::SolveService& service, std::vector<Outstanding>& outstanding) {
+  int failures = 0;
+  for (Outstanding& o : outstanding) {
+    const svc::SolveResponse r = o.future.get();
+    print_response(o.tenant, r);
+    failures += r.outcome == svc::Outcome::kFailed ? 1 : 0;
+  }
+  outstanding.clear();
+  (void)service;
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int demo = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0 && i + 1 < argc) {
+      demo = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--demo N] < script\n", argv[0]);
+      return 2;
+    }
+  }
+
+  svc::SolveService service(svc::ServiceOptions::from_env());
+  std::vector<Outstanding> outstanding;
+  int failures = 0;
+
+  if (demo > 0) {
+    static const char* kTenants[4] = {"alpha", "beta", "gamma", "delta"};
+    for (int i = 0; i < demo; ++i) {
+      svc::SolveRequest r;
+      r.tenant = kTenants[i % 4];
+      r.spec.pde = driver::Pde::kPoisson;
+      r.spec.box = {5, 5, 5, 1.0, 1.0, 1.0, {0.0, 0.0, 0.0}};
+      r.rhs_scale = 1.0 + 0.5 * static_cast<double>(i % 4);
+      r.priority = i % 3;
+      r.rtol = 1e-6;
+      outstanding.push_back({r.tenant, service.submit(std::move(r))});
+    }
+    failures += drain(service, outstanding);
+  } else {
+    std::string text;
+    while (std::getline(std::cin, text)) {
+      std::istringstream line(text);
+      std::string cmd;
+      if (!(line >> cmd) || cmd[0] == '#') {
+        continue;
+      }
+      if (cmd == "solve") {
+        svc::SolveRequest r = parse_solve(line);
+        std::string tenant = r.tenant;
+        outstanding.push_back({std::move(tenant),
+                               service.submit(std::move(r))});
+      } else if (cmd == "drain") {
+        failures += drain(service, outstanding);
+      } else if (cmd == "metrics") {
+        std::printf("%s\n", service.metrics().to_json().c_str());
+      } else {
+        std::fprintf(stderr, "hymv_served: unknown directive '%s'\n",
+                     cmd.c_str());
+      }
+    }
+    failures += drain(service, outstanding);
+  }
+
+  service.shutdown();
+  return failures == 0 ? 0 : 1;
+}
