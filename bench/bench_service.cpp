@@ -158,9 +158,13 @@ LoadResult run_load(const LoadConfig& cfg) {
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t0)
                    .count();
-  out.p50_ms = latency.quantile(0.50);
-  out.p95_ms = latency.quantile(0.95);
-  out.p99_ms = latency.quantile(0.99);
+  // quantile() is NaN on an empty histogram (nothing completed — e.g. a
+  // config where every request was rejected); NaN is not valid JSON, so
+  // report an explicit 0 alongside the zero solved/deadline counts.
+  const bool any_latency = latency.count() > 0;
+  out.p50_ms = any_latency ? latency.quantile(0.50) : 0.0;
+  out.p95_ms = any_latency ? latency.quantile(0.95) : 0.0;
+  out.p99_ms = any_latency ? latency.quantile(0.99) : 0.0;
   return out;
 }
 

@@ -37,6 +37,21 @@ AssembledSetup build_assembled_matrix(simmpi::Comm& comm,
                                       const mesh::MeshPartition& part,
                                       const fem::ElementOperator& op);
 
+/// Assemble the full constrained global matrix Â = P A P + (I − P) as one
+/// SERIAL CsrMatrix, by walking every rank's partition (the e2g maps are
+/// already renumbered owner-contiguously, so scattering every part's
+/// element matrices lands in the global solver ordering directly).
+/// `constrained_dof[g]` flags global DoF g as Dirichlet-constrained:
+/// entries with a constrained row or column are dropped and the diagonal is
+/// set to 1 there — the same symmetric treatment pla::ConstrainedOperator
+/// applies, so spectra match the distributed operator exactly. Serial and
+/// rank-replicable (no communication); the geometric-multigrid hierarchy
+/// builds its fine-level matrix through this.
+pla::CsrMatrix assemble_global_serial(
+    std::span<const mesh::MeshPartition> parts,
+    const fem::ElementOperator& op, std::int64_t total_dofs,
+    const std::vector<std::uint8_t>& constrained_dof);
+
 /// Assemble the distributed load vector: element_rhs contributions
 /// accumulated over the partition with ghost contributions shipped to
 /// owners. Collective; uses (and requires) an existing DofMaps.

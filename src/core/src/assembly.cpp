@@ -47,6 +47,64 @@ AssembledSetup build_assembled_matrix(simmpi::Comm& comm,
   return result;
 }
 
+pla::CsrMatrix assemble_global_serial(
+    std::span<const mesh::MeshPartition> parts,
+    const fem::ElementOperator& op, std::int64_t total_dofs,
+    const std::vector<std::uint8_t>& constrained_dof) {
+  HYMV_CHECK_MSG(
+      static_cast<std::int64_t>(constrained_dof.size()) == total_dofs,
+      "assemble_global_serial: constrained mask size mismatch");
+  const int ndof = op.ndof_per_node();
+  const auto n = static_cast<std::size_t>(op.num_dofs());
+  const auto nper = static_cast<std::size_t>(op.num_nodes());
+  std::vector<double> ke(n * n);
+  std::vector<std::int64_t> dofs(n);
+
+  std::vector<pla::Triplet> triplets;
+  std::int64_t total_elements = 0;
+  for (const mesh::MeshPartition& part : parts) {
+    total_elements += part.num_local_elements();
+  }
+  triplets.reserve(static_cast<std::size_t>(total_elements) * n * n / 2 +
+                   static_cast<std::size_t>(total_dofs));
+
+  for (const mesh::MeshPartition& part : parts) {
+    HYMV_CHECK_MSG(part.nodes_per_elem == op.num_nodes(),
+                   "assemble_global_serial: partition/operator mismatch");
+    for (std::int64_t e = 0; e < part.num_local_elements(); ++e) {
+      op.element_matrix(part.element_coords(e), ke);
+      const auto nodes = part.element_nodes(e);
+      for (std::size_t a = 0; a < nper; ++a) {
+        for (int c = 0; c < ndof; ++c) {
+          dofs[a * static_cast<std::size_t>(ndof) +
+               static_cast<std::size_t>(c)] = nodes[a] * ndof + c;
+        }
+      }
+      for (std::size_t col = 0; col < n; ++col) {
+        const std::int64_t gcol = dofs[col];
+        if (constrained_dof[static_cast<std::size_t>(gcol)] != 0) {
+          continue;
+        }
+        for (std::size_t row = 0; row < n; ++row) {
+          const std::int64_t grow = dofs[row];
+          if (constrained_dof[static_cast<std::size_t>(grow)] != 0) {
+            continue;
+          }
+          triplets.push_back({grow, gcol, ke[col * n + row]});
+        }
+      }
+    }
+  }
+  // The (I − P) part: identity diagonal on every constrained DoF.
+  for (std::int64_t g = 0; g < total_dofs; ++g) {
+    if (constrained_dof[static_cast<std::size_t>(g)] != 0) {
+      triplets.push_back({g, g, 1.0});
+    }
+  }
+  return pla::CsrMatrix::from_triplets(total_dofs, total_dofs,
+                                       std::move(triplets));
+}
+
 pla::DistVector assemble_rhs(simmpi::Comm& comm, DofMaps& maps,
                              const mesh::MeshPartition& part,
                              const fem::ElementOperator& op) {

@@ -49,10 +49,26 @@ enum class Backend : int {
   kAdaptive,      ///< per-region autotuned composite (stored/matrixfree/SELL)
 };
 
-/// Preconditioner for solve_problem.
-enum class Precond : int { kNone, kJacobi, kBlockJacobi };
+/// Preconditioner for solve_problem. Values append only — svc problem keys
+/// and golden traces hash the underlying int.
+enum class Precond : int {
+  kNone,            ///< identity
+  kJacobi,          ///< point diagonal scaling
+  kBlockJacobi,     ///< one ILU(0) block per rank
+  kNodeBlockJacobi, ///< exact ndof×ndof node-block inverses
+  kChebyshev,       ///< Chebyshev polynomial over D⁻¹A (matrix-free)
+  kMultigrid,       ///< geometric V-cycle (structured hex meshes only)
+};
 
 [[nodiscard]] const char* backend_name(Backend backend);
+
+[[nodiscard]] const char* precond_name(Precond precond);
+
+/// Resolve the HYMV_PRECOND environment override ("none" | "jacobi" |
+/// "block-jacobi" | "node-block-jacobi" | "chebyshev" | "multigrid" — the
+/// precond_name() vocabulary). Unset returns `fallback`; an unknown value
+/// warns to stderr and returns `fallback` (the HYMV_BACKEND contract).
+[[nodiscard]] Precond precond_from_env(Precond fallback);
 
 /// Resolve the HYMV_BACKEND environment override
 /// ("assembled" | "hymv" | "matrix-free" | "hymv-gpu" | "assembled-gpu" |
@@ -106,6 +122,7 @@ class RankContext {
  public:
   RankContext(simmpi::Comm& comm, const ProblemSetup& setup);
 
+  [[nodiscard]] const ProblemSetup& setup() const { return *setup_; }
   [[nodiscard]] const mesh::MeshPartition& part() const { return *part_; }
   [[nodiscard]] const fem::ElementOperator& element_op() const { return *op_; }
   [[nodiscard]] core::DofMaps& maps() { return maps_; }
@@ -191,6 +208,17 @@ BuiltBackend build_backend(simmpi::Comm& comm, const RankContext& ctx,
                            const core::HymvGpuOptions& gpu_options = {},
                            const core::HymvOptions& hymv_options = {});
 
+/// Build the preconditioner `precond` over the (constrained) operator `a`.
+/// The single construction path solve_problem and svc::SolveService share:
+/// resolves the HYMV_CHEB_* / HYMV_MG_* knobs from the environment, and for
+/// kMultigrid assembles the structured-lattice hierarchy from the rank
+/// context's ProblemSetup (unstructured meshes warn to stderr and fall back
+/// to Jacobi). `fp32` selects fp32 preconditioner state with fp64
+/// accumulation (Chebyshev scaling, multigrid level matrices). Collective.
+std::unique_ptr<pla::Preconditioner> make_preconditioner(
+    simmpi::Comm& comm, const RankContext& ctx, pla::LinearOperator& a,
+    Precond precond, bool fp32 = false);
+
 /// Per-rank SPMV measurement over `napplies` products.
 struct SpmvReport {
   SetupReport setup;
@@ -237,7 +265,13 @@ SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
 
 struct SolveOptions {
   Backend backend = Backend::kHymv;
+  /// Overridable at solve entry via HYMV_PRECOND (precond_from_env).
   Precond precond = Precond::kJacobi;
+  /// fp32 preconditioner state (HYMV_PRECOND_FP32 override). When active,
+  /// solve_problem defaults true_residual_every to 50 so the fp64 outer CG
+  /// periodically replaces the fp32-polluted recurrence residual with the
+  /// true residual (iterative-refinement-style restart).
+  bool precond_fp32 = false;
   double rtol = 1e-3;  ///< the paper's solve experiments use ε = 10⁻³
   std::int64_t max_iters = 20000;
   gpu::Device* device = nullptr;

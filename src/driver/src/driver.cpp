@@ -9,6 +9,8 @@
 
 #include "hymv/common/env.hpp"
 #include "hymv/common/error.hpp"
+#include "hymv/pla/chebyshev.hpp"
+#include "hymv/pla/multigrid.hpp"
 #include "hymv/common/isa.hpp"
 #include "hymv/common/numa.hpp"
 #include "hymv/common/timer.hpp"
@@ -52,6 +54,46 @@ Backend backend_from_env(Backend fallback) {
                "hymv: ignoring HYMV_BACKEND='%s' (expected assembled|hymv|"
                "matrix-free|hymv-gpu|assembled-gpu|adaptive); using '%s'\n",
                value, backend_name(fallback));
+  return fallback;
+}
+
+const char* precond_name(Precond precond) {
+  switch (precond) {
+    case Precond::kNone:
+      return "none";
+    case Precond::kJacobi:
+      return "jacobi";
+    case Precond::kBlockJacobi:
+      return "block-jacobi";
+    case Precond::kNodeBlockJacobi:
+      return "node-block-jacobi";
+    case Precond::kChebyshev:
+      return "chebyshev";
+    case Precond::kMultigrid:
+      return "multigrid";
+  }
+  return "unknown";
+}
+
+Precond precond_from_env(Precond fallback) {
+  const char* value = std::getenv("HYMV_PRECOND");
+  if (value == nullptr) {
+    return fallback;
+  }
+  constexpr Precond kAll[] = {Precond::kNone,          Precond::kJacobi,
+                              Precond::kBlockJacobi,
+                              Precond::kNodeBlockJacobi, Precond::kChebyshev,
+                              Precond::kMultigrid};
+  for (const Precond p : kAll) {
+    if (std::strcmp(value, precond_name(p)) == 0) {
+      return p;
+    }
+  }
+  std::fprintf(stderr,
+               "hymv: ignoring HYMV_PRECOND='%s' (expected none|jacobi|"
+               "block-jacobi|node-block-jacobi|chebyshev|multigrid); "
+               "using '%s'\n",
+               value, precond_name(fallback));
   return fallback;
 }
 
@@ -291,6 +333,89 @@ std::unique_ptr<pla::LinearOperator> make_backend(
       .op;
 }
 
+std::unique_ptr<pla::Preconditioner> make_preconditioner(
+    simmpi::Comm& comm, const RankContext& ctx, pla::LinearOperator& a,
+    Precond precond, bool fp32) {
+  switch (precond) {
+    case Precond::kNone:
+      return std::make_unique<pla::IdentityPreconditioner>();
+    case Precond::kJacobi:
+      return std::make_unique<pla::JacobiPreconditioner>(comm, a);
+    case Precond::kBlockJacobi:
+      return std::make_unique<pla::BlockJacobiPreconditioner>(comm, a);
+    case Precond::kNodeBlockJacobi:
+      return std::make_unique<pla::NodeBlockJacobiPreconditioner>(
+          comm, a, ctx.setup().spec.ndof_per_node());
+    case Precond::kChebyshev: {
+      pla::ChebyshevOptions copt;
+      copt.fp32 = fp32;
+      return std::make_unique<pla::ChebyshevPreconditioner>(
+          comm, a, pla::ChebyshevOptions::from_env(copt));
+    }
+    case Precond::kMultigrid: {
+      const ProblemSetup& setup = ctx.setup();
+      if (setup.spec.unstructured) {
+        std::fprintf(stderr,
+                     "hymv: multigrid preconditioner needs a structured hex "
+                     "mesh; falling back to jacobi\n");
+        return std::make_unique<pla::JacobiPreconditioner>(comm, a);
+      }
+      HYMV_TRACE_SCOPE("precond.mg.glue", "driver");
+      const int ndof = setup.spec.ndof_per_node();
+      const std::int64_t total_dofs = setup.total_dofs();
+
+      // Lattice view in SOLVER node numbering: the builder's ids pushed
+      // through the distribute_mesh renumbering.
+      const mesh::StructuredNodeGrid g =
+          mesh::structured_hex_node_grid(setup.spec.box, setup.spec.element);
+      pla::MgGridSpec grid;
+      grid.mx = g.mx;
+      grid.my = g.my;
+      grid.mz = g.mz;
+      grid.ndof = ndof;
+      grid.node_at.assign(g.fine_to_node.size(), -1);
+      for (std::size_t idx = 0; idx < g.fine_to_node.size(); ++idx) {
+        if (g.fine_to_node[idx] >= 0) {
+          grid.node_at[idx] = setup.dist.node_perm[static_cast<std::size_t>(
+              g.fine_to_node[idx])];
+        }
+      }
+
+      // Dirichlet mask: RankContext constrains every DoF of every node on
+      // the box surface (core::on_box_boundary over the whole boundary) —
+      // on the lattice that is exactly the set of extremal lattice points.
+      std::vector<std::uint8_t> constrained(
+          static_cast<std::size_t>(total_dofs), 0);
+      for (std::int64_t k = 0; k < g.mz; ++k) {
+        for (std::int64_t j = 0; j < g.my; ++j) {
+          for (std::int64_t i = 0; i < g.mx; ++i) {
+            if (i != 0 && i != g.mx - 1 && j != 0 && j != g.my - 1 &&
+                k != 0 && k != g.mz - 1) {
+              continue;
+            }
+            const std::int64_t node = grid.node_at[grid.index(i, j, k)];
+            if (node < 0) {
+              continue;
+            }
+            for (int c = 0; c < ndof; ++c) {
+              constrained[static_cast<std::size_t>(node * ndof + c)] = 1;
+            }
+          }
+        }
+      }
+
+      pla::CsrMatrix a_fine = core::assemble_global_serial(
+          setup.dist.parts, ctx.element_op(), total_dofs, constrained);
+      pla::MultigridOptions mopt;
+      mopt.fp32 = fp32;
+      return std::make_unique<pla::GeometricMultigridPreconditioner>(
+          comm, std::move(a_fine), grid, constrained, a.layout(),
+          pla::MultigridOptions::from_env(mopt));
+    }
+  }
+  HYMV_THROW("make_preconditioner: unknown preconditioner");
+}
+
 SpmvReport measure_spmv(simmpi::Comm& comm, RankContext& ctx, Backend backend,
                         int napplies, const MeasureOptions& options) {
   HYMV_TRACE_SCOPE("spmv.measure", "driver");
@@ -476,22 +601,25 @@ SolveReport solve_problem(simmpi::Comm& comm, RankContext& ctx,
   pla::DistVector b = ctx.assemble_rhs(comm);
   pla::apply_constraints_to_rhs(comm, *a, ctx.constraints(), b);
 
-  std::unique_ptr<pla::Preconditioner> m;
-  switch (options.precond) {
-    case Precond::kNone:
-      m = std::make_unique<pla::IdentityPreconditioner>();
-      break;
-    case Precond::kJacobi:
-      m = std::make_unique<pla::JacobiPreconditioner>(comm, ac);
-      break;
-    case Precond::kBlockJacobi:
-      m = std::make_unique<pla::BlockJacobiPreconditioner>(comm, ac);
-      break;
-  }
+  // Preconditioner, with env overrides (unset env leaves the programmatic
+  // options untouched, so default behavior is bitwise unchanged).
+  const Precond precond = precond_from_env(options.precond);
+  const bool precond_fp32 =
+      env_count("HYMV_PRECOND_FP32", options.precond_fp32 ? 1 : 0) == 1;
+  hymv::Timer precond_timer;
+  std::unique_ptr<pla::Preconditioner> m =
+      make_preconditioner(comm, ctx, ac, precond, precond_fp32);
+  comm.metrics().gauge("precond.setup_s").add(precond_timer.elapsed_s());
 
   // Resilience policy: env overrides on top of the programmatic options.
-  const std::int64_t true_residual_every =
+  std::int64_t true_residual_every =
       env_count("HYMV_CG_TRUE_RESIDUAL_EVERY", options.true_residual_every);
+  if (precond_fp32 && true_residual_every == 0) {
+    // Mixed precision: the fp32 preconditioner perturbs the fp64 recurrence
+    // every iteration; periodic true-residual replacement keeps the
+    // reported convergence honest (iterative refinement of the outer CG).
+    true_residual_every = 50;
+  }
   const std::int64_t checkpoint_every =
       env_count("HYMV_CG_CHECKPOINT_EVERY", options.checkpoint_every);
   const int max_attempts = static_cast<int>(std::max<std::int64_t>(

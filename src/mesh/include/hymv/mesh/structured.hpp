@@ -50,4 +50,27 @@ struct BoxSpec {
 [[nodiscard]] std::int64_t structured_hex_num_nodes(const BoxSpec& spec,
                                                     ElementType type);
 
+/// Lattice view of a structured hex mesh: the node id (the ids
+/// build_structured_hex assigns) at every point of the fine half-step grid,
+/// or -1 where the element type hosts no node. The geometric-multigrid
+/// level builder consumes this to place nodes on a regular (i, j, k)
+/// lattice without re-deriving the numbering from coordinates.
+struct StructuredNodeGrid {
+  std::int64_t mx = 0;  ///< lattice points in x (2·nx + 1)
+  std::int64_t my = 0;
+  std::int64_t mz = 0;
+  /// Node id at lattice point (i, j, k), x fastest — same numbering as
+  /// build_structured_hex; -1 on lattice points without a node.
+  std::vector<NodeId> fine_to_node;
+
+  [[nodiscard]] std::size_t index(std::int64_t i, std::int64_t j,
+                                  std::int64_t k) const {
+    return static_cast<std::size_t>((k * my + j) * mx + i);
+  }
+};
+
+/// Build the lattice view matching build_structured_hex(spec, type).
+[[nodiscard]] StructuredNodeGrid structured_hex_node_grid(const BoxSpec& spec,
+                                                          ElementType type);
+
 }  // namespace hymv::mesh

@@ -67,6 +67,32 @@ std::int64_t structured_hex_num_nodes(const BoxSpec& spec, ElementType type) {
   }
 }
 
+StructuredNodeGrid structured_hex_node_grid(const BoxSpec& spec,
+                                            ElementType type) {
+  HYMV_CHECK_MSG(is_hex(type), "structured_hex_node_grid: hex types only");
+  HYMV_CHECK_MSG(spec.nx > 0 && spec.ny > 0 && spec.nz > 0,
+                 "structured_hex_node_grid: element counts must be positive");
+  StructuredNodeGrid grid;
+  grid.mx = 2 * spec.nx + 1;
+  grid.my = 2 * spec.ny + 1;
+  grid.mz = 2 * spec.nz + 1;
+  grid.fine_to_node.assign(
+      static_cast<std::size_t>(grid.mx * grid.my * grid.mz), NodeId{-1});
+  // Must walk the lattice in exactly the order build_structured_hex does so
+  // the assigned ids match its numbering.
+  NodeId next = 0;
+  for (std::int64_t k = 0; k < grid.mz; ++k) {
+    for (std::int64_t j = 0; j < grid.my; ++j) {
+      for (std::int64_t i = 0; i < grid.mx; ++i) {
+        if (fine_node_used(type, i, j, k)) {
+          grid.fine_to_node[grid.index(i, j, k)] = next++;
+        }
+      }
+    }
+  }
+  return grid;
+}
+
 Mesh build_structured_hex(const BoxSpec& spec, ElementType type) {
   HYMV_CHECK_MSG(is_hex(type), "build_structured_hex: hex types only");
   HYMV_CHECK_MSG(spec.nx > 0 && spec.ny > 0 && spec.nz > 0,

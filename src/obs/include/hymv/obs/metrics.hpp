@@ -85,7 +85,9 @@ class Histogram {
   /// Maximum observed sample; 0 when no samples were observed.
   [[nodiscard]] double max() const;
   /// Estimated q-quantile (q clamped to [0, 1]) of the observed samples;
-  /// 0 when no samples were observed. to_json() exports p50/p95/p99.
+  /// NaN when no samples were observed (an empty histogram has no
+  /// quantiles — a 0 would be indistinguishable from a real zero-latency
+  /// sample). to_json() exports p50/p95/p99 only for non-empty histograms.
   [[nodiscard]] double quantile(double q) const;
   void reset();
   /// Fold another histogram's samples into this one (bucket-level merge:

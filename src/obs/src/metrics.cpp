@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -77,7 +78,10 @@ double Histogram::quantile(double q) const {
 
 double Histogram::quantile_locked(double q) const {
   if (count_ == 0) {
-    return 0.0;
+    // NaN, not 0: an empty histogram has no quantiles, and a 0 here is
+    // indistinguishable from a real zero-latency measurement downstream
+    // (to_json omits the p50/p95/p99 keys entirely in this case).
+    return std::numeric_limits<double>::quiet_NaN();
   }
   q = std::min(std::max(q, 0.0), 1.0);
   // Nearest-rank target over the bucket counts, linearly interpolated
@@ -281,12 +285,17 @@ std::string MetricsRegistry::to_json() const {
     append_double(out, h->min());
     out += ", \"max\": ";
     append_double(out, h->max());
-    out += ", \"p50\": ";
-    append_double(out, h->quantile(0.50));
-    out += ", \"p95\": ";
-    append_double(out, h->quantile(0.95));
-    out += ", \"p99\": ";
-    append_double(out, h->quantile(0.99));
+    // Empty histograms have no quantiles (quantile() returns NaN, which
+    // is not valid JSON): the p50/p95/p99 keys are omitted so consumers
+    // can tell "no samples" apart from a real zero-latency measurement.
+    if (h->count() > 0) {
+      out += ", \"p50\": ";
+      append_double(out, h->quantile(0.50));
+      out += ", \"p95\": ";
+      append_double(out, h->quantile(0.95));
+      out += ", \"p99\": ";
+      append_double(out, h->quantile(0.99));
+    }
     out += "}";
   }
   out += first ? "}\n" : "\n  }\n";

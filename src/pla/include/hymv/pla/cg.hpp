@@ -76,6 +76,11 @@ struct CgOptions {
 struct CgResult {
   std::int64_t iterations = 0;
   double final_residual = 0.0;   ///< ‖r‖₂ at exit
+  /// ‖r‖₂ / ‖b‖₂ at exit. Convention for ‖b‖ = 0 (the convergence target
+  /// degenerates to max(atol, rtol), matching PETSc): a converged solve
+  /// found the exact solution x = 0 and reports 0 here; a non-converged /
+  /// broken-down / canceled solve reports the absolute ‖r‖₂ so the failure
+  /// magnitude is still visible. final_residual always carries ‖r‖₂.
   double relative_residual = 0.0;
   bool converged = false;
   /// True when the iteration stopped on a numerical breakdown (e.g. an

@@ -31,10 +31,19 @@ class IdentityPreconditioner final : public Preconditioner {
 };
 
 /// z = diag(A)⁻¹ r.
+///
+/// Singular-diagonal policy (shared with NodeBlockJacobiPreconditioner):
+/// a zero diagonal entry — typically a constrained-DoF row of an operator
+/// that was not wrapped in ConstrainedOperator — used to silently become
+/// inf and poison the solve. By default the offending row now falls back
+/// to identity scaling (z_i = r_i) and is counted in the collective
+/// `precond.singular_rows` counter of comm.metrics(); `strict = true`
+/// restores the old throw-on-construction behavior.
 class JacobiPreconditioner final : public Preconditioner {
  public:
   /// Collective: queries A's diagonal.
-  JacobiPreconditioner(simmpi::Comm& comm, LinearOperator& a);
+  JacobiPreconditioner(simmpi::Comm& comm, LinearOperator& a,
+                       bool strict = false);
   void apply(simmpi::Comm& comm, const DistVector& r, DistVector& z) override;
 
  private:
@@ -49,9 +58,11 @@ class JacobiPreconditioner final : public Preconditioner {
 class NodeBlockJacobiPreconditioner final : public Preconditioner {
  public:
   /// Collective: extracts the node-diagonal blocks from A's owned block.
-  /// `ndof` must divide the owned size.
+  /// `ndof` must divide the owned size. Singular node blocks follow the
+  /// JacobiPreconditioner policy: identity fallback for the whole block
+  /// (all ndof rows counted in `precond.singular_rows`) unless `strict`.
   NodeBlockJacobiPreconditioner(simmpi::Comm& comm, LinearOperator& a,
-                                int ndof);
+                                int ndof, bool strict = false);
   void apply(simmpi::Comm& comm, const DistVector& r, DistVector& z) override;
 
  private:

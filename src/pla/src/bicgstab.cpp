@@ -31,7 +31,9 @@ CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
   if (rnorm <= target) {
     result.converged = true;
     result.final_residual = rnorm;
-    result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    // ‖b‖ = 0 convention (see CgResult): converged ⇒ relative residual 0.
+    result.relative_residual =
+        bnorm > 0.0 ? rnorm / bnorm : (result.converged ? 0.0 : rnorm);
     return result;
   }
 
@@ -105,7 +107,9 @@ CgResult bicgstab_solve(simmpi::Comm& comm, LinearOperator& a,
     rho_prev = rho;
   }
   result.final_residual = rnorm;
-  result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+  // ‖b‖ = 0 convention (see CgResult): converged ⇒ relative residual 0.
+  result.relative_residual =
+      bnorm > 0.0 ? rnorm / bnorm : (result.converged ? 0.0 : rnorm);
   return result;
 }
 

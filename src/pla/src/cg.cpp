@@ -93,7 +93,11 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
   // trivially converged solve stayed unset.
   const auto publish = [&]() {
     result.final_residual = rnorm;
-    result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    // ‖b‖ = 0 convention (see CgResult): converged means the exact x = 0
+    // solution — relative residual 0, not the mislabeled absolute ‖r‖.
+    result.relative_residual = bnorm > 0.0
+                                   ? rnorm / bnorm
+                                   : (result.converged ? 0.0 : rnorm);
     result.checkpoints_taken = c_checkpoints.value() - checkpoints0;
     result.rollbacks = c_rollbacks.value() - rollbacks0;
     result.residual_replacements = c_replacements.value() - replacements0;
@@ -214,12 +218,20 @@ CgResult cg_solve(simmpi::Comm& comm, LinearOperator& a, Preconditioner& m,
       // Replace the recurrence residual with the true residual b − A x and
       // restart the search direction — repairs drift a transient fault
       // injected into x or r has caused.
+      const double rnorm_recurrence = rnorm;
       a.apply(comm, x, q);
       copy(b, r);
       axpy(-1.0, q, r);
       rnorm = norm2(comm, r);
       c_allreduces.inc();
       c_replacements.inc();
+      // How far the recurrence had drifted from the truth, relative to the
+      // true norm — the observable a mixed-precision (fp32 preconditioner)
+      // solve watches to validate its refinement cadence.
+      if (std::isfinite(rnorm) && rnorm > 0.0) {
+        mets.gauge("cg.residual_drift")
+            .set(std::abs(rnorm_recurrence - rnorm) / rnorm);
+      }
       HYMV_TRACE_INSTANT("cg.residual_replace", "cg");
       if (ck && !std::isfinite(rnorm)) {
         if (!roll_back()) {
@@ -307,7 +319,11 @@ CgResult cg_solve_pipelined(simmpi::Comm& comm, LinearOperator& a,
   c_allreduces.inc();
   const auto publish = [&]() {
     result.final_residual = rnorm;
-    result.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    // ‖b‖ = 0 convention (see CgResult): converged means the exact x = 0
+    // solution — relative residual 0, not the mislabeled absolute ‖r‖.
+    result.relative_residual = bnorm > 0.0
+                                   ? rnorm / bnorm
+                                   : (result.converged ? 0.0 : rnorm);
     result.checkpoints_taken = c_checkpoints.value() - checkpoints0;
     result.rollbacks = c_rollbacks.value() - rollbacks0;
     result.residual_replacements = c_replacements.value() - replacements0;
@@ -475,12 +491,18 @@ CgResult cg_solve_pipelined(simmpi::Comm& comm, LinearOperator& a,
         it % options.true_residual_every == 0) {
       // True-residual replacement: recompute r = b − A x, then rebuild the
       // u/w recurrences and restart the four direction vectors.
+      const double rnorm_recurrence = rnorm;
       a.apply(comm, x, nv);
       copy(b, r);
       axpy(-1.0, nv, r);
       rnorm = norm2(comm, r);
       c_allreduces.inc();
       c_replacements.inc();
+      // Recurrence-vs-truth drift, as in cg_solve.
+      if (std::isfinite(rnorm) && rnorm > 0.0) {
+        mets.gauge("cg.residual_drift")
+            .set(std::abs(rnorm_recurrence - rnorm) / rnorm);
+      }
       HYMV_TRACE_INSTANT("cg.residual_replace", "cg");
       if (ck && !std::isfinite(rnorm)) {
         if (!roll_back()) {
@@ -807,8 +829,10 @@ std::vector<CgResult> cg_solve_multi(simmpi::Comm& comm, LinearOperator& a,
   std::int64_t max_iterations = 0;
   for (std::size_t j = 0; j < ku; ++j) {
     results[j].final_residual = rnorm[j];
+    // Same ‖b‖ = 0 convention as cg_solve (see CgResult), per lane.
     results[j].relative_residual =
-        bnorm[j] > 0.0 ? rnorm[j] / bnorm[j] : rnorm[j];
+        bnorm[j] > 0.0 ? rnorm[j] / bnorm[j]
+                       : (results[j].converged ? 0.0 : rnorm[j]);
     results[j].checkpoints_taken = checkpoints_taken;
     results[j].rollbacks = rollbacks;
     results[j].residual_replacements = residual_replacements;

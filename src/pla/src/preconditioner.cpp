@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hymv/common/error.hpp"
+#include "hymv/obs/metrics.hpp"
 
 namespace hymv::pla {
 
@@ -17,11 +18,23 @@ void IdentityPreconditioner::apply(simmpi::Comm&, const DistVector& r,
 }
 
 JacobiPreconditioner::JacobiPreconditioner(simmpi::Comm& comm,
-                                           LinearOperator& a)
+                                           LinearOperator& a, bool strict)
     : inv_diag_(a.diagonal(comm)) {
+  std::int64_t singular = 0;
   for (double& d : inv_diag_) {
-    HYMV_CHECK_MSG(std::abs(d) > 0.0, "JacobiPreconditioner: zero diagonal");
+    if (!(std::abs(d) > 0.0)) {
+      HYMV_CHECK_MSG(!strict, "JacobiPreconditioner: zero diagonal");
+      // Identity fallback: z_i = r_i on the degenerate row instead of the
+      // silent inf that 1/0 produced. Typical cause: a constrained-DoF row
+      // of an operator not wrapped in ConstrainedOperator.
+      d = 1.0;
+      ++singular;
+      continue;
+    }
     d = 1.0 / d;
+  }
+  if (singular > 0) {
+    comm.metrics().counter("precond.singular_rows").add(singular);
   }
 }
 
@@ -36,8 +49,56 @@ void JacobiPreconditioner::apply(simmpi::Comm&, const DistVector& r,
   }
 }
 
+namespace {
+
+/// Gauss-Jordan inversion of a d×d column-major block, with partial
+/// pivoting. Returns false (inv unspecified) when a pivot vanishes.
+bool invert_block(std::size_t d, std::vector<double>& m,
+                  std::vector<double>& inv) {
+  std::fill(inv.begin(), inv.end(), 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    inv[i * d + i] = 1.0;
+  }
+  for (std::size_t col = 0; col < d; ++col) {
+    // Partial pivoting within the block.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < d; ++row) {
+      if (std::abs(m[col * d + row]) > std::abs(m[col * d + pivot])) {
+        pivot = row;
+      }
+    }
+    if (!(std::abs(m[col * d + pivot]) > 0.0)) {
+      return false;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < d; ++c) {
+        std::swap(m[c * d + col], m[c * d + pivot]);
+        std::swap(inv[c * d + col], inv[c * d + pivot]);
+      }
+    }
+    const double scale = 1.0 / m[col * d + col];
+    for (std::size_t c = 0; c < d; ++c) {
+      m[c * d + col] *= scale;
+      inv[c * d + col] *= scale;
+    }
+    for (std::size_t row = 0; row < d; ++row) {
+      if (row == col) {
+        continue;
+      }
+      const double factor = m[col * d + row];
+      for (std::size_t c = 0; c < d; ++c) {
+        m[c * d + row] -= factor * m[c * d + col];
+        inv[c * d + row] -= factor * inv[c * d + col];
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 NodeBlockJacobiPreconditioner::NodeBlockJacobiPreconditioner(
-    simmpi::Comm& comm, LinearOperator& a, int ndof)
+    simmpi::Comm& comm, LinearOperator& a, int ndof, bool strict)
     : ndof_(ndof) {
   HYMV_CHECK_MSG(ndof >= 1 && ndof <= 6,
                  "NodeBlockJacobiPreconditioner: unsupported block size");
@@ -49,6 +110,7 @@ NodeBlockJacobiPreconditioner::NodeBlockJacobiPreconditioner(
   const auto d = static_cast<std::size_t>(ndof);
   inv_blocks_.assign(static_cast<std::size_t>(nodes) * d * d, 0.0);
 
+  std::int64_t singular = 0;
   std::vector<double> m(d * d), inv(d * d);
   for (std::int64_t node = 0; node < nodes; ++node) {
     for (std::size_t j = 0; j < d; ++j) {
@@ -57,46 +119,24 @@ NodeBlockJacobiPreconditioner::NodeBlockJacobiPreconditioner(
                                 node * ndof + static_cast<std::int64_t>(j));
       }
     }
-    // Gauss-Jordan inversion of the small block.
-    std::fill(inv.begin(), inv.end(), 0.0);
-    for (std::size_t i = 0; i < d; ++i) {
-      inv[i * d + i] = 1.0;
-    }
-    for (std::size_t col = 0; col < d; ++col) {
-      // Partial pivoting within the block.
-      std::size_t pivot = col;
-      for (std::size_t row = col + 1; row < d; ++row) {
-        if (std::abs(m[col * d + row]) > std::abs(m[col * d + pivot])) {
-          pivot = row;
-        }
-      }
-      HYMV_CHECK_MSG(std::abs(m[col * d + pivot]) > 0.0,
+    if (!invert_block(d, m, inv)) {
+      HYMV_CHECK_MSG(!strict,
                      "NodeBlockJacobiPreconditioner: singular node block");
-      if (pivot != col) {
-        for (std::size_t c = 0; c < d; ++c) {
-          std::swap(m[c * d + col], m[c * d + pivot]);
-          std::swap(inv[c * d + col], inv[c * d + pivot]);
-        }
+      // Identity fallback for the whole node block (see the class doc):
+      // the old behavior silently baked garbage from a half-finished
+      // elimination into inv_blocks_.
+      std::fill(inv.begin(), inv.end(), 0.0);
+      for (std::size_t i = 0; i < d; ++i) {
+        inv[i * d + i] = 1.0;
       }
-      const double scale = 1.0 / m[col * d + col];
-      for (std::size_t c = 0; c < d; ++c) {
-        m[c * d + col] *= scale;
-        inv[c * d + col] *= scale;
-      }
-      for (std::size_t row = 0; row < d; ++row) {
-        if (row == col) {
-          continue;
-        }
-        const double factor = m[col * d + row];
-        for (std::size_t c = 0; c < d; ++c) {
-          m[c * d + row] -= factor * m[c * d + col];
-          inv[c * d + row] -= factor * inv[c * d + col];
-        }
-      }
+      singular += ndof;
     }
     std::copy(inv.begin(), inv.end(),
               inv_blocks_.begin() + static_cast<std::ptrdiff_t>(
                                         static_cast<std::size_t>(node) * d * d));
+  }
+  if (singular > 0) {
+    comm.metrics().counter("precond.singular_rows").add(singular);
   }
 }
 

@@ -687,18 +687,13 @@ struct SolveService::Impl {
       pla::DistVector b = ctx.assemble_rhs(comm);
       pla::apply_constraints_to_rhs(comm, *a, ctx.constraints(), b);
 
-      std::unique_ptr<pla::Preconditioner> m;
-      switch (proto.precond) {
-        case driver::Precond::kNone:
-          m = std::make_unique<pla::IdentityPreconditioner>();
-          break;
-        case driver::Precond::kJacobi:
-          m = std::make_unique<pla::JacobiPreconditioner>(comm, ac);
-          break;
-        case driver::Precond::kBlockJacobi:
-          m = std::make_unique<pla::BlockJacobiPreconditioner>(comm, ac);
-          break;
-      }
+      // The shared driver construction path: every Precond the driver knows
+      // (including chebyshev/multigrid) is servable, and the env knobs
+      // resolve identically to a standalone solve_problem run. problem_key
+      // hashes the precond int, so requests for different preconditioners
+      // never coalesce.
+      std::unique_ptr<pla::Preconditioner> m =
+          driver::make_preconditioner(comm, ctx, ac, proto.precond);
 
       pla::CgOptions cg_options;
       cg_options.rtol = proto.rtol;

@@ -14,6 +14,7 @@
 #include <omp.h>
 #endif
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -198,8 +199,13 @@ TEST(MetricsTest, QuantileOfKnownDistribution) {
 }
 
 TEST(MetricsTest, QuantileDegenerateCases) {
+  // Empty histograms have NO quantiles: NaN, not 0 — a 0 would be
+  // indistinguishable from a genuine zero-latency measurement in the svc
+  // summaries and bench JSON.
   obs::Histogram empty;
-  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0) << "empty histogram reports 0";
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(empty.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(empty.quantile(1.0)));
 
   obs::Histogram single;
   single.observe(0.125);
@@ -247,6 +253,27 @@ TEST(MetricsTest, ToJsonCarriesQuantiles) {
   reg.merge_from(other);
   EXPECT_EQ(reg.histogram("lat_s").count(), 11);
   EXPECT_NEAR(reg.histogram("lat_s").quantile(1.0), 100.0, 1e-12);
+}
+
+TEST(MetricsTest, ToJsonOmitsQuantilesForEmptyHistogram) {
+  // Registering a histogram without observing anything (a tenant that never
+  // completed a request, a phase that never ran) must not render p50/p95/p99
+  // — NaN is not valid JSON and 0 would read as a real measurement.
+  obs::MetricsRegistry reg;
+  reg.histogram("never_observed_s");
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"never_observed_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("\"p50\""), std::string::npos);
+  EXPECT_EQ(json.find("\"p95\""), std::string::npos);
+  EXPECT_EQ(json.find("\"p99\""), std::string::npos);
+  expect_balanced(json);
+
+  // A non-empty histogram in the same registry still carries its quantiles.
+  reg.histogram("observed_s").observe(0.25);
+  const std::string json2 = reg.to_json();
+  EXPECT_NE(json2.find("\"p50\""), std::string::npos);
+  expect_balanced(json2);
 }
 
 TEST(MetricsTest, WriteJsonRoundTripAndFailure) {
